@@ -1,0 +1,100 @@
+// Command benchtables regenerates the paper's tables and figures
+// (DESIGN.md §4): it runs the requested experiment(s) and prints the rows
+// each figure plots.
+//
+// Usage:
+//
+//	benchtables -exp=fig8a                # one experiment
+//	benchtables -exp=all                  # everything
+//	benchtables -exp=fig5 -scale=0.05     # BTV/CMV at 5% of paper size
+//	benchtables -exp=fig9 -maxatoms=4000  # cap the ZDock roster
+//	benchtables -exp=fig10 -csv           # CSV instead of a text table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gbpolar/internal/bench"
+)
+
+// writeCSV persists one experiment table under dir.
+func writeCSV(dir, id string, tab *bench.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := tab.CSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment id, or 'all' (ids: "+fmt.Sprint(bench.IDs())+")")
+		scale    = flag.Float64("scale", 0, "fraction of the paper's BTV/CMV sizes to run (default 0.01)")
+		runs     = flag.Int("runs", 0, "noisy samples for min/max envelopes (default 20)")
+		maxAtoms = flag.Int("maxatoms", 0, "cap the ZDock roster at this atom count (0 = full)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		outdir   = flag.String("outdir", "", "also write each experiment as <outdir>/<id>.csv")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "benchtables: -exp required (or -list); ids:", bench.IDs())
+		os.Exit(2)
+	}
+	opts := bench.DefaultOptions()
+	if *scale > 0 {
+		opts.Scale = *scale
+	}
+	if *runs > 0 {
+		opts.Runs = *runs
+	}
+	opts.MaxAtoms = *maxAtoms
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = bench.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tab, err := bench.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		var perr error
+		if *csv {
+			perr = tab.CSV(os.Stdout)
+		} else {
+			perr = tab.Print(os.Stdout)
+		}
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %s: %v\n", id, perr)
+			os.Exit(1)
+		}
+		if *outdir != "" {
+			if err := writeCSV(*outdir, id, tab); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtables: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s generated in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,119 @@
+// Command clustersim explores cluster layouts for one workload: it runs
+// the hybrid algorithm at a series of (processes × threads) layouts and
+// prints the modeled time breakdown on the Table I machine — the tool for
+// answering "how should I lay this molecule out on my cluster?".
+//
+// Usage:
+//
+//	clustersim -atoms 100000                  # sweep layouts on a globule
+//	clustersim -atoms 50000 -shape shell      # capsid-like workload
+//	clustersim -nodes 1,2,4,8 -rpn 12,2       # custom node counts / ranks-per-node
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gbpolar/internal/bench"
+	"gbpolar/internal/gb"
+	"gbpolar/internal/molecule"
+	"gbpolar/internal/perf"
+	"gbpolar/internal/surface"
+)
+
+func main() {
+	var (
+		atoms   = flag.Int("atoms", 50000, "workload size")
+		shapeF  = flag.String("shape", "globule", "globule | shell")
+		nodesF  = flag.String("nodes", "1,2,4,8,16,32", "comma-separated node counts")
+		rpnF    = flag.String("rpn", "12,2", "ranks per node to compare (threads fill the node)")
+		seed    = flag.Int64("seed", 7, "workload seed")
+	)
+	flag.Parse()
+
+	var mol *molecule.Molecule
+	switch *shapeF {
+	case "globule":
+		mol = molecule.Exactly(molecule.Globule("workload", *atoms, *seed), *atoms, *seed)
+	case "shell":
+		mol = molecule.Exactly(molecule.Shell("workload", *atoms, 30, *seed), *atoms, *seed)
+	default:
+		fatal(fmt.Errorf("unknown shape %q", *shapeF))
+	}
+	surf, err := surface.Build(mol, surface.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := gb.NewSystem(mol, surf, gb.DefaultParams())
+	if err != nil {
+		fatal(err)
+	}
+
+	machine := perf.Lonestar4()
+	cal := perf.DefaultCalibration()
+	nodes, err := parseInts(*nodesF)
+	if err != nil {
+		fatal(err)
+	}
+	rpns, err := parseInts(*rpnF)
+	if err != nil {
+		fatal(err)
+	}
+
+	tab := &bench.Table{
+		ID:    "clustersim",
+		Title: fmt.Sprintf("Layout sweep for %s (%d atoms, %d q-points)", mol.Name, sys.NumAtoms(), sys.NumQPoints()),
+		Header: []string{"Nodes", "Ranks/node", "Threads/rank", "Cores", "Comp", "Comm", "Total", "Mem/node GB"},
+	}
+	for _, n := range nodes {
+		for _, rpn := range rpns {
+			if machine.CoresPerNode%rpn != 0 {
+				continue
+			}
+			threads := machine.CoresPerNode / rpn
+			P := n * rpn
+			var res *gb.Result
+			if threads == 1 {
+				res, err = sys.RunMPI(P)
+			} else {
+				res, err = sys.RunHybrid(P, threads)
+			}
+			if err != nil {
+				fatal(err)
+			}
+			shape := perf.RunShape{Processes: P, ThreadsPerProcess: threads, DataBytes: sys.DataBytes()}
+			b, err := machine.Price(cal, shape, res.PerCoreOps, res.Traffic)
+			if err != nil {
+				fatal(err)
+			}
+			tab.AddRow(strconv.Itoa(n), strconv.Itoa(rpn), strconv.Itoa(threads),
+				strconv.Itoa(P*threads),
+				fmt.Sprintf("%.4gs", b.CompSeconds), fmt.Sprintf("%.4gs", b.CommSeconds),
+				fmt.Sprintf("%.4gs", b.TotalSeconds),
+				fmt.Sprintf("%.2f", float64(b.MemPerNodeBytes)/float64(1<<30)))
+		}
+	}
+	if err := tab.Print(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad integer list %q", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clustersim:", err)
+	os.Exit(1)
+}

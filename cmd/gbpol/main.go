@@ -1,0 +1,145 @@
+// Command gbpol computes the GB polarization energy of a molecule with
+// the octree-based r⁶ algorithms.
+//
+// Usage:
+//
+//	gbpol -in protein.pqr                       # serial octree run
+//	gbpol -synthetic globule -atoms 20000       # synthetic workload
+//	gbpol -in m.pqr -driver hybrid -P 2 -p 6    # hybrid layout
+//	gbpol -in m.pqr -driver naive               # exact reference
+//	gbpol -in m.pqr -eps-born 0.5 -eps-epol 0.3 # accuracy knobs
+//	gbpol -in m.pqr -radii out.txt              # dump Born radii
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gbpolar/internal/gb"
+	"gbpolar/internal/molecule"
+	"gbpolar/internal/sched"
+	"gbpolar/internal/surface"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "input molecule (.pqr or .xyzrq)")
+		synth     = flag.String("synthetic", "", "synthetic workload: globule | shell | helix | cmv | btv")
+		atoms     = flag.Int("atoms", 10000, "atom count for synthetic workloads")
+		seed      = flag.Int64("seed", 1, "seed for synthetic workloads")
+		driver    = flag.String("driver", "serial", "serial | cilk | mpi | hybrid | naive")
+		bigP      = flag.Int("P", 2, "processes (mpi/hybrid)")
+		smallP    = flag.Int("p", 6, "threads per process (cilk/hybrid)")
+		epsBorn   = flag.Float64("eps-born", 0.9, "Born-radii approximation parameter")
+		epsEpol   = flag.Float64("eps-epol", 0.9, "energy approximation parameter")
+		approx    = flag.Bool("approx-math", false, "use fast inverse-sqrt/exp kernels")
+		icoLevel  = flag.Int("surface-level", 0, "icosphere level for the surface sampler (default 1)")
+		radiiOut  = flag.String("radii", "", "write Born radii to this file")
+		verbose   = flag.Bool("v", false, "print run statistics")
+	)
+	flag.Parse()
+
+	mol, err := loadMolecule(*in, *synth, *atoms, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	surf, err := surface.Build(mol, surface.Config{
+		IcoLevel:    *icoLevel,
+		ProbeRadius: 1.4,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	params := gb.DefaultParams()
+	params.EpsBorn = *epsBorn
+	params.EpsEpol = *epsEpol
+	if *approx {
+		params.Math = gb.ApproxMath
+	}
+	sys, err := gb.NewSystem(mol, surf, params)
+	if err != nil {
+		fatal(err)
+	}
+
+	var res *gb.Result
+	switch strings.ToLower(*driver) {
+	case "serial":
+		res = sys.RunSerial()
+	case "cilk":
+		pool := sched.New(*smallP)
+		res = sys.RunCilk(pool)
+		pool.Close()
+	case "mpi":
+		res, err = sys.RunMPI(*bigP)
+	case "hybrid":
+		res, err = sys.RunHybrid(*bigP, *smallP)
+	case "naive":
+		radii, bornOps := sys.NaiveBornRadiiR6()
+		e, epolOps := sys.NaiveEpol(radii)
+		res = &gb.Result{Epol: e, Born: radii, Processes: 1, ThreadsPerProcess: 1,
+			PerCoreOps: []int64{bornOps + epolOps}}
+	default:
+		fatal(fmt.Errorf("unknown driver %q", *driver))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("molecule      %s (%d atoms, %d quadrature points)\n",
+		mol.Name, mol.NumAtoms(), surf.NumPoints())
+	fmt.Printf("driver        %s (P=%d, p=%d)\n", *driver, res.Processes, res.ThreadsPerProcess)
+	fmt.Printf("Epol          %.4f kcal/mol\n", res.Epol)
+	if *verbose {
+		fmt.Printf("interactions  %d\n", res.TotalOps())
+		fmt.Printf("wall time     %v\n", res.Wall)
+		if res.Steals > 0 {
+			fmt.Printf("steals        %d\n", res.Steals)
+		}
+		if res.Traffic.Collectives != nil {
+			for kind, st := range res.Traffic.Collectives {
+				fmt.Printf("comm          %s: %d calls, %d bytes\n", kind, st.Calls, st.Bytes)
+			}
+		}
+	}
+	if *radiiOut != "" {
+		f, err := os.Create(*radiiOut)
+		if err != nil {
+			fatal(err)
+		}
+		for i, r := range res.Born {
+			fmt.Fprintf(f, "%d %.6f\n", i, r)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func loadMolecule(in, synth string, atoms int, seed int64) (*molecule.Molecule, error) {
+	switch {
+	case in != "":
+		return molecule.LoadFile(in)
+	case synth != "":
+		switch strings.ToLower(synth) {
+		case "globule":
+			return molecule.Exactly(molecule.Globule("globule", atoms, seed), atoms, seed), nil
+		case "shell":
+			return molecule.Exactly(molecule.Shell("shell", atoms, 30, seed), atoms, seed), nil
+		case "helix":
+			return molecule.Helix("helix", atoms, seed), nil
+		case "cmv":
+			return molecule.ScaledCMV(atoms), nil
+		case "btv":
+			return molecule.ScaledBTV(atoms), nil
+		}
+		return nil, fmt.Errorf("unknown synthetic workload %q", synth)
+	}
+	return nil, fmt.Errorf("one of -in or -synthetic is required")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gbpol:", err)
+	os.Exit(1)
+}

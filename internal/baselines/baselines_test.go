@@ -1,0 +1,209 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"gbpolar/internal/gb"
+	"gbpolar/internal/geom"
+	"gbpolar/internal/molecule"
+	"gbpolar/internal/nblist"
+	"gbpolar/internal/quadrature"
+	"gbpolar/internal/surface"
+)
+
+func TestHCTIntegralProperties(t *testing.T) {
+	// Decreases with distance.
+	prev := math.Inf(1)
+	for _, r := range []float64{3, 4, 6, 10, 20} {
+		v := hctIntegral(r, 1.2, 1.5)
+		if v <= 0 {
+			t.Errorf("r=%v: integral %v not positive", r, v)
+		}
+		if v >= prev {
+			t.Errorf("r=%v: integral not decreasing", r)
+		}
+		prev = v
+	}
+	// Fully engulfed neighbor contributes nothing.
+	if v := hctIntegral(0.5, 0.3, 1.5); v != 0 {
+		t.Errorf("engulfed neighbor: %v", v)
+	}
+	// Far limit: I → volume-like decay ~ s³/r⁴ scale; just check small.
+	if v := hctIntegral(100, 1.2, 1.5); v > 1e-5 {
+		t.Errorf("far integral %v too large", v)
+	}
+}
+
+// volumeR6Integral must match numerical quadrature of ∫ |y−x|⁻⁶ dV over a
+// ball.
+func TestVolumeR6IntegralAgainstQuadrature(t *testing.T) {
+	const a = 1.6
+	for _, r := range []float64{2.5, 4.0, 8.0} {
+		// Shell decomposition with Gauss–Legendre in s and exact angular
+		// integral (see derivation in the implementation).
+		want := quadrature.Integrate1D(func(s float64) float64 {
+			return (math.Pi * s / (2 * r)) * (math.Pow(r-s, -4) - math.Pow(r+s, -4))
+		}, 0, a, 64)
+		got := volumeR6Integral(r, a)
+		if math.Abs(got-want)/want > 1e-10 {
+			t.Errorf("r=%v: got %v want %v", r, got, want)
+		}
+	}
+	// Far limit → (4/3)πa³/r⁶.
+	r := 100.0
+	want := 4 * math.Pi / 3 * a * a * a / math.Pow(r, 6)
+	if got := volumeR6Integral(r, a); math.Abs(got-want)/want > 1e-3 {
+		t.Errorf("far limit: got %v want %v", got, want)
+	}
+}
+
+func TestBornRadiiIsolatedAtom(t *testing.T) {
+	m := &molecule.Molecule{Name: "one", Atoms: []molecule.Atom{
+		{Pos: geom.V(0, 0, 0), Radius: 1.7, Charge: 1},
+	}}
+	pl, err := nblist.BuildPairList(m.Positions(), 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []BornModel{HCT, OBC, StillPW, VolumeR6} {
+		radii, ops := BornRadii(m, model, pl)
+		if ops != 0 {
+			t.Errorf("model %d: ops = %d for isolated atom", model, ops)
+		}
+		// No descreening ⇒ R equals the (possibly offset-corrected)
+		// intrinsic radius.
+		lo, hi := 1.5, 1.75
+		if radii[0] < lo || radii[0] > hi {
+			t.Errorf("model %d: isolated radius %v outside [%v, %v]", model, radii[0], lo, hi)
+		}
+	}
+}
+
+func TestBornRadiiDescreeningRaisesRadii(t *testing.T) {
+	// A buried atom must have a larger Born radius than an isolated one.
+	m := molecule.Exactly(molecule.Globule("g", 500, 71), 500, 71)
+	pl, err := nblist.BuildPairList(m.Positions(), 12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []BornModel{HCT, OBC, VolumeR6} {
+		radii, _ := BornRadii(m, model, pl)
+		raised := 0
+		for i, r := range radii {
+			if r > mol0(m, i) {
+				raised++
+			}
+			if r < mol0(m, i)-obcOffset-1e-9 {
+				t.Fatalf("model %d: radius below intrinsic", model)
+			}
+		}
+		if raised < len(radii)/2 {
+			t.Errorf("model %d: only %d/%d atoms descreened", model, raised, len(radii))
+		}
+	}
+}
+
+func mol0(m *molecule.Molecule, i int) float64 { return m.Atoms[i].Radius }
+
+func TestRegistryMatchesTableII(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 5 {
+		t.Fatalf("registry has %d entries", len(reg))
+	}
+	want := map[string]BornModel{
+		"Amber": HCT, "Gromacs": HCT, "NAMD": OBC, "Tinker": StillPW, "GBr6": VolumeR6,
+	}
+	for _, sp := range reg {
+		if m, ok := want[sp.Name]; !ok || m != sp.Model {
+			t.Errorf("%s: model %d", sp.Name, sp.Model)
+		}
+	}
+	if _, err := SpecByName("Amber"); err != nil {
+		t.Error(err)
+	}
+	if _, err := SpecByName("CHARMM"); err == nil {
+		t.Error("unknown package accepted")
+	}
+}
+
+func TestPackagesEnergyCloseToNaive(t *testing.T) {
+	// Fig. 9: Amber, GBr6, Gromacs, NAMD energies match naive closely;
+	// Tinker is ≈70% of naive.
+	m := molecule.Exactly(molecule.Globule("g", 800, 73), 800, 73)
+	surf, err := surface.Build(m, surface.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := gb.NewSystem(m, surf, gb.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := NaiveResult(sys)
+	if naive.Energy >= 0 {
+		t.Fatal("naive energy not negative")
+	}
+	for _, sp := range Registry() {
+		res, err := sp.Run(m, gb.DefaultSolventDielectric)
+		if err != nil {
+			t.Fatalf("%s: %v", sp.Name, err)
+		}
+		if res.OOM {
+			t.Fatalf("%s: unexpected OOM at 800 atoms", sp.Name)
+		}
+		ratio := res.Energy / naive.Energy
+		if sp.Name == "Tinker" {
+			if ratio < 0.45 || ratio > 0.95 {
+				t.Errorf("Tinker ratio = %v, want ≈0.7", ratio)
+			}
+			continue
+		}
+		if ratio < 0.7 || ratio > 1.35 {
+			t.Errorf("%s: energy ratio to naive = %v", sp.Name, ratio)
+		}
+		if res.Ops == 0 || res.MemBytes == 0 {
+			t.Errorf("%s: missing accounting: ops=%d mem=%d", sp.Name, res.Ops, res.MemBytes)
+		}
+	}
+}
+
+func TestTinkerAndGBr6RunOutOfMemory(t *testing.T) {
+	// §V-D: Tinker fails above ~12k atoms, GBr6 above ~13k. Use sparse
+	// synthetic molecules (the pair-list *count* is what matters; build a
+	// small helix so the full pair list is cheap to count but exceeds the
+	// quadratic budget).
+	big := molecule.Exactly(molecule.Globule("big", 13000, 75), 13000, 75)
+	tinker, _ := SpecByName("Tinker")
+	res, err := tinker.Run(big, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OOM {
+		t.Error("Tinker did not OOM at 13k atoms")
+	}
+	gbr6, _ := SpecByName("GBr6")
+	res, err = gbr6.Run(big, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OOM {
+		t.Error("GBr6 OOMed at 13k atoms (limit is ~13.5k)")
+	}
+	bigger := molecule.Exactly(molecule.Globule("bigger", 14000, 76), 14000, 76)
+	res, err = gbr6.Run(bigger, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OOM {
+		t.Error("GBr6 did not OOM at 14k atoms")
+	}
+	// Amber's cutoff list survives large molecules.
+	amber, _ := SpecByName("Amber")
+	res, err = amber.Run(bigger, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OOM {
+		t.Error("Amber OOMed despite cutoff list")
+	}
+}

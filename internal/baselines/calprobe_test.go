@@ -1,0 +1,47 @@
+package baselines
+
+import (
+	"testing"
+
+	"gbpolar/internal/gb"
+	"gbpolar/internal/molecule"
+	"gbpolar/internal/nblist"
+	"gbpolar/internal/surface"
+)
+
+// TestProbeScaleCalibration sweeps the descreening scale per model and
+// reports the energy ratio to naive — the calibration evidence for
+// DefaultScale (kept as a diagnostic; see EXPERIMENTS.md).
+func TestProbeScaleCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep")
+	}
+	m := molecule.Exactly(molecule.Globule("g", 800, 73), 800, 73)
+	surf, _ := surface.Build(m, surface.DefaultConfig())
+	sys, _ := gb.NewSystem(m, surf, gb.DefaultParams())
+	naive := NaiveResult(sys)
+	pl, _ := nblist.BuildPairList(m.Positions(), 16, 0)
+	full, _ := nblist.BuildPairList(m.Positions(), 1e9, 0)
+	energy := func(mol *molecule.Molecule, radii []float64, list *nblist.PairList) float64 {
+		sum := 0.0
+		for i, a := range mol.Atoms {
+			sum += a.Charge * a.Charge / radii[i]
+		}
+		list.ForEachPair(func(i, j int) {
+			r2 := mol.Atoms[i].Pos.Dist2(mol.Atoms[j].Pos)
+			sum += 2 * gb.PairTerm(mol.Atoms[i].Charge*mol.Atoms[j].Charge, r2, radii[i]*radii[j])
+		})
+		return -0.5 * gb.Tau(80) * gb.CoulombKcal * sum
+	}
+	for _, model := range []BornModel{HCT, OBC, StillPW, VolumeR6} {
+		list := pl
+		if model == StillPW || model == VolumeR6 {
+			list = full
+		}
+		for _, scale := range []float64{0.88, 0.90, 0.92, 2.0, 2.2, 2.6, 3.0, 3.4, 3.8, 4.2, 4.8} {
+			radii, _ := BornRadiiScaled(m, model, scale, list)
+			e := energy(m, radii, list)
+			t.Logf("model=%d scale=%.2f ratio=%.3f", model, scale, e/naive.Energy)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gbpolar/internal/perf"
+)
+
+// quickOpts is a fast configuration for tests: tiny molecules, few runs.
+func quickOpts() Options {
+	return Options{
+		Scale:    0.0008, // BTV → 4.8k atoms (floored to 2k min), CMV → ~2k
+		Runs:     5,
+		MaxAtoms: 1500,
+		Machine:  perf.Lonestar4(),
+		Cal:      perf.DefaultCalibration(),
+	}
+}
+
+func TestIDsComplete(t *testing.T) {
+	ids := IDs()
+	want := []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8a",
+		"fig8b", "fig9", "fig10", "fig11", "memory"}
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q missing", id)
+		}
+	}
+	if _, err := Run("nonsense", quickOpts()); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestTablePrintAndCSV(t *testing.T) {
+	tab := &Table{
+		ID: "T", Title: "demo", Notes: []string{"note"},
+		Header: []string{"a", "b"},
+	}
+	tab.AddRow("1", "x,y")
+	var buf bytes.Buffer
+	if err := tab.Print(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "demo") || !strings.Contains(buf.String(), "note") {
+		t.Errorf("Print output missing pieces:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := tab.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"x,y"`) {
+		t.Errorf("CSV escaping broken:\n%s", buf.String())
+	}
+}
+
+func TestTables1And2(t *testing.T) {
+	for _, id := range []string{"table1", "table2"} {
+		tab, err := Run(id, quickOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty", id)
+		}
+	}
+}
+
+func TestFig5SpeedupGrows(t *testing.T) {
+	tab, err := Run("fig5", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(btvNodeCounts) {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Speedups (columns 4, 5) must grow substantially from 1 node to 36.
+	first, err1 := strconv.ParseFloat(tab.Rows[0][4], 64)
+	last, err2 := strconv.ParseFloat(tab.Rows[len(tab.Rows)-1][4], 64)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("unparseable speedups: %v %v", tab.Rows[0], tab.Rows[len(tab.Rows)-1])
+	}
+	if first != 1 {
+		t.Errorf("first speedup = %v", first)
+	}
+	if last < 4 {
+		t.Errorf("OCT_MPI speedup at 36 nodes = %v, expected strong scaling", last)
+	}
+	hybLast, _ := strconv.ParseFloat(tab.Rows[len(tab.Rows)-1][5], 64)
+	if hybLast < 4 {
+		t.Errorf("hybrid speedup at 36 nodes = %v", hybLast)
+	}
+}
+
+func TestFig6EnvelopesOrdered(t *testing.T) {
+	tab, err := Run("fig6", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		for c := 1; c <= 3; c += 2 {
+			lo := parseSeconds(t, row[c])
+			hi := parseSeconds(t, row[c+1])
+			if lo > hi {
+				t.Errorf("row %v: min %v > max %v", row[0], lo, hi)
+			}
+		}
+	}
+}
+
+func TestFig7And8Shapes(t *testing.T) {
+	o := quickOpts()
+	tab, err := Run("fig7", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("fig7 empty")
+	}
+	tab8, err := Run("fig8a", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Times grow with molecule size for the Naïve column (index of
+	// Naïve in rosterPrograms + 2).
+	naiveCol := 2
+	for i, p := range rosterPrograms {
+		if p == "Naïve" {
+			naiveCol = i + 2
+		}
+	}
+	firstNaive := parseSeconds(t, tab8.Rows[0][naiveCol])
+	lastNaive := parseSeconds(t, tab8.Rows[len(tab8.Rows)-1][naiveCol])
+	if lastNaive <= firstNaive {
+		t.Errorf("naive time did not grow with size: %v vs %v", firstNaive, lastNaive)
+	}
+	tab8b, err := Run("fig8b", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab8b.Rows) != len(tab8.Rows)+1 { // + (max) row
+		t.Errorf("fig8b rows = %d", len(tab8b.Rows))
+	}
+}
+
+func TestFig9EnergiesNegativeAndClose(t *testing.T) {
+	tab, err := Run("fig9", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		// OCT_MPI (col 2) and Naïve (col 4) must agree within 3%.
+		oct, err1 := strconv.ParseFloat(row[2], 64)
+		naive, err2 := strconv.ParseFloat(row[4], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("unparseable energies in %v", row)
+		}
+		if oct >= 0 || naive >= 0 {
+			t.Errorf("%s: energies not negative: %v %v", row[0], oct, naive)
+		}
+		if rel := (oct - naive) / naive; rel < -0.03 || rel > 0.03 {
+			t.Errorf("%s: OCT vs naive off by %.2f%%", row[0], rel*100)
+		}
+	}
+}
+
+func TestFig10ErrorGrowsWithEps(t *testing.T) {
+	o := quickOpts()
+	o.MaxAtoms = 900
+	tab, err := Run("fig10", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	absErr := func(row []string) float64 {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("bad err cell %q", row[1])
+		}
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	if absErr(tab.Rows[8]) < absErr(tab.Rows[0]) {
+		t.Errorf("error at ε=0.9 (%v) below ε=0.1 (%v)", absErr(tab.Rows[8]), absErr(tab.Rows[0]))
+	}
+}
+
+func TestFig11AndMemory(t *testing.T) {
+	o := quickOpts()
+	tab, err := Run("fig11", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("fig11 rows = %d", len(tab.Rows))
+	}
+	// Octree programs must beat Amber by a large factor at CMV scale.
+	for _, row := range tab.Rows {
+		if row[0] == "Amber" {
+			continue
+		}
+		sp, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("bad speedup cell %q", row[3])
+		}
+		if sp < 10 {
+			t.Errorf("%s: speedup vs Amber only %v", row[0], sp)
+		}
+	}
+	mem, err := Run("memory", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, err := strconv.ParseFloat(mem.Rows[0][3], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 5.5 || ratio > 6.5 {
+		t.Errorf("memory ratio = %v, want ≈6", ratio)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	o := quickOpts()
+	for _, id := range []string{"ablation-division", "ablation-math",
+		"ablation-leaf", "ablation-binning", "ablation-stealing",
+		"ablation-dynamic", "ablation-integral", "ablation-nblist",
+		"ablation-distdata"} {
+		tab, err := Run(id, o)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty", id)
+		}
+	}
+}
+
+// parseSeconds decodes the fmtSeconds format back to seconds.
+func parseSeconds(t *testing.T, s string) float64 {
+	t.Helper()
+	switch {
+	case s == "-":
+		return 0
+	case strings.HasSuffix(s, "ms"):
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "ms"), 64)
+		if err != nil {
+			t.Fatalf("bad time %q", s)
+		}
+		return v / 1000
+	case strings.HasSuffix(s, "min"):
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "min"), 64)
+		if err != nil {
+			t.Fatalf("bad time %q", s)
+		}
+		return v * 60
+	case strings.HasSuffix(s, "s"):
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "s"), 64)
+		if err != nil {
+			t.Fatalf("bad time %q", s)
+		}
+		return v
+	}
+	t.Fatalf("bad time %q", s)
+	return 0
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"gbpolar/internal/baselines"
+	"gbpolar/internal/gb"
+	"gbpolar/internal/perf"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale shrinks the large-molecule experiments (BTV 6M, CMV 509k
+	// atoms) to Scale × the paper's size so they run on a laptop; 1.0
+	// reproduces the full sizes. The tables state the realized size.
+	Scale float64
+	// Runs is the sample count for min/max envelopes (Fig. 6; paper: 20).
+	Runs int
+	// MaxAtoms caps the ZDock roster for quick runs (0 = the full
+	// 453–16,301 range).
+	MaxAtoms int
+	// Machine and Cal are the performance model.
+	Machine perf.Machine
+	Cal     perf.Calibration
+}
+
+// DefaultOptions returns laptop-friendly defaults: 1% of BTV (60k atoms),
+// 10% of CMV (51k atoms), 20-sample envelopes on the paper's machine.
+func DefaultOptions() Options {
+	return Options{
+		Scale:   0.01,
+		Runs:    20,
+		Machine: perf.Lonestar4(),
+		Cal:     perf.DefaultCalibration(),
+	}
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.Scale <= 0 {
+		o.Scale = d.Scale
+	}
+	if o.Runs <= 0 {
+		o.Runs = d.Runs
+	}
+	if o.Machine.CoresPerNode == 0 {
+		o.Machine = d.Machine
+	}
+	if o.Cal == (perf.Calibration{}) {
+		o.Cal = d.Cal
+	}
+	return o
+}
+
+// priceOct maps a gb.Result onto the machine and returns the modeled
+// breakdown.
+func priceOct(o Options, sys *gb.System, res *gb.Result) (perf.Breakdown, error) {
+	shape := perf.RunShape{
+		Processes:         res.Processes,
+		ThreadsPerProcess: res.ThreadsPerProcess,
+		DataBytes:         sys.DataBytes(),
+	}
+	return o.Machine.Price(o.Cal, shape, res.PerCoreOps, res.Traffic)
+}
+
+// priceOctNoisy returns the (min, max) modeled seconds over o.Runs
+// jittered samples.
+func priceOctNoisy(o Options, sys *gb.System, res *gb.Result, seed int64) (float64, float64, error) {
+	shape := perf.RunShape{
+		Processes:         res.Processes,
+		ThreadsPerProcess: res.ThreadsPerProcess,
+		DataBytes:         sys.DataBytes(),
+	}
+	return o.Machine.PriceNoisy(o.Cal, shape, res.PerCoreOps, res.Traffic, o.Runs, seed)
+}
+
+// priceBaseline models a comparator package's runtime: its pairwise ops at
+// the machine's per-core rate scaled by the package's throughput constant
+// and parallel efficiency over the given core count.
+func priceBaseline(o Options, sp baselines.Spec, res *baselines.Result, cores int) float64 {
+	if res.OOM {
+		return 0
+	}
+	if cores < 1 {
+		cores = 1
+	}
+	eff := sp.ParallelEfficiency
+	if cores == 1 {
+		eff = 1
+	}
+	rate := o.Machine.OpsPerSecond * sp.RateFactor * float64(cores) * eff
+	return float64(res.Ops) / rate
+}
+
+// priceNaive models the serial naïve evaluator at the machine's full
+// per-core rate (it is a plain pair loop — no package overhead).
+func priceNaive(o Options, ops int64) float64 {
+	return float64(ops) / o.Machine.OpsPerSecond
+}
+
+// fmtSeconds renders seconds with sensible units.
+func fmtSeconds(s float64) string {
+	switch {
+	case s <= 0:
+		return "-"
+	case s < 1:
+		return fmt.Sprintf("%.3gms", s*1000)
+	case s < 120:
+		return fmt.Sprintf("%.3gs", s)
+	default:
+		return fmt.Sprintf("%.3gmin", s/60)
+	}
+}
+
+// fmtDur renders a wall-clock duration compactly.
+func fmtDur(d time.Duration) string { return fmtSeconds(d.Seconds()) }

@@ -1,0 +1,226 @@
+package dock
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gbpolar/internal/gb"
+	"gbpolar/internal/geom"
+	"gbpolar/internal/molecule"
+	"gbpolar/internal/sched"
+	"gbpolar/internal/surface"
+)
+
+func testScorer(t *testing.T, recAtoms, ligAtoms int) *Scorer {
+	t.Helper()
+	rec := molecule.Exactly(molecule.Globule("rec", recAtoms, 31), recAtoms, 31)
+	lig := molecule.Exactly(molecule.Globule("lig", ligAtoms, 37), ligAtoms, 37)
+	s, err := NewScorer(rec, lig, gb.DefaultParams(), surface.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewScorerValidates(t *testing.T) {
+	empty := &molecule.Molecule{Name: "empty"}
+	lig := molecule.Exactly(molecule.Globule("lig", 50, 1), 50, 1)
+	if _, err := NewScorer(empty, lig, gb.DefaultParams(), surface.DefaultConfig()); err == nil {
+		t.Error("empty receptor accepted")
+	}
+	if _, err := NewScorer(lig, empty, gb.DefaultParams(), surface.DefaultConfig()); err == nil {
+		t.Error("empty ligand accepted")
+	}
+}
+
+func TestSoloEnergiesCached(t *testing.T) {
+	s := testScorer(t, 400, 60)
+	if s.ReceptorEnergy() >= 0 || s.LigandEnergy() >= 0 {
+		t.Errorf("solo energies not negative: %v %v", s.ReceptorEnergy(), s.LigandEnergy())
+	}
+}
+
+func TestScorePoseFarLigandIsNeutral(t *testing.T) {
+	s := testScorer(t, 300, 50)
+	// A ligand 500 Å away interacts with nothing: ΔEpol ≈ 0.
+	far := Pose{Transform: geom.Translate(geom.V(500, 0, 0)), Label: "far"}
+	sc, err := s.ScorePose(far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Clash {
+		t.Fatal("distant pose flagged as clash")
+	}
+	if math.Abs(sc.DeltaEpol) > 0.05*math.Abs(s.LigandEnergy()) {
+		t.Errorf("distant ΔEpol = %v, want ≈0 (ligand E %v)", sc.DeltaEpol, s.LigandEnergy())
+	}
+}
+
+func TestScorePoseClash(t *testing.T) {
+	s := testScorer(t, 300, 50)
+	// Ligand centered on the receptor: hard overlap.
+	sc, err := s.ScorePose(Pose{Transform: geom.IdentityTransform(), Label: "overlap"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Clash || !math.IsInf(sc.DeltaEpol, 1) {
+		t.Errorf("overlapping pose not flagged: %+v", sc)
+	}
+}
+
+func TestRingPosesGeometry(t *testing.T) {
+	s := testScorer(t, 300, 50)
+	poses := s.RingPoses(8, 4)
+	if len(poses) != 8 {
+		t.Fatalf("poses = %d", len(poses))
+	}
+	// All ring poses place the ligand centroid at the same distance from
+	// the receptor center.
+	var first float64
+	for i, p := range poses {
+		placed := s.ligand.ApplyTransform(p.Transform)
+		c, _ := geom.EnclosingBall(placed.Positions())
+		d := c.Dist(s.recCenter)
+		if i == 0 {
+			first = d
+			continue
+		}
+		if math.Abs(d-first) > 1.5 {
+			t.Errorf("pose %d at distance %v, first at %v", i, d, first)
+		}
+	}
+}
+
+func TestSpherePosesCoverDirections(t *testing.T) {
+	s := testScorer(t, 300, 50)
+	poses := s.SpherePoses(32, 4)
+	if len(poses) != 32 {
+		t.Fatalf("poses = %d", len(poses))
+	}
+	// Directions should span all octants.
+	octants := map[int]bool{}
+	for _, p := range poses {
+		placed := s.ligand.ApplyTransform(p.Transform)
+		c, _ := geom.EnclosingBall(placed.Positions())
+		d := c.Sub(s.recCenter)
+		o := 0
+		if d.X > 0 {
+			o |= 1
+		}
+		if d.Y > 0 {
+			o |= 2
+		}
+		if d.Z > 0 {
+			o |= 4
+		}
+		octants[o] = true
+	}
+	if len(octants) < 8 {
+		t.Errorf("sphere poses cover only %d octants", len(octants))
+	}
+}
+
+func TestScoreAllSortedAndParallelMatchesSerial(t *testing.T) {
+	s := testScorer(t, 250, 40)
+	poses := s.RingPoses(6, 3)
+	serial, err := s.ScoreAll(nil, poses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(serial); i++ {
+		if serial[i].DeltaEpol < serial[i-1].DeltaEpol {
+			t.Fatal("results not sorted")
+		}
+	}
+	pool := sched.New(4)
+	defer pool.Close()
+	par, err := s.ScoreAll(pool, poses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(serial) {
+		t.Fatal("length mismatch")
+	}
+	for i := range par {
+		if par[i].Pose.Label != serial[i].Pose.Label ||
+			math.Abs(par[i].DeltaEpol-serial[i].DeltaEpol) > 1e-9 {
+			t.Fatalf("rank %d differs: %+v vs %+v", i, par[i], serial[i])
+		}
+	}
+}
+
+func TestRefineLabelsAndDeterminism(t *testing.T) {
+	base := Pose{Transform: geom.Translate(geom.V(10, 0, 0)), Label: "base"}
+	a := Refine(base, 5, 1.0, 0.3)
+	b := Refine(base, 5, 1.0, 0.3)
+	if len(a) != 5 {
+		t.Fatalf("poses = %d", len(a))
+	}
+	for i := range a {
+		if !strings.HasPrefix(a[i].Label, "base/refine-") {
+			t.Errorf("label %q", a[i].Label)
+		}
+		if a[i].Transform != b[i].Transform {
+			t.Error("Refine not deterministic")
+		}
+	}
+	// Refined poses stay near the base placement.
+	for _, p := range a {
+		d := p.Transform.Apply(geom.V(0, 0, 0)).Dist(base.Transform.Apply(geom.V(0, 0, 0)))
+		if d > 2.5 { // trans radius 1.0 plus rotation displacement slack
+			t.Errorf("refined pose drifted %v", d)
+		}
+	}
+}
+
+// The octree-reuse fast path must rank poses consistently with the full
+// rebuild and agree on ΔEpol within the frozen-surface band.
+func TestFastScoreTracksFull(t *testing.T) {
+	s := testScorer(t, 350, 50)
+	poses := s.SpherePoses(6, 4)
+	pool := sched.New(4)
+	defer pool.Close()
+	full, err := s.ScoreAll(pool, poses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := s.FastScoreAll(pool, poses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullBy := map[string]float64{}
+	for _, sc := range full {
+		fullBy[sc.Pose.Label] = sc.DeltaEpol
+	}
+	for _, sc := range fast {
+		want := fullBy[sc.Pose.Label]
+		// Frozen-surface approximation: agree within max(20%, 15 kcal).
+		diff := math.Abs(sc.DeltaEpol - want)
+		if diff > 15 && diff > 0.2*math.Abs(want) {
+			t.Errorf("%s: fast %v vs full %v", sc.Pose.Label, sc.DeltaEpol, want)
+		}
+	}
+	// The best full pose should rank in the fast top half.
+	bestLabel := full[0].Pose.Label
+	for rank, sc := range fast {
+		if sc.Pose.Label == bestLabel {
+			if rank > len(fast)/2 {
+				t.Errorf("full-best pose %s ranked %d/%d by fast path", bestLabel, rank, len(fast))
+			}
+			break
+		}
+	}
+}
+
+// Far poses must score ≈0 through the fast path too.
+func TestFastScoreFarNeutral(t *testing.T) {
+	s := testScorer(t, 300, 40)
+	sc, err := s.FastScorePose(Pose{Transform: geom.Translate(geom.V(600, 0, 0)), Label: "far"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sc.DeltaEpol) > 0.05*math.Abs(s.LigandEnergy()) {
+		t.Errorf("far fast ΔEpol = %v", sc.DeltaEpol)
+	}
+}

@@ -1,0 +1,346 @@
+package gb
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"gbpolar/internal/geom"
+	"gbpolar/internal/molecule"
+	"gbpolar/internal/octree"
+	"gbpolar/internal/simmpi"
+	"gbpolar/internal/surface"
+)
+
+// This file implements the paper's second proposed extension
+// (Conclusion: "Distributing data as well as computation is also an
+// interesting approach to explore"): instead of every rank replicating
+// the whole molecule (§IV-A), each rank owns one atom segment and one
+// quadrature segment, builds octrees over just its data, and the
+// segments' serialized tree bundles circulate through a ring — every
+// rank holds at most its own bundle plus ONE remote bundle at a time, so
+// per-rank memory drops from O(data) to O(data/P).
+//
+// The price is a different decomposition (P local trees instead of one
+// global tree), so the realized approximation differs slightly from the
+// shared-data drivers while staying inside the same ε error band, and
+// the interconnect carries the bundles (P−1 rounds of point-to-point
+// traffic priced by the performance model).
+
+// qBundle is a serializable quadrature segment: its octree plus point
+// data and far-field aggregates.
+type qBundle struct {
+	tree    *octree.Tree
+	pts     []surface.QPoint
+	normals []geom.Vec3
+	moments []geom.Mat3
+}
+
+// aBundle is a serializable atom segment: its octree plus atom data,
+// radii and energy aggregates.
+type aBundle struct {
+	tree   *octree.Tree
+	pos    []geom.Vec3
+	charge []float64
+	radii  []float64
+}
+
+// buildQBundle constructs the quadrature bundle for a point subset.
+func buildQBundle(pts []surface.QPoint, leafSize int) *qBundle {
+	pos := make([]geom.Vec3, len(pts))
+	for i, q := range pts {
+		pos[i] = q.Pos
+	}
+	b := &qBundle{tree: octree.Build(pos, leafSize), pts: pts}
+	b.normals = make([]geom.Vec3, b.tree.NumNodes())
+	b.moments = make([]geom.Mat3, b.tree.NumNodes())
+	for i := b.tree.NumNodes() - 1; i >= 0; i-- {
+		n := &b.tree.Nodes[i]
+		if n.Leaf {
+			var sum geom.Vec3
+			var mom geom.Mat3
+			for _, it := range b.tree.ItemsOf(int32(i)) {
+				q := &pts[it]
+				wn := q.Normal.Scale(q.Weight)
+				sum = sum.Add(wn)
+				addOuter(&mom, wn, q.Pos.Sub(n.Center))
+			}
+			b.normals[i] = sum
+			b.moments[i] = mom
+			continue
+		}
+		var sum geom.Vec3
+		var mom geom.Mat3
+		for _, c := range n.Children {
+			if c == octree.NoChild {
+				continue
+			}
+			sum = sum.Add(b.normals[c])
+			shift := b.tree.Nodes[c].Center.Sub(n.Center)
+			for k := 0; k < 9; k++ {
+				mom[k] += b.moments[c][k]
+			}
+			addOuter(&mom, b.normals[c], shift)
+		}
+		b.normals[i] = sum
+		b.moments[i] = mom
+	}
+	return b
+}
+
+// encodeQ serializes the bundle's point data (the tree is rebuilt on the
+// receiving side from the spatially sorted points, which is cheap and
+// avoids shipping node arrays). Layout: n, then per point
+// (pos3, normal3, weight).
+func (b *qBundle) encode() []float64 {
+	out := make([]float64, 0, 1+7*len(b.pts))
+	out = append(out, float64(len(b.pts)))
+	// Ship points in octree item order: the receiver's rebuild then sees
+	// pre-sorted input and the bundles stay deterministic.
+	for _, it := range b.tree.Items {
+		q := b.pts[it]
+		out = append(out, q.Pos.X, q.Pos.Y, q.Pos.Z,
+			q.Normal.X, q.Normal.Y, q.Normal.Z, q.Weight)
+	}
+	return out
+}
+
+func decodeQ(data []float64, leafSize int) *qBundle {
+	n := int(data[0])
+	pts := make([]surface.QPoint, n)
+	for i := 0; i < n; i++ {
+		f := data[1+7*i:]
+		pts[i] = surface.QPoint{
+			Pos:    geom.V(f[0], f[1], f[2]),
+			Normal: geom.V(f[3], f[4], f[5]),
+			Weight: f[6],
+		}
+	}
+	return buildQBundle(pts, leafSize)
+}
+
+// buildABundle constructs the atom bundle for an atom subset.
+func buildABundle(pos []geom.Vec3, charge, radii []float64, leafSize int) *aBundle {
+	return &aBundle{
+		tree: octree.Build(pos, leafSize),
+		pos:  pos, charge: charge, radii: radii,
+	}
+}
+
+// encode layout: n, then per atom (pos3, charge, radius).
+func (b *aBundle) encode() []float64 {
+	out := make([]float64, 0, 1+5*len(b.pos))
+	out = append(out, float64(len(b.pos)))
+	for _, it := range b.tree.Items {
+		out = append(out, b.pos[it].X, b.pos[it].Y, b.pos[it].Z,
+			b.charge[it], b.radii[it])
+	}
+	return out
+}
+
+func decodeA(data []float64, leafSize int) *aBundle {
+	n := int(data[0])
+	pos := make([]geom.Vec3, n)
+	charge := make([]float64, n)
+	radii := make([]float64, n)
+	for i := 0; i < n; i++ {
+		f := data[1+5*i:]
+		pos[i] = geom.V(f[0], f[1], f[2])
+		charge[i] = f[3]
+		radii[i] = f[4]
+	}
+	return buildABundle(pos, charge, radii, leafSize)
+}
+
+// RunMPIDistributedData computes Epol with both data AND computation
+// distributed over P ranks: per-rank memory is O(data/P) plus one
+// transient remote bundle, at the cost of P−1 ring-exchange rounds per
+// phase and a slightly different (multi-tree) decomposition.
+func (s *System) RunMPIDistributedData(P int) (*Result, error) {
+	if P < 1 {
+		return nil, fmt.Errorf("gb: invalid layout P=%d", P)
+	}
+	start := time.Now()
+	perCoreOps := make([]int64, P)
+	radiiOut := make([]float64, s.NumAtoms())
+	energy := 0.0
+	beta := farBeta(s.Params.EpsBorn)
+	r4 := s.Params.Integral == IntegralR4
+
+	traffic, err := simmpi.Run(P, func(c *simmpi.Comm) {
+		rank := c.Rank()
+		// ---- Own segments (in global octree item order, so segment
+		// boundaries match the shared-data drivers) -----------------------
+		alo, ahi := segment(s.NumAtoms(), P, rank)
+		ownAtomIdx := make([]int32, 0, ahi-alo)
+		for pos := alo; pos < ahi; pos++ {
+			ownAtomIdx = append(ownAtomIdx, s.TA.Items[pos])
+		}
+		pos := make([]geom.Vec3, len(ownAtomIdx))
+		charge := make([]float64, len(ownAtomIdx))
+		intrinsic := make([]float64, len(ownAtomIdx))
+		for k, ai := range ownAtomIdx {
+			pos[k] = s.atomPos[ai]
+			charge[k] = s.Mol.Atoms[ai].Charge
+			intrinsic[k] = s.Mol.Atoms[ai].Radius
+		}
+		qlo, qhi := segment(s.NumQPoints(), P, rank)
+		ownQ := make([]surface.QPoint, 0, qhi-qlo)
+		for p := qlo; p < qhi; p++ {
+			ownQ = append(ownQ, s.Surf.Points[s.TQ.Items[p]])
+		}
+		qb := buildQBundle(ownQ, s.Params.LeafQPoints)
+		ownQEnc := qb.encode()
+
+		// ---- Born phase: own atoms × all quadrature segments ------------
+		atomTree := octree.Build(pos, s.Params.LeafAtoms)
+		acc := &bornAccum{
+			nodeS: make([]float64, atomTree.NumNodes()),
+			nodeG: make([]geom.Vec3, atomTree.NumNodes()),
+			atomS: make([]float64, len(pos)),
+		}
+		process := func(b *qBundle) {
+			bp := &bornPass{
+				ta: atomTree, atomPos: pos,
+				tq: b.tree, qpts: b.pts,
+				normals: b.normals, moments: b.moments,
+				beta: beta, r4: r4,
+			}
+			for _, q := range b.tree.Leaves() {
+				perCoreOps[rank] += bp.run(atomTree.Root(), q, acc)
+			}
+		}
+		process(qb)
+		for round := 1; round < P && P > 1; round++ {
+			dst := (rank + round) % P
+			src := (rank - round + P) % P
+			c.Send(dst, ownQEnc)
+			remote := decodeQ(c.Recv(src), s.Params.LeafQPoints)
+			process(remote) // transient: dropped after the pass
+		}
+
+		// Push integrals over the LOCAL tree.
+		radii := make([]float64, len(pos))
+		perCoreOps[rank] += pushLocal(atomTree, pos, intrinsic, acc, radii, r4)
+
+		// Publish radii so the master can assemble the full vector.
+		flat := make([]float64, 0, 2*len(radii))
+		for k, r := range radii {
+			flat = append(flat, float64(ownAtomIdx[k]), r)
+		}
+		all := c.Allgatherv(flat)
+		if rank == 0 {
+			for i := 0; i+1 < len(all); i += 2 {
+				radiiOut[int(all[i])] = all[i+1]
+			}
+		}
+
+		// ---- Epol phase: shared radius-class range ----------------------
+		localMin, localMax := math.Inf(1), math.Inf(-1)
+		for _, r := range radii {
+			localMin, localMax = math.Min(localMin, r), math.Max(localMax, r)
+		}
+		rmin := c.Allreduce([]float64{localMin}, simmpi.Min)[0]
+		rmax := c.Allreduce([]float64{localMax}, simmpi.Max)[0]
+
+		ab := buildABundle(pos, charge, radii, s.Params.LeafAtoms)
+		ownAEnc := ab.encode()
+		ownView, ownAgg := bundleView(s.Params, ab, rmin, rmax)
+
+		kernel := pairEnergyKernel(s.Params.Math)
+		factor := epolFarFactor(s.Params.EpsEpol, s.Params.OpeningScale)
+		partial := 0.0
+		// Own × own (ordered pairs within the segment).
+		for _, v := range ab.tree.Leaves() {
+			vs, vops := ownView.approxEpol(ab.tree.Root(), v, ab.radii, ownAgg, kernel, factor)
+			partial += vs
+			perCoreOps[rank] += vops
+		}
+		// Own × every remote segment: each rank computes the ordered pairs
+		// (remote atom, own atom) with U the remote tree and V its own
+		// leaves; over all ranks every cross ordered pair is counted once.
+		for round := 1; round < P && P > 1; round++ {
+			dst := (rank + round) % P
+			src := (rank - round + P) % P
+			c.Send(dst, ownAEnc)
+			remote := decodeA(c.Recv(src), s.Params.LeafAtoms)
+			remView, remAgg := bundleView(s.Params, remote, rmin, rmax)
+			ep := &epolCrossPass{
+				u: remView, uAgg: remAgg, uRadii: remote.radii,
+				v: ownView, vAgg: ownAgg, vRadii: ab.radii,
+				kernel: kernel, factor: factor,
+			}
+			for _, v := range ab.tree.Leaves() {
+				vs, vops := ep.run(remote.tree.Root(), v)
+				// Ordered pairs in one direction only: remote→own. The
+				// opposite direction is produced by the remote rank's
+				// round against us, so no doubling here.
+				partial += vs
+				perCoreOps[rank] += vops
+			}
+		}
+		sum := c.Allreduce([]float64{partial}, simmpi.Sum)
+		if rank == 0 {
+			energy = -0.5 * Tau(s.Params.EpsSolvent) * CoulombKcal * sum[0]
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Epol: energy, Born: radiiOut,
+		Processes: P, ThreadsPerProcess: 1,
+		PerCoreOps: perCoreOps,
+		Traffic:    traffic,
+		Wall:       time.Since(start),
+	}, nil
+}
+
+// pushLocal is PUSH-INTEGRALS over a standalone segment tree.
+func pushLocal(tree *octree.Tree, pos []geom.Vec3, intrinsic []float64,
+	acc *bornAccum, radii []float64, r4 bool) int64 {
+	var walk func(a int32, carryS float64, carryG geom.Vec3) int64
+	walk = func(a int32, carryS float64, carryG geom.Vec3) int64 {
+		n := &tree.Nodes[a]
+		carryS += acc.nodeS[a]
+		carryG = carryG.Add(acc.nodeG[a])
+		if n.Leaf {
+			for _, it := range tree.ItemsOf(a) {
+				v := acc.atomS[it] + carryS + carryG.Dot(pos[it].Sub(n.Center))
+				if r4 {
+					radii[it] = bornRadiusFromIntegralR4(v, intrinsic[it])
+				} else {
+					radii[it] = bornRadiusFromIntegral(v, intrinsic[it])
+				}
+			}
+			return 1
+		}
+		ops := int64(1)
+		for _, ch := range n.Children {
+			if ch != octree.NoChild {
+				shift := tree.Nodes[ch].Center.Sub(n.Center)
+				ops += walk(ch, carryS+carryG.Dot(shift), carryG)
+			}
+		}
+		return ops
+	}
+	return walk(tree.Root(), 0, geom.Vec3{})
+}
+
+// bundleView wraps an atom bundle as the minimal System view the energy
+// traversals need (they read Mol.Atoms[i].Charge and atomPos), with
+// aggregates over the shared radius range.
+func bundleView(params Params, b *aBundle, rmin, rmax float64) (*System, *epolAggregates) {
+	atoms := make([]molecule.Atom, len(b.pos))
+	for i := range atoms {
+		atoms[i] = molecule.Atom{Pos: b.pos[i], Radius: 1, Charge: b.charge[i]}
+	}
+	view := &System{
+		Params:  params,
+		Mol:     &molecule.Molecule{Name: "segment", Atoms: atoms},
+		TA:      b.tree,
+		atomPos: b.pos,
+	}
+	agg := view.buildEpolAggregatesRange(b.radii, rmin, rmax)
+	return view, agg
+}

@@ -1,0 +1,326 @@
+package gb
+
+import (
+	"fmt"
+	"time"
+
+	"gbpolar/internal/geom"
+	"gbpolar/internal/sched"
+	"gbpolar/internal/simmpi"
+)
+
+// Result is the outcome of one full polarization-energy computation
+// (Born radii + Epol) under some parallel driver.
+type Result struct {
+	// Epol is the polarization energy in kcal/mol.
+	Epol float64
+	// Born holds the Born radii indexed by original atom index.
+	Born []float64
+	// Processes and ThreadsPerProcess describe the layout (P and p).
+	Processes, ThreadsPerProcess int
+	// PerCoreOps holds the measured interaction-evaluation count of every
+	// core (P×p entries): the input to the performance model.
+	PerCoreOps []int64
+	// Traffic is the communication log (empty for shared-memory runs).
+	Traffic simmpi.Stats
+	// Wall is the in-process wall-clock time of the run.
+	Wall time.Duration
+	// Steals counts work-stealing events (shared-memory runs).
+	Steals int64
+}
+
+// TotalOps sums the per-core operation counts.
+func (r *Result) TotalOps() int64 {
+	t := int64(0)
+	for _, o := range r.PerCoreOps {
+		t += o
+	}
+	return t
+}
+
+// RunSerial computes Born radii and Epol with the serial octree algorithm
+// (the OCT baseline at P = p = 1).
+func (s *System) RunSerial() *Result {
+	start := time.Now()
+	radii, bornOps := s.BornRadii()
+	e, epolOps := s.Epol(radii)
+	return &Result{
+		Epol: e, Born: radii,
+		Processes: 1, ThreadsPerProcess: 1,
+		PerCoreOps: []int64{bornOps + epolOps},
+		Wall:       time.Since(start),
+	}
+}
+
+// RunCilk is OCT_CILK: the shared-memory driver. Work is divided over the
+// quadrature leaves (Born phase), atom segments (push phase) and atom
+// leaves (energy phase) by recursive splitting onto the work-stealing
+// pool, the paper's implicit dynamic load balancing.
+func (s *System) RunCilk(pool *sched.Pool) *Result {
+	start := time.Now()
+	p := pool.NumWorkers()
+	stealsBefore := pool.Steals()
+
+	perWorkerOps := make([]int64, p)
+
+	// Phase A: APPROX-INTEGRALS over quadrature leaves, thread-local
+	// accumulators merged after the join.
+	accs := make([]*bornAccum, p)
+	for i := range accs {
+		accs[i] = s.newBornAccum()
+	}
+	grain := len(s.qLeaves)/(8*p) + 1
+	pool.ParallelRange(len(s.qLeaves), grain, func(w *sched.Worker, lo, hi int) {
+		acc := accs[w.ID()]
+		ops := int64(0)
+		for _, q := range s.qLeaves[lo:hi] {
+			ops += s.ApproxIntegrals(s.TA.Root(), q, acc)
+		}
+		perWorkerOps[w.ID()] += ops
+	})
+	acc := accs[0]
+	for _, other := range accs[1:] {
+		acc.add(other)
+	}
+
+	// Phase B: PUSH-INTEGRALS over atom segments.
+	radii := make([]float64, s.NumAtoms())
+	grain = s.NumAtoms()/(8*p) + 1
+	pool.ParallelRange(s.NumAtoms(), grain, func(w *sched.Worker, lo, hi int) {
+		perWorkerOps[w.ID()] += s.PushIntegralsToAtoms(acc, lo, hi, radii)
+	})
+
+	// Phase C: APPROX-Epol over atom leaves.
+	agg := s.buildEpolAggregates(radii)
+	sums := make([]float64, p)
+	grain = len(s.aLeaves)/(8*p) + 1
+	pool.ParallelRange(len(s.aLeaves), grain, func(w *sched.Worker, lo, hi int) {
+		sum := 0.0
+		ops := int64(0)
+		for _, v := range s.aLeaves[lo:hi] {
+			vs, vops := s.ApproxEpol(s.TA.Root(), v, radii, agg)
+			sum += vs
+			ops += vops
+		}
+		sums[w.ID()] += sum
+		perWorkerOps[w.ID()] += ops
+	})
+	total := 0.0
+	for _, v := range sums {
+		total += v
+	}
+
+	return &Result{
+		Epol:      -0.5 * Tau(s.Params.EpsSolvent) * CoulombKcal * total,
+		Born:      radii,
+		Processes: 1, ThreadsPerProcess: p,
+		PerCoreOps: balancePool(perWorkerOps),
+		Wall:       time.Since(start),
+		Steals:     pool.Steals() - stealsBefore,
+	}
+}
+
+// balancePool redistributes a work-stealing pool's operation counts evenly
+// across its workers. On the execution host the raw per-worker counts
+// reflect goroutine scheduling, not the algorithm: the randomized
+// work-stealing scheduler guarantees T_p ≤ W/p + O(span) on a real
+// multicore, so the modeled per-core load is the fair share W/p (the
+// remainder is spread over the first workers). Distribution across RANKS
+// (static division) is left untouched — that imbalance is algorithmic.
+func balancePool(ops []int64) []int64 {
+	total := int64(0)
+	for _, o := range ops {
+		total += o
+	}
+	p := int64(len(ops))
+	out := make([]int64, len(ops))
+	for i := range out {
+		out[i] = total / p
+		if int64(i) < total%p {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// RunMPI is OCT_MPI: P single-threaded message-passing ranks following
+// Fig. 4 (static node-based division, Allreduce of partial integrals,
+// Allgatherv of Born-radius segments, Allreduce of partial energies).
+// With Params.Division == AtomNode the atom-based division of §IV is used
+// instead.
+func (s *System) RunMPI(P int) (*Result, error) {
+	return s.runDistributed(P, 1)
+}
+
+// RunHybrid is OCT_MPI+CILK: P ranks × p work-stealing threads.
+func (s *System) RunHybrid(P, p int) (*Result, error) {
+	return s.runDistributed(P, p)
+}
+
+func (s *System) runDistributed(P, p int) (*Result, error) {
+	if P < 1 || p < 1 {
+		return nil, fmt.Errorf("gb: invalid layout P=%d p=%d", P, p)
+	}
+	start := time.Now()
+	perCoreOps := make([]int64, P*p)
+	radiiOut := make([]float64, s.NumAtoms())
+	energy := 0.0
+	var steals int64
+
+	traffic, err := simmpi.Run(P, func(c *simmpi.Comm) {
+		rank := c.Rank()
+		var pool *sched.Pool
+		if p > 1 {
+			pool = sched.New(p)
+			defer pool.Close()
+		}
+		coreBase := rank * p
+
+		// ---- Phase 1+2: Born integrals for this rank's segment --------
+		// One accumulator per worker thread (tasks on the same worker run
+		// sequentially), merged after the join.
+		accs := make([]*bornAccum, p)
+		for i := range accs {
+			accs[i] = s.newBornAccum()
+		}
+		switch s.Params.Division {
+		case NodeNode:
+			lo, hi := segment(len(s.qLeaves), P, rank)
+			s.forRange(pool, hi-lo, func(worker int, i0, i1 int) {
+				ops := int64(0)
+				for _, q := range s.qLeaves[lo+i0 : lo+i1] {
+					ops += s.ApproxIntegrals(s.TA.Root(), q, accs[worker])
+				}
+				perCoreOps[coreBase+worker] += ops
+			})
+		case AtomNode:
+			alo, ahi := segment(s.NumAtoms(), P, rank)
+			s.forRange(pool, len(s.qLeaves), func(worker int, i0, i1 int) {
+				ops := int64(0)
+				for _, q := range s.qLeaves[i0:i1] {
+					ops += s.approxIntegralsAtomRange(s.TA.Root(), q, int32(alo), int32(ahi), accs[worker])
+				}
+				perCoreOps[coreBase+worker] += ops
+			})
+		}
+		acc := accs[0]
+		for _, other := range accs[1:] {
+			acc.add(other)
+		}
+
+		// ---- Phase 3: gather partial integrals (Fig. 4 Step 3) --------
+		flat := make([]float64, 0, 4*len(acc.nodeS)+len(acc.atomS))
+		flat = append(flat, acc.nodeS...)
+		for _, g := range acc.nodeG {
+			flat = append(flat, g.X, g.Y, g.Z)
+		}
+		flat = append(flat, acc.atomS...)
+		merged := c.Allreduce(flat, simmpi.Sum)
+		copy(acc.nodeS, merged[:len(acc.nodeS)])
+		gs := merged[len(acc.nodeS) : 4*len(acc.nodeS)]
+		for i := range acc.nodeG {
+			acc.nodeG[i] = geom.V(gs[3*i], gs[3*i+1], gs[3*i+2])
+		}
+		copy(acc.atomS, merged[4*len(acc.nodeS):])
+
+		// ---- Phase 4: Born radii for this rank's atom segment ---------
+		radii := make([]float64, s.NumAtoms())
+		alo, ahi := segment(s.NumAtoms(), P, rank)
+		s.forRange(pool, ahi-alo, func(worker int, i0, i1 int) {
+			perCoreOps[coreBase+worker] += s.PushIntegralsToAtoms(acc, alo+i0, alo+i1, radii)
+		})
+
+		// ---- Phase 5: gather Born radii (octree item order) -----------
+		seg := make([]float64, 0, ahi-alo)
+		for pos := alo; pos < ahi; pos++ {
+			seg = append(seg, radii[s.TA.Items[pos]])
+		}
+		all := c.Allgatherv(seg)
+		for pos, r := range all {
+			radii[s.TA.Items[pos]] = r
+		}
+
+		// ---- Phase 6: partial energies ---------------------------------
+		agg := s.buildEpolAggregates(radii)
+		kernel := pairEnergyKernel(s.Params.Math)
+		factor := epolFarFactor(s.Params.EpsEpol, s.Params.OpeningScale)
+		partials := make([]float64, max(p, 1))
+		switch s.Params.Division {
+		case NodeNode:
+			lo, hi := segment(len(s.aLeaves), P, rank)
+			s.forRange(pool, hi-lo, func(worker int, i0, i1 int) {
+				sum := 0.0
+				ops := int64(0)
+				for _, v := range s.aLeaves[lo+i0 : lo+i1] {
+					vs, vops := s.approxEpol(s.TA.Root(), v, radii, agg, kernel, factor)
+					sum += vs
+					ops += vops
+				}
+				partials[worker] += sum
+				perCoreOps[coreBase+worker] += ops
+			})
+		case AtomNode:
+			s.forRange(pool, ahi-alo, func(worker int, i0, i1 int) {
+				sum := 0.0
+				ops := int64(0)
+				for pos := alo + i0; pos < alo+i1; pos++ {
+					ai := s.TA.Items[pos]
+					vs, vops := s.approxEpolAtom(ai, s.TA.Root(), radii, agg, kernel, factor)
+					sum += vs
+					ops += vops
+				}
+				partials[worker] += sum
+				perCoreOps[coreBase+worker] += ops
+			})
+		}
+		partial := 0.0
+		for _, v := range partials {
+			partial += v
+		}
+
+		// ---- Phase 7: master accumulates the final Epol ----------------
+		sum := c.Allreduce([]float64{partial}, simmpi.Sum)
+		if rank == 0 {
+			energy = -0.5 * Tau(s.Params.EpsSolvent) * CoulombKcal * sum[0]
+			copy(radiiOut, radii)
+		}
+		if pool != nil && rank == 0 {
+			steals = pool.Steals()
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if p > 1 {
+		// Balance each rank's pool counts (see balancePool): the
+		// cross-rank distribution stays as measured.
+		for rank := 0; rank < P; rank++ {
+			copy(perCoreOps[rank*p:(rank+1)*p], balancePool(perCoreOps[rank*p:(rank+1)*p]))
+		}
+	}
+	return &Result{
+		Epol: energy, Born: radiiOut,
+		Processes: P, ThreadsPerProcess: p,
+		PerCoreOps: perCoreOps,
+		Traffic:    traffic,
+		Wall:       time.Since(start),
+		Steals:     steals,
+	}, nil
+}
+
+// forRange runs fn over [0, n) either serially (pool nil: worker 0 gets
+// everything) or via the rank's work-stealing pool. fn receives the
+// worker index and a half-open subrange.
+func (s *System) forRange(pool *sched.Pool, n int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if pool == nil {
+		fn(0, 0, n)
+		return
+	}
+	grain := n/(8*pool.NumWorkers()) + 1
+	pool.ParallelRange(n, grain, func(w *sched.Worker, lo, hi int) {
+		fn(w.ID(), lo, hi)
+	})
+}

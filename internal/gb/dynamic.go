@@ -1,0 +1,174 @@
+package gb
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"gbpolar/internal/geom"
+	"gbpolar/internal/simmpi"
+)
+
+// This file implements the extension the paper's conclusion proposes:
+// "we are planning to incorporate explicit dynamic load balancing
+// techniques ... to improve the performance even further" — explicit
+// dynamic load balancing ACROSS ranks, on top of the within-rank work
+// stealing. Rank 0 acts as a coordinator serving guided-self-scheduling
+// chunks of leaf work to the compute ranks on demand, so ranks that drew
+// cheap leaves ask for more instead of idling at the phase barrier.
+
+// chunk-protocol message layout: a worker sends {workerRank}; the
+// coordinator answers {lo, hi} (hi ≤ lo means "phase drained").
+
+// coordinator serves chunks of [0, total) to ranks 1..P−1 and returns
+// when every worker has been told the phase is drained. Guided
+// self-scheduling: each grant is remaining/(2·workers), floored at
+// minChunk.
+func coordinate(c *simmpi.Comm, total int) {
+	const minChunk = 1
+	workers := c.Size() - 1
+	next := 0
+	done := 0
+	for done < workers {
+		served := false
+		for from := 1; from < c.Size(); from++ {
+			if _, ok := c.TryRecv(from); !ok {
+				continue
+			}
+			served = true
+			if next >= total {
+				c.Send(from, []float64{0, 0}) // drained
+				done++
+				continue
+			}
+			grant := (total - next) / (2 * workers)
+			if grant < minChunk {
+				grant = minChunk
+			}
+			lo, hi := next, min(next+grant, total)
+			next = hi
+			c.Send(from, []float64{float64(lo), float64(hi)})
+		}
+		if !served {
+			runtime.Gosched()
+		}
+	}
+}
+
+// drainChunks pulls chunks from the coordinator and invokes fn on each
+// until the phase is drained.
+func drainChunks(c *simmpi.Comm, fn func(lo, hi int)) {
+	for {
+		c.Send(0, []float64{float64(c.Rank())})
+		resp := c.Recv(0)
+		lo, hi := int(resp[0]), int(resp[1])
+		if hi <= lo {
+			return
+		}
+		fn(lo, hi)
+	}
+}
+
+// RunMPIDynamic is OCT_MPI with explicit dynamic load balancing across
+// ranks: rank 0 coordinates, ranks 1..P−1 compute leaf chunks on demand.
+// One rank is sacrificed to coordination (P must be ≥ 2); the payoff is
+// that per-rank work tracks the realized leaf costs instead of the
+// static segment sizes — the cross-rank analogue of the within-rank work
+// stealing, and the paper's proposed future extension.
+func (s *System) RunMPIDynamic(P int) (*Result, error) {
+	if P < 2 {
+		return nil, fmt.Errorf("gb: dynamic load balancing needs P ≥ 2 (one coordinator), got %d", P)
+	}
+	start := time.Now()
+	perCoreOps := make([]int64, P)
+	radiiOut := make([]float64, s.NumAtoms())
+	energy := 0.0
+
+	traffic, err := simmpi.Run(P, func(c *simmpi.Comm) {
+		rank := c.Rank()
+
+		// ---- Phase 1+2: Born integrals, dynamic chunks of q-leaves ----
+		acc := s.newBornAccum()
+		if rank == 0 {
+			coordinate(c, len(s.qLeaves))
+		} else {
+			drainChunks(c, func(lo, hi int) {
+				ops := int64(0)
+				for _, q := range s.qLeaves[lo:hi] {
+					ops += s.ApproxIntegrals(s.TA.Root(), q, acc)
+				}
+				perCoreOps[rank] += ops
+			})
+		}
+
+		// ---- Phase 3: merge partial integrals --------------------------
+		flat := make([]float64, 0, 4*len(acc.nodeS)+len(acc.atomS))
+		flat = append(flat, acc.nodeS...)
+		for _, g := range acc.nodeG {
+			flat = append(flat, g.X, g.Y, g.Z)
+		}
+		flat = append(flat, acc.atomS...)
+		merged := c.Allreduce(flat, simmpi.Sum)
+		copy(acc.nodeS, merged[:len(acc.nodeS)])
+		gs := merged[len(acc.nodeS) : 4*len(acc.nodeS)]
+		for i := range acc.nodeG {
+			acc.nodeG[i] = geom.V(gs[3*i], gs[3*i+1], gs[3*i+2])
+		}
+		copy(acc.atomS, merged[4*len(acc.nodeS):])
+
+		// ---- Phase 4+5: Born radii (static atom segments over the P−1
+		// compute ranks — this pass is cheap and uniform) ----------------
+		radii := make([]float64, s.NumAtoms())
+		if rank > 0 {
+			alo, ahi := segment(s.NumAtoms(), P-1, rank-1)
+			perCoreOps[rank] += s.PushIntegralsToAtoms(acc, alo, ahi, radii)
+			seg := make([]float64, 0, ahi-alo)
+			for pos := alo; pos < ahi; pos++ {
+				seg = append(seg, radii[s.TA.Items[pos]])
+			}
+			all := c.Allgatherv(seg)
+			for pos, r := range all {
+				radii[s.TA.Items[pos]] = r
+			}
+		} else {
+			all := c.Allgatherv(nil)
+			for pos, r := range all {
+				radii[s.TA.Items[pos]] = r
+			}
+		}
+
+		// ---- Phase 6: energy, dynamic chunks of atom leaves ------------
+		agg := s.buildEpolAggregates(radii)
+		partial := 0.0
+		if rank == 0 {
+			coordinate(c, len(s.aLeaves))
+		} else {
+			drainChunks(c, func(lo, hi int) {
+				ops := int64(0)
+				for _, v := range s.aLeaves[lo:hi] {
+					vs, vops := s.ApproxEpol(s.TA.Root(), v, radii, agg)
+					partial += vs
+					ops += vops
+				}
+				perCoreOps[rank] += ops
+			})
+		}
+
+		// ---- Phase 7: final reduction ----------------------------------
+		sum := c.Allreduce([]float64{partial}, simmpi.Sum)
+		if rank == 0 {
+			energy = -0.5 * Tau(s.Params.EpsSolvent) * CoulombKcal * sum[0]
+			copy(radiiOut, radii)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Epol: energy, Born: radiiOut,
+		Processes: P, ThreadsPerProcess: 1,
+		PerCoreOps: perCoreOps,
+		Traffic:    traffic,
+		Wall:       time.Since(start),
+	}, nil
+}

@@ -1,0 +1,301 @@
+package gb
+
+import (
+	"math"
+
+	"gbpolar/internal/geom"
+	"gbpolar/internal/octree"
+)
+
+// NaiveEpol evaluates Eq. 2 exactly: Epol = −(τ/2)·κ·Σ_{i,j} q_i q_j /
+// f_GB(r_ij, R_i, R_j) over all ordered atom pairs including i = j (the
+// self term q_i²/R_i). O(M²). Returns the energy in kcal/mol and the pair
+// count.
+func (s *System) NaiveEpol(radii []float64) (float64, int64) {
+	kernel := pairEnergyKernel(s.Params.Math)
+	atoms := s.Mol.Atoms
+	sum := 0.0
+	ops := int64(0)
+	for i := range atoms {
+		qi, pi, ri := atoms[i].Charge, atoms[i].Pos, radii[i]
+		// Self term.
+		sum += qi * qi / ri
+		ops++
+		for j := i + 1; j < len(atoms); j++ {
+			r2 := pi.Dist2(atoms[j].Pos)
+			sum += 2 * kernel(qi*atoms[j].Charge, r2, ri*radii[j])
+			ops++
+		}
+	}
+	return -0.5 * Tau(s.Params.EpsSolvent) * CoulombKcal * sum, ops
+}
+
+// epolAggregates holds the per-node Born-radius-class charge histograms
+// q_U[k] of Fig. 3: class k collects the total charge of atoms with Born
+// radius in [Rmin(1+ε)^k, Rmin(1+ε)^(k+1)).
+type epolAggregates struct {
+	M       int       // number of classes: ceil(log_{1+ε}(Rmax/Rmin)), ≥ 1
+	Rmin    float64   //
+	hist    []float64 // dense [node*M + k] charge histogram
+	powR    []float64 // powR[k] = Rmin²·(1+ε)^(k+1) for k ∈ [0, 2M)
+	classOf []int     // per-atom class (original index)
+	// dip[node*M + k] is the class-k charge dipole Σ q_a·(p_a − center)
+	// about the node's ball center: the first-order (FMM p=1) correction
+	// that the "Greengard–Rokhlin type" far field needs, because
+	// protein charge distributions are locally dipolar and a pure
+	// monopole histogram drops their leading far-field term.
+	dip []geom.Vec3
+}
+
+// maxEpolClasses caps the histogram width: below the corresponding bin
+// width the far-field binning error is negligible next to the clustering
+// error, and the cap bounds the O(M²) class-pair loops.
+const maxEpolClasses = 128
+
+// buildEpolAggregates computes the histograms for the given Born radii.
+// The bin width is log(1+ε) unless that would exceed maxEpolClasses, in
+// which case the bins are widened just enough to span [Rmin, Rmax].
+func (s *System) buildEpolAggregates(radii []float64) *epolAggregates {
+	rmin, rmax := math.Inf(1), 0.0
+	for _, r := range radii {
+		if r < rmin {
+			rmin = r
+		}
+		if r > rmax {
+			rmax = r
+		}
+	}
+	return s.buildEpolAggregatesRange(radii, rmin, rmax)
+}
+
+// buildEpolAggregatesRange builds the histograms over an explicit radius
+// range [rmin, rmax] — two systems sharing a range produce directly
+// comparable class indices (the cross-molecule energy pass of Complex).
+func (s *System) buildEpolAggregatesRange(radii []float64, rmin, rmax float64) *epolAggregates {
+	eps := math.Min(s.Params.EpsEpol, defaultBinEps)
+	if s.Params.EpsBin > 0 {
+		eps = s.Params.EpsBin
+	}
+	agg := &epolAggregates{Rmin: rmin}
+	epsBin := eps
+	if rmax > rmin {
+		if need := math.Log(rmax/rmin) / math.Log1p(eps); need+1 > maxEpolClasses {
+			epsBin = math.Expm1(math.Log(rmax/rmin) / (maxEpolClasses - 1))
+		}
+	}
+	logBase := math.Log1p(epsBin)
+	if rmax <= rmin {
+		agg.M = 1
+	} else {
+		agg.M = int(math.Ceil(math.Log(rmax/rmin)/logBase)) + 1
+		if agg.M > maxEpolClasses {
+			agg.M = maxEpolClasses
+		}
+	}
+	agg.classOf = make([]int, len(radii))
+	for i, r := range radii {
+		k := 0
+		if r > rmin {
+			k = int(math.Log(r/rmin) / logBase)
+		}
+		if k >= agg.M {
+			k = agg.M - 1
+		}
+		agg.classOf[i] = k
+	}
+	// powR[k] = Rmin²(1+ε)^(k+1): the class-product representative at the
+	// geometric middle of its cell (a pair (i, j) has true R_iR_j in
+	// [Rmin²(1+ε)^(i+j), Rmin²(1+ε)^(i+j+2))), which halves the bias of
+	// the paper's lower-edge (1+ε)^(i+j) form.
+	agg.powR = make([]float64, 2*agg.M)
+	for k := range agg.powR {
+		agg.powR[k] = rmin * rmin * math.Pow(1+epsBin, float64(k+1))
+	}
+	// Bottom-up aggregation: parents precede children in DFS index order,
+	// so iterating in reverse has every child ready before its parent.
+	agg.hist = make([]float64, s.TA.NumNodes()*agg.M)
+	agg.dip = make([]geom.Vec3, s.TA.NumNodes()*agg.M)
+	for i := s.TA.NumNodes() - 1; i >= 0; i-- {
+		n := &s.TA.Nodes[i]
+		base := i * agg.M
+		if n.Leaf {
+			for _, ai := range s.TA.ItemsOf(int32(i)) {
+				k := agg.classOf[ai]
+				q := s.Mol.Atoms[ai].Charge
+				agg.hist[base+k] += q
+				agg.dip[base+k] = agg.dip[base+k].Add(s.atomPos[ai].Sub(n.Center).Scale(q))
+			}
+			continue
+		}
+		for _, c := range n.Children {
+			if c == octree.NoChild {
+				continue
+			}
+			cn := &s.TA.Nodes[c]
+			shift := cn.Center.Sub(n.Center)
+			cbase := int(c) * agg.M
+			for k := 0; k < agg.M; k++ {
+				q := agg.hist[cbase+k]
+				agg.hist[base+k] += q
+				// Re-center the child dipole about the parent center.
+				agg.dip[base+k] = agg.dip[base+k].Add(agg.dip[cbase+k]).Add(shift.Scale(q))
+			}
+		}
+	}
+	return agg
+}
+
+// epolOpeningScale multiplies Fig. 3's far threshold (1 + 2/ε). With the
+// first-order dipole correction in farClassSum the printed criterion
+// already lands the realized error in the paper's Fig. 10 band (≤1.5% at
+// ε = 0.9), so the default is 1; the knob remains for the ablation bench.
+const epolOpeningScale = 1.0
+
+// defaultBinEps caps the Born-radius class width: the histogram binning
+// error is the accuracy floor of the far field, and bins wider than
+// ln(1.2) measurably bias f_GB (EXPERIMENTS.md calibration: at ε = 0.9
+// the paper-style ln(1+ε) bins cost ~5% energy error versus ~0.6% at
+// 0.2, for ~20% more work).
+const defaultBinEps = 0.2
+
+// epolFarFactor returns the threshold multiplier (1 + 2/ε)·scale of the
+// energy far criterion.
+func epolFarFactor(eps, scale float64) float64 {
+	if scale <= 0 {
+		scale = epolOpeningScale
+	}
+	return (1 + 2/eps) * scale
+}
+
+// epolFar reports whether node balls (separation d, radii ru, rv) satisfy
+// the far criterion r_UV > (r_U+r_V)·factor.
+func epolFar(d, ru, rv, factor float64) bool {
+	return d > (ru+rv)*factor
+}
+
+// ApproxEpol is Fig. 3's APPROX-Epol(U, V): the raw pair sum
+// Σ q_u q_v / f_GB between the atoms under U and the atoms under leaf V,
+// approximated by class histograms when (U, V) is far, exact at leaves.
+// Returns (sum, interaction evaluations).
+func (s *System) ApproxEpol(u, v int32, radii []float64, agg *epolAggregates) (float64, int64) {
+	kernel := pairEnergyKernel(s.Params.Math)
+	factor := epolFarFactor(s.Params.EpsEpol, s.Params.OpeningScale)
+	return s.approxEpol(u, v, radii, agg, kernel, factor)
+}
+
+func (s *System) approxEpol(u, v int32, radii []float64, agg *epolAggregates,
+	kernel func(qq, r2, RiRj float64) float64, factor float64) (float64, int64) {
+	un := &s.TA.Nodes[u]
+	vn := &s.TA.Nodes[v]
+	d := un.Center.Dist(vn.Center)
+	// The class-histogram approximation only applies when U is internal:
+	// leaf–leaf pairs are evaluated exactly below at comparable cost
+	// (≤ leaf² pairs vs nnz² class pairs), and skipping the binning there
+	// matters because two small leaves can be geometrically "far" (tiny
+	// radii) while still close on the f_GB scale √(R_iR_j), where binned
+	// radii misprice the kernel.
+	if u != v && !un.Leaf && epolFar(d, un.Radius, vn.Radius, factor) {
+		return s.farClassSum(u, v, d, vn.Center.Sub(un.Center), agg)
+	}
+	if un.Leaf {
+		// Exact: ordered pairs (u-atom, v-atom); self terms arise when
+		// U == V via r² = 0 ⇒ f = R_i (q_i²/R_i).
+		sum := 0.0
+		ops := int64(0)
+		uItems := s.TA.ItemsOf(u)
+		vItems := s.TA.ItemsOf(v)
+		for _, ui := range uItems {
+			qi, pi, ri := s.Mol.Atoms[ui].Charge, s.atomPos[ui], radii[ui]
+			for _, vi := range vItems {
+				if ui == vi {
+					sum += qi * qi / ri
+					ops++
+					continue
+				}
+				r2 := pi.Dist2(s.atomPos[vi])
+				sum += kernel(qi*s.Mol.Atoms[vi].Charge, r2, ri*radii[vi])
+				ops++
+			}
+		}
+		return sum, ops
+	}
+	sum := 0.0
+	ops := int64(1)
+	for _, c := range un.Children {
+		if c != octree.NoChild {
+			cs, cops := s.approxEpol(c, v, radii, agg, kernel, factor)
+			sum += cs
+			ops += cops
+		}
+	}
+	return sum, ops
+}
+
+// farClassSum evaluates the far-field interaction of node pair (U, V) at
+// center distance d (direction vector dvec = c_V − c_U): for every
+// non-empty Born-radius class pair (i, j),
+//
+//	Q_U[i]·Q_V[j]·g(d) + g'(d)·[Q_U[i]·(d̂·D_V[j]) − (d̂·D_U[i])·Q_V[j]]
+//
+// with g(r) = 1/f_GB(r; R_iR_j ≈ Rmin²(1+ε)^(i+j+1)). The derivative term
+// is the first-order dipole correction (see epolAggregates.dip). Returns
+// (raw sum, evaluations).
+func (s *System) farClassSum(u, v int32, d float64, dvec geom.Vec3, agg *epolAggregates) (float64, int64) {
+	r2 := d * d
+	dhat := dvec.Scale(1 / d)
+	approx := s.Params.Math == ApproxMath
+	sum := 0.0
+	ops := int64(0)
+	ubase, vbase := int(u)*agg.M, int(v)*agg.M
+	for i := 0; i < agg.M; i++ {
+		qu := agg.hist[ubase+i]
+		du := dhat.Dot(agg.dip[ubase+i])
+		if qu == 0 && du == 0 {
+			continue
+		}
+		for j := 0; j < agg.M; j++ {
+			qv := agg.hist[vbase+j]
+			dv := dhat.Dot(agg.dip[vbase+j])
+			if qv == 0 && dv == 0 {
+				continue
+			}
+			t := agg.powR[i+j]
+			var e float64
+			if approx {
+				e = fastExp(-r2 / (4 * t))
+			} else {
+				e = math.Exp(-r2 / (4 * t))
+			}
+			f2 := r2 + t*e
+			var invF float64
+			if approx {
+				invF = fastInvSqrt(f2)
+			} else {
+				invF = 1 / math.Sqrt(f2)
+			}
+			// g'(d) = −d·(1 − e/4)/f³.
+			gp := -d * (1 - e/4) * invF * invF * invF
+			sum += qu*qv*invF + gp*(qu*dv-du*qv)
+			ops++
+		}
+	}
+	if ops == 0 {
+		ops = 1
+	}
+	return sum, ops
+}
+
+// Epol runs the full serial octree energy pass: every atoms-octree leaf V
+// interacts with the whole tree (Fig. 4 Step 6), the raw sums are scaled
+// by −τκ/2. Returns the energy in kcal/mol and the interaction count.
+func (s *System) Epol(radii []float64) (float64, int64) {
+	agg := s.buildEpolAggregates(radii)
+	sum := 0.0
+	ops := int64(0)
+	for _, v := range s.aLeaves {
+		vs, vops := s.ApproxEpol(s.TA.Root(), v, radii, agg)
+		sum += vs
+		ops += vops
+	}
+	return -0.5 * Tau(s.Params.EpsSolvent) * CoulombKcal * sum, ops
+}

@@ -1,0 +1,97 @@
+package gb
+
+import (
+	"math"
+
+	"gbpolar/internal/geom"
+)
+
+// This file provides analytic derivatives of the GB energy — the piece a
+// molecular-dynamics adopter needs on top of the paper's single-point
+// energies. Derivatives are taken at FROZEN Born radii (the positional
+// part ∂E/∂x|_R plus, separately, the radius partials ∂E/∂R): the full
+// MD force also chains ∂R/∂x through the surface integral, which changes
+// with the surface discretization; the frozen-radii split is the
+// standard decomposition GB force implementations build on.
+
+// dInvFdR2 returns ∂(1/f_GB)/∂(r²) at squared distance r2 and radius
+// product t = R_iR_j.
+func dInvFdR2(r2, t float64) float64 {
+	e := math.Exp(-r2 / (4 * t))
+	f2 := r2 + t*e
+	invF := 1 / math.Sqrt(f2)
+	return -0.5 * invF * invF * invF * (1 - e/4)
+}
+
+// dInvFdRi returns ∂(1/f_GB)/∂R_i at squared distance r2 for radii ri, rj.
+func dInvFdRi(r2, ri, rj float64) float64 {
+	t := ri * rj
+	e := math.Exp(-r2 / (4 * t))
+	f2 := r2 + t*e
+	invF := 1 / math.Sqrt(f2)
+	// ∂f²/∂R_i = R_j·e·(1 + r²/(4 R_i R_j)).
+	df2 := rj * e * (1 + r2/(4*t))
+	return -0.5 * invF * invF * invF * df2
+}
+
+// EnergyGradients returns (∂E/∂x_i at frozen radii, ∂E/∂R_i) for the
+// exact (naive) Eq. 2 energy with the given Born radii. Units:
+// kcal/mol/Å and kcal/mol/Å respectively. O(M²).
+func (s *System) EnergyGradients(radii []float64) (dEdx []geom.Vec3, dEdR []float64) {
+	atoms := s.Mol.Atoms
+	n := len(atoms)
+	dEdx = make([]geom.Vec3, n)
+	dEdR = make([]float64, n)
+	pref := -0.5 * Tau(s.Params.EpsSolvent) * CoulombKcal
+
+	for i := 0; i < n; i++ {
+		// Self term: E_i = pref·q²/R ⇒ ∂E/∂R_i = −pref·q²/R².
+		dEdR[i] += pref * (-atoms[i].Charge * atoms[i].Charge / (radii[i] * radii[i]))
+	}
+	for i := 0; i < n; i++ {
+		qi, pi, ri := atoms[i].Charge, atoms[i].Pos, radii[i]
+		for j := i + 1; j < n; j++ {
+			qq := 2 * qi * atoms[j].Charge // ordered-pair double counting of Eq. 2
+			diff := pi.Sub(atoms[j].Pos)
+			r2 := diff.Norm2()
+			t := ri * radii[j]
+			// ∂E/∂x_i = pref·qq·d(1/f)/d(r²)·2(x_i−x_j); equal and
+			// opposite on j.
+			g := diff.Scale(pref * qq * dInvFdR2(r2, t) * 2)
+			dEdx[i] = dEdx[i].Add(g)
+			dEdx[j] = dEdx[j].Sub(g)
+			dEdR[i] += pref * qq * dInvFdRi(r2, ri, radii[j])
+			dEdR[j] += pref * qq * dInvFdRi(r2, radii[j], ri)
+		}
+	}
+	return dEdx, dEdR
+}
+
+// Forces returns the frozen-radii forces −∂E/∂x on every atom.
+func (s *System) Forces(radii []float64) []geom.Vec3 {
+	dEdx, _ := s.EnergyGradients(radii)
+	for i := range dEdx {
+		dEdx[i] = dEdx[i].Neg()
+	}
+	return dEdx
+}
+
+// PerAtomEpol decomposes the exact Eq. 2 energy into per-atom
+// contributions (self term plus half of every pair term): the sum over
+// atoms equals NaiveEpol. Useful for hot-spot analysis in docking.
+func (s *System) PerAtomEpol(radii []float64) []float64 {
+	atoms := s.Mol.Atoms
+	out := make([]float64, len(atoms))
+	pref := -0.5 * Tau(s.Params.EpsSolvent) * CoulombKcal
+	kernel := pairEnergyKernel(s.Params.Math)
+	for i := range atoms {
+		out[i] += pref * atoms[i].Charge * atoms[i].Charge / radii[i]
+		for j := i + 1; j < len(atoms); j++ {
+			r2 := atoms[i].Pos.Dist2(atoms[j].Pos)
+			pair := pref * 2 * kernel(atoms[i].Charge*atoms[j].Charge, r2, radii[i]*radii[j])
+			out[i] += pair / 2
+			out[j] += pair / 2
+		}
+	}
+	return out
+}

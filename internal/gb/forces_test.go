@@ -1,0 +1,144 @@
+package gb
+
+import (
+	"math"
+	"testing"
+
+	"gbpolar/internal/geom"
+	"gbpolar/internal/molecule"
+	"gbpolar/internal/surface"
+)
+
+// numericalGradient computes ∂E/∂x by central differences at frozen
+// radii.
+func numericalGradient(t *testing.T, s *System, radii []float64, atom int) geom.Vec3 {
+	t.Helper()
+	const h = 1e-5
+	grad := geom.Vec3{}
+	orig := s.Mol.Atoms[atom].Pos
+	eval := func(p geom.Vec3) float64 {
+		s.Mol.Atoms[atom].Pos = p
+		s.atomPos[atom] = p
+		e, _ := s.NaiveEpol(radii)
+		return e
+	}
+	for axis := 0; axis < 3; axis++ {
+		d := geom.Vec3{}
+		switch axis {
+		case 0:
+			d.X = h
+		case 1:
+			d.Y = h
+		case 2:
+			d.Z = h
+		}
+		plus := eval(orig.Add(d))
+		minus := eval(orig.Sub(d))
+		v := (plus - minus) / (2 * h)
+		switch axis {
+		case 0:
+			grad.X = v
+		case 1:
+			grad.Y = v
+		case 2:
+			grad.Z = v
+		}
+	}
+	eval(orig) // restore
+	return grad
+}
+
+func TestEnergyGradientsMatchNumerical(t *testing.T) {
+	s := buildSys(t, 60, DefaultParams())
+	radii, _ := s.NaiveBornRadiiR6()
+	dEdx, _ := s.EnergyGradients(radii)
+	for _, atom := range []int{0, 7, 31, 59} {
+		num := numericalGradient(t, s, radii, atom)
+		if d := num.Sub(dEdx[atom]).Norm(); d > 1e-5*(1+num.Norm()) {
+			t.Errorf("atom %d: analytic %v vs numerical %v", atom, dEdx[atom], num)
+		}
+	}
+}
+
+func TestEnergyGradientsRadiusPartials(t *testing.T) {
+	s := buildSys(t, 50, DefaultParams())
+	radii, _ := s.NaiveBornRadiiR6()
+	_, dEdR := s.EnergyGradients(radii)
+	const h = 1e-6
+	for _, atom := range []int{0, 13, 49} {
+		bumped := append([]float64(nil), radii...)
+		bumped[atom] += h
+		ePlus, _ := s.NaiveEpol(bumped)
+		bumped[atom] -= 2 * h
+		eMinus, _ := s.NaiveEpol(bumped)
+		num := (ePlus - eMinus) / (2 * h)
+		if math.Abs(num-dEdR[atom]) > 1e-4*(1+math.Abs(num)) {
+			t.Errorf("atom %d: dE/dR analytic %v vs numerical %v", atom, dEdR[atom], num)
+		}
+	}
+}
+
+func TestForcesSumToZero(t *testing.T) {
+	// Newton's third law: frozen-radii forces are internal pair forces,
+	// so they must sum to (numerically) zero.
+	s := buildSys(t, 300, DefaultParams())
+	radii, _ := s.NaiveBornRadiiR6()
+	forces := s.Forces(radii)
+	var total geom.Vec3
+	maxF := 0.0
+	for _, f := range forces {
+		total = total.Add(f)
+		if f.Norm() > maxF {
+			maxF = f.Norm()
+		}
+	}
+	if total.Norm() > 1e-9*maxF*float64(len(forces)) {
+		t.Errorf("net force %v (max single force %v)", total, maxF)
+	}
+}
+
+func TestForcesSignConvention(t *testing.T) {
+	// Two like charges near each other: GB screening energy rises as
+	// they separate... verify Forces = −dEdx exactly.
+	s := buildSys(t, 40, DefaultParams())
+	radii, _ := s.NaiveBornRadiiR6()
+	dEdx, _ := s.EnergyGradients(radii)
+	forces := s.Forces(radii)
+	for i := range forces {
+		if forces[i].Add(dEdx[i]).Norm() > 1e-12 {
+			t.Fatalf("atom %d: Forces != -dEdx", i)
+		}
+	}
+}
+
+func TestPerAtomEpolSumsToTotal(t *testing.T) {
+	s := buildSys(t, 250, DefaultParams())
+	radii, _ := s.NaiveBornRadiiR6()
+	total, _ := s.NaiveEpol(radii)
+	per := s.PerAtomEpol(radii)
+	sum := 0.0
+	for _, v := range per {
+		sum += v
+	}
+	if math.Abs(sum-total)/math.Abs(total) > 1e-12 {
+		t.Errorf("per-atom sum %v != total %v", sum, total)
+	}
+}
+
+func TestPerAtomEpolChargedAtomsDominate(t *testing.T) {
+	// A lone ion among neutral atoms carries almost all of the energy.
+	m := &molecule.Molecule{Name: "ion-in-crowd", Atoms: []molecule.Atom{
+		{Pos: geom.V(0, 0, 0), Radius: 2, Charge: 1},
+		{Pos: geom.V(6, 0, 0), Radius: 1.5, Charge: 0},
+		{Pos: geom.V(0, 6, 0), Radius: 1.5, Charge: 0},
+	}}
+	s := newTestSystem(t, m, surface.Config{IcoLevel: 1}, DefaultParams())
+	radii, _ := s.NaiveBornRadiiR6()
+	per := s.PerAtomEpol(radii)
+	if math.Abs(per[1]) > 1e-9 || math.Abs(per[2]) > 1e-9 {
+		t.Errorf("neutral atoms carry energy: %v", per)
+	}
+	if per[0] >= 0 {
+		t.Errorf("ion energy %v not negative", per[0])
+	}
+}

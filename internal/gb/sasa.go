@@ -1,0 +1,33 @@
+package gb
+
+// GB/SA: MD packages pair the polar GB term with a nonpolar solvation
+// term proportional to the exposed surface area. This file provides that
+// pairing so a downstream user gets the full solvation free energy the
+// paper's intro frames Epol inside ("polar part of free energy of
+// hydration" — the SA term is the other part).
+
+// DefaultSurfaceTension is the standard GB/SA surface-tension coefficient
+// γ in kcal/(mol·Å²) (the 5.4 cal convention of Still-style SA terms).
+const DefaultSurfaceTension = 0.0054
+
+// NonpolarEnergy returns γ·SASA, the cavity/dispersion term of GB/SA, in
+// kcal/mol.
+func (s *System) NonpolarEnergy(gamma float64) float64 {
+	return gamma * s.Surf.Area
+}
+
+// SolvationEnergy returns the total solvation free energy estimate
+// Epol + γ·SASA for the given polar energy.
+func (s *System) SolvationEnergy(epol, gamma float64) float64 {
+	return epol + s.NonpolarEnergy(gamma)
+}
+
+// PerAtomNonpolar decomposes the nonpolar term by atom (γ × exposed
+// area), aligning with PerAtomEpol for full per-atom solvation analysis.
+func (s *System) PerAtomNonpolar(gamma float64) []float64 {
+	areas := s.Surf.PerAtomArea(s.NumAtoms())
+	for i := range areas {
+		areas[i] *= gamma
+	}
+	return areas
+}

@@ -1,0 +1,43 @@
+package gb
+
+import (
+	"math"
+	"testing"
+
+	"gbpolar/internal/surface"
+)
+
+func TestNonpolarEnergySingleSphere(t *testing.T) {
+	s := newTestSystem(t, ion(2.0), surface.Config{IcoLevel: 1}, DefaultParams())
+	want := DefaultSurfaceTension * 4 * math.Pi * 4
+	if got := s.NonpolarEnergy(DefaultSurfaceTension); math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("nonpolar = %v, want %v", got, want)
+	}
+	// Solvation = polar + nonpolar.
+	if got := s.SolvationEnergy(-10, DefaultSurfaceTension); math.Abs(got-(-10+want)) > 1e-12 {
+		t.Errorf("solvation = %v", got)
+	}
+}
+
+func TestPerAtomNonpolarSumsToTotal(t *testing.T) {
+	s := buildSys(t, 500, DefaultParams())
+	per := s.PerAtomNonpolar(DefaultSurfaceTension)
+	sum := 0.0
+	for _, v := range per {
+		sum += v
+	}
+	total := s.NonpolarEnergy(DefaultSurfaceTension)
+	if math.Abs(sum-total)/total > 1e-12 {
+		t.Errorf("per-atom sum %v != total %v", sum, total)
+	}
+	// Buried atoms carry zero nonpolar energy.
+	zero := 0
+	for _, v := range per {
+		if v == 0 {
+			zero++
+		}
+	}
+	if zero == 0 {
+		t.Error("no buried atoms in a 500-atom globule?")
+	}
+}

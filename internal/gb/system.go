@@ -1,0 +1,256 @@
+package gb
+
+import (
+	"fmt"
+
+	"gbpolar/internal/geom"
+	"gbpolar/internal/molecule"
+	"gbpolar/internal/octree"
+	"gbpolar/internal/surface"
+)
+
+// Division selects the paper's work-distribution scheme (§IV, "Different
+// Work Distribution Approaches").
+type Division int
+
+const (
+	// NodeNode divides octree leaf nodes among processes in both phases —
+	// the paper's default: best time AND an approximation error that is
+	// independent of the process count.
+	NodeNode Division = iota
+	// AtomNode divides atoms among processes: slightly slower, and the
+	// error varies with the process count because division boundaries
+	// split tree nodes.
+	AtomNode
+)
+
+// String implements fmt.Stringer.
+func (d Division) String() string {
+	switch d {
+	case NodeNode:
+		return "node-node"
+	case AtomNode:
+		return "atom-node"
+	}
+	return fmt.Sprintf("Division(%d)", int(d))
+}
+
+// Integral selects the Born-radius surface integral.
+type Integral int
+
+const (
+	// IntegralR6 is the surface-based r⁶ form (Eq. 4) — the paper's
+	// contribution, more accurate for protein-like solutes (Grycuk).
+	IntegralR6 Integral = iota
+	// IntegralR4 is the Coulomb-field approximation (Eq. 3), kept for
+	// the accuracy comparison the paper motivates in §II.
+	IntegralR4
+)
+
+// String implements fmt.Stringer.
+func (i Integral) String() string {
+	if i == IntegralR4 {
+		return "r4"
+	}
+	return "r6"
+}
+
+// Params are the tunables of the octree algorithms.
+type Params struct {
+	// EpsSolvent is the solvent dielectric of Eq. 2 (default 80).
+	EpsSolvent float64
+	// EpsBorn is the ε of the Born-radii far-field criterion (Fig. 2);
+	// larger is faster and less accurate. The paper's default is 0.9.
+	EpsBorn float64
+	// EpsEpol is the ε of the energy far-field criterion and the
+	// Born-radius class width of Fig. 3. The paper's default is 0.9.
+	EpsEpol float64
+	// LeafAtoms / LeafQPoints are the octree leaf capacities.
+	LeafAtoms   int
+	LeafQPoints int
+	// Math selects exact or approximate kernels.
+	Math MathMode
+	// Division selects the work-distribution scheme.
+	Division Division
+	// Integral selects the r⁶ (default) or r⁴ Born-radius form.
+	Integral Integral
+	// EpsBin overrides the Born-radius class width of the Fig. 3
+	// histograms (0: use EpsEpol). Exposed for the binning-resolution
+	// ablation (DESIGN.md §6.5).
+	EpsBin float64
+	// OpeningScale overrides the far-criterion threshold multiplier of
+	// the energy phase (0: the calibrated default). Exposed for the
+	// opening-criterion ablation.
+	OpeningScale float64
+}
+
+// DefaultParams returns the paper's benchmark configuration: ε = 0.9 for
+// both phases, node–node division, exact math.
+func DefaultParams() Params {
+	return Params{
+		EpsSolvent:  DefaultSolventDielectric,
+		EpsBorn:     0.9,
+		EpsEpol:     0.9,
+		LeafAtoms:   8,
+		LeafQPoints: 32,
+		Math:        ExactMath,
+		Division:    NodeNode,
+	}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.EpsSolvent <= 1 {
+		return fmt.Errorf("gb: solvent dielectric %v must exceed 1", p.EpsSolvent)
+	}
+	if p.EpsBorn <= 0 || p.EpsEpol <= 0 {
+		return fmt.Errorf("gb: approximation parameters must be positive (got %v, %v)", p.EpsBorn, p.EpsEpol)
+	}
+	if p.LeafAtoms < 1 || p.LeafQPoints < 1 {
+		return fmt.Errorf("gb: leaf capacities must be ≥ 1")
+	}
+	return nil
+}
+
+// System is a prepared molecule: positions, charges, surface quadrature
+// points and the two octrees T_A (atoms) and T_Q (quadrature points). A
+// System is immutable after construction and safe for concurrent use by
+// any number of ranks/threads — the paper's compute nodes each build the
+// same octrees (Fig. 4 Step 1); in-process the ranks share them read-only
+// and the replication is accounted by the performance model (DESIGN.md
+// §2).
+type System struct {
+	Params Params
+	Mol    *molecule.Molecule
+	Surf   *surface.Surface
+	TA     *octree.Tree // octree over atom centers
+	TQ     *octree.Tree // octree over quadrature points
+
+	atomPos []geom.Vec3
+	qPos    []geom.Vec3
+
+	// Pseudo-q-point aggregates per T_Q node (Fig. 2): weighted normal
+	// sums ñ = Σ w_q n_q, and the first-order normal-moment tensor
+	// T = Σ w_q n_q (p_q − q̄)ᵀ about the node centroid. The tensor is
+	// the Greengard–Rokhlin-style p=1 correction the far field needs:
+	// a closed surface patch's weighted normals largely cancel (like the
+	// charges of a neutral cluster), so the monopole ñ alone drops the
+	// leading term of the r⁶ flux integral.
+	nodeNormal []geom.Vec3
+	nodeMoment []geom.Mat3
+
+	// Leaf lists (deterministic order) for node-based work division.
+	qLeaves []int32
+	aLeaves []int32
+}
+
+// NewSystem builds the prepared system: surface octree aggregates and both
+// trees. The surface must have been built from the same molecule.
+func NewSystem(mol *molecule.Molecule, surf *surface.Surface, params Params) (*System, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := mol.Validate(); err != nil {
+		return nil, err
+	}
+	if mol.NumAtoms() == 0 {
+		return nil, fmt.Errorf("gb: molecule %q has no atoms", mol.Name)
+	}
+	if surf.NumPoints() == 0 {
+		return nil, fmt.Errorf("gb: surface of %q has no quadrature points", mol.Name)
+	}
+	s := &System{
+		Params:  params,
+		Mol:     mol,
+		Surf:    surf,
+		atomPos: mol.Positions(),
+		qPos:    surf.Positions(),
+	}
+	s.TA = octree.Build(s.atomPos, params.LeafAtoms)
+	s.TQ = octree.Build(s.qPos, params.LeafQPoints)
+	s.qLeaves = s.TQ.Leaves()
+	s.aLeaves = s.TA.Leaves()
+
+	// Aggregate the weighted normal and normal-moment tensor of every
+	// T_Q node bottom-up (children precede parents in reverse DFS index
+	// order).
+	s.nodeNormal = make([]geom.Vec3, s.TQ.NumNodes())
+	s.nodeMoment = make([]geom.Mat3, s.TQ.NumNodes())
+	for i := s.TQ.NumNodes() - 1; i >= 0; i-- {
+		n := &s.TQ.Nodes[i]
+		if n.Leaf {
+			var sum geom.Vec3
+			var mom geom.Mat3
+			for _, it := range s.TQ.ItemsOf(int32(i)) {
+				q := &surf.Points[it]
+				wn := q.Normal.Scale(q.Weight)
+				sum = sum.Add(wn)
+				addOuter(&mom, wn, q.Pos.Sub(n.Center))
+			}
+			s.nodeNormal[i] = sum
+			s.nodeMoment[i] = mom
+			continue
+		}
+		var sum geom.Vec3
+		var mom geom.Mat3
+		for _, c := range n.Children {
+			if c == octree.NoChild {
+				continue
+			}
+			sum = sum.Add(s.nodeNormal[c])
+			// Re-center the child tensor about the parent centroid:
+			// T_p += T_c + ñ_c ⊗ (q̄_c − q̄_p).
+			shift := s.TQ.Nodes[c].Center.Sub(n.Center)
+			for k := 0; k < 9; k++ {
+				mom[k] += s.nodeMoment[c][k]
+			}
+			addOuter(&mom, s.nodeNormal[c], shift)
+		}
+		s.nodeNormal[i] = sum
+		s.nodeMoment[i] = mom
+	}
+	return s, nil
+}
+
+// addOuter accumulates the outer product a ⊗ bᵀ into m (row-major).
+func addOuter(m *geom.Mat3, a, b geom.Vec3) {
+	m[0] += a.X * b.X
+	m[1] += a.X * b.Y
+	m[2] += a.X * b.Z
+	m[3] += a.Y * b.X
+	m[4] += a.Y * b.Y
+	m[5] += a.Y * b.Z
+	m[6] += a.Z * b.X
+	m[7] += a.Z * b.Y
+	m[8] += a.Z * b.Z
+}
+
+// NumAtoms returns the atom count.
+func (s *System) NumAtoms() int { return s.Mol.NumAtoms() }
+
+// NumQPoints returns the quadrature-point count.
+func (s *System) NumQPoints() int { return s.Surf.NumPoints() }
+
+// QLeaves returns the quadrature-octree leaves in work-division order.
+func (s *System) QLeaves() []int32 { return s.qLeaves }
+
+// ALeaves returns the atoms-octree leaves in work-division order.
+func (s *System) ALeaves() []int32 { return s.aLeaves }
+
+// DataBytes estimates the memory of one copy of the system's working set
+// (the quantity each distributed rank replicates), for the performance
+// model.
+func (s *System) DataBytes() int64 {
+	atoms := int64(s.NumAtoms())
+	qpts := int64(s.NumQPoints())
+	return atoms*(24+8+8+8+8) + qpts*(24+24+8) +
+		s.TA.MemoryBytes() + s.TQ.MemoryBytes() + int64(len(s.nodeNormal))*24
+}
+
+// segment returns the half-open [lo, hi) bounds of the i-th of n equal
+// segments over `total` items (the paper's "ith segment" static division).
+func segment(total, n, i int) (lo, hi int) {
+	lo = i * total / n
+	hi = (i + 1) * total / n
+	return lo, hi
+}

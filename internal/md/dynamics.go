@@ -1,0 +1,268 @@
+package md
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gbpolar/internal/gb"
+	"gbpolar/internal/geom"
+	"gbpolar/internal/molecule"
+	"gbpolar/internal/surface"
+)
+
+// Langevin dynamics on the GB/SA surface: the "molecular dynamics
+// simulations for determining the molecular conformation with minimal
+// total free energy" application of the paper's introduction, driven by
+// the frozen-radii GB forces plus the soft-sphere repulsion and an
+// optional harmonic position restraint (without bonded terms unrestrained
+// atoms would evaporate — restrained dynamics is the standard protocol
+// for exactly that situation).
+
+// DynConfig controls a dynamics run.
+type DynConfig struct {
+	// Steps is the number of integration steps (default 200).
+	Steps int
+	// DtFs is the time step in femtoseconds (default 2).
+	DtFs float64
+	// TemperatureK is the Langevin bath temperature (default 300).
+	TemperatureK float64
+	// FrictionPerPs is the Langevin friction γ in 1/ps (default 1).
+	FrictionPerPs float64
+	// RestraintK tethers each atom to its initial position with a
+	// harmonic spring (kcal/mol/Å², default 1; 0 disables).
+	RestraintK float64
+	// RadiiRefresh rebuilds surface + Born radii every this many steps
+	// (default 25).
+	RadiiRefresh int
+	// SampleEvery records a trajectory frame every this many steps
+	// (default 10).
+	SampleEvery int
+	// Seed drives the thermostat noise (runs are deterministic in it).
+	Seed int64
+	// RepulsionK is the soft-sphere stiffness (default 20).
+	RepulsionK float64
+}
+
+// DefaultDynConfig returns standard restrained-dynamics settings.
+func DefaultDynConfig() DynConfig {
+	return DynConfig{Steps: 200, DtFs: 2, TemperatureK: 300, FrictionPerPs: 1,
+		RestraintK: 1, RadiiRefresh: 25, SampleEvery: 10, Seed: 1, RepulsionK: 20}
+}
+
+func (c DynConfig) withDefaults() DynConfig {
+	d := DefaultDynConfig()
+	if c.Steps == 0 {
+		c.Steps = d.Steps
+	}
+	if c.DtFs == 0 {
+		c.DtFs = d.DtFs
+	}
+	if c.TemperatureK == 0 {
+		c.TemperatureK = d.TemperatureK
+	}
+	if c.FrictionPerPs == 0 {
+		c.FrictionPerPs = d.FrictionPerPs
+	}
+	if c.RadiiRefresh == 0 {
+		c.RadiiRefresh = d.RadiiRefresh
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = d.SampleEvery
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.RepulsionK == 0 {
+		c.RepulsionK = d.RepulsionK
+	}
+	return c
+}
+
+// Physical constants in the kcal/mol–Å–fs–amu unit system.
+const (
+	// BoltzmannKcal is k_B in kcal/(mol·K).
+	BoltzmannKcal = 0.0019872041
+	// accelUnit converts (kcal/mol/Å)/amu to Å/fs²:
+	// 1 kcal/mol = 4.184e26 amu·Å²/s² ⇒ ×1e-30 s²/fs² = 4.184e-4.
+	accelUnit = 4.184e-4
+	// atomMassAmu is the synthetic generator's mean atomic mass.
+	atomMassAmu = 12.0
+)
+
+// Frame is one recorded trajectory sample.
+type Frame struct {
+	Step int
+	// TimeFs is the elapsed simulated time.
+	TimeFs float64
+	// Epol, Restraint, Repulsion are the potential terms (kcal/mol).
+	Epol, Restraint, Repulsion float64
+	// KineticK is the instantaneous kinetic temperature (K).
+	KineticK float64
+	// Positions is a copy of the coordinates.
+	Positions []geom.Vec3
+}
+
+// Trajectory is a dynamics run's history.
+type Trajectory struct {
+	Frames []Frame
+	Final  *molecule.Molecule
+}
+
+// Dynamics runs restrained Langevin dynamics (BAOAB-style velocity
+// Verlet with stochastic friction) on the molecule.
+func Dynamics(mol *molecule.Molecule, params gb.Params, surfCfg surface.Config, cfg DynConfig) (*Trajectory, error) {
+	cfg = cfg.withDefaults()
+	if mol.NumAtoms() == 0 {
+		return nil, fmt.Errorf("md: empty molecule")
+	}
+	if cfg.DtFs <= 0 || cfg.DtFs > 10 {
+		return nil, fmt.Errorf("md: time step %v fs out of range (0, 10]", cfg.DtFs)
+	}
+	work := mol.Clone()
+	n := work.NumAtoms()
+	anchor := snapshot(work)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Maxwell–Boltzmann initial velocities.
+	vel := make([]geom.Vec3, n)
+	sigmaV := math.Sqrt(BoltzmannKcal * cfg.TemperatureK / atomMassAmu * accelUnit)
+	for i := range vel {
+		vel[i] = geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Scale(sigmaV)
+	}
+
+	var sys *gb.System
+	var radii []float64
+	refresh := func() error {
+		surf, err := surface.Build(work, surfCfg)
+		if err != nil {
+			return err
+		}
+		sys, err = gb.NewSystem(work, surf, params)
+		if err != nil {
+			return err
+		}
+		radii, _ = sys.BornRadii()
+		return nil
+	}
+	if err := refresh(); err != nil {
+		return nil, err
+	}
+
+	forces := func() ([]geom.Vec3, float64, float64) {
+		dEdx, _ := sys.EnergyGradients(radii)
+		addRepulsionGradient(work, cfg.RepulsionK, dEdx)
+		restraint := 0.0
+		if cfg.RestraintK > 0 {
+			for i := range work.Atoms {
+				d := work.Atoms[i].Pos.Sub(anchor[i])
+				restraint += cfg.RestraintK * d.Norm2()
+				dEdx[i] = dEdx[i].Add(d.Scale(2 * cfg.RestraintK))
+			}
+		}
+		for i := range dEdx {
+			dEdx[i] = dEdx[i].Neg() // force = −gradient
+		}
+		return dEdx, restraint, repulsionEnergy(work, cfg.RepulsionK)
+	}
+
+	dt := cfg.DtFs
+	gamma := cfg.FrictionPerPs / 1000 // 1/fs
+	// Ornstein–Uhlenbeck decay and noise for the O step.
+	decay := math.Exp(-gamma * dt)
+	noise := sigmaV * math.Sqrt(1-decay*decay)
+
+	f, restraint, rep := forces()
+	traj := &Trajectory{}
+	record := func(step int) {
+		e, _ := sys.Epol(radii)
+		ke := 0.0
+		for _, v := range vel {
+			ke += 0.5 * atomMassAmu * v.Norm2() / accelUnit
+		}
+		temp := 2 * ke / (3 * float64(n) * BoltzmannKcal)
+		traj.Frames = append(traj.Frames, Frame{
+			Step: step, TimeFs: float64(step) * dt,
+			Epol: e, Restraint: restraint, Repulsion: rep,
+			KineticK:  temp,
+			Positions: snapshot(work),
+		})
+	}
+	record(0)
+
+	for step := 1; step <= cfg.Steps; step++ {
+		// B: half kick.
+		for i := range vel {
+			vel[i] = vel[i].Add(f[i].Scale(0.5 * dt * accelUnit / atomMassAmu))
+		}
+		// A: half drift.
+		for i := range work.Atoms {
+			work.Atoms[i].Pos = work.Atoms[i].Pos.Add(vel[i].Scale(0.5 * dt))
+		}
+		// O: friction + noise.
+		for i := range vel {
+			r := geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+			vel[i] = vel[i].Scale(decay).Add(r.Scale(noise))
+		}
+		// A: half drift.
+		for i := range work.Atoms {
+			work.Atoms[i].Pos = work.Atoms[i].Pos.Add(vel[i].Scale(0.5 * dt))
+		}
+		// Refresh the energy model.
+		if step%cfg.RadiiRefresh == 0 {
+			if err := refresh(); err != nil {
+				return nil, err
+			}
+		} else {
+			// Positions moved: rebuild the prepared system on the same
+			// frozen radii (trees must track coordinates).
+			surf, err := surface.Build(work, surfCfg)
+			if err != nil {
+				return nil, err
+			}
+			if sys, err = gb.NewSystem(work, surf, params); err != nil {
+				return nil, err
+			}
+		}
+		// B: half kick with fresh forces.
+		var err error
+		f, restraint, rep = forces()
+		_ = err
+		for i := range vel {
+			vel[i] = vel[i].Add(f[i].Scale(0.5 * dt * accelUnit / atomMassAmu))
+		}
+		if step%cfg.SampleEvery == 0 || step == cfg.Steps {
+			record(step)
+		}
+	}
+	traj.Final = work
+	return traj, nil
+}
+
+// MeanTemperature returns the average kinetic temperature over the
+// trajectory's frames (excluding frame 0).
+func (t *Trajectory) MeanTemperature() float64 {
+	if len(t.Frames) <= 1 {
+		return 0
+	}
+	sum := 0.0
+	for _, fr := range t.Frames[1:] {
+		sum += fr.KineticK
+	}
+	return sum / float64(len(t.Frames)-1)
+}
+
+// RMSD returns the root-mean-square displacement of the final frame from
+// the first.
+func (t *Trajectory) RMSD() float64 {
+	if len(t.Frames) < 2 {
+		return 0
+	}
+	a := t.Frames[0].Positions
+	b := t.Frames[len(t.Frames)-1].Positions
+	s := 0.0
+	for i := range a {
+		s += a[i].Dist2(b[i])
+	}
+	return math.Sqrt(s / float64(len(a)))
+}

@@ -1,0 +1,163 @@
+package md
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"gbpolar/internal/gb"
+	"gbpolar/internal/molecule"
+	"gbpolar/internal/surface"
+)
+
+func dynMol(n int) *molecule.Molecule {
+	return molecule.Exactly(molecule.Globule("dyn", n, 19), n, 19)
+}
+
+func TestDynamicsRunsAndRecords(t *testing.T) {
+	traj, err := Dynamics(dynMol(80), gb.DefaultParams(), surface.DefaultConfig(), DynConfig{
+		Steps: 50, SampleEvery: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frames: step 0 plus every 10th plus the final step.
+	if len(traj.Frames) < 6 {
+		t.Fatalf("frames = %d", len(traj.Frames))
+	}
+	if traj.Frames[0].Step != 0 || traj.Frames[len(traj.Frames)-1].Step != 50 {
+		t.Errorf("frame steps: first %d last %d", traj.Frames[0].Step, traj.Frames[len(traj.Frames)-1].Step)
+	}
+	if traj.Final == nil || traj.Final.NumAtoms() != 80 {
+		t.Fatal("final molecule missing")
+	}
+	if err := traj.Final.Validate(); err != nil {
+		t.Fatalf("final molecule invalid: %v", err)
+	}
+	for _, fr := range traj.Frames {
+		if fr.Epol >= 0 {
+			t.Errorf("frame %d: Epol %v not negative", fr.Step, fr.Epol)
+		}
+		if len(fr.Positions) != 80 {
+			t.Fatalf("frame %d: %d positions", fr.Step, len(fr.Positions))
+		}
+	}
+}
+
+func TestDynamicsThermostat(t *testing.T) {
+	// Standard protocol: minimize away the synthetic lattice strain first,
+	// then equilibrate — otherwise the relaxation heat swamps the bath.
+	relaxed, err := Minimize(dynMol(120), gb.DefaultParams(), surface.DefaultConfig(),
+		Config{Steps: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj, err := Dynamics(relaxed.Final, gb.DefaultParams(), surface.DefaultConfig(), DynConfig{
+		Steps: 200, TemperatureK: 300, FrictionPerPs: 20, RestraintK: 3, SampleEvery: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Discard the first half as equilibration.
+	frames := traj.Frames[len(traj.Frames)/2:]
+	mean := 0.0
+	for _, fr := range frames {
+		mean += fr.KineticK
+	}
+	mean /= float64(len(frames))
+	// Small system, short run, residual relaxation: accept a generous
+	// band around the 300 K bath.
+	if mean < 100 || mean > 1200 {
+		t.Errorf("mean temperature %v K, bath 300 K", mean)
+	}
+}
+
+func TestDynamicsDeterministicInSeed(t *testing.T) {
+	cfg := DynConfig{Steps: 30, Seed: 7}
+	a, err := Dynamics(dynMol(60), gb.DefaultParams(), surface.DefaultConfig(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Dynamics(dynMol(60), gb.DefaultParams(), surface.DefaultConfig(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Final.Atoms {
+		if a.Final.Atoms[i].Pos != b.Final.Atoms[i].Pos {
+			t.Fatalf("atom %d differs between identical seeds", i)
+		}
+	}
+	cfg.Seed = 8
+	c, err := Dynamics(dynMol(60), gb.DefaultParams(), surface.DefaultConfig(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Final.Atoms {
+		if a.Final.Atoms[i].Pos != c.Final.Atoms[i].Pos {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical trajectories")
+	}
+}
+
+func TestDynamicsRestraintBoundsDrift(t *testing.T) {
+	strong, err := Dynamics(dynMol(60), gb.DefaultParams(), surface.DefaultConfig(), DynConfig{
+		Steps: 80, RestraintK: 10, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weak, err := Dynamics(dynMol(60), gb.DefaultParams(), surface.DefaultConfig(), DynConfig{
+		Steps: 80, RestraintK: 0.05, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strong.RMSD() >= weak.RMSD() {
+		t.Errorf("strong restraint RMSD %v not below weak %v", strong.RMSD(), weak.RMSD())
+	}
+	if strong.RMSD() > 1.5 {
+		t.Errorf("strongly restrained RMSD %v Å too large", strong.RMSD())
+	}
+	if math.IsNaN(weak.RMSD()) {
+		t.Error("RMSD NaN")
+	}
+}
+
+func TestDynamicsValidation(t *testing.T) {
+	if _, err := Dynamics(&molecule.Molecule{Name: "empty"}, gb.DefaultParams(),
+		surface.DefaultConfig(), DynConfig{}); err == nil {
+		t.Error("empty molecule accepted")
+	}
+	if _, err := Dynamics(dynMol(10), gb.DefaultParams(), surface.DefaultConfig(),
+		DynConfig{DtFs: 50}); err == nil {
+		t.Error("absurd time step accepted")
+	}
+}
+
+func TestTrajectoryWriteXYZ(t *testing.T) {
+	traj, err := Dynamics(dynMol(30), gb.DefaultParams(), surface.DefaultConfig(), DynConfig{
+		Steps: 20, SampleEvery: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := traj.WriteXYZ(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	frames := strings.Count(out, "step ")
+	if frames != len(traj.Frames) {
+		t.Errorf("XYZ frames = %d, want %d", frames, len(traj.Frames))
+	}
+	wantLines := len(traj.Frames) * (30 + 2)
+	if got := strings.Count(out, "\n"); got != wantLines {
+		t.Errorf("XYZ lines = %d, want %d", got, wantLines)
+	}
+}

@@ -1,0 +1,258 @@
+// Package md provides energy minimization on the GB/SA surface — the
+// simplest member of the molecular-dynamics family of applications the
+// paper's packages (Amber/Gromacs/NAMD/Tinker) wrap around their GB
+// kernels. It descends the polarization energy plus a soft-sphere
+// repulsion with backtracking steepest descent, refreshing the Born radii
+// and molecular surface periodically (each refresh is exactly the
+// paper's Fig. 4 pipeline).
+package md
+
+import (
+	"fmt"
+	"math"
+
+	"gbpolar/internal/gb"
+	"gbpolar/internal/geom"
+	"gbpolar/internal/molecule"
+	"gbpolar/internal/nblist"
+	"gbpolar/internal/surface"
+)
+
+// Config controls the minimization.
+type Config struct {
+	// Steps is the maximum number of accepted descent steps (default 50).
+	Steps int
+	// StepSize is the initial step length in Å (default 0.05, adapted by
+	// backtracking: halved on uphill trials, grown 10% on accepted ones).
+	StepSize float64
+	// RadiiRefresh rebuilds the surface and Born radii every this many
+	// accepted steps (default 10). Between refreshes the radii are
+	// frozen, matching the gb.Forces derivative convention.
+	RadiiRefresh int
+	// RepulsionK is the soft-sphere stiffness in kcal/mol/Å² (default
+	// 20): pairs closer than 80% of their radius sum pay k·overlap².
+	RepulsionK float64
+	// Tol stops early when the gradient RMS falls below it (default
+	// 0.05 kcal/mol/Å).
+	Tol float64
+}
+
+// DefaultConfig returns sensible minimization defaults.
+func DefaultConfig() Config {
+	return Config{Steps: 50, StepSize: 0.05, RadiiRefresh: 10, RepulsionK: 20, Tol: 0.05}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Steps == 0 {
+		c.Steps = d.Steps
+	}
+	if c.StepSize == 0 {
+		c.StepSize = d.StepSize
+	}
+	if c.RadiiRefresh == 0 {
+		c.RadiiRefresh = d.RadiiRefresh
+	}
+	if c.RepulsionK == 0 {
+		c.RepulsionK = d.RepulsionK
+	}
+	if c.Tol == 0 {
+		c.Tol = d.Tol
+	}
+	return c
+}
+
+// Step records one accepted minimization step.
+type Step struct {
+	Index       int
+	Epol        float64 // kcal/mol at the frozen radii of the epoch
+	Repulsion   float64 // kcal/mol
+	Total       float64
+	GradientRMS float64 // kcal/mol/Å
+	StepSize    float64 // the accepted step length
+}
+
+// Trace is the minimization history.
+type Trace struct {
+	Steps []Step
+	// Final is the minimized molecule (a copy; the input is untouched).
+	Final *molecule.Molecule
+	// Converged reports whether the gradient tolerance was reached.
+	Converged bool
+}
+
+// Minimize runs backtracking steepest descent on the given molecule.
+func Minimize(mol *molecule.Molecule, params gb.Params, surfCfg surface.Config, cfg Config) (*Trace, error) {
+	cfg = cfg.withDefaults()
+	if mol.NumAtoms() == 0 {
+		return nil, fmt.Errorf("md: empty molecule")
+	}
+	work := mol.Clone()
+	trace := &Trace{}
+
+	var sys *gb.System
+	var radii []float64
+	refresh := func() error {
+		surf, err := surface.Build(work, surfCfg)
+		if err != nil {
+			return err
+		}
+		sys, err = gb.NewSystem(work, surf, params)
+		if err != nil {
+			return err
+		}
+		radii, _ = sys.BornRadii()
+		return nil
+	}
+	if err := refresh(); err != nil {
+		return nil, err
+	}
+
+	energy := func() (epol, rep float64) {
+		e, _ := sys.Epol(radii)
+		return e, repulsionEnergy(work, cfg.RepulsionK)
+	}
+	gradient := func() []geom.Vec3 {
+		dEdx, _ := sys.EnergyGradients(radii)
+		addRepulsionGradient(work, cfg.RepulsionK, dEdx)
+		return dEdx
+	}
+
+	epol, rep := energy()
+	prevTotal := epol + rep
+	eta := cfg.StepSize
+	for step := 1; step <= cfg.Steps; step++ {
+		grad := gradient()
+		rms := gradRMS(grad)
+		if rms < cfg.Tol {
+			trace.Converged = true
+			break
+		}
+		// Normalize so eta is a physical displacement of the steepest
+		// atom.
+		maxG := 0.0
+		for _, g := range grad {
+			if n := g.Norm(); n > maxG {
+				maxG = n
+			}
+		}
+		// Backtracking line search on the total energy.
+		saved := snapshot(work)
+		accepted := false
+		for try := 0; try < 12; try++ {
+			scale := eta / maxG
+			for i := range work.Atoms {
+				work.Atoms[i].Pos = saved[i].Sub(grad[i].Scale(scale))
+			}
+			// Moving atoms invalidates the prepared system: rebuild it
+			// for the trial energy (radii stay frozen for the epoch).
+			surf, err := surface.Build(work, surfCfg)
+			if err != nil {
+				return nil, err
+			}
+			sys, err = gb.NewSystem(work, surf, params)
+			if err != nil {
+				return nil, err
+			}
+			epol, rep = energy()
+			if epol+rep < prevTotal {
+				accepted = true
+				eta *= 1.1
+				break
+			}
+			eta /= 2
+		}
+		if !accepted {
+			restore(work, saved)
+			break
+		}
+		prevTotal = epol + rep
+		trace.Steps = append(trace.Steps, Step{
+			Index: step, Epol: epol, Repulsion: rep, Total: prevTotal,
+			GradientRMS: rms, StepSize: eta / 1.1,
+		})
+		if step%cfg.RadiiRefresh == 0 {
+			if err := refresh(); err != nil {
+				return nil, err
+			}
+			e2, r2 := energy()
+			prevTotal = e2 + r2
+		}
+	}
+	trace.Final = work
+	return trace, nil
+}
+
+func snapshot(m *molecule.Molecule) []geom.Vec3 {
+	out := make([]geom.Vec3, len(m.Atoms))
+	for i, a := range m.Atoms {
+		out[i] = a.Pos
+	}
+	return out
+}
+
+func restore(m *molecule.Molecule, pos []geom.Vec3) {
+	for i := range m.Atoms {
+		m.Atoms[i].Pos = pos[i]
+	}
+}
+
+func gradRMS(grad []geom.Vec3) float64 {
+	s := 0.0
+	for _, g := range grad {
+		s += g.Norm2()
+	}
+	return math.Sqrt(s / float64(len(grad)))
+}
+
+// repulsionOverlap is the pair distance fraction below which the
+// soft-sphere term engages.
+const repulsionOverlap = 0.8
+
+// repulsionEnergy is the soft-sphere clash penalty Σ k·max(0, σ−d)² with
+// σ = 0.8(rᵢ+rⱼ), evaluated over a cell grid.
+func repulsionEnergy(m *molecule.Molecule, k float64) float64 {
+	positions := m.Positions()
+	maxR := m.MaxRadius()
+	grid := nblist.NewCellGrid(positions, 2*maxR)
+	e := 0.0
+	for i, a := range m.Atoms {
+		grid.ForEachWithin(a.Pos, repulsionOverlap*(a.Radius+maxR), func(j int) bool {
+			if j <= i {
+				return true
+			}
+			sigma := repulsionOverlap * (a.Radius + m.Atoms[j].Radius)
+			d := a.Pos.Dist(positions[j])
+			if d < sigma {
+				e += k * (sigma - d) * (sigma - d)
+			}
+			return true
+		})
+	}
+	return e
+}
+
+// addRepulsionGradient accumulates the clash-penalty gradient into dEdx.
+func addRepulsionGradient(m *molecule.Molecule, k float64, dEdx []geom.Vec3) {
+	positions := m.Positions()
+	maxR := m.MaxRadius()
+	grid := nblist.NewCellGrid(positions, 2*maxR)
+	for i, a := range m.Atoms {
+		grid.ForEachWithin(a.Pos, repulsionOverlap*(a.Radius+maxR), func(j int) bool {
+			if j <= i {
+				return true
+			}
+			sigma := repulsionOverlap * (a.Radius + m.Atoms[j].Radius)
+			diff := a.Pos.Sub(positions[j])
+			d := diff.Norm()
+			if d >= sigma || d == 0 {
+				return true
+			}
+			// ∂/∂xᵢ k(σ−d)² = −2k(σ−d)·d̂.
+			g := diff.Scale(-2 * k * (sigma - d) / d)
+			dEdx[i] = dEdx[i].Add(g)
+			dEdx[j] = dEdx[j].Sub(g)
+			return true
+		})
+	}
+}

@@ -1,0 +1,125 @@
+package md
+
+import (
+	"math"
+	"testing"
+
+	"gbpolar/internal/gb"
+	"gbpolar/internal/geom"
+	"gbpolar/internal/molecule"
+	"gbpolar/internal/surface"
+)
+
+func TestMinimizeDecreasesEnergy(t *testing.T) {
+	mol := molecule.Exactly(molecule.Globule("min", 200, 17), 200, 17)
+	trace, err := Minimize(mol, gb.DefaultParams(), surface.DefaultConfig(), Config{Steps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Steps) == 0 {
+		t.Fatal("no accepted steps")
+	}
+	for i := 1; i < len(trace.Steps); i++ {
+		if trace.Steps[i].Total > trace.Steps[i-1].Total+1e-9 {
+			t.Errorf("step %d: energy rose from %v to %v",
+				i, trace.Steps[i-1].Total, trace.Steps[i].Total)
+		}
+	}
+	if trace.Final == nil || trace.Final.NumAtoms() != 200 {
+		t.Fatal("final molecule missing")
+	}
+	if err := trace.Final.Validate(); err != nil {
+		t.Fatalf("final molecule invalid: %v", err)
+	}
+	// Input untouched.
+	if mol.Atoms[0].Pos != molecule.Exactly(molecule.Globule("min", 200, 17), 200, 17).Atoms[0].Pos {
+		t.Error("Minimize mutated its input")
+	}
+}
+
+func TestMinimizeRelievesClash(t *testing.T) {
+	// Two overlapping charged atoms: minimization must push them apart.
+	mol := &molecule.Molecule{Name: "clash", Atoms: []molecule.Atom{
+		{Pos: geom.V(0, 0, 0), Radius: 1.6, Charge: 0.4},
+		{Pos: geom.V(1.2, 0, 0), Radius: 1.6, Charge: -0.4},
+		{Pos: geom.V(0, 8, 0), Radius: 1.6, Charge: 0.2},
+		{Pos: geom.V(0, 8, 1.1), Radius: 1.6, Charge: -0.2},
+	}}
+	before := repulsionEnergy(mol, 20)
+	if before == 0 {
+		t.Fatal("test setup: no initial clash")
+	}
+	trace, err := Minimize(mol, gb.DefaultParams(), surface.Config{IcoLevel: 1}, Config{Steps: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := repulsionEnergy(trace.Final, 20)
+	if after >= before {
+		t.Errorf("clash energy %v did not drop (was %v)", after, before)
+	}
+}
+
+func TestMinimizeValidation(t *testing.T) {
+	if _, err := Minimize(&molecule.Molecule{Name: "empty"}, gb.DefaultParams(),
+		surface.DefaultConfig(), Config{}); err == nil {
+		t.Error("empty molecule accepted")
+	}
+}
+
+func TestRepulsionGradientMatchesNumerical(t *testing.T) {
+	mol := &molecule.Molecule{Name: "pair", Atoms: []molecule.Atom{
+		{Pos: geom.V(0, 0, 0), Radius: 1.5},
+		{Pos: geom.V(1.8, 0.3, -0.2), Radius: 1.5},
+	}}
+	const k = 20.0
+	grad := make([]geom.Vec3, 2)
+	addRepulsionGradient(mol, k, grad)
+	const h = 1e-6
+	for atom := 0; atom < 2; atom++ {
+		for axis := 0; axis < 3; axis++ {
+			d := geom.Vec3{}
+			switch axis {
+			case 0:
+				d.X = h
+			case 1:
+				d.Y = h
+			case 2:
+				d.Z = h
+			}
+			orig := mol.Atoms[atom].Pos
+			mol.Atoms[atom].Pos = orig.Add(d)
+			plus := repulsionEnergy(mol, k)
+			mol.Atoms[atom].Pos = orig.Sub(d)
+			minus := repulsionEnergy(mol, k)
+			mol.Atoms[atom].Pos = orig
+			num := (plus - minus) / (2 * h)
+			var got float64
+			switch axis {
+			case 0:
+				got = grad[atom].X
+			case 1:
+				got = grad[atom].Y
+			case 2:
+				got = grad[atom].Z
+			}
+			if math.Abs(num-got) > 1e-5*(1+math.Abs(num)) {
+				t.Errorf("atom %d axis %d: analytic %v vs numerical %v", atom, axis, got, num)
+			}
+		}
+	}
+}
+
+func TestRepulsionZeroWhenSeparated(t *testing.T) {
+	mol := &molecule.Molecule{Name: "apart", Atoms: []molecule.Atom{
+		{Pos: geom.V(0, 0, 0), Radius: 1.5},
+		{Pos: geom.V(10, 0, 0), Radius: 1.5},
+	}}
+	if e := repulsionEnergy(mol, 20); e != 0 {
+		t.Errorf("separated repulsion = %v", e)
+	}
+	grad := make([]geom.Vec3, 2)
+	addRepulsionGradient(mol, 20, grad)
+	if grad[0] != (geom.Vec3{}) || grad[1] != (geom.Vec3{}) {
+		t.Errorf("separated gradient = %v", grad)
+	}
+}

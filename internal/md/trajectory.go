@@ -1,0 +1,26 @@
+package md
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteXYZ writes the trajectory as a multi-frame XYZ file (the de facto
+// interchange format for MD viewers: one "count / comment / atoms" block
+// per frame, element column "C" for the synthetic atoms).
+func (t *Trajectory) WriteXYZ(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, fr := range t.Frames {
+		if _, err := fmt.Fprintf(bw, "%d\nstep %d t=%.1ffs Epol=%.2f T=%.0fK\n",
+			len(fr.Positions), fr.Step, fr.TimeFs, fr.Epol, fr.KineticK); err != nil {
+			return err
+		}
+		for _, p := range fr.Positions {
+			if _, err := fmt.Fprintf(bw, "C %.4f %.4f %.4f\n", p.X, p.Y, p.Z); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

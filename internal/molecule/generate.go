@@ -1,0 +1,227 @@
+package molecule
+
+import (
+	"math"
+	"math/rand"
+
+	"gbpolar/internal/geom"
+)
+
+// Element radii (Å, Bondi-like) and a protein-ish abundance table used by
+// the synthetic generators. Proteins are roughly half hydrogen, a third
+// carbon, with N/O/S making up the rest.
+var elementTable = []struct {
+	radius float64
+	frac   float64
+}{
+	{1.20, 0.50}, // H
+	{1.70, 0.32}, // C
+	{1.55, 0.08}, // N
+	{1.52, 0.09}, // O
+	{1.80, 0.01}, // S
+}
+
+// pickRadius draws an atomic radius from the protein abundance table.
+func pickRadius(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	for _, e := range elementTable {
+		if u < e.frac {
+			return e.radius
+		}
+		u -= e.frac
+	}
+	return elementTable[len(elementTable)-1].radius
+}
+
+// assignCharges fills protein-like partial charges: spatially adjacent
+// atoms are charged in ± bond-dipole pairs (real proteins are locally
+// near-neutral — backbone and side-chain dipoles — which is precisely the
+// property that makes hierarchical far-field charge sums small), with ~5%
+// of atoms additionally carrying formal-charge-sized monopoles (ionized
+// side chains).
+func assignCharges(atoms []Atom, rng *rand.Rand) {
+	// Generators emit positions in lattice order, so consecutive atoms
+	// are spatial neighbors: pair them as dipoles.
+	for i := 0; i+1 < len(atoms); i += 2 {
+		q := 0.2 + 0.5*rng.Float64()
+		if rng.Float64() < 0.5 {
+			q = -q
+		}
+		atoms[i].Charge = q
+		atoms[i+1].Charge = -q
+	}
+	for i := range atoms {
+		if rng.Float64() < 0.05 {
+			if rng.Float64() < 0.5 {
+				atoms[i].Charge -= 0.8
+			} else {
+				atoms[i].Charge += 0.8
+			}
+		}
+	}
+}
+
+// atomVolumeÅ3 is the average volume per atom inside a protein: proteins
+// pack at roughly one atom per 11 Å³.
+const atomVolumeÅ3 = 11.0
+
+// jitteredBallPoints fills a ball of the given radius with approximately n
+// points on a jittered cubic lattice, keeping only lattice cells inside the
+// ball. Lattice placement guarantees protein-like near-uniform density at
+// any n in O(n) time (rejection-free), which matters for the 6M-atom BTV
+// workload.
+func jitteredBallPoints(n int, radius float64, rng *rand.Rand) []geom.Vec3 {
+	if n <= 0 {
+		return nil
+	}
+	// Cell size so the ball holds ~n cells.
+	vol := 4.0 / 3.0 * math.Pi * radius * radius * radius
+	h := math.Cbrt(vol / float64(n))
+	pts := make([]geom.Vec3, 0, n+n/8)
+	k := int(math.Ceil(radius/h)) + 1
+	r2 := radius * radius
+	for ix := -k; ix <= k; ix++ {
+		for iy := -k; iy <= k; iy++ {
+			for iz := -k; iz <= k; iz++ {
+				p := geom.V(
+					(float64(ix)+0.5+0.6*(rng.Float64()-0.5))*h,
+					(float64(iy)+0.5+0.6*(rng.Float64()-0.5))*h,
+					(float64(iz)+0.5+0.6*(rng.Float64()-0.5))*h,
+				)
+				if p.Norm2() <= r2 {
+					pts = append(pts, p)
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// jitteredShellPoints fills a spherical shell [inner, outer] with
+// approximately n jittered-lattice points; the capsid-shell analogue of
+// jitteredBallPoints.
+func jitteredShellPoints(n int, inner, outer float64, rng *rand.Rand) []geom.Vec3 {
+	if n <= 0 || outer <= inner {
+		return nil
+	}
+	vol := 4.0 / 3.0 * math.Pi * (outer*outer*outer - inner*inner*inner)
+	h := math.Cbrt(vol / float64(n))
+	pts := make([]geom.Vec3, 0, n+n/8)
+	k := int(math.Ceil(outer/h)) + 1
+	in2, out2 := inner*inner, outer*outer
+	for ix := -k; ix <= k; ix++ {
+		for iy := -k; iy <= k; iy++ {
+			for iz := -k; iz <= k; iz++ {
+				p := geom.V(
+					(float64(ix)+0.5+0.6*(rng.Float64()-0.5))*h,
+					(float64(iy)+0.5+0.6*(rng.Float64()-0.5))*h,
+					(float64(iz)+0.5+0.6*(rng.Float64()-0.5))*h,
+				)
+				d2 := p.Norm2()
+				if d2 >= in2 && d2 <= out2 {
+					pts = append(pts, p)
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// finishAtoms turns bare positions into atoms with radii and charges, and
+// neutralizes the net charge by spreading the residual over all atoms (so
+// synthetic molecules are electro-neutral like real proteins at pH 7,
+// which keeps Epol magnitudes protein-like).
+func finishAtoms(name string, pts []geom.Vec3, rng *rand.Rand) *Molecule {
+	atoms := make([]Atom, len(pts))
+	for i, p := range pts {
+		atoms[i] = Atom{Pos: p, Radius: pickRadius(rng)}
+	}
+	assignCharges(atoms, rng)
+	total := 0.0
+	for i := range atoms {
+		total += atoms[i].Charge
+	}
+	if len(atoms) > 0 {
+		adj := total / float64(len(atoms))
+		for i := range atoms {
+			atoms[i].Charge -= adj
+		}
+	}
+	return &Molecule{Name: name, Atoms: atoms}
+}
+
+// Globule generates a protein-like molecule: roughly n atoms packed at
+// protein density into a ball, with protein-like radii and charges. The
+// exact atom count may deviate from n by a few percent (lattice
+// truncation); use Exactly to trim/pad to an exact count. Deterministic in
+// (n, seed).
+func Globule(name string, n int, seed int64) *Molecule {
+	rng := rand.New(rand.NewSource(seed))
+	radius := math.Cbrt(3 * float64(n) * atomVolumeÅ3 / (4 * math.Pi))
+	pts := jitteredBallPoints(n, radius, rng)
+	return finishAtoms(name, pts, rng)
+}
+
+// Shell generates a virus-capsid-like molecule: roughly n atoms packed at
+// protein density into a spherical shell of the given thickness (Å). The
+// outer radius is derived from n and the thickness. Deterministic in
+// (n, thickness, seed).
+func Shell(name string, n int, thickness float64, seed int64) *Molecule {
+	rng := rand.New(rand.NewSource(seed))
+	// Solve outer³ − inner³ = 3·n·v/(4π) with inner = outer − thickness.
+	target := 3 * float64(n) * atomVolumeÅ3 / (4 * math.Pi)
+	outer := math.Cbrt(target) // start as if solid
+	for i := 0; i < 60; i++ {
+		inner := math.Max(0, outer-thickness)
+		f := outer*outer*outer - inner*inner*inner - target
+		df := 3 * (outer*outer - math.Pow(math.Max(0, outer-thickness), 2))
+		if df == 0 {
+			break
+		}
+		next := outer - f/df
+		if next <= 0 || math.Abs(next-outer) < 1e-10 {
+			outer = math.Max(next, thickness/2)
+			break
+		}
+		outer = next
+	}
+	inner := math.Max(0, outer-thickness)
+	pts := jitteredShellPoints(n, inner, outer, rng)
+	return finishAtoms(name, pts, rng)
+}
+
+// Helix generates an alpha-helix-like elongated molecule of n atoms: a
+// coarse spiral backbone decorated with jittered side-chain atoms. Useful
+// as a high-aspect-ratio octree stress test. Deterministic in (n, seed).
+func Helix(name string, n int, seed int64) *Molecule {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Vec3, 0, n)
+	const risePerAtom = 0.5 // Å along the axis
+	const helixRadius = 2.3
+	for i := 0; i < n; i++ {
+		t := float64(i)
+		angle := t * (2 * math.Pi / 7.2)
+		base := geom.V(helixRadius*math.Cos(angle), helixRadius*math.Sin(angle), risePerAtom*t)
+		jit := geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Scale(0.9)
+		pts = append(pts, base.Add(jit))
+	}
+	return finishAtoms(name, pts, rng)
+}
+
+// Exactly trims or pads the molecule to exactly n atoms. Trimming drops
+// the atoms farthest down the slice; padding duplicates existing atoms
+// with a small deterministic offset. It returns the same molecule for
+// convenience.
+func Exactly(m *Molecule, n int, seed int64) *Molecule {
+	if len(m.Atoms) > n {
+		m.Atoms = m.Atoms[:n]
+		return m
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	for len(m.Atoms) < n {
+		src := m.Atoms[rng.Intn(len(m.Atoms))]
+		src.Pos = src.Pos.Add(geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Scale(0.4))
+		m.Atoms = append(m.Atoms, src)
+	}
+	return m
+}

@@ -1,0 +1,266 @@
+package molecule
+
+import (
+	"math"
+	"testing"
+
+	"gbpolar/internal/geom"
+)
+
+func TestMoleculeBasics(t *testing.T) {
+	m := &Molecule{Name: "t", Atoms: []Atom{
+		{Pos: geom.V(0, 0, 0), Radius: 1.5, Charge: 0.5},
+		{Pos: geom.V(2, 0, 0), Radius: 1.2, Charge: -0.5},
+	}}
+	if m.NumAtoms() != 2 {
+		t.Errorf("NumAtoms = %d", m.NumAtoms())
+	}
+	if q := m.TotalCharge(); q != 0 {
+		t.Errorf("TotalCharge = %v", q)
+	}
+	if r := m.MaxRadius(); r != 1.5 {
+		t.Errorf("MaxRadius = %v", r)
+	}
+	b := m.Bounds()
+	if b.Min != geom.V(0, 0, 0) || b.Max != geom.V(2, 0, 0) {
+		t.Errorf("Bounds = %v", b)
+	}
+	ps := m.Positions()
+	if len(ps) != 2 || ps[1] != geom.V(2, 0, 0) {
+		t.Errorf("Positions = %v", ps)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestMoleculeCloneIsDeep(t *testing.T) {
+	m := &Molecule{Name: "t", Atoms: []Atom{{Pos: geom.V(1, 1, 1), Radius: 1, Charge: 0}}}
+	c := m.Clone()
+	c.Atoms[0].Pos = geom.V(9, 9, 9)
+	if m.Atoms[0].Pos != geom.V(1, 1, 1) {
+		t.Error("Clone shares atom storage")
+	}
+}
+
+func TestApplyTransform(t *testing.T) {
+	m := &Molecule{Name: "t", Atoms: []Atom{{Pos: geom.V(1, 0, 0), Radius: 1, Charge: 0.1}}}
+	moved := m.ApplyTransform(geom.Translate(geom.V(0, 0, 5)))
+	if moved.Atoms[0].Pos != geom.V(1, 0, 5) {
+		t.Errorf("moved pos = %v", moved.Atoms[0].Pos)
+	}
+	if moved.Atoms[0].Radius != 1 || moved.Atoms[0].Charge != 0.1 {
+		t.Error("transform changed radius/charge")
+	}
+	if m.Atoms[0].Pos != geom.V(1, 0, 0) {
+		t.Error("transform mutated original")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := &Molecule{Name: "a", Atoms: []Atom{{Pos: geom.V(0, 0, 0), Radius: 1}}}
+	b := &Molecule{Name: "b", Atoms: []Atom{{Pos: geom.V(5, 0, 0), Radius: 1}, {Pos: geom.V(6, 0, 0), Radius: 1}}}
+	c := Merge("ab", a, b)
+	if c.NumAtoms() != 3 || c.Name != "ab" {
+		t.Errorf("Merge = %d atoms, name %q", c.NumAtoms(), c.Name)
+	}
+}
+
+func TestValidateCatchesBadAtoms(t *testing.T) {
+	cases := []Atom{
+		{Pos: geom.V(math.NaN(), 0, 0), Radius: 1},
+		{Pos: geom.V(0, 0, 0), Radius: 0},
+		{Pos: geom.V(0, 0, 0), Radius: -1},
+		{Pos: geom.V(0, 0, 0), Radius: 1, Charge: math.Inf(1)},
+	}
+	for i, a := range cases {
+		m := &Molecule{Name: "bad", Atoms: []Atom{a}}
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid atom %+v", i, a)
+		}
+	}
+}
+
+func TestGlobuleProperties(t *testing.T) {
+	m := Globule("g", 1000, 7)
+	n := m.NumAtoms()
+	if n < 900 || n > 1100 {
+		t.Errorf("Globule(1000) produced %d atoms", n)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Net charge neutralized.
+	if q := m.TotalCharge(); math.Abs(q) > 1e-9 {
+		t.Errorf("net charge = %v", q)
+	}
+	// Density should be protein-like: all atoms inside the design radius.
+	radius := math.Cbrt(3 * float64(1000) * atomVolumeÅ3 / (4 * math.Pi))
+	for _, a := range m.Atoms {
+		if a.Pos.Norm() > radius*1.05 {
+			t.Fatalf("atom at %v outside ball radius %v", a.Pos, radius)
+		}
+	}
+}
+
+func TestGlobuleDeterministic(t *testing.T) {
+	a := Globule("g", 500, 3)
+	b := Globule("g", 500, 3)
+	if a.NumAtoms() != b.NumAtoms() {
+		t.Fatal("non-deterministic atom count")
+	}
+	for i := range a.Atoms {
+		if a.Atoms[i] != b.Atoms[i] {
+			t.Fatalf("atom %d differs between identical seeds", i)
+		}
+	}
+	c := Globule("g", 500, 4)
+	same := c.NumAtoms() == a.NumAtoms()
+	if same {
+		for i := range a.Atoms {
+			if a.Atoms[i] != c.Atoms[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical molecules")
+	}
+}
+
+func TestShellProperties(t *testing.T) {
+	const n, thickness = 5000, 15.0
+	m := Shell("s", n, thickness, 9)
+	got := m.NumAtoms()
+	if got < n*9/10 || got > n*11/10 {
+		t.Errorf("Shell(%d) produced %d atoms", n, got)
+	}
+	// All atoms within a shell of the given thickness (allow lattice slop).
+	minR, maxR := math.Inf(1), 0.0
+	for _, a := range m.Atoms {
+		r := a.Pos.Norm()
+		if r < minR {
+			minR = r
+		}
+		if r > maxR {
+			maxR = r
+		}
+	}
+	if maxR-minR > thickness*1.2 {
+		t.Errorf("shell thickness = %v, want ≈ %v", maxR-minR, thickness)
+	}
+	if minR < 2 {
+		t.Errorf("shell not hollow: inner radius %v", minR)
+	}
+}
+
+func TestHelixElongated(t *testing.T) {
+	m := Helix("h", 2000, 1)
+	if m.NumAtoms() != 2000 {
+		t.Fatalf("Helix atoms = %d", m.NumAtoms())
+	}
+	s := m.Bounds().Size()
+	if s.Z < 5*s.X || s.Z < 5*s.Y {
+		t.Errorf("helix not elongated: size %v", s)
+	}
+}
+
+func TestExactly(t *testing.T) {
+	m := Globule("g", 1000, 5)
+	m = Exactly(m, 777, 5)
+	if m.NumAtoms() != 777 {
+		t.Errorf("trim: %d atoms", m.NumAtoms())
+	}
+	m = Exactly(m, 1234, 5)
+	if m.NumAtoms() != 1234 {
+		t.Errorf("pad: %d atoms", m.NumAtoms())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZDockRoster(t *testing.T) {
+	r := ZDockRoster()
+	if len(r) != 42 {
+		t.Fatalf("roster size = %d", len(r))
+	}
+	if r[0].Atoms < 400 || r[0].Atoms > 500 {
+		t.Errorf("smallest = %d atoms", r[0].Atoms)
+	}
+	if r[len(r)-1].Atoms != 16301 {
+		t.Errorf("largest = %d atoms, want 16301 (the paper's quoted size)", r[len(r)-1].Atoms)
+	}
+	for i := 1; i < len(r); i++ {
+		if r[i].Atoms < r[i-1].Atoms {
+			t.Errorf("roster not sorted at %d", i)
+		}
+	}
+	if r[0].Name != "1PPE_l_b" || r[len(r)-1].Name != "1BGX_l_b" {
+		t.Errorf("roster endpoints = %q, %q", r[0].Name, r[len(r)-1].Name)
+	}
+}
+
+func TestZDockMoleculeExactAndStable(t *testing.T) {
+	e := ZDockRoster()[3]
+	a := ZDockMolecule(e)
+	if a.NumAtoms() != e.Atoms {
+		t.Fatalf("atoms = %d, want %d", a.NumAtoms(), e.Atoms)
+	}
+	b := ZDockMolecule(e)
+	for i := range a.Atoms {
+		if a.Atoms[i] != b.Atoms[i] {
+			t.Fatal("ZDockMolecule not deterministic")
+		}
+	}
+}
+
+func TestScaledShells(t *testing.T) {
+	m := ScaledCMV(4000)
+	if m.NumAtoms() != 4000 {
+		t.Errorf("ScaledCMV atoms = %d", m.NumAtoms())
+	}
+	m2 := ScaledBTV(4000)
+	if m2.NumAtoms() != 4000 {
+		t.Errorf("ScaledBTV atoms = %d", m2.NumAtoms())
+	}
+}
+
+// The dipole-paired charge generator must make spatial clusters nearly
+// neutral — the property that keeps hierarchical far-field charge sums
+// small (see assignCharges).
+func TestChargesLocallyNeutral(t *testing.T) {
+	m := Globule("neutral", 4000, 91)
+	// Sum charges within disjoint spatial boxes of ~6 Å.
+	type cell struct{ x, y, z int }
+	sums := map[cell]float64{}
+	abs := map[cell]float64{}
+	for _, a := range m.Atoms {
+		c := cell{int(a.Pos.X / 6), int(a.Pos.Y / 6), int(a.Pos.Z / 6)}
+		sums[c] += a.Charge
+		if a.Charge > 0 {
+			abs[c] += a.Charge
+		} else {
+			abs[c] -= a.Charge
+		}
+	}
+	// Most cells should have |net| well below the absolute charge mass.
+	neutral := 0
+	total := 0
+	for c, s := range sums {
+		if abs[c] < 2 { // skip nearly empty cells
+			continue
+		}
+		total++
+		if s < 0 {
+			s = -s
+		}
+		if s < 0.45*abs[c] {
+			neutral++
+		}
+	}
+	if total == 0 || neutral*10 < total*7 {
+		t.Errorf("only %d/%d cells locally neutral", neutral, total)
+	}
+}

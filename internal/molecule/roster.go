@@ -1,0 +1,94 @@
+package molecule
+
+import "math"
+
+// BenchmarkEntry names one protein of the benchmark roster and its atom
+// count. The names reproduce the ZDock Benchmark-2.0 bound-state proteins
+// that label the x-axes of the paper's Figures 7–10; atom counts span the
+// paper's stated 400–16,301 range, log-spaced and sorted ascending the way
+// the figures sort them ("results are sorted by molecule size").
+type BenchmarkEntry struct {
+	Name  string
+	Atoms int
+}
+
+// zdockNames lists the molecule labels readable from Figure 8, in the
+// paper's (size-sorted) order.
+var zdockNames = []string{
+	"1PPE_l_b", "1CGI_l_b", "1ACB_l_b", "1GCQ_l_b", "2JEL_l_b", "1AY7_r_b",
+	"1K4C_l_b", "1WEJ_l_b", "1TMQ_l_b", "1F51_l_b", "1MLC_l_b", "2BTF_l_b",
+	"1NSN_l_b", "1WQ1_l_b", "1I2M_r_b", "1IBR_r_b", "1FQ1_r_b", "1BJ1_l_b",
+	"1AHW_l_b", "1PPE_r_b", "1EZU_r_b", "2QFW_r_b", "1ACB_r_b", "1EAW_r_b",
+	"2SNI_r_b", "1ATN_l_b", "2PCC_r_b", "1FQ1_l_b", "1WQ1_r_b", "1FAK_r_b",
+	"1I2M_l_b", "1F51_r_b", "1DE4_r_b", "1BGX_r_b", "1MLC_r_b", "1K4C_r_b",
+	"1NCA_r_b", "1EER_l_b", "1E6E_r_b", "2MTA_r_b", "1MAH_r_b", "1BGX_l_b",
+}
+
+// ZDockRoster returns the benchmark roster: the Figure-8 molecule names
+// with atom counts log-spaced over the paper's 400–16,301 range (the
+// largest molecule is pinned at exactly 16,301 atoms, the size the paper
+// quotes for its 11× Amber speedup).
+func ZDockRoster() []BenchmarkEntry {
+	const minAtoms, maxAtoms = 453.0, 16301.0
+	n := len(zdockNames)
+	out := make([]BenchmarkEntry, n)
+	for i, name := range zdockNames {
+		t := float64(i) / float64(n-1)
+		atoms := int(math.Round(minAtoms * math.Pow(maxAtoms/minAtoms, t)))
+		out[i] = BenchmarkEntry{Name: name, Atoms: atoms}
+	}
+	out[n-1].Atoms = int(maxAtoms)
+	return out
+}
+
+// ZDockMolecule generates the synthetic stand-in for one roster entry:
+// a protein-like globule with exactly the roster atom count, seeded by the
+// entry index so every run of every program sees the same molecule.
+func ZDockMolecule(e BenchmarkEntry) *Molecule {
+	return Exactly(Globule(e.Name, e.Atoms, seedFor(e.Name)), e.Atoms, seedFor(e.Name))
+}
+
+// seedFor derives a stable seed from a molecule name.
+func seedFor(name string) int64 {
+	var h int64 = 1469598103934665603
+	for _, c := range name {
+		h ^= int64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Paper's large-molecule workloads.
+const (
+	// CMVAtoms is the Cucumber Mosaic Virus shell size from §V-F.
+	CMVAtoms = 509640
+	// CMVQuadPoints is the quadrature-point count the paper reports for
+	// CMV; the surface sampler is tuned so synthetic CMV lands near it.
+	CMVQuadPoints = 1929128
+	// BTVAtoms is the Blue Tongue Virus size from §V-B (6 million atoms,
+	// >3 million quadrature points).
+	BTVAtoms = 6000000
+)
+
+// CMV generates the Cucumber Mosaic Virus shell stand-in: a 509,640-atom
+// capsid shell (≈28 nm outer radius at protein density, 30 Å thick).
+func CMV() *Molecule {
+	return Exactly(Shell("CMV", CMVAtoms, 30, seedFor("CMV")), CMVAtoms, seedFor("CMV"))
+}
+
+// BTV generates the Blue Tongue Virus stand-in: a 6,000,000-atom capsid
+// shell, 60 Å thick.
+func BTV() *Molecule {
+	return Exactly(Shell("BTV", BTVAtoms, 60, seedFor("BTV")), BTVAtoms, seedFor("BTV"))
+}
+
+// ScaledBTV generates a BTV-shaped shell with n atoms — the same geometry
+// class at a tractable size for tests and laptop-scale benches.
+func ScaledBTV(n int) *Molecule {
+	return Exactly(Shell("BTV-scaled", n, 60, seedFor("BTV")), n, seedFor("BTV"))
+}
+
+// ScaledCMV generates a CMV-shaped shell with n atoms.
+func ScaledCMV(n int) *Molecule {
+	return Exactly(Shell("CMV-scaled", n, 30, seedFor("CMV")), n, seedFor("CMV"))
+}

@@ -1,0 +1,144 @@
+// Package nblist implements the nonbonded-list machinery traditional MD
+// packages use (and the paper contrasts octrees against, §II): uniform
+// cell grids for O(1) spatial neighbor queries and explicit cutoff pair
+// lists whose memory footprint grows cubically with the cutoff. The
+// baseline package emulations (Amber/Gromacs/NAMD/Tinker stand-ins) are
+// built on these, and the surface sampler uses the cell grid for burial
+// culling.
+package nblist
+
+import (
+	"math"
+
+	"gbpolar/internal/geom"
+)
+
+// CellGrid is a uniform spatial hash over a point set: points are binned
+// into cubic cells of a fixed size, and neighborhood queries scan the
+// 3×3×3 (or larger) block of cells around a query point.
+type CellGrid struct {
+	origin   geom.Vec3
+	cellSize float64
+	nx,
+	ny,
+	nz int
+	// CSR layout: cellStart[c]..cellStart[c+1] indexes into pointIdx.
+	cellStart []int32
+	pointIdx  []int32
+	points    []geom.Vec3
+}
+
+// NewCellGrid builds a cell grid over the given points with the given cell
+// size. A non-positive cell size is replaced by a size that yields ~1
+// point per cell. Construction is O(n).
+func NewCellGrid(points []geom.Vec3, cellSize float64) *CellGrid {
+	g := &CellGrid{points: points}
+	if len(points) == 0 {
+		g.cellSize = 1
+		g.nx, g.ny, g.nz = 1, 1, 1
+		g.cellStart = make([]int32, 2)
+		return g
+	}
+	b := geom.BoundPoints(points)
+	if cellSize <= 0 {
+		vol := math.Max(b.Size().X*b.Size().Y*b.Size().Z, 1e-9)
+		cellSize = math.Cbrt(vol / float64(len(points)))
+		if cellSize <= 0 {
+			cellSize = 1
+		}
+	}
+	g.cellSize = cellSize
+	g.origin = b.Min
+	s := b.Size()
+	g.nx = int(s.X/cellSize) + 1
+	g.ny = int(s.Y/cellSize) + 1
+	g.nz = int(s.Z/cellSize) + 1
+	ncells := g.nx * g.ny * g.nz
+	counts := make([]int32, ncells+1)
+	cellOf := make([]int32, len(points))
+	for i, p := range points {
+		c := g.cellIndex(p)
+		cellOf[i] = int32(c)
+		counts[c+1]++
+	}
+	for c := 0; c < ncells; c++ {
+		counts[c+1] += counts[c]
+	}
+	g.cellStart = counts
+	g.pointIdx = make([]int32, len(points))
+	fill := make([]int32, ncells)
+	for i := range points {
+		c := cellOf[i]
+		g.pointIdx[int(g.cellStart[c])+int(fill[c])] = int32(i)
+		fill[c]++
+	}
+	return g
+}
+
+// cellIndex returns the linear cell index containing p (clamped to the
+// grid bounds).
+func (g *CellGrid) cellIndex(p geom.Vec3) int {
+	ix := g.clampAxis(int((p.X-g.origin.X)/g.cellSize), g.nx)
+	iy := g.clampAxis(int((p.Y-g.origin.Y)/g.cellSize), g.ny)
+	iz := g.clampAxis(int((p.Z-g.origin.Z)/g.cellSize), g.nz)
+	return (iz*g.ny+iy)*g.nx + ix
+}
+
+func (g *CellGrid) clampAxis(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// NumPoints returns the number of indexed points.
+func (g *CellGrid) NumPoints() int { return len(g.points) }
+
+// CellSize returns the grid's cell edge length.
+func (g *CellGrid) CellSize() float64 { return g.cellSize }
+
+// ForEachWithin calls fn(i) for every indexed point i with
+// |points[i] − p| <= cutoff. fn may return false to stop early; the method
+// reports whether the scan ran to completion.
+func (g *CellGrid) ForEachWithin(p geom.Vec3, cutoff float64, fn func(i int) bool) bool {
+	if len(g.points) == 0 {
+		return true
+	}
+	r := int(math.Ceil(cutoff/g.cellSize)) + 1
+	cx := g.clampAxis(int((p.X-g.origin.X)/g.cellSize), g.nx)
+	cy := g.clampAxis(int((p.Y-g.origin.Y)/g.cellSize), g.ny)
+	cz := g.clampAxis(int((p.Z-g.origin.Z)/g.cellSize), g.nz)
+	c2 := cutoff * cutoff
+	for iz := max(0, cz-r); iz <= min(g.nz-1, cz+r); iz++ {
+		for iy := max(0, cy-r); iy <= min(g.ny-1, cy+r); iy++ {
+			for ix := max(0, cx-r); ix <= min(g.nx-1, cx+r); ix++ {
+				c := (iz*g.ny+iy)*g.nx + ix
+				for k := g.cellStart[c]; k < g.cellStart[c+1]; k++ {
+					i := int(g.pointIdx[k])
+					if g.points[i].Dist2(p) <= c2 {
+						if !fn(i) {
+							return false
+						}
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// CountWithin returns the number of indexed points within cutoff of p.
+func (g *CellGrid) CountWithin(p geom.Vec3, cutoff float64) int {
+	n := 0
+	g.ForEachWithin(p, cutoff, func(int) bool { n++; return true })
+	return n
+}
+
+// MemoryBytes estimates the grid's memory footprint in bytes (excluding
+// the caller-owned point slice).
+func (g *CellGrid) MemoryBytes() int64 {
+	return int64(len(g.cellStart))*4 + int64(len(g.pointIdx))*4
+}

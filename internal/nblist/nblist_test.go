@@ -1,0 +1,177 @@
+package nblist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gbpolar/internal/geom"
+)
+
+func randomPoints(n int, spread float64, seed int64) []geom.Vec3 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Vec3, n)
+	for i := range pts {
+		pts[i] = geom.V(rng.Float64()*spread, rng.Float64()*spread, rng.Float64()*spread)
+	}
+	return pts
+}
+
+// bruteWithin returns indices within cutoff of p, brute force.
+func bruteWithin(pts []geom.Vec3, p geom.Vec3, cutoff float64) map[int]bool {
+	out := map[int]bool{}
+	for i, q := range pts {
+		if q.Dist(p) <= cutoff {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+func TestCellGridMatchesBruteForce(t *testing.T) {
+	pts := randomPoints(500, 20, 1)
+	grid := NewCellGrid(pts, 3)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		p := geom.V(rng.Float64()*20, rng.Float64()*20, rng.Float64()*20)
+		cutoff := 0.5 + rng.Float64()*6
+		want := bruteWithin(pts, p, cutoff)
+		got := map[int]bool{}
+		grid.ForEachWithin(p, cutoff, func(i int) bool { got[i] = true; return true })
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if !got[i] {
+				t.Fatalf("trial %d: missing index %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestCellGridAutoCellSize(t *testing.T) {
+	pts := randomPoints(100, 10, 3)
+	grid := NewCellGrid(pts, 0)
+	if grid.CellSize() <= 0 {
+		t.Fatalf("auto cell size = %v", grid.CellSize())
+	}
+	if got := grid.CountWithin(pts[0], 1e-9); got < 1 {
+		t.Errorf("point not found in its own cell: %d", got)
+	}
+}
+
+func TestCellGridEmpty(t *testing.T) {
+	grid := NewCellGrid(nil, 1)
+	if grid.NumPoints() != 0 {
+		t.Errorf("NumPoints = %d", grid.NumPoints())
+	}
+	called := false
+	grid.ForEachWithin(geom.V(0, 0, 0), 100, func(int) bool { called = true; return true })
+	if called {
+		t.Error("callback on empty grid")
+	}
+}
+
+func TestCellGridEarlyStop(t *testing.T) {
+	pts := randomPoints(100, 5, 4)
+	grid := NewCellGrid(pts, 1)
+	n := 0
+	complete := grid.ForEachWithin(geom.V(2.5, 2.5, 2.5), 10, func(int) bool {
+		n++
+		return n < 5
+	})
+	if complete {
+		t.Error("scan reported complete despite early stop")
+	}
+	if n != 5 {
+		t.Errorf("visited %d, want 5", n)
+	}
+}
+
+func TestCellGridCoincidentPoints(t *testing.T) {
+	pts := []geom.Vec3{{}, {}, {}, {}}
+	grid := NewCellGrid(pts, 1)
+	if got := grid.CountWithin(geom.Vec3{}, 0.1); got != 4 {
+		t.Errorf("CountWithin = %d, want 4", got)
+	}
+}
+
+func TestPairListMatchesBruteForce(t *testing.T) {
+	pts := randomPoints(300, 15, 5)
+	const cutoff = 4.0
+	pl, err := BuildPairList(pts, cutoff, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pair struct{ i, j int }
+	got := map[pair]bool{}
+	pl.ForEachPair(func(i, j int) {
+		if i >= j {
+			t.Fatalf("pair (%d,%d) not half-ordered", i, j)
+		}
+		got[pair{i, j}] = true
+	})
+	want := 0
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			if pts[i].Dist(pts[j]) <= cutoff {
+				want++
+				if !got[pair{i, j}] {
+					t.Fatalf("missing pair (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+	if len(got) != want || pl.NumPairs() != want {
+		t.Errorf("pairs = %d (NumPairs %d), want %d", len(got), pl.NumPairs(), want)
+	}
+}
+
+func TestPairListNeighborsOf(t *testing.T) {
+	pts := []geom.Vec3{{}, geom.V(1, 0, 0), geom.V(10, 0, 0)}
+	pl, err := BuildPairList(pts, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := pl.NeighborsOf(0)
+	if len(nb) != 1 || nb[0] != 1 {
+		t.Errorf("NeighborsOf(0) = %v", nb)
+	}
+	if len(pl.NeighborsOf(2)) != 0 {
+		t.Errorf("NeighborsOf(2) = %v", pl.NeighborsOf(2))
+	}
+}
+
+func TestPairListMemoryLimit(t *testing.T) {
+	pts := randomPoints(500, 5, 6) // dense: many pairs
+	_, err := BuildPairList(pts, 5, 128)
+	if err == nil {
+		t.Fatal("expected memory-limit error")
+	}
+	if _, ok := err.(*ErrMemoryLimit); !ok {
+		t.Fatalf("error type = %T", err)
+	}
+}
+
+// The paper's §II claim: nblist memory grows ~cubically with the cutoff
+// while octree memory is cutoff-independent. Verify the cubic growth.
+func TestPairListCubicGrowthWithCutoff(t *testing.T) {
+	pts := randomPoints(2000, 30, 7)
+	m1, err := BuildPairList(pts, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := BuildPairList(pts, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(m2.NumPairs()) / float64(math.Max(1, float64(m1.NumPairs())))
+	// Doubling the cutoff should multiply pairs by ≈8 (allow 5–12 for
+	// boundary effects).
+	if ratio < 5 || ratio > 12 {
+		t.Errorf("pair growth ratio = %v, want ≈8", ratio)
+	}
+	if m2.MemoryBytes() <= m1.MemoryBytes() {
+		t.Error("memory did not grow with cutoff")
+	}
+}

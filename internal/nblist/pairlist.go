@@ -1,0 +1,98 @@
+package nblist
+
+import (
+	"fmt"
+
+	"gbpolar/internal/geom"
+)
+
+// PairList is an explicit nonbonded list: for every atom, the indices of
+// all atoms within the cutoff. This is the data structure Amber, NAMD and
+// Gromacs build (§II "Octrees vs. Nblists"): its size grows linearly with
+// the atom count and cubically with the cutoff, which is exactly why those
+// packages run out of memory on multi-million-atom molecules at realistic
+// cutoffs.
+type PairList struct {
+	Cutoff float64
+	// CSR layout: Start[i]..Start[i+1] indexes into Neighbors, holding the
+	// neighbor indices j > i (half list: each pair stored once).
+	Start     []int32
+	Neighbors []int32
+}
+
+// ErrMemoryLimit is returned by BuildPairList when the list would exceed
+// the configured memory budget — the emulation of an MD package running
+// out of memory on a large molecule.
+type ErrMemoryLimit struct {
+	NeededBytes, LimitBytes int64
+}
+
+func (e *ErrMemoryLimit) Error() string {
+	return fmt.Sprintf("nblist: pair list needs %d bytes, exceeds limit %d (out of memory)",
+		e.NeededBytes, e.LimitBytes)
+}
+
+// BuildPairList constructs the half pair list of all atom pairs within the
+// cutoff. If memLimitBytes > 0 and the neighbor array would exceed it, an
+// *ErrMemoryLimit is returned instead. Construction is O(n · c³ρ) via a
+// cell grid.
+func BuildPairList(points []geom.Vec3, cutoff float64, memLimitBytes int64) (*PairList, error) {
+	n := len(points)
+	pl := &PairList{Cutoff: cutoff, Start: make([]int32, n+1)}
+	grid := NewCellGrid(points, cutoff)
+	// First pass: count.
+	counts := make([]int32, n)
+	total := int64(0)
+	for i := 0; i < n; i++ {
+		c := int32(0)
+		grid.ForEachWithin(points[i], cutoff, func(j int) bool {
+			if j > i {
+				c++
+			}
+			return true
+		})
+		counts[i] = c
+		total += int64(c)
+		if memLimitBytes > 0 && total*4 > memLimitBytes {
+			return nil, &ErrMemoryLimit{NeededBytes: total * 4, LimitBytes: memLimitBytes}
+		}
+	}
+	for i := 0; i < n; i++ {
+		pl.Start[i+1] = pl.Start[i] + counts[i]
+	}
+	pl.Neighbors = make([]int32, total)
+	fill := make([]int32, n)
+	for i := 0; i < n; i++ {
+		grid.ForEachWithin(points[i], cutoff, func(j int) bool {
+			if j > i {
+				pl.Neighbors[pl.Start[i]+fill[i]] = int32(j)
+				fill[i]++
+			}
+			return true
+		})
+	}
+	return pl, nil
+}
+
+// NumPairs returns the number of stored (half) pairs.
+func (pl *PairList) NumPairs() int { return len(pl.Neighbors) }
+
+// ForEachPair calls fn(i, j) for every stored pair with i < j.
+func (pl *PairList) ForEachPair(fn func(i, j int)) {
+	for i := 0; i+1 < len(pl.Start); i++ {
+		for k := pl.Start[i]; k < pl.Start[i+1]; k++ {
+			fn(i, int(pl.Neighbors[k]))
+		}
+	}
+}
+
+// NeighborsOf returns the stored neighbor indices (j > i) of atom i.
+func (pl *PairList) NeighborsOf(i int) []int32 {
+	return pl.Neighbors[pl.Start[i]:pl.Start[i+1]]
+}
+
+// MemoryBytes returns the memory footprint of the pair list in bytes.
+// This is the quantity that grows cubically with the cutoff.
+func (pl *PairList) MemoryBytes() int64 {
+	return int64(len(pl.Start))*4 + int64(len(pl.Neighbors))*4
+}

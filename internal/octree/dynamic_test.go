@@ -1,0 +1,178 @@
+package octree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gbpolar/internal/geom"
+)
+
+func TestDynamicBuildValidate(t *testing.T) {
+	for _, n := range []int{0, 1, 10, 500, 3000} {
+		pts := randomPoints(n, 10, int64(n)+1)
+		d := NewDynamic(pts, 8)
+		if d.NumPoints() != n {
+			t.Fatalf("n=%d: NumPoints=%d", n, d.NumPoints())
+		}
+		if n > 0 {
+			if err := d.Validate(); err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+		}
+	}
+}
+
+func TestDynamicMoveLocal(t *testing.T) {
+	pts := randomPoints(800, 10, 21)
+	d := NewDynamic(pts, 8)
+	rng := rand.New(rand.NewSource(22))
+	for step := 0; step < 500; step++ {
+		i := int32(rng.Intn(len(pts)))
+		jitter := geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Scale(0.5)
+		if err := d.Move(i, d.Position(i).Add(jitter)); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicMoveFarRegrowsRoot(t *testing.T) {
+	pts := randomPoints(100, 5, 23)
+	d := NewDynamic(pts, 8)
+	// Fling a point far outside the original root cell.
+	if err := d.Move(0, geom.V(1e4, -1e4, 3e3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Position(0) != geom.V(1e4, -1e4, 3e3) {
+		t.Error("position not updated")
+	}
+}
+
+func TestDynamicMoveErrors(t *testing.T) {
+	d := NewDynamic(randomPoints(10, 5, 24), 8)
+	if err := d.Move(-1, geom.V(0, 0, 0)); err == nil {
+		t.Error("negative index accepted")
+	}
+	if err := d.Move(10, geom.V(0, 0, 0)); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if err := d.Move(0, geom.V(0, 0, math.Inf(1))); err == nil {
+		t.Error("non-finite position accepted")
+	}
+}
+
+// Freeze must produce a valid static tree equivalent to the dynamic
+// contents.
+func TestDynamicFreeze(t *testing.T) {
+	pts := randomPoints(1200, 12, 25)
+	d := NewDynamic(pts, 8)
+	rng := rand.New(rand.NewSource(26))
+	for step := 0; step < 300; step++ {
+		i := int32(rng.Intn(len(pts)))
+		if err := d.Move(i, d.Position(i).Add(geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ft := d.Freeze()
+	if err := ft.Validate(); err != nil {
+		t.Fatalf("frozen tree invalid: %v", err)
+	}
+	if ft.NumPoints() != 1200 {
+		t.Fatalf("frozen points = %d", ft.NumPoints())
+	}
+	// All original indices present exactly once.
+	seen := make([]bool, 1200)
+	for _, it := range ft.Items {
+		if seen[it] {
+			t.Fatalf("item %d duplicated", it)
+		}
+		seen[it] = true
+	}
+	// Leaf sizes bounded.
+	for _, l := range ft.Leaves() {
+		if ft.Nodes[l].Count() > 8 {
+			t.Fatalf("frozen leaf with %d items", ft.Nodes[l].Count())
+		}
+	}
+}
+
+// After many random moves the dynamic tree must stay within a constant
+// factor of a freshly built tree's node count (no structural decay).
+func TestDynamicStaysCompact(t *testing.T) {
+	pts := randomPoints(2000, 10, 27)
+	d := NewDynamic(pts, 8)
+	rng := rand.New(rand.NewSource(28))
+	for step := 0; step < 4000; step++ {
+		i := int32(rng.Intn(len(pts)))
+		if err := d.Move(i, geom.V(rng.NormFloat64()*10, rng.NormFloat64()*10, rng.NormFloat64()*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	frozen := d.Freeze()
+	// Compare against a fresh build of the same (moved) positions.
+	fresh := Build(frozen.points, 8)
+	if frozen.NumNodes() > 3*fresh.NumNodes() {
+		t.Errorf("dynamic tree decayed: %d nodes vs fresh %d", frozen.NumNodes(), fresh.NumNodes())
+	}
+}
+
+// Incremental maintenance beats rebuilds on op counts: one Move touches
+// O(depth) nodes. Here we just confirm a long move sequence stays valid
+// and the per-move touched work doesn't blow up (smoke proxy: wall-clock
+// of 10k moves on 10k points stays trivially small is implied by test
+// time; correctness is the assertion).
+func TestDynamicManyMoves(t *testing.T) {
+	pts := randomPoints(10000, 30, 29)
+	d := NewDynamic(pts, 16)
+	rng := rand.New(rand.NewSource(30))
+	for step := 0; step < 10000; step++ {
+		i := int32(rng.Intn(len(pts)))
+		if err := d.Move(i, d.Position(i).Add(geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Scale(0.3))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicGrowRootAllDirections(t *testing.T) {
+	pts := randomPoints(50, 2, 31)
+	d := NewDynamic(pts, 8)
+	// Escape in every octant direction, including all-negative.
+	targets := []geom.Vec3{
+		geom.V(-500, -500, -500), geom.V(500, -500, 500),
+		geom.V(-500, 500, -500), geom.V(500, 500, 500),
+	}
+	for i, to := range targets {
+		if err := d.Move(int32(i), to); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ft := d.Freeze()
+	if err := ft.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreePointAccessor(t *testing.T) {
+	pts := randomPoints(10, 3, 33)
+	tr := Build(pts, 4)
+	for i, p := range pts {
+		if tr.Point(int32(i)) != p {
+			t.Fatalf("Point(%d) = %v, want %v", i, tr.Point(int32(i)), p)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package octree
+
+import (
+	"container/heap"
+
+	"gbpolar/internal/geom"
+)
+
+// Spatial queries over the static tree: ball-range visits and k-nearest
+// neighbors via best-first ball pruning. These round out the octree as a
+// general container (the role nonbonded lists play in traditional MD
+// codes, §II) beyond the energy traversals.
+
+// ForEachWithin calls fn(i) for every indexed point with
+// |point − p| ≤ radius, pruning subtrees whose enclosing ball cannot
+// intersect the query ball. fn may return false to stop early; the
+// method reports whether the scan ran to completion.
+func (t *Tree) ForEachWithin(p geom.Vec3, radius float64, fn func(i int32) bool) bool {
+	if t.NumPoints() == 0 {
+		return true
+	}
+	r2 := radius * radius
+	var visit func(n int32) bool
+	visit = func(n int32) bool {
+		node := &t.Nodes[n]
+		d := node.Center.Dist(p)
+		if d > node.Radius+radius {
+			return true // ball disjoint from query
+		}
+		if node.Leaf {
+			for _, it := range t.ItemsOf(n) {
+				if t.points[it].Dist2(p) <= r2 {
+					if !fn(it) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		for _, c := range node.Children {
+			if c != NoChild {
+				if !visit(c) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return visit(t.Root())
+}
+
+// CountWithin returns the number of points within radius of p.
+func (t *Tree) CountWithin(p geom.Vec3, radius float64) int {
+	n := 0
+	t.ForEachWithin(p, radius, func(int32) bool { n++; return true })
+	return n
+}
+
+// neighborHeap is a max-heap on distance (the current worst of the k
+// best).
+type neighborHeap []Neighbor
+
+// Neighbor is one k-nearest result.
+type Neighbor struct {
+	Index int32
+	Dist2 float64
+}
+
+func (h neighborHeap) Len() int            { return len(h) }
+func (h neighborHeap) Less(i, j int) bool  { return h[i].Dist2 > h[j].Dist2 }
+func (h neighborHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *neighborHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *neighborHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	out := old[n-1]
+	*h = old[:n-1]
+	return out
+}
+
+// KNearest returns the k points closest to p, ordered nearest first.
+// Fewer than k points in the tree returns them all.
+func (t *Tree) KNearest(p geom.Vec3, k int) []Neighbor {
+	if k <= 0 || t.NumPoints() == 0 {
+		return nil
+	}
+	h := make(neighborHeap, 0, k+1)
+	worst := func() float64 {
+		if len(h) < k {
+			return 1e308
+		}
+		return h[0].Dist2
+	}
+	var visit func(n int32)
+	visit = func(n int32) {
+		node := &t.Nodes[n]
+		// Lower bound of any point under this node to p.
+		lb := node.Center.Dist(p) - node.Radius
+		if lb > 0 && lb*lb > worst() {
+			return
+		}
+		if node.Leaf {
+			for _, it := range t.ItemsOf(n) {
+				d2 := t.points[it].Dist2(p)
+				if d2 < worst() || len(h) < k {
+					heap.Push(&h, Neighbor{Index: it, Dist2: d2})
+					if len(h) > k {
+						heap.Pop(&h)
+					}
+				}
+			}
+			return
+		}
+		// Visit children nearest-first for better pruning.
+		type cd struct {
+			c int32
+			d float64
+		}
+		var order [8]cd
+		cnt := 0
+		for _, c := range node.Children {
+			if c != NoChild {
+				order[cnt] = cd{c, t.Nodes[c].Center.Dist(p)}
+				cnt++
+			}
+		}
+		for i := 1; i < cnt; i++ {
+			for j := i; j > 0 && order[j].d < order[j-1].d; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+		for i := 0; i < cnt; i++ {
+			visit(order[i].c)
+		}
+	}
+	visit(t.Root())
+	out := make([]Neighbor, len(h))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(Neighbor)
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package octree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"gbpolar/internal/geom"
+)
+
+func TestForEachWithinMatchesBrute(t *testing.T) {
+	pts := randomPoints(1000, 15, 41)
+	tr := Build(pts, 8)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		p := geom.V(rng.NormFloat64()*10, rng.NormFloat64()*10, rng.NormFloat64()*10)
+		radius := rng.Float64() * 8
+		want := map[int32]bool{}
+		for i, q := range pts {
+			if q.Dist(p) <= radius {
+				want[int32(i)] = true
+			}
+		}
+		got := map[int32]bool{}
+		tr.ForEachWithin(p, radius, func(i int32) bool { got[i] = true; return true })
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d vs %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if !got[i] {
+				t.Fatalf("trial %d: missing %d", trial, i)
+			}
+		}
+		if tr.CountWithin(p, radius) != len(want) {
+			t.Fatalf("CountWithin mismatch")
+		}
+	}
+}
+
+func TestForEachWithinEarlyStop(t *testing.T) {
+	pts := randomPoints(200, 3, 43)
+	tr := Build(pts, 8)
+	n := 0
+	complete := tr.ForEachWithin(geom.V(0, 0, 0), 100, func(int32) bool {
+		n++
+		return n < 7
+	})
+	if complete || n != 7 {
+		t.Errorf("early stop: complete=%v n=%d", complete, n)
+	}
+}
+
+func TestKNearestMatchesBrute(t *testing.T) {
+	pts := randomPoints(600, 12, 44)
+	tr := Build(pts, 8)
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 25; trial++ {
+		p := geom.V(rng.NormFloat64()*8, rng.NormFloat64()*8, rng.NormFloat64()*8)
+		k := 1 + rng.Intn(20)
+		got := tr.KNearest(p, k)
+		if len(got) != k {
+			t.Fatalf("k=%d: got %d", k, len(got))
+		}
+		// Brute force reference.
+		type nd struct {
+			i int32
+			d float64
+		}
+		all := make([]nd, len(pts))
+		for i, q := range pts {
+			all[i] = nd{int32(i), q.Dist2(p)}
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a].d < all[b].d })
+		for r := 0; r < k; r++ {
+			if got[r].Dist2 != all[r].d {
+				t.Fatalf("trial %d rank %d: %v vs %v", trial, r, got[r].Dist2, all[r].d)
+			}
+			if r > 0 && got[r].Dist2 < got[r-1].Dist2 {
+				t.Fatal("results not sorted")
+			}
+		}
+	}
+}
+
+func TestKNearestEdgeCases(t *testing.T) {
+	pts := randomPoints(5, 3, 46)
+	tr := Build(pts, 8)
+	if got := tr.KNearest(geom.V(0, 0, 0), 0); got != nil {
+		t.Error("k=0 should return nil")
+	}
+	if got := tr.KNearest(geom.V(0, 0, 0), 10); len(got) != 5 {
+		t.Errorf("k>n returned %d", len(got))
+	}
+	empty := Build(nil, 8)
+	if got := empty.KNearest(geom.V(0, 0, 0), 3); got != nil {
+		t.Error("empty tree should return nil")
+	}
+	empty.ForEachWithin(geom.V(0, 0, 0), 5, func(int32) bool {
+		t.Error("callback on empty tree")
+		return true
+	})
+}

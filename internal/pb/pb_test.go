@@ -1,0 +1,127 @@
+package pb
+
+import (
+	"math"
+	"testing"
+
+	"gbpolar/internal/gb"
+	"gbpolar/internal/geom"
+	"gbpolar/internal/molecule"
+	"gbpolar/internal/surface"
+)
+
+func ion(q, r float64) *molecule.Molecule {
+	return &molecule.Molecule{Name: "ion", Atoms: []molecule.Atom{
+		{Pos: geom.V(0, 0, 0), Radius: r, Charge: q},
+	}}
+}
+
+// The Born ion has the analytic solution Epol = −(τ/2)·κ·q²/a: the
+// fundamental validation anchor shared with the GB pipeline.
+func TestBornIonAnalytic(t *testing.T) {
+	const a, q = 2.0, 1.0
+	res, err := Solve(ion(q, a), Config{Dim: 81, DielectricProbeÅ: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -0.5 * gb.Tau(gb.DefaultSolventDielectric) * gb.CoulombKcal * q * q / a
+	rel := math.Abs(res.Epol-want) / math.Abs(want)
+	if rel > 0.08 {
+		t.Errorf("Born ion: PB %v vs analytic %v (%.1f%% off)", res.Epol, want, rel*100)
+	}
+	if res.Iterations == 0 || res.SpacingÅ <= 0 {
+		t.Errorf("result metadata: %+v", res)
+	}
+}
+
+// Energy scales with q² (linearity of the Poisson operator).
+func TestChargeSquaredScaling(t *testing.T) {
+	r1, err := Solve(ion(1, 2), Config{Dim: 49, DielectricProbeÅ: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Solve(ion(2, 2), Config{Dim: 49, DielectricProbeÅ: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r2.Epol-4*r1.Epol)/math.Abs(4*r1.Epol) > 1e-6 {
+		t.Errorf("E(2q)=%v, want 4·E(q)=%v", r2.Epol, 4*r1.Epol)
+	}
+}
+
+// A larger ion is less strongly solvated (|E| ∝ 1/a).
+func TestRadiusDependence(t *testing.T) {
+	small, err := Solve(ion(1, 1.5), Config{Dim: 65, DielectricProbeÅ: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Solve(ion(1, 3.0), Config{Dim: 65, DielectricProbeÅ: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(math.Abs(large.Epol) < math.Abs(small.Epol)) {
+		t.Errorf("|E(a=3)| = %v not below |E(a=1.5)| = %v", large.Epol, small.Epol)
+	}
+	ratio := small.Epol / large.Epol
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Errorf("energy ratio %v, analytic 2.0", ratio)
+	}
+}
+
+// Grid refinement converges toward the analytic value.
+func TestGridConvergence(t *testing.T) {
+	const a, q = 2.0, 1.0
+	want := -0.5 * gb.Tau(gb.DefaultSolventDielectric) * gb.CoulombKcal * q * q / a
+	prevErr := math.Inf(1)
+	for _, dim := range []int{33, 65, 97} {
+		res, err := Solve(ion(q, a), Config{Dim: dim, DielectricProbeÅ: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := math.Abs(res.Epol - want)
+		if e > prevErr*1.15 { // allow slight non-monotonicity from staircase dielectric
+			t.Errorf("dim %d: error %v did not improve on %v", dim, e, prevErr)
+		}
+		prevErr = e
+	}
+}
+
+// GB with surface-r6 radii should track PB on a small molecule — the
+// point of the whole GB enterprise (§I). Loose band: GB is an
+// approximation and our PB is a coarse oracle.
+func TestGBTracksPB(t *testing.T) {
+	mol := molecule.Exactly(molecule.Globule("pbgb", 120, 77), 120, 77)
+	pbRes, err := Solve(mol, Config{Dim: 81})
+	if err != nil {
+		t.Fatal(err)
+	}
+	surf, err := surface.Build(mol, surface.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := gb.NewSystem(mol, surf, gb.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	radii, _ := sys.NaiveBornRadiiR6()
+	gbE, _ := sys.NaiveEpol(radii)
+	if pbRes.Epol >= 0 || gbE >= 0 {
+		t.Fatalf("energies not negative: PB %v GB %v", pbRes.Epol, gbE)
+	}
+	ratio := gbE / pbRes.Epol
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Errorf("GB %v vs PB %v: ratio %v outside sanity band", gbE, pbRes.Epol, ratio)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(&molecule.Molecule{Name: "empty"}, Config{}); err == nil {
+		t.Error("empty molecule accepted")
+	}
+	if _, err := Solve(ion(1, 2), Config{Dim: 3}); err == nil {
+		t.Error("absurd grid accepted")
+	}
+	if _, err := Solve(ion(1, 2), Config{Dim: 1001}); err == nil {
+		t.Error("huge grid accepted")
+	}
+}

@@ -1,0 +1,142 @@
+package quadrature
+
+import (
+	"fmt"
+
+	"gbpolar/internal/geom"
+)
+
+// TrianglePoint is one node of a triangle quadrature rule in barycentric
+// coordinates (L1, L2, L3) with L1+L2+L3 = 1, and a weight. Weights of a
+// rule sum to 1, so the integral of f over a triangle T with area |T| is
+// approximated by |T| · Σ w_i f(x_i).
+type TrianglePoint struct {
+	L1, L2, L3 float64
+	W          float64
+}
+
+// TriangleRule is a symmetric Gaussian quadrature rule on the triangle.
+type TriangleRule struct {
+	Degree int // exact for polynomials up to this total degree
+	Points []TrianglePoint
+}
+
+// centroidPoint returns the centroid node with weight w.
+func centroidPoint(w float64) []TrianglePoint {
+	return []TrianglePoint{{1.0 / 3, 1.0 / 3, 1.0 / 3, w}}
+}
+
+// perm3 returns the 3 permutations of the barycentric point (a, b, b),
+// each with weight w.
+func perm3(a, b, w float64) []TrianglePoint {
+	return []TrianglePoint{
+		{a, b, b, w},
+		{b, a, b, w},
+		{b, b, a, w},
+	}
+}
+
+// perm6 returns the 6 permutations of the barycentric point (a, b, c),
+// each with weight w.
+func perm6(a, b, c, w float64) []TrianglePoint {
+	return []TrianglePoint{
+		{a, b, c, w}, {a, c, b, w},
+		{b, a, c, w}, {b, c, a, w},
+		{c, a, b, w}, {c, b, a, w},
+	}
+}
+
+// dunavantRules holds the Dunavant (1985) symmetric rules, degrees 1–8.
+// Weights are normalized to sum to 1 (area-relative).
+var dunavantRules = map[int]TriangleRule{
+	1: {Degree: 1, Points: centroidPoint(1)},
+	2: {Degree: 2, Points: perm3(2.0/3, 1.0/6, 1.0/3)},
+	3: {Degree: 3, Points: append(
+		centroidPoint(-0.5625),
+		perm3(0.6, 0.2, 25.0/48)...)},
+	4: {Degree: 4, Points: append(
+		perm3(0.108103018168070, 0.445948490915965, 0.223381589678011),
+		perm3(0.816847572980459, 0.091576213509771, 0.109951743655322)...)},
+	5: {Degree: 5, Points: concat(
+		centroidPoint(0.225),
+		perm3(0.059715871789770, 0.470142064105115, 0.132394152788506),
+		perm3(0.797426985353087, 0.101286507323456, 0.125939180544827))},
+	6: {Degree: 6, Points: concat(
+		perm3(0.501426509658179, 0.249286745170910, 0.116786275726379),
+		perm3(0.873821971016996, 0.063089014491502, 0.050844906370207),
+		perm6(0.053145049844817, 0.310352451033784, 0.636502499121399, 0.082851075618374))},
+	7: {Degree: 7, Points: concat(
+		centroidPoint(-0.149570044467682),
+		perm3(0.479308067841920, 0.260345966079040, 0.175615257433208),
+		perm3(0.869739794195568, 0.065130102902216, 0.053347235608838),
+		perm6(0.048690315425316, 0.312865496004874, 0.638444188569810, 0.077113760890257))},
+	8: {Degree: 8, Points: concat(
+		centroidPoint(0.1443156076777871),
+		perm3(0.0814148234145540, 0.4592925882927232, 0.0950916342672846),
+		perm3(0.6588613844964800, 0.1705693077517602, 0.1032173705347183),
+		perm3(0.8989055433659380, 0.0505472283170310, 0.0324584976231980),
+		perm6(0.0083947774099580, 0.2631128296346381, 0.7284923929554043, 0.0272303141744350))},
+}
+
+func concat(groups ...[]TrianglePoint) []TrianglePoint {
+	var out []TrianglePoint
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out
+}
+
+// Dunavant returns the Dunavant symmetric triangle quadrature rule exact
+// for polynomials up to the given total degree (1–8). Requesting a degree
+// outside that range returns an error.
+func Dunavant(degree int) (TriangleRule, error) {
+	r, ok := dunavantRules[degree]
+	if !ok {
+		return TriangleRule{}, fmt.Errorf("quadrature: no Dunavant rule for degree %d (have 1-8)", degree)
+	}
+	return r, nil
+}
+
+// MustDunavant is Dunavant but panics on an invalid degree; for use with
+// compile-time-constant degrees.
+func MustDunavant(degree int) TriangleRule {
+	r, err := Dunavant(degree)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// NumPoints returns the number of nodes in the rule.
+func (r TriangleRule) NumPoints() int { return len(r.Points) }
+
+// QuadPoint is a Cartesian quadrature point on a concrete triangle: a
+// position and an absolute weight (already multiplied by the triangle
+// area), ready to be summed as Σ W·f(P).
+type QuadPoint struct {
+	P geom.Vec3
+	W float64
+}
+
+// ForTriangle maps the rule onto the triangle (a, b, c) in 3-D, returning
+// Cartesian quadrature points whose weights incorporate the triangle area.
+// The points are appended to dst (which may be nil) and returned.
+func (r TriangleRule) ForTriangle(dst []QuadPoint, a, b, c geom.Vec3) []QuadPoint {
+	area := TriangleArea(a, b, c)
+	for _, p := range r.Points {
+		pos := a.Scale(p.L1).Add(b.Scale(p.L2)).Add(c.Scale(p.L3))
+		dst = append(dst, QuadPoint{P: pos, W: p.W * area})
+	}
+	return dst
+}
+
+// TriangleArea returns the area of the 3-D triangle (a, b, c).
+func TriangleArea(a, b, c geom.Vec3) float64 {
+	return b.Sub(a).Cross(c.Sub(a)).Norm() / 2
+}
+
+// TriangleNormal returns the unit normal of the triangle (a, b, c) with
+// orientation given by the right-hand rule on the vertex order.
+func TriangleNormal(a, b, c geom.Vec3) geom.Vec3 {
+	return b.Sub(a).Cross(c.Sub(a)).Unit()
+}

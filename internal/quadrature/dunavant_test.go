@@ -1,0 +1,147 @@
+package quadrature
+
+import (
+	"math"
+	"testing"
+
+	"gbpolar/internal/geom"
+)
+
+// factorial for small n.
+func fact(n int) float64 {
+	f := 1.0
+	for i := 2; i <= n; i++ {
+		f *= float64(i)
+	}
+	return f
+}
+
+// Exact integral of x^p y^q over the reference triangle with vertices
+// (0,0), (1,0), (0,1): p! q! / (p+q+2)!.
+func monomialIntegral(p, q int) float64 {
+	return fact(p) * fact(q) / fact(p+q+2)
+}
+
+func TestDunavantWeightsSumToOne(t *testing.T) {
+	for deg := 1; deg <= 8; deg++ {
+		r := MustDunavant(deg)
+		s := 0.0
+		for _, p := range r.Points {
+			s += p.W
+		}
+		if math.Abs(s-1) > 1e-12 {
+			t.Errorf("degree %d: weights sum to %.15f", deg, s)
+		}
+	}
+}
+
+func TestDunavantBarycentricValid(t *testing.T) {
+	for deg := 1; deg <= 8; deg++ {
+		r := MustDunavant(deg)
+		for i, p := range r.Points {
+			if math.Abs(p.L1+p.L2+p.L3-1) > 1e-12 {
+				t.Errorf("degree %d point %d: barycentric coords sum to %v", deg, i, p.L1+p.L2+p.L3)
+			}
+		}
+	}
+}
+
+func TestDunavantPointCounts(t *testing.T) {
+	want := map[int]int{1: 1, 2: 3, 3: 4, 4: 6, 5: 7, 6: 12, 7: 13, 8: 16}
+	for deg, n := range want {
+		if got := MustDunavant(deg).NumPoints(); got != n {
+			t.Errorf("degree %d: %d points, want %d", deg, got, n)
+		}
+	}
+}
+
+// The degree-d rule must integrate all monomials x^p y^q with p+q <= d
+// exactly over the reference triangle.
+func TestDunavantExactness(t *testing.T) {
+	a := geom.V(0, 0, 0)
+	b := geom.V(1, 0, 0)
+	c := geom.V(0, 1, 0)
+	for deg := 1; deg <= 8; deg++ {
+		r := MustDunavant(deg)
+		qps := r.ForTriangle(nil, a, b, c)
+		for p := 0; p <= deg; p++ {
+			for q := 0; p+q <= deg; q++ {
+				got := 0.0
+				for _, qp := range qps {
+					got += qp.W * math.Pow(qp.P.X, float64(p)) * math.Pow(qp.P.Y, float64(q))
+				}
+				want := monomialIntegral(p, q)
+				if math.Abs(got-want) > 1e-12 {
+					t.Errorf("degree %d rule, monomial x^%d y^%d: got %.15f want %.15f", deg, p, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDunavantInvalidDegree(t *testing.T) {
+	if _, err := Dunavant(0); err == nil {
+		t.Error("degree 0 should error")
+	}
+	if _, err := Dunavant(9); err == nil {
+		t.Error("degree 9 should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustDunavant(99) should panic")
+		}
+	}()
+	MustDunavant(99)
+}
+
+func TestForTriangleScalesWithArea(t *testing.T) {
+	r := MustDunavant(2)
+	a := geom.V(0, 0, 0)
+	b := geom.V(2, 0, 0)
+	c := geom.V(0, 2, 0)
+	qps := r.ForTriangle(nil, a, b, c)
+	total := 0.0
+	for _, qp := range qps {
+		total += qp.W
+	}
+	if math.Abs(total-2) > 1e-12 { // area of the 2×2 right triangle
+		t.Errorf("total weight = %v, want 2", total)
+	}
+}
+
+func TestTriangleAreaNormal(t *testing.T) {
+	a := geom.V(0, 0, 0)
+	b := geom.V(1, 0, 0)
+	c := geom.V(0, 1, 0)
+	if got := TriangleArea(a, b, c); math.Abs(got-0.5) > 1e-15 {
+		t.Errorf("area = %v", got)
+	}
+	n := TriangleNormal(a, b, c)
+	if n.Dist(geom.V(0, 0, 1)) > 1e-15 {
+		t.Errorf("normal = %v", n)
+	}
+	// Reversing orientation flips the normal.
+	n2 := TriangleNormal(a, c, b)
+	if n2.Dist(geom.V(0, 0, -1)) > 1e-15 {
+		t.Errorf("reversed normal = %v", n2)
+	}
+}
+
+// Quadrature on a 3-D embedded triangle (not axis-aligned) still integrates
+// constants to the area.
+func TestForTriangle3D(t *testing.T) {
+	a := geom.V(1, 2, 3)
+	b := geom.V(4, 2, -1)
+	c := geom.V(0, 5, 2)
+	area := TriangleArea(a, b, c)
+	for deg := 1; deg <= 8; deg++ {
+		qps := MustDunavant(deg).ForTriangle(nil, a, b, c)
+		s := 0.0
+		for _, qp := range qps {
+			s += qp.W
+		}
+		if math.Abs(s-area) > 1e-12*area {
+			t.Errorf("degree %d: Σw = %v, area = %v", deg, s, area)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Package quadrature provides the numerical-integration building blocks
+// used to sample the molecular surface: 1-D Gauss–Legendre rules, Dunavant
+// symmetric Gaussian quadrature rules for triangles (Dunavant 1985, the
+// rules the paper cites via [11]), and icosphere tessellations of the unit
+// sphere.
+package quadrature
+
+import "math"
+
+// GaussLegendre returns the nodes and weights of the n-point Gauss–Legendre
+// rule on [-1, 1]. Nodes are computed by Newton iteration on the Legendre
+// polynomial with the classical Chebyshev initial guess; the rule is exact
+// for polynomials of degree 2n−1.
+func GaussLegendre(n int) (nodes, weights []float64) {
+	if n <= 0 {
+		return nil, nil
+	}
+	nodes = make([]float64, n)
+	weights = make([]float64, n)
+	m := (n + 1) / 2
+	for i := 0; i < m; i++ {
+		// Initial guess: Chebyshev points.
+		x := math.Cos(math.Pi * (float64(i) + 0.75) / (float64(n) + 0.5))
+		var pp float64
+		for iter := 0; iter < 100; iter++ {
+			// Evaluate Legendre P_n(x) and derivative via recurrence.
+			p0, p1 := 1.0, x
+			for k := 2; k <= n; k++ {
+				p0, p1 = p1, ((2*float64(k)-1)*x*p1-(float64(k)-1)*p0)/float64(k)
+			}
+			if n == 1 {
+				p0, p1 = 1.0, x
+			}
+			pp = float64(n) * (x*p1 - p0) / (x*x - 1)
+			dx := p1 / pp
+			x -= dx
+			if math.Abs(dx) < 1e-15 {
+				break
+			}
+		}
+		nodes[i] = -x
+		nodes[n-1-i] = x
+		w := 2 / ((1 - x*x) * pp * pp)
+		weights[i] = w
+		weights[n-1-i] = w
+	}
+	return nodes, weights
+}
+
+// GaussLegendreOn returns the n-point Gauss–Legendre rule mapped to [a, b].
+func GaussLegendreOn(n int, a, b float64) (nodes, weights []float64) {
+	x, w := GaussLegendre(n)
+	half, mid := (b-a)/2, (a+b)/2
+	for i := range x {
+		x[i] = mid + half*x[i]
+		w[i] *= half
+	}
+	return x, w
+}
+
+// Integrate1D approximates the integral of f over [a,b] with an n-point
+// Gauss–Legendre rule.
+func Integrate1D(f func(float64) float64, a, b float64, n int) float64 {
+	x, w := GaussLegendreOn(n, a, b)
+	s := 0.0
+	for i := range x {
+		s += w[i] * f(x[i])
+	}
+	return s
+}

@@ -1,0 +1,95 @@
+package quadrature
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGaussLegendreWeightsSum(t *testing.T) {
+	for n := 1; n <= 20; n++ {
+		_, w := GaussLegendre(n)
+		s := 0.0
+		for _, wi := range w {
+			s += wi
+		}
+		if math.Abs(s-2) > 1e-12 {
+			t.Errorf("n=%d: weights sum to %v, want 2", n, s)
+		}
+	}
+}
+
+func TestGaussLegendreSymmetry(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		x, w := GaussLegendre(n)
+		for i := 0; i < n/2; i++ {
+			if math.Abs(x[i]+x[n-1-i]) > 1e-13 {
+				t.Errorf("n=%d: nodes not symmetric: %v vs %v", n, x[i], x[n-1-i])
+			}
+			if math.Abs(w[i]-w[n-1-i]) > 1e-13 {
+				t.Errorf("n=%d: weights not symmetric", n)
+			}
+		}
+	}
+}
+
+func TestGaussLegendreKnownNodes(t *testing.T) {
+	// 2-point rule: ±1/√3, weights 1.
+	x, w := GaussLegendre(2)
+	if math.Abs(x[0]+1/math.Sqrt(3)) > 1e-14 || math.Abs(x[1]-1/math.Sqrt(3)) > 1e-14 {
+		t.Errorf("2-point nodes = %v", x)
+	}
+	if math.Abs(w[0]-1) > 1e-14 || math.Abs(w[1]-1) > 1e-14 {
+		t.Errorf("2-point weights = %v", w)
+	}
+	// 3-point rule: 0, ±√(3/5); weights 8/9, 5/9.
+	x, w = GaussLegendre(3)
+	if math.Abs(x[1]) > 1e-14 {
+		t.Errorf("3-point middle node = %v", x[1])
+	}
+	if math.Abs(x[2]-math.Sqrt(0.6)) > 1e-14 {
+		t.Errorf("3-point node = %v", x[2])
+	}
+	if math.Abs(w[1]-8.0/9) > 1e-14 || math.Abs(w[0]-5.0/9) > 1e-14 {
+		t.Errorf("3-point weights = %v", w)
+	}
+}
+
+// An n-point rule must integrate polynomials of degree 2n−1 exactly.
+func TestGaussLegendreExactness(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		for deg := 0; deg <= 2*n-1; deg++ {
+			got := Integrate1D(func(x float64) float64 { return math.Pow(x, float64(deg)) }, -1, 1, n)
+			want := 0.0
+			if deg%2 == 0 {
+				want = 2 / float64(deg+1)
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("n=%d deg=%d: got %v want %v", n, deg, got, want)
+			}
+		}
+	}
+}
+
+func TestGaussLegendreOnInterval(t *testing.T) {
+	// ∫₀^π sin = 2.
+	got := Integrate1D(math.Sin, 0, math.Pi, 12)
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("∫sin = %v", got)
+	}
+	// ∫₁³ 1/x = ln 3.
+	got = Integrate1D(func(x float64) float64 { return 1 / x }, 1, 3, 20)
+	if math.Abs(got-math.Log(3)) > 1e-10 {
+		t.Errorf("∫1/x = %v", got)
+	}
+}
+
+func TestGaussLegendreEdgeCases(t *testing.T) {
+	x, w := GaussLegendre(0)
+	if x != nil || w != nil {
+		t.Error("n=0 should return nil")
+	}
+	x, w = GaussLegendre(1)
+	if len(x) != 1 || x[0] != 0 || w[0] != 2 {
+		t.Errorf("1-point rule = %v %v", x, w)
+	}
+}

@@ -1,0 +1,104 @@
+package quadrature
+
+import (
+	"math"
+
+	"gbpolar/internal/geom"
+)
+
+// Triangle indexes three vertices of a mesh.
+type Triangle struct {
+	A, B, C int
+}
+
+// SphereMesh is a triangulation of the unit sphere. Vertices lie exactly on
+// the sphere; triangles are consistently outward-oriented.
+type SphereMesh struct {
+	Vertices  []geom.Vec3
+	Triangles []Triangle
+}
+
+// Icosphere returns the unit-sphere triangulation obtained by subdividing a
+// regular icosahedron `level` times (level 0 = the icosahedron itself, 20
+// triangles; each level quadruples the triangle count). Every subdivision
+// vertex is re-projected onto the sphere.
+func Icosphere(level int) SphereMesh {
+	if level < 0 {
+		level = 0
+	}
+	m := icosahedron()
+	for i := 0; i < level; i++ {
+		m = m.subdivide()
+	}
+	return m
+}
+
+// icosahedron returns the regular icosahedron inscribed in the unit sphere
+// with outward-oriented triangles.
+func icosahedron() SphereMesh {
+	phi := (1 + math.Sqrt(5)) / 2
+	raw := []geom.Vec3{
+		{X: -1, Y: phi}, {X: 1, Y: phi}, {X: -1, Y: -phi}, {X: 1, Y: -phi},
+		{Y: -1, Z: phi}, {Y: 1, Z: phi}, {Y: -1, Z: -phi}, {Y: 1, Z: -phi},
+		{Z: -1, X: phi}, {Z: 1, X: phi}, {Z: -1, X: -phi}, {Z: 1, X: -phi},
+	}
+	verts := make([]geom.Vec3, len(raw))
+	for i, v := range raw {
+		verts[i] = v.Unit()
+	}
+	tris := []Triangle{
+		{0, 11, 5}, {0, 5, 1}, {0, 1, 7}, {0, 7, 10}, {0, 10, 11},
+		{1, 5, 9}, {5, 11, 4}, {11, 10, 2}, {10, 7, 6}, {7, 1, 8},
+		{3, 9, 4}, {3, 4, 2}, {3, 2, 6}, {3, 6, 8}, {3, 8, 9},
+		{4, 9, 5}, {2, 4, 11}, {6, 2, 10}, {8, 6, 7}, {9, 8, 1},
+	}
+	return SphereMesh{Vertices: verts, Triangles: tris}
+}
+
+// subdivide splits each triangle into 4 by edge midpoints, re-projecting
+// new vertices onto the unit sphere. Midpoints are shared between adjacent
+// triangles via an edge cache so the mesh stays watertight.
+func (m SphereMesh) subdivide() SphereMesh {
+	type edge struct{ lo, hi int }
+	cache := make(map[edge]int, len(m.Triangles)*3/2)
+	verts := append([]geom.Vec3(nil), m.Vertices...)
+	midpoint := func(a, b int) int {
+		e := edge{a, b}
+		if a > b {
+			e = edge{b, a}
+		}
+		if idx, ok := cache[e]; ok {
+			return idx
+		}
+		mid := verts[a].Add(verts[b]).Scale(0.5).Unit()
+		verts = append(verts, mid)
+		cache[e] = len(verts) - 1
+		return len(verts) - 1
+	}
+	tris := make([]Triangle, 0, len(m.Triangles)*4)
+	for _, t := range m.Triangles {
+		ab := midpoint(t.A, t.B)
+		bc := midpoint(t.B, t.C)
+		ca := midpoint(t.C, t.A)
+		tris = append(tris,
+			Triangle{t.A, ab, ca},
+			Triangle{t.B, bc, ab},
+			Triangle{t.C, ca, bc},
+			Triangle{ab, bc, ca},
+		)
+	}
+	return SphereMesh{Vertices: verts, Triangles: tris}
+}
+
+// Area returns the total area of the mesh triangles (approaches 4π for the
+// unit sphere as the level grows).
+func (m SphereMesh) Area() float64 {
+	s := 0.0
+	for _, t := range m.Triangles {
+		s += TriangleArea(m.Vertices[t.A], m.Vertices[t.B], m.Vertices[t.C])
+	}
+	return s
+}
+
+// NumTriangles returns the triangle count.
+func (m SphereMesh) NumTriangles() int { return len(m.Triangles) }

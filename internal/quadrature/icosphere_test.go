@@ -1,0 +1,119 @@
+package quadrature
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIcosphereCounts(t *testing.T) {
+	// Level 0: icosahedron (12 vertices, 20 triangles). Each level
+	// quadruples triangles; V = 10·4^L + 2 by Euler's formula.
+	for level := 0; level <= 4; level++ {
+		m := Icosphere(level)
+		wantT := 20 * pow4(level)
+		wantV := 10*pow4(level) + 2
+		if m.NumTriangles() != wantT {
+			t.Errorf("level %d: %d triangles, want %d", level, m.NumTriangles(), wantT)
+		}
+		if len(m.Vertices) != wantV {
+			t.Errorf("level %d: %d vertices, want %d", level, len(m.Vertices), wantV)
+		}
+	}
+}
+
+func pow4(n int) int {
+	p := 1
+	for i := 0; i < n; i++ {
+		p *= 4
+	}
+	return p
+}
+
+func TestIcosphereVerticesOnSphere(t *testing.T) {
+	m := Icosphere(3)
+	for i, v := range m.Vertices {
+		if math.Abs(v.Norm()-1) > 1e-14 {
+			t.Fatalf("vertex %d has norm %v", i, v.Norm())
+		}
+	}
+}
+
+func TestIcosphereAreaConvergesTo4Pi(t *testing.T) {
+	prevErr := math.Inf(1)
+	for level := 0; level <= 4; level++ {
+		m := Icosphere(level)
+		err := math.Abs(m.Area() - 4*math.Pi)
+		if err >= prevErr {
+			t.Errorf("level %d: area error %v did not decrease (prev %v)", level, err, prevErr)
+		}
+		prevErr = err
+	}
+	// Level 4 should be within 0.2% of 4π (faceting error is O(h²)).
+	if rel := prevErr / (4 * math.Pi); rel > 2e-3 {
+		t.Errorf("level 4 relative area error = %v", rel)
+	}
+}
+
+func TestIcosphereOutwardOrientation(t *testing.T) {
+	m := Icosphere(2)
+	for i, tr := range m.Triangles {
+		a, b, c := m.Vertices[tr.A], m.Vertices[tr.B], m.Vertices[tr.C]
+		n := TriangleNormal(a, b, c)
+		centroid := a.Add(b).Add(c).Scale(1.0 / 3)
+		if n.Dot(centroid) <= 0 {
+			t.Fatalf("triangle %d is inward-oriented", i)
+		}
+	}
+}
+
+func TestIcosphereWatertight(t *testing.T) {
+	// Every edge must be shared by exactly two triangles.
+	m := Icosphere(2)
+	type edge struct{ lo, hi int }
+	count := map[edge]int{}
+	addEdge := func(a, b int) {
+		e := edge{a, b}
+		if a > b {
+			e = edge{b, a}
+		}
+		count[e]++
+	}
+	for _, tr := range m.Triangles {
+		addEdge(tr.A, tr.B)
+		addEdge(tr.B, tr.C)
+		addEdge(tr.C, tr.A)
+	}
+	for e, c := range count {
+		if c != 2 {
+			t.Fatalf("edge %v shared by %d triangles", e, c)
+		}
+	}
+}
+
+func TestIcosphereNegativeLevel(t *testing.T) {
+	m := Icosphere(-3)
+	if m.NumTriangles() != 20 {
+		t.Errorf("negative level should clamp to icosahedron, got %d triangles", m.NumTriangles())
+	}
+}
+
+// Surface quadrature sanity: integrating the function f(p) = p·n over the
+// unit sphere with Dunavant points on each (planar) triangle approximates
+// the divergence-theorem volume 3·V = 4π... i.e. flux of identity field.
+func TestSphereFluxIntegral(t *testing.T) {
+	m := Icosphere(3)
+	rule := MustDunavant(2)
+	flux := 0.0
+	for _, tr := range m.Triangles {
+		a, b, c := m.Vertices[tr.A], m.Vertices[tr.B], m.Vertices[tr.C]
+		n := TriangleNormal(a, b, c)
+		for _, qp := range rule.ForTriangle(nil, a, b, c) {
+			flux += qp.W * qp.P.Dot(n)
+		}
+	}
+	// ∮ r·n dS = 3·Volume → 4π for the unit ball (up to faceting error:
+	// the inscribed polyhedron underestimates by O(h²), ≈0.9% at level 3).
+	if math.Abs(flux-4*math.Pi)/(4*math.Pi) > 1.5e-2 {
+		t.Errorf("flux = %v, want ≈ %v", flux, 4*math.Pi)
+	}
+}

@@ -1,0 +1,364 @@
+// Package simmpi is an in-process message-passing runtime standing in for
+// MPI (Go has no MPI ecosystem): ranks are goroutines, point-to-point
+// messages move through per-pair channels, and collectives (Barrier,
+// Bcast, Reduce, Allreduce, Gather, Allgatherv) are implemented over a
+// reusable generation barrier with real data movement.
+//
+// All communication traffic is recorded (message counts, byte volumes,
+// collective events) so the performance model in internal/perf can price
+// runs with the ts/tw (α–β) cost model the paper uses in §IV-C — the
+// computation is executed for real, only the *time* of the interconnect is
+// modeled.
+//
+// Collective reductions are computed in rank order on every rank, so
+// results are deterministic and identical across ranks and across runs
+// with the same rank count.
+package simmpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Op is a reduction operator.
+type Op int
+
+const (
+	// Sum adds elementwise.
+	Sum Op = iota
+	// Min takes the elementwise minimum.
+	Min
+	// Max takes the elementwise maximum.
+	Max
+)
+
+func (o Op) apply(dst, src []float64) {
+	switch o {
+	case Sum:
+		for i, v := range src {
+			dst[i] += v
+		}
+	case Min:
+		for i, v := range src {
+			if v < dst[i] {
+				dst[i] = v
+			}
+		}
+	case Max:
+		for i, v := range src {
+			if v > dst[i] {
+				dst[i] = v
+			}
+		}
+	}
+}
+
+// CollectiveKind labels a collective operation in the traffic log.
+type CollectiveKind string
+
+// Collective kinds recorded in Stats.
+const (
+	KindBarrier    CollectiveKind = "barrier"
+	KindBcast      CollectiveKind = "bcast"
+	KindReduce     CollectiveKind = "reduce"
+	KindAllreduce  CollectiveKind = "allreduce"
+	KindGather     CollectiveKind = "gather"
+	KindAllgatherv CollectiveKind = "allgatherv"
+)
+
+// CollectiveStat aggregates the calls of one collective kind.
+type CollectiveStat struct {
+	Calls int64
+	// Bytes is the per-rank payload volume summed over calls (the "m" of
+	// the ts + m·tw cost model).
+	Bytes int64
+}
+
+// Stats is the world's accumulated communication traffic.
+type Stats struct {
+	P2PMessages int64
+	P2PBytes    int64
+	Collectives map[CollectiveKind]CollectiveStat
+}
+
+// World is one communicator instance shared by all ranks of a Run.
+type World struct {
+	size int
+
+	// point-to-point mailboxes: mail[to][from].
+	mail [][]chan []float64
+
+	// generation barrier + collective scratch.
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	gen     uint64
+	slots   [][]float64
+
+	p2pMessages atomic.Int64
+	p2pBytes    atomic.Int64
+	collMu      sync.Mutex
+	collectives map[CollectiveKind]CollectiveStat
+}
+
+// Comm is one rank's handle on the world.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+const float64Bytes = 8
+
+// Run executes fn on `size` ranks concurrently and returns the world's
+// traffic statistics once every rank has returned. A panic on any rank is
+// captured and returned as an error (after all surviving ranks finish or
+// deadlock is avoided by the panicking rank releasing the barrier is NOT
+// attempted — collectives must not be conditionally skipped by callers).
+func Run(size int, fn func(c *Comm)) (Stats, error) {
+	if size < 1 {
+		return Stats{}, fmt.Errorf("simmpi: size %d < 1", size)
+	}
+	w := &World{
+		size:        size,
+		slots:       make([][]float64, size),
+		collectives: make(map[CollectiveKind]CollectiveStat),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	w.mail = make([][]chan []float64, size)
+	for to := range w.mail {
+		w.mail[to] = make([]chan []float64, size)
+		for from := range w.mail[to] {
+			w.mail[to][from] = make(chan []float64, 64)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[rank] = fmt.Errorf("simmpi: rank %d panicked: %v", rank, rec)
+				}
+			}()
+			fn(&Comm{world: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return w.stats(), err
+		}
+	}
+	return w.stats(), nil
+}
+
+func (w *World) stats() Stats {
+	w.collMu.Lock()
+	coll := make(map[CollectiveKind]CollectiveStat, len(w.collectives))
+	for k, v := range w.collectives {
+		coll[k] = v
+	}
+	w.collMu.Unlock()
+	return Stats{
+		P2PMessages: w.p2pMessages.Load(),
+		P2PBytes:    w.p2pBytes.Load(),
+		Collectives: coll,
+	}
+}
+
+func (w *World) recordCollective(kind CollectiveKind, bytesPerRank int64) {
+	w.collMu.Lock()
+	s := w.collectives[kind]
+	s.Calls++
+	s.Bytes += bytesPerRank
+	w.collectives[kind] = s
+	w.collMu.Unlock()
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.world.size }
+
+// Send delivers a copy of data to rank `to`. It blocks only if the
+// destination mailbox is full (64 outstanding messages).
+func (c *Comm) Send(to int, data []float64) {
+	w := c.world
+	buf := make([]float64, len(data))
+	copy(buf, data)
+	w.mail[to][c.rank] <- buf
+	w.p2pMessages.Add(1)
+	w.p2pBytes.Add(int64(len(data)) * float64Bytes)
+}
+
+// Recv blocks until a message from rank `from` arrives and returns it.
+func (c *Comm) Recv(from int) []float64 {
+	return <-c.world.mail[c.rank][from]
+}
+
+// TryRecv returns a pending message from rank `from` without blocking;
+// ok is false when the mailbox is empty. This is the polling primitive
+// the dynamic load-balancing coordinator uses to serve many workers.
+func (c *Comm) TryRecv(from int) (data []float64, ok bool) {
+	select {
+	case m := <-c.world.mail[c.rank][from]:
+		return m, true
+	default:
+		return nil, false
+	}
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() {
+	w := c.world
+	if c.rank == 0 {
+		w.recordCollective(KindBarrier, 0)
+	}
+	w.mu.Lock()
+	gen := w.gen
+	w.arrived++
+	if w.arrived == w.size {
+		w.arrived = 0
+		w.gen++
+		w.cond.Broadcast()
+	} else {
+		for w.gen == gen {
+			w.cond.Wait()
+		}
+	}
+	w.mu.Unlock()
+}
+
+// barrierNoRecord is Barrier without a traffic-log entry, used internally
+// by collectives (their cost already covers synchronization).
+func (c *Comm) barrierNoRecord() {
+	w := c.world
+	w.mu.Lock()
+	gen := w.gen
+	w.arrived++
+	if w.arrived == w.size {
+		w.arrived = 0
+		w.gen++
+		w.cond.Broadcast()
+	} else {
+		for w.gen == gen {
+			w.cond.Wait()
+		}
+	}
+	w.mu.Unlock()
+}
+
+// Bcast distributes root's data to every rank: on the root, data is
+// returned unchanged; on other ranks a copy of root's slice is returned
+// (data may be nil there).
+func (c *Comm) Bcast(root int, data []float64) []float64 {
+	w := c.world
+	if c.rank == root {
+		w.slots[root] = data
+		w.recordCollective(KindBcast, int64(len(data))*float64Bytes)
+	}
+	c.barrierNoRecord()
+	var out []float64
+	if c.rank == root {
+		out = data
+	} else {
+		out = make([]float64, len(w.slots[root]))
+		copy(out, w.slots[root])
+	}
+	c.barrierNoRecord()
+	return out
+}
+
+// Allreduce combines data elementwise across all ranks with op and returns
+// the combined vector on every rank. All ranks must pass equal-length
+// slices. The input is not modified.
+func (c *Comm) Allreduce(data []float64, op Op) []float64 {
+	w := c.world
+	w.slots[c.rank] = data
+	if c.rank == 0 {
+		w.recordCollective(KindAllreduce, int64(len(data))*float64Bytes)
+	}
+	c.barrierNoRecord()
+	out := make([]float64, len(data))
+	copy(out, w.slots[0])
+	for r := 1; r < w.size; r++ {
+		if len(w.slots[r]) != len(out) {
+			panic(fmt.Sprintf("simmpi: Allreduce length mismatch: rank %d has %d, rank 0 has %d",
+				r, len(w.slots[r]), len(out)))
+		}
+		op.apply(out, w.slots[r])
+	}
+	c.barrierNoRecord()
+	return out
+}
+
+// Reduce combines data across ranks onto the root, which receives the
+// combined vector; other ranks receive nil.
+func (c *Comm) Reduce(root int, data []float64, op Op) []float64 {
+	w := c.world
+	w.slots[c.rank] = data
+	if c.rank == 0 {
+		w.recordCollective(KindReduce, int64(len(data))*float64Bytes)
+	}
+	c.barrierNoRecord()
+	var out []float64
+	if c.rank == root {
+		out = make([]float64, len(data))
+		copy(out, w.slots[0])
+		for r := 1; r < w.size; r++ {
+			op.apply(out, w.slots[r])
+		}
+	}
+	c.barrierNoRecord()
+	return out
+}
+
+// Allgatherv concatenates every rank's (variable-length) contribution in
+// rank order and returns the concatenation on every rank.
+func (c *Comm) Allgatherv(data []float64) []float64 {
+	w := c.world
+	w.slots[c.rank] = data
+	c.barrierNoRecord()
+	total := 0
+	for r := 0; r < w.size; r++ {
+		total += len(w.slots[r])
+	}
+	if c.rank == 0 {
+		// Bytes records the full gathered vector (the "m" of the
+		// ts + tw·m·(P−1)/P cost model).
+		w.recordCollective(KindAllgatherv, int64(total)*float64Bytes)
+	}
+	out := make([]float64, 0, total)
+	for r := 0; r < w.size; r++ {
+		out = append(out, w.slots[r]...)
+	}
+	c.barrierNoRecord()
+	return out
+}
+
+// Gather concatenates contributions in rank order onto the root; other
+// ranks receive nil.
+func (c *Comm) Gather(root int, data []float64) []float64 {
+	w := c.world
+	w.slots[c.rank] = data
+	c.barrierNoRecord()
+	if c.rank == 0 {
+		total := 0
+		for r := 0; r < w.size; r++ {
+			total += len(w.slots[r])
+		}
+		w.recordCollective(KindGather, int64(total)*float64Bytes)
+	}
+	var out []float64
+	if c.rank == root {
+		for r := 0; r < w.size; r++ {
+			out = append(out, w.slots[r]...)
+		}
+	}
+	c.barrierNoRecord()
+	return out
+}

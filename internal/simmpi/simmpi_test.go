@@ -1,0 +1,330 @@
+package simmpi
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunAllRanksExecute(t *testing.T) {
+	var count atomic.Int64
+	stats, err := Run(8, func(c *Comm) {
+		count.Add(1)
+		if c.Size() != 8 {
+			t.Errorf("Size = %d", c.Size())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 8 {
+		t.Fatalf("ranks run = %d", count.Load())
+	}
+	if stats.P2PMessages != 0 {
+		t.Errorf("unexpected p2p traffic: %+v", stats)
+	}
+}
+
+func TestRunInvalidSize(t *testing.T) {
+	if _, err := Run(0, func(c *Comm) {}); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+}
+
+func TestRunCapturesPanic(t *testing.T) {
+	_, err := Run(2, func(c *Comm) {
+		if c.Rank() == 1 {
+			panic("boom")
+		}
+	})
+	if err == nil {
+		t.Fatal("panic not reported")
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	stats, err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, []float64{1, 2, 3})
+		} else {
+			got := c.Recv(0)
+			if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+				t.Errorf("Recv = %v", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.P2PMessages != 1 || stats.P2PBytes != 24 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestSendCopiesData(t *testing.T) {
+	_, err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := []float64{42}
+			c.Send(1, buf)
+			buf[0] = 0 // mutation after send must not affect the receiver
+		} else {
+			if got := c.Recv(0); got[0] != 42 {
+				t.Errorf("Recv = %v", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	const P = 16
+	var phase atomic.Int64
+	_, err := Run(P, func(c *Comm) {
+		phase.Add(1)
+		c.Barrier()
+		// After the barrier every rank must observe all P arrivals.
+		if got := phase.Load(); got != P {
+			t.Errorf("rank %d saw phase %d", c.Rank(), got)
+		}
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	const P = 7
+	stats, err := Run(P, func(c *Comm) {
+		data := []float64{float64(c.Rank()), 1}
+		got := c.Allreduce(data, Sum)
+		wantFirst := float64(P * (P - 1) / 2)
+		if got[0] != wantFirst || got[1] != P {
+			t.Errorf("rank %d: Allreduce = %v", c.Rank(), got)
+		}
+		// Input must be unmodified.
+		if data[0] != float64(c.Rank()) {
+			t.Error("Allreduce modified input")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := stats.Collectives[KindAllreduce]; s.Calls != 1 || s.Bytes != 16 {
+		t.Errorf("allreduce stats = %+v", s)
+	}
+}
+
+func TestAllreduceMinMax(t *testing.T) {
+	_, err := Run(5, func(c *Comm) {
+		v := []float64{float64(c.Rank())}
+		if got := c.Allreduce(v, Min); got[0] != 0 {
+			t.Errorf("Min = %v", got)
+		}
+		if got := c.Allreduce(v, Max); got[0] != 4 {
+			t.Errorf("Max = %v", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceDeterministicOrder(t *testing.T) {
+	// Floating-point sums depend on order; the rank-ordered reduction must
+	// give bit-identical results on every rank and across repeats.
+	vals := []float64{1e-17, 1.0, -1e17, 1e17, 3.14}
+	var first atomic.Value
+	for trial := 0; trial < 3; trial++ {
+		_, err := Run(5, func(c *Comm) {
+			got := c.Allreduce([]float64{vals[c.Rank()]}, Sum)
+			if prev := first.Load(); prev == nil {
+				first.Store(got[0])
+			} else if prev.(float64) != got[0] {
+				t.Errorf("non-deterministic allreduce: %v vs %v", prev, got[0])
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReduceOnlyRoot(t *testing.T) {
+	_, err := Run(4, func(c *Comm) {
+		got := c.Reduce(2, []float64{1}, Sum)
+		if c.Rank() == 2 {
+			if got == nil || got[0] != 4 {
+				t.Errorf("root got %v", got)
+			}
+		} else if got != nil {
+			t.Errorf("non-root rank %d got %v", c.Rank(), got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	_, err := Run(6, func(c *Comm) {
+		var data []float64
+		if c.Rank() == 3 {
+			data = []float64{9, 8, 7}
+		}
+		got := c.Bcast(3, data)
+		if len(got) != 3 || got[0] != 9 || got[2] != 7 {
+			t.Errorf("rank %d: Bcast = %v", c.Rank(), got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherv(t *testing.T) {
+	_, err := Run(4, func(c *Comm) {
+		// Rank r contributes r+1 copies of float64(r).
+		data := make([]float64, c.Rank()+1)
+		for i := range data {
+			data[i] = float64(c.Rank())
+		}
+		got := c.Allgatherv(data)
+		if len(got) != 1+2+3+4 {
+			t.Fatalf("rank %d: len = %d", c.Rank(), len(got))
+		}
+		idx := 0
+		for r := 0; r < 4; r++ {
+			for i := 0; i <= r; i++ {
+				if got[idx] != float64(r) {
+					t.Fatalf("rank %d: got[%d] = %v, want %d", c.Rank(), idx, got[idx], r)
+				}
+				idx++
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGather(t *testing.T) {
+	_, err := Run(3, func(c *Comm) {
+		got := c.Gather(0, []float64{float64(c.Rank() * 10)})
+		if c.Rank() == 0 {
+			if len(got) != 3 || got[1] != 10 || got[2] != 20 {
+				t.Errorf("Gather = %v", got)
+			}
+		} else if got != nil {
+			t.Errorf("non-root got %v", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepeatedCollectives(t *testing.T) {
+	// Many back-to-back collectives exercise barrier generation reuse.
+	_, err := Run(5, func(c *Comm) {
+		acc := 0.0
+		for i := 0; i < 50; i++ {
+			got := c.Allreduce([]float64{1}, Sum)
+			acc += got[0]
+		}
+		if acc != 250 {
+			t.Errorf("rank %d: acc = %v", c.Rank(), acc)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleRankWorld(t *testing.T) {
+	_, err := Run(1, func(c *Comm) {
+		if got := c.Allreduce([]float64{5}, Sum); got[0] != 5 {
+			t.Errorf("Allreduce = %v", got)
+		}
+		c.Barrier()
+		if got := c.Allgatherv([]float64{1, 2}); len(got) != 2 {
+			t.Errorf("Allgatherv = %v", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeWorld(t *testing.T) {
+	// 144 ranks — the paper's 12 nodes × 12 cores configuration.
+	const P = 144
+	_, err := Run(P, func(c *Comm) {
+		got := c.Allreduce([]float64{1}, Sum)
+		if got[0] != P {
+			t.Errorf("rank %d: %v", c.Rank(), got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpApply(t *testing.T) {
+	dst := []float64{1, 5, -2}
+	Sum.apply(dst, []float64{1, 1, 1})
+	if dst[0] != 2 || dst[1] != 6 || dst[2] != -1 {
+		t.Errorf("Sum = %v", dst)
+	}
+	Min.apply(dst, []float64{0, 10, math.Inf(-1)})
+	if dst[0] != 0 || dst[1] != 6 || !math.IsInf(dst[2], -1) {
+		t.Errorf("Min = %v", dst)
+	}
+	Max.apply(dst, []float64{100, -1, 0})
+	if dst[0] != 100 || dst[1] != 6 || dst[2] != 0 {
+		t.Errorf("Max = %v", dst)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	_, err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			// Phase 1: nothing can have been sent before the first
+			// barrier — TryRecv must report empty without blocking.
+			if _, ok := c.TryRecv(1); ok {
+				t.Error("TryRecv returned a phantom message")
+			}
+			c.Barrier() // rank 1 sends after this
+			c.Barrier() // ... and the send completes before this returns
+			m, ok := c.TryRecv(1)
+			if !ok || len(m) != 1 || m[0] != 42 {
+				t.Errorf("TryRecv = %v, %v", m, ok)
+			}
+			// Mailbox drained again.
+			if _, ok := c.TryRecv(1); ok {
+				t.Error("TryRecv returned a second phantom")
+			}
+		} else {
+			c.Barrier()
+			c.Send(0, []float64{42})
+			c.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherTotalBytesRecorded(t *testing.T) {
+	stats, err := Run(3, func(c *Comm) {
+		c.Allgatherv(make([]float64, c.Rank()+1)) // 1+2+3 = 6 floats total
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Collectives[KindAllgatherv].Bytes; got != 6*8 {
+		t.Errorf("allgatherv bytes = %d, want 48 (total gathered vector)", got)
+	}
+}

@@ -1,0 +1,149 @@
+// Package stats provides the small statistical toolkit the benchmark
+// harness reports with: streaming (Welford) moments, min/max, and
+// percentiles over run samples — the quantities behind the paper's
+// "minimum and maximum running times" (Fig. 6) and "avg ± std" error
+// bands (Fig. 10).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stream accumulates moments online (Welford's algorithm): numerically
+// stable single-pass mean/variance plus extrema.
+type Stream struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add feeds one sample.
+func (s *Stream) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// AddAll feeds a slice of samples.
+func (s *Stream) AddAll(xs []float64) {
+	for _, x := range xs {
+		s.Add(x)
+	}
+}
+
+// N returns the sample count.
+func (s *Stream) N() int64 { return s.n }
+
+// Mean returns the running mean (0 for an empty stream).
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Var returns the population variance.
+func (s *Stream) Var() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// SampleVar returns the unbiased (n−1) variance.
+func (s *Stream) SampleVar() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the population standard deviation.
+func (s *Stream) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min and Max return the extrema (0 for an empty stream).
+func (s *Stream) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the maximum sample.
+func (s *Stream) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// String renders a compact summary.
+func (s *Stream) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g std=%.6g min=%.6g max=%.6g",
+		s.n, s.Mean(), s.Std(), s.Min(), s.Max())
+}
+
+// MeanStd returns the mean and population standard deviation of xs.
+func MeanStd(xs []float64) (mean, std float64) {
+	var s Stream
+	s.AddAll(xs)
+	return s.Mean(), s.Std()
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs by linear
+// interpolation between order statistics. It copies and sorts; empty
+// input returns 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Histogram bins xs into `bins` equal-width buckets over [min, max] and
+// returns the bucket counts plus the bucket width. Degenerate input (all
+// equal, or bins < 1) yields a single full bucket.
+func Histogram(xs []float64, bins int) (counts []int, lo, width float64) {
+	if len(xs) == 0 || bins < 1 {
+		return nil, 0, 0
+	}
+	var s Stream
+	s.AddAll(xs)
+	lo = s.Min()
+	span := s.Max() - lo
+	if span == 0 {
+		return []int{len(xs)}, lo, 0
+	}
+	counts = make([]int, bins)
+	width = span / float64(bins)
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	return counts, lo, width
+}

@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamBasics(t *testing.T) {
+	var s Stream
+	if s.Mean() != 0 || s.Std() != 0 || s.Min() != 0 || s.Max() != 0 || s.N() != 0 {
+		t.Error("empty stream not zero-valued")
+	}
+	s.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if math.Abs(s.Std()-2) > 1e-12 { // classic example: σ = 2
+		t.Errorf("Std = %v", s.Std())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("extrema = %v, %v", s.Min(), s.Max())
+	}
+	if math.Abs(s.SampleVar()-32.0/7) > 1e-12 {
+		t.Errorf("SampleVar = %v", s.SampleVar())
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+// Welford must agree with the two-pass formula on random data.
+func TestStreamMatchesTwoPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*37 + 11
+	}
+	mean, std := MeanStd(xs)
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	m := sum / float64(len(xs))
+	v := 0.0
+	for _, x := range xs {
+		v += (x - m) * (x - m)
+	}
+	v /= float64(len(xs))
+	if math.Abs(mean-m) > 1e-9 || math.Abs(std-math.Sqrt(v)) > 1e-9 {
+		t.Errorf("welford (%v, %v) vs two-pass (%v, %v)", mean, std, m, math.Sqrt(v))
+	}
+}
+
+// Welford stays accurate with a huge offset (the case naive Σx² loses).
+func TestStreamNumericalStability(t *testing.T) {
+	var s Stream
+	const offset = 1e9
+	for _, x := range []float64{offset + 1, offset + 2, offset + 3} {
+		s.Add(x)
+	}
+	if math.Abs(s.Mean()-(offset+2)) > 1e-6 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if math.Abs(s.Var()-2.0/3) > 1e-6 {
+		t.Errorf("Var = %v", s.Var())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 10}, {50, 5.5}, {25, 3.25}, {75, 7.75},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile not 0")
+	}
+	if Percentile([]float64{42}, 50) != 42 {
+		t.Error("singleton percentile")
+	}
+}
+
+// Percentile must not mutate its input and must be monotone in p.
+func TestPercentileProperties(t *testing.T) {
+	f := func(raw []float64, aRaw, bRaw float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			xs[i] = math.Mod(x, 1e6)
+		}
+		orig := append([]float64(nil), xs...)
+		a := math.Mod(math.Abs(aRaw), 100)
+		b := math.Mod(math.Abs(bRaw), 100)
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := Percentile(xs, a), Percentile(xs, b)
+		for i := range xs {
+			if xs[i] != orig[i] {
+				return false
+			}
+		}
+		return pa <= pb+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, lo, width := Histogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if len(counts) != 5 || lo != 0 || math.Abs(width-1.8) > 1e-12 {
+		t.Fatalf("hist = %v lo=%v w=%v", counts, lo, width)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10 {
+		t.Errorf("histogram loses samples: %v", counts)
+	}
+	// Degenerate cases.
+	if c, _, _ := Histogram(nil, 4); c != nil {
+		t.Error("empty histogram not nil")
+	}
+	c, _, w := Histogram([]float64{5, 5, 5}, 4)
+	if len(c) != 1 || c[0] != 3 || w != 0 {
+		t.Errorf("constant histogram = %v w=%v", c, w)
+	}
+}

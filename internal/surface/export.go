@@ -1,0 +1,131 @@
+package surface
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"gbpolar/internal/geom"
+	"gbpolar/internal/molecule"
+	"gbpolar/internal/nblist"
+	"gbpolar/internal/quadrature"
+	"gbpolar/internal/sched"
+)
+
+// WriteXYZ writes the quadrature points as an XYZ point cloud (element
+// column "S" for surface), loadable by any molecular viewer.
+func (s *Surface) WriteXYZ(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d\nsurface quadrature points\n", len(s.Points)); err != nil {
+		return err
+	}
+	for _, q := range s.Points {
+		if _, err := fmt.Fprintf(bw, "S %.4f %.4f %.4f\n", q.Pos.X, q.Pos.Y, q.Pos.Z); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WritePLY writes the quadrature points as an ASCII PLY point cloud with
+// per-point normals and the integration weight as a "quality" property —
+// the standard interchange format for surface inspection tools.
+func (s *Surface) WritePLY(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	header := "ply\nformat ascii 1.0\n" +
+		fmt.Sprintf("element vertex %d\n", len(s.Points)) +
+		"property float x\nproperty float y\nproperty float z\n" +
+		"property float nx\nproperty float ny\nproperty float nz\n" +
+		"property float quality\nend_header\n"
+	if _, err := bw.WriteString(header); err != nil {
+		return err
+	}
+	for _, q := range s.Points {
+		if _, err := fmt.Fprintf(bw, "%.4f %.4f %.4f %.4f %.4f %.4f %.6f\n",
+			q.Pos.X, q.Pos.Y, q.Pos.Z,
+			q.Normal.X, q.Normal.Y, q.Normal.Z, q.Weight); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// BuildParallel is Build with the per-atom tessellation fanned out over a
+// work-stealing pool — surface construction is the pipeline's second
+// largest serial cost after the energy kernels. Results are identical to
+// Build (each atom's points are produced independently and concatenated
+// in atom order).
+func BuildParallel(m *molecule.Molecule, cfg Config, pool *sched.Pool) (*Surface, error) {
+	if pool == nil || pool.NumWorkers() == 1 {
+		return Build(m, cfg)
+	}
+	cfg = cfg.withDefaults()
+	if cfg.IcoLevel < 0 || cfg.IcoLevel > 6 {
+		return nil, fmt.Errorf("surface: icosphere level %d out of range [0,6]", cfg.IcoLevel)
+	}
+	rule, err := quadrature.Dunavant(cfg.RuleDegree)
+	if err != nil {
+		return nil, err
+	}
+	mesh := quadrature.Icosphere(cfg.IcoLevel)
+	corr := 4 * 3.141592653589793 / mesh.Area()
+	positions := m.Positions()
+	maxR := m.MaxRadius() + cfg.ProbeRadius
+	grid := nblist.NewCellGrid(positions, 2*maxR)
+
+	perAtom := make([][]QPoint, m.NumAtoms())
+	grain := m.NumAtoms()/(8*pool.NumWorkers()) + 1
+	pool.ParallelRange(m.NumAtoms(), grain, func(w *sched.Worker, lo, hi int) {
+		scaled := make([]geom.Vec3, len(mesh.Vertices))
+		var neighbors []int
+		var qbuf []quadrature.QuadPoint
+		for i := lo; i < hi; i++ {
+			a := m.Atoms[i]
+			rAcc := a.Radius + cfg.ProbeRadius
+			rVdW := a.Radius
+			neighbors = neighbors[:0]
+			grid.ForEachWithin(a.Pos, rAcc+maxR, func(j int) bool {
+				if j != i {
+					rj := m.Atoms[j].Radius + cfg.ProbeRadius
+					if positions[j].Dist(a.Pos) < rAcc+rj {
+						neighbors = append(neighbors, j)
+					}
+				}
+				return true
+			})
+			for vi, v := range mesh.Vertices {
+				scaled[vi] = a.Pos.Add(v.Scale(rVdW))
+			}
+			var pts []QPoint
+			for _, tr := range mesh.Triangles {
+				cen := mesh.Vertices[tr.A].Add(mesh.Vertices[tr.B]).Add(mesh.Vertices[tr.C]).Unit()
+				p := a.Pos.Add(cen.Scale(rAcc))
+				if buried(p, m, cfg.ProbeRadius, neighbors) {
+					continue
+				}
+				qbuf = rule.ForTriangle(qbuf[:0], scaled[tr.A], scaled[tr.B], scaled[tr.C])
+				for _, qp := range qbuf {
+					dir := qp.P.Sub(a.Pos).Unit()
+					pts = append(pts, QPoint{
+						Pos:    a.Pos.Add(dir.Scale(rVdW)),
+						Normal: dir,
+						Weight: qp.W * corr,
+						Atom:   int32(i),
+					})
+				}
+			}
+			perAtom[i] = pts
+		}
+	})
+	s := &Surface{}
+	for _, pts := range perAtom {
+		if len(pts) > 0 {
+			s.ExposedAtoms++
+		}
+		for _, q := range pts {
+			s.Area += q.Weight
+		}
+		s.Points = append(s.Points, pts...)
+	}
+	return s, nil
+}

@@ -1,0 +1,213 @@
+// Package surface samples Gaussian quadrature points from the molecular
+// surface: the inputs the paper's r⁶ Born-radii integral consumes
+// ("points sampled from the molecular surface", §II).
+//
+// The paper obtains its points by triangulating the Gaussian-quadrature
+// representation of the molecular surface with external tooling; here the
+// surface is the solvent-accessible union-of-spheres surface, tessellated
+// per atom with an icosphere whose triangles are culled when buried inside
+// neighboring atoms, and each surviving triangle carries a Dunavant
+// quadrature rule. Weights are area-corrected so a free atom's sphere
+// integrates exactly: the r⁶/r⁴ Born radius of an isolated atom is exact
+// at any tessellation level, which anchors the numerical validation.
+package surface
+
+import (
+	"fmt"
+
+	"gbpolar/internal/geom"
+	"gbpolar/internal/molecule"
+	"gbpolar/internal/nblist"
+	"gbpolar/internal/quadrature"
+)
+
+// QPoint is one quadrature point on the molecular surface: position,
+// outward unit normal, integration weight (absolute, Å²), and the index of
+// the atom whose sphere carries it.
+type QPoint struct {
+	Pos    geom.Vec3
+	Normal geom.Vec3
+	Weight float64
+	Atom   int32
+}
+
+// Surface is the sampled molecular surface.
+type Surface struct {
+	Points []QPoint
+	// Area is the total exposed area: the sum of quadrature weights.
+	Area float64
+	// ExposedAtoms counts atoms contributing at least one point.
+	ExposedAtoms int
+}
+
+// Config controls surface sampling density.
+type Config struct {
+	// IcoLevel is the icosphere subdivision level per atom (default 1:
+	// 80 triangles per sphere).
+	IcoLevel int
+	// RuleDegree is the Dunavant rule degree per triangle (default 1:
+	// one point per triangle).
+	RuleDegree int
+	// ProbeRadius is the solvent-probe radius used for ACCESSIBILITY
+	// culling: a surface patch survives only if the probe-inflated
+	// spheres leave it uncovered. The quadrature points themselves are
+	// always placed on the van der Waals sphere (with vdW-area weights),
+	// approximating the solvent-excluded surface by its contact patches —
+	// crevices a water molecule cannot reach are not molecular surface,
+	// but the integration surface stays the physical one the r⁶ Born
+	// integral (Eq. 4) is defined on. 0 reduces to plain vdW culling.
+	ProbeRadius float64
+}
+
+// DefaultConfig is the sampling density used throughout the benchmarks:
+// the solvent-accessible surface (water probe, 1.4 Å) at icosphere level 1
+// with a 1-point rule. With it a protein-like globule yields a handful of
+// quadrature points per atom, the regime of the paper's workloads (CMV:
+// 3.8 q-points/atom). The probe also closes the crevices between
+// lattice-generated synthetic atoms so interior atoms are properly buried.
+func DefaultConfig() Config { return Config{IcoLevel: 1, RuleDegree: 1, ProbeRadius: 1.4} }
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.IcoLevel == 0 {
+		c.IcoLevel = 1
+	}
+	if c.RuleDegree == 0 {
+		c.RuleDegree = 1
+	}
+	return c
+}
+
+// Build samples the molecular surface of m under cfg.
+func Build(m *molecule.Molecule, cfg Config) (*Surface, error) {
+	cfg = cfg.withDefaults()
+	if cfg.IcoLevel < 0 || cfg.IcoLevel > 6 {
+		return nil, fmt.Errorf("surface: icosphere level %d out of range [0,6]", cfg.IcoLevel)
+	}
+	rule, err := quadrature.Dunavant(cfg.RuleDegree)
+	if err != nil {
+		return nil, err
+	}
+	mesh := quadrature.Icosphere(cfg.IcoLevel)
+	// Spherical-area correction: the inscribed triangulation underestimates
+	// the sphere area by a constant factor at a given level; scaling the
+	// planar weights by 4π/meshArea makes a full sphere integrate exactly.
+	corr := 4 * 3.141592653589793 / mesh.Area()
+
+	positions := m.Positions()
+	maxR := m.MaxRadius() + cfg.ProbeRadius
+	grid := nblist.NewCellGrid(positions, 2*maxR)
+
+	s := &Surface{}
+	var scaled []geom.Vec3 // reused per atom: mesh vertices on the atom sphere
+	scaled = make([]geom.Vec3, len(mesh.Vertices))
+	var neighbors []int
+	var qbuf []quadrature.QuadPoint
+	for i, a := range m.Atoms {
+		rAcc := a.Radius + cfg.ProbeRadius // accessibility (culling) radius
+		rVdW := a.Radius                   // integration radius
+		// Gather neighbors that could bury part of this sphere.
+		neighbors = neighbors[:0]
+		grid.ForEachWithin(a.Pos, rAcc+maxR, func(j int) bool {
+			if j != i {
+				rj := m.Atoms[j].Radius + cfg.ProbeRadius
+				if positions[j].Dist(a.Pos) < rAcc+rj {
+					neighbors = append(neighbors, j)
+				}
+			}
+			return true
+		})
+		for vi, v := range mesh.Vertices {
+			scaled[vi] = a.Pos.Add(v.Scale(rVdW))
+		}
+		exposedAny := false
+		for _, tr := range mesh.Triangles {
+			// Cull by the probe-inflated sphere: the patch contributes
+			// iff its center on the accessible sphere is outside every
+			// inflated neighbor.
+			cen := mesh.Vertices[tr.A].Add(mesh.Vertices[tr.B]).Add(mesh.Vertices[tr.C]).Unit()
+			p := a.Pos.Add(cen.Scale(rAcc))
+			if buried(p, m, cfg.ProbeRadius, neighbors) {
+				continue
+			}
+			exposedAny = true
+			qbuf = rule.ForTriangle(qbuf[:0], scaled[tr.A], scaled[tr.B], scaled[tr.C])
+			for _, qp := range qbuf {
+				// Project the quadrature point radially onto the vdW
+				// sphere so normals are exact; keep the (corrected)
+				// planar weight.
+				dir := qp.P.Sub(a.Pos).Unit()
+				w := qp.W * corr
+				s.Points = append(s.Points, QPoint{
+					Pos:    a.Pos.Add(dir.Scale(rVdW)),
+					Normal: dir,
+					Weight: w,
+					Atom:   int32(i),
+				})
+				s.Area += w
+			}
+		}
+		if exposedAny {
+			s.ExposedAtoms++
+		}
+	}
+	return s, nil
+}
+
+// buried reports whether point p lies strictly inside any of the listed
+// neighbor atoms (radii expanded by probe).
+func buried(p geom.Vec3, m *molecule.Molecule, probe float64, neighbors []int) bool {
+	const tol = 1e-9
+	for _, j := range neighbors {
+		rj := m.Atoms[j].Radius + probe
+		if p.Dist2(m.Atoms[j].Pos) < (rj-tol)*(rj-tol) {
+			return true
+		}
+	}
+	return false
+}
+
+// NumPoints returns the number of quadrature points.
+func (s *Surface) NumPoints() int { return len(s.Points) }
+
+// Positions returns a freshly allocated slice of the point positions.
+func (s *Surface) Positions() []geom.Vec3 {
+	ps := make([]geom.Vec3, len(s.Points))
+	for i, q := range s.Points {
+		ps[i] = q.Pos
+	}
+	return ps
+}
+
+// ApplyTransform returns a copy of the surface with positions and normals
+// mapped through the rigid transform tr — the docking-scan reuse path
+// (§IV-C Step 1: move the octree instead of rebuilding).
+func (s *Surface) ApplyTransform(tr geom.Transform) *Surface {
+	out := &Surface{
+		Points:       make([]QPoint, len(s.Points)),
+		Area:         s.Area,
+		ExposedAtoms: s.ExposedAtoms,
+	}
+	for i, q := range s.Points {
+		out.Points[i] = QPoint{
+			Pos:    tr.Apply(q.Pos),
+			Normal: tr.ApplyVector(q.Normal),
+			Weight: q.Weight,
+			Atom:   q.Atom,
+		}
+	}
+	return out
+}
+
+// PerAtomArea returns each atom's exposed surface area (the sum of its
+// quadrature weights): the solvent-accessible-surface-area (SASA)
+// decomposition that the nonpolar half of GB/SA solvation consumes.
+func (s *Surface) PerAtomArea(numAtoms int) []float64 {
+	areas := make([]float64, numAtoms)
+	for _, q := range s.Points {
+		if int(q.Atom) < numAtoms {
+			areas[q.Atom] += q.Weight
+		}
+	}
+	return areas
+}

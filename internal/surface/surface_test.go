@@ -1,0 +1,355 @@
+package surface
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"gbpolar/internal/geom"
+	"gbpolar/internal/molecule"
+	"gbpolar/internal/sched"
+)
+
+func singleAtom(r float64) *molecule.Molecule {
+	return &molecule.Molecule{Name: "atom", Atoms: []molecule.Atom{
+		{Pos: geom.V(0, 0, 0), Radius: r, Charge: 1},
+	}}
+}
+
+func TestSingleAtomAreaExact(t *testing.T) {
+	// The weight correction makes a free sphere integrate to 4πr² exactly
+	// at every level/degree.
+	for _, level := range []int{1, 2, 3} {
+		for _, deg := range []int{1, 2, 4} {
+			const r = 1.7
+			s, err := Build(singleAtom(r), Config{IcoLevel: level, RuleDegree: deg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 4 * math.Pi * r * r
+			if math.Abs(s.Area-want)/want > 1e-12 {
+				t.Errorf("level %d deg %d: area = %v, want %v", level, deg, s.Area, want)
+			}
+			if s.ExposedAtoms != 1 {
+				t.Errorf("ExposedAtoms = %d", s.ExposedAtoms)
+			}
+		}
+	}
+}
+
+func TestSingleAtomPointsOnSphereOutwardNormals(t *testing.T) {
+	const r = 2.0
+	s, err := Build(singleAtom(r), Config{IcoLevel: 2, RuleDegree: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range s.Points {
+		if math.Abs(q.Pos.Norm()-r) > 1e-12 {
+			t.Fatalf("point %d at radius %v", i, q.Pos.Norm())
+		}
+		if q.Normal.Dot(q.Pos) <= 0 {
+			t.Fatalf("point %d has inward normal", i)
+		}
+		if math.Abs(q.Normal.Norm()-1) > 1e-12 {
+			t.Fatalf("point %d normal not unit: %v", i, q.Normal.Norm())
+		}
+		if q.Weight <= 0 {
+			t.Fatalf("point %d non-positive weight", i)
+		}
+		if q.Atom != 0 {
+			t.Fatalf("point %d atom = %d", i, q.Atom)
+		}
+	}
+}
+
+// Born-radius anchor: for a free sphere of radius r, the surface r⁶
+// integral Σ w (p−x)·n/|p−x|⁶ must equal 4π/r³ exactly (so R = r).
+func TestSingleAtomBornIntegralExact(t *testing.T) {
+	const r = 1.5
+	s, err := Build(singleAtom(r), Config{IcoLevel: 1, RuleDegree: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	x := geom.V(0, 0, 0)
+	for _, q := range s.Points {
+		d := q.Pos.Sub(x)
+		sum += q.Weight * d.Dot(q.Normal) / math.Pow(d.Norm(), 6)
+	}
+	want := 4 * math.Pi / (r * r * r)
+	if math.Abs(sum-want)/want > 1e-12 {
+		t.Errorf("integral = %v, want %v", sum, want)
+	}
+}
+
+func TestBuriedAtomContributesNothing(t *testing.T) {
+	// A small atom at the center of a big one is fully buried.
+	m := &molecule.Molecule{Name: "buried", Atoms: []molecule.Atom{
+		{Pos: geom.V(0, 0, 0), Radius: 1.0},
+		{Pos: geom.V(0, 0, 0), Radius: 3.0},
+	}}
+	s, err := Build(m, Config{IcoLevel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range s.Points {
+		if q.Atom == 0 {
+			t.Fatal("buried atom produced surface points")
+		}
+	}
+	// The outer sphere is fully exposed.
+	wantArea := 4 * math.Pi * 9.0
+	if math.Abs(s.Area-wantArea)/wantArea > 1e-12 {
+		t.Errorf("area = %v, want %v", s.Area, wantArea)
+	}
+	if s.ExposedAtoms != 1 {
+		t.Errorf("ExposedAtoms = %d", s.ExposedAtoms)
+	}
+}
+
+func TestTwoOverlappingAtomsLoseArea(t *testing.T) {
+	m := &molecule.Molecule{Name: "pair", Atoms: []molecule.Atom{
+		{Pos: geom.V(0, 0, 0), Radius: 1.5},
+		{Pos: geom.V(1.5, 0, 0), Radius: 1.5},
+	}}
+	s, err := Build(m, Config{IcoLevel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := 2 * 4 * math.Pi * 1.5 * 1.5
+	if s.Area >= full {
+		t.Errorf("overlapping pair area %v >= two full spheres %v", s.Area, full)
+	}
+	// Analytic: each sphere loses a cap of height h = r − d/2 = 0.75;
+	// cap area = 2πrh. Exposed = full − 2·2πrh.
+	want := full - 2*2*math.Pi*1.5*0.75
+	if math.Abs(s.Area-want)/want > 0.05 {
+		t.Errorf("area = %v, analytic %v (>5%% off)", s.Area, want)
+	}
+	// No point of atom 0 may be inside atom 1 and vice versa.
+	for _, q := range s.Points {
+		other := m.Atoms[1-int(q.Atom)]
+		if q.Pos.Dist(other.Pos) < other.Radius-1e-6 {
+			t.Fatalf("point of atom %d buried inside the other", q.Atom)
+		}
+	}
+}
+
+func TestProbeAffectsCullingNotGeometry(t *testing.T) {
+	// A free atom's surface is identical at any probe radius: the probe
+	// only governs accessibility culling, never the integration sphere.
+	m := singleAtom(1.5)
+	s0, err := Build(m, Config{IcoLevel: 1, ProbeRadius: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := Build(m, Config{IcoLevel: 1, ProbeRadius: 1.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s1.Area-s0.Area) > 1e-12 {
+		t.Errorf("probe changed a free atom's area: %v vs %v", s1.Area, s0.Area)
+	}
+	// But in a crevice, the probe culls patches a bare vdW test keeps:
+	// two atoms at a gap the probe cannot enter.
+	pair := &molecule.Molecule{Name: "gap", Atoms: []molecule.Atom{
+		{Pos: geom.V(0, 0, 0), Radius: 1.5},
+		{Pos: geom.V(3.4, 0, 0), Radius: 1.5}, // 0.4 Å gap — water cannot pass
+	}}
+	v0, err := Build(pair, Config{IcoLevel: 2, ProbeRadius: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := Build(pair, Config{IcoLevel: 2, ProbeRadius: 1.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Area >= v0.Area {
+		t.Errorf("probe culling did not shrink crevice area: %v vs %v", v1.Area, v0.Area)
+	}
+}
+
+func TestGlobuleSamplingDensity(t *testing.T) {
+	m := molecule.Globule("g", 3000, 21)
+	s, err := Build(m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(s.NumPoints()) / float64(m.NumAtoms())
+	// The paper's workloads carry ~4 q-points per atom (CMV: 3.8). The
+	// sampler should land in the same regime for a protein-like globule.
+	if ratio < 1 || ratio > 15 {
+		t.Errorf("q-points per atom = %v, want O(4)", ratio)
+	}
+	// Interior atoms must be culled: far fewer points than atoms × 80.
+	if s.NumPoints() >= m.NumAtoms()*80/2 {
+		t.Errorf("culling ineffective: %d points for %d atoms", s.NumPoints(), m.NumAtoms())
+	}
+	if s.ExposedAtoms >= m.NumAtoms() {
+		t.Error("every atom exposed in a globule interior")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	m := singleAtom(1)
+	if _, err := Build(m, Config{IcoLevel: 9}); err == nil {
+		t.Error("no error for absurd icosphere level")
+	}
+	if _, err := Build(m, Config{RuleDegree: 42}); err == nil {
+		t.Error("no error for invalid rule degree")
+	}
+}
+
+func TestApplyTransform(t *testing.T) {
+	m := singleAtom(1.2)
+	s, err := Build(m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := geom.Translate(geom.V(10, 0, 0)).Compose(geom.Rotate(geom.V(0, 0, 1), 1.0))
+	moved := s.ApplyTransform(tr)
+	if moved.Area != s.Area || moved.NumPoints() != s.NumPoints() {
+		t.Error("transform changed area or point count")
+	}
+	for i := range s.Points {
+		if moved.Points[i].Pos.Dist(tr.Apply(s.Points[i].Pos)) > 1e-12 {
+			t.Fatal("position not transformed")
+		}
+		if math.Abs(moved.Points[i].Normal.Norm()-1) > 1e-12 {
+			t.Fatal("normal denormalized by transform")
+		}
+		if moved.Points[i].Weight != s.Points[i].Weight {
+			t.Fatal("weight changed by transform")
+		}
+	}
+	// Surface integral invariance: the Born integral of the moved surface
+	// about the moved atom center matches the original.
+	orig, movedSum := 0.0, 0.0
+	x := geom.V(0, 0, 0)
+	tx := tr.Apply(x)
+	for i := range s.Points {
+		d := s.Points[i].Pos.Sub(x)
+		orig += s.Points[i].Weight * d.Dot(s.Points[i].Normal) / math.Pow(d.Norm(), 6)
+		dm := moved.Points[i].Pos.Sub(tx)
+		movedSum += moved.Points[i].Weight * dm.Dot(moved.Points[i].Normal) / math.Pow(dm.Norm(), 6)
+	}
+	if math.Abs(orig-movedSum)/math.Abs(orig) > 1e-10 {
+		t.Errorf("integral changed under rigid motion: %v vs %v", orig, movedSum)
+	}
+}
+
+func TestPerAtomAreaSumsToTotal(t *testing.T) {
+	m := molecule.Globule("a", 600, 51)
+	s, err := Build(m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	areas := s.PerAtomArea(m.NumAtoms())
+	sum := 0.0
+	for _, a := range areas {
+		sum += a
+	}
+	if math.Abs(sum-s.Area)/s.Area > 1e-12 {
+		t.Errorf("per-atom areas sum to %v, total %v", sum, s.Area)
+	}
+	for i, a := range areas {
+		if a < 0 {
+			t.Fatalf("atom %d negative area %v", i, a)
+		}
+	}
+}
+
+func TestSurfacePositions(t *testing.T) {
+	s, err := Build(singleAtom(1.0), Config{IcoLevel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := s.Positions()
+	if len(ps) != s.NumPoints() {
+		t.Fatalf("Positions len = %d", len(ps))
+	}
+	for i := range ps {
+		if ps[i] != s.Points[i].Pos {
+			t.Fatal("Positions mismatch")
+		}
+	}
+}
+
+func TestBuildParallelMatchesSerial(t *testing.T) {
+	m := molecule.Globule("p", 1500, 61)
+	serial, err := Build(m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := sched.New(4)
+	defer pool.Close()
+	par, err := BuildParallel(m, DefaultConfig(), pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.NumPoints() != serial.NumPoints() {
+		t.Fatalf("points: %d vs %d", par.NumPoints(), serial.NumPoints())
+	}
+	if math.Abs(par.Area-serial.Area) > 1e-9 {
+		t.Errorf("area: %v vs %v", par.Area, serial.Area)
+	}
+	if par.ExposedAtoms != serial.ExposedAtoms {
+		t.Errorf("exposed: %d vs %d", par.ExposedAtoms, serial.ExposedAtoms)
+	}
+	for i := range serial.Points {
+		if par.Points[i] != serial.Points[i] {
+			t.Fatalf("point %d differs", i)
+		}
+	}
+	// Nil pool falls back to the serial path.
+	fallback, err := BuildParallel(m, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fallback.NumPoints() != serial.NumPoints() {
+		t.Error("nil-pool fallback differs")
+	}
+}
+
+func TestBuildParallelValidation(t *testing.T) {
+	pool := sched.New(2)
+	defer pool.Close()
+	if _, err := BuildParallel(singleAtom(1), Config{IcoLevel: 9}, pool); err == nil {
+		t.Error("absurd level accepted")
+	}
+	if _, err := BuildParallel(singleAtom(1), Config{RuleDegree: 42}, pool); err == nil {
+		t.Error("bad rule degree accepted")
+	}
+}
+
+func TestSurfaceExports(t *testing.T) {
+	s, err := Build(singleAtom(1.5), Config{IcoLevel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xyz bytes.Buffer
+	if err := s.WriteXYZ(&xyz); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(xyz.String()), "\n")
+	if len(lines) != s.NumPoints()+2 {
+		t.Errorf("XYZ lines = %d, want %d", len(lines), s.NumPoints()+2)
+	}
+	if lines[0] != fmt.Sprint(s.NumPoints()) {
+		t.Errorf("XYZ count line = %q", lines[0])
+	}
+	var ply bytes.Buffer
+	if err := s.WritePLY(&ply); err != nil {
+		t.Fatal(err)
+	}
+	out := ply.String()
+	if !strings.HasPrefix(out, "ply\n") || !strings.Contains(out, "end_header") {
+		t.Error("PLY header malformed")
+	}
+	body := out[strings.Index(out, "end_header\n")+len("end_header\n"):]
+	if got := strings.Count(body, "\n"); got != s.NumPoints() {
+		t.Errorf("PLY vertex lines = %d, want %d", got, s.NumPoints())
+	}
+}
