@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test check chaos-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# chaos-smoke replays seeded chaos schedules against the runtime and the
+# self-healing drivers under a short deadline: any deadlock fails fast.
+chaos-smoke:
+	$(GO) test -timeout 120s -count=1 \
+		-run 'TestChaosPlanNoDeadlock|TestChaosRecoverNeverDeadlocksOrLies|TestDistDataChaosNeverDeadlocks' \
+		./internal/simmpi/ ./internal/gb/
+
+check: chaos-smoke
+	$(GO) vet ./...
+	$(GO) test -race ./...

@@ -8,6 +8,8 @@
 //	clustersim -atoms 100000                  # sweep layouts on a globule
 //	clustersim -atoms 50000 -shape shell      # capsid-like workload
 //	clustersim -nodes 1,2,4,8 -rpn 12,2       # custom node counts / ranks-per-node
+//	clustersim -faults chaos:6                # seeded chaos schedule per layout
+//	clustersim -faults 'crash:1@4,slow:2@0+8~100us' -policy degrade
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"strings"
 
 	"gbpolar/internal/bench"
+	"gbpolar/internal/fault"
 	"gbpolar/internal/gb"
 	"gbpolar/internal/molecule"
 	"gbpolar/internal/perf"
@@ -30,9 +33,39 @@ func main() {
 		shapeF  = flag.String("shape", "globule", "globule | shell")
 		nodesF  = flag.String("nodes", "1,2,4,8,16,32", "comma-separated node counts")
 		rpnF    = flag.String("rpn", "12,2", "ranks per node to compare (threads fill the node)")
-		seed    = flag.Int64("seed", 7, "workload seed")
+		seed    = flag.Int64("seed", 7, "workload seed (also seeds chaos fault schedules)")
+		faultsF = flag.String("faults", "", "fault plan: 'chaos:N' for N seeded random events per layout, or an explicit schedule like 'crash:1@4,drop:0>2@3+2,slow:1@0+8~100us' (empty: no injection)")
+		policyF = flag.String("policy", "recover", "fault policy: recover (re-assign lost work) | degrade (partial Epol + error bound)")
 	)
 	flag.Parse()
+
+	var policy gb.FaultPolicy
+	switch *policyF {
+	case "recover":
+		policy = gb.Recover
+	case "degrade":
+		policy = gb.Degrade
+	default:
+		fatal(fmt.Errorf("unknown policy %q (want recover or degrade)", *policyF))
+	}
+	chaosN := 0
+	var basePlan *fault.Plan
+	if *faultsF != "" {
+		if n, ok := strings.CutPrefix(*faultsF, "chaos:"); ok {
+			v, err := strconv.Atoi(n)
+			if err != nil || v < 1 {
+				fatal(fmt.Errorf("bad chaos event count %q", n))
+			}
+			chaosN = v
+		} else {
+			p, err := fault.Parse(*faultsF)
+			if err != nil {
+				fatal(err)
+			}
+			basePlan = p
+		}
+	}
+	injecting := chaosN > 0 || basePlan != nil
 
 	var mol *molecule.Molecule
 	switch *shapeF {
@@ -68,6 +101,9 @@ func main() {
 		Title: fmt.Sprintf("Layout sweep for %s (%d atoms, %d q-points)", mol.Name, sys.NumAtoms(), sys.NumQPoints()),
 		Header: []string{"Nodes", "Ranks/node", "Threads/rank", "Cores", "Comp", "Comm", "Total", "Mem/node GB"},
 	}
+	if injecting {
+		tab.Header = append(tab.Header, "Fault", "Outcome")
+	}
 	for _, n := range nodes {
 		for _, rpn := range rpns {
 			if machine.CoresPerNode%rpn != 0 {
@@ -75,11 +111,19 @@ func main() {
 			}
 			threads := machine.CoresPerNode / rpn
 			P := n * rpn
+			var cfg *gb.FaultConfig
+			if injecting {
+				plan := basePlan
+				if chaosN > 0 {
+					plan = fault.Chaos(*seed, P, chaosN)
+				}
+				cfg = &gb.FaultConfig{Plan: plan, Policy: policy}
+			}
 			var res *gb.Result
 			if threads == 1 {
-				res, err = sys.RunMPI(P)
+				res, err = sys.RunMPIWithFaults(P, cfg)
 			} else {
-				res, err = sys.RunHybrid(P, threads)
+				res, err = sys.RunHybridWithFaults(P, threads, cfg)
 			}
 			if err != nil {
 				fatal(err)
@@ -89,15 +133,33 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			tab.AddRow(strconv.Itoa(n), strconv.Itoa(rpn), strconv.Itoa(threads),
-				strconv.Itoa(P*threads),
+			row := []string{strconv.Itoa(n), strconv.Itoa(rpn), strconv.Itoa(threads),
+				strconv.Itoa(P * threads),
 				fmt.Sprintf("%.4gs", b.CompSeconds), fmt.Sprintf("%.4gs", b.CommSeconds),
 				fmt.Sprintf("%.4gs", b.TotalSeconds),
-				fmt.Sprintf("%.2f", float64(b.MemPerNodeBytes)/float64(1<<30)))
+				fmt.Sprintf("%.2f", float64(b.MemPerNodeBytes)/float64(1<<30))}
+			if injecting {
+				row = append(row, fmt.Sprintf("%.4gs", b.FaultSeconds), outcome(res))
+			}
+			tab.AddRow(row...)
 		}
 	}
 	if err := tab.Print(os.Stdout); err != nil {
 		fatal(err)
+	}
+}
+
+// outcome summarizes a fault-injected run's recovery status for the table.
+func outcome(r *gb.Result) string {
+	switch {
+	case r.Degraded:
+		return fmt.Sprintf("degraded ±%.3g (lost %v)", r.ErrorBound, r.LostRanks)
+	case len(r.LostRanks) > 0:
+		return fmt.Sprintf("recovered (lost %v)", r.LostRanks)
+	case r.Recovered:
+		return "healed"
+	default:
+		return "clean"
 	}
 }
 

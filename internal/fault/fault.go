@@ -1,0 +1,248 @@
+// Package fault provides a deterministic, replayable fault model for the
+// simulated cluster runtime: a Plan is a seeded list of injected events
+// (rank crashes, message drops, message delays, straggler slowdowns) that
+// internal/simmpi consults at every communication operation. Events
+// trigger on per-rank operation counters, never on wall-clock time, so a
+// plan replays identically on every run of an SPMD driver — the property
+// the chaos tests and the -faults replay flag of cmd/clustersim rely on.
+//
+// The package knows nothing about simmpi; simmpi imports fault and asks
+// the Injector what to do at each operation.
+package fault
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind is the type of an injected fault event.
+type Kind uint8
+
+const (
+	// Crash kills the rank at its AtOp-th communication operation: the
+	// rank stops executing and never contributes again.
+	Crash Kind = iota
+	// Drop discards Count consecutive point-to-point send attempts from
+	// Rank (to To, or to anyone when To < 0) starting at op AtOp. The
+	// sender observes an error and may retry; a retry is a fresh attempt
+	// that consumes the next slot of the window.
+	Drop
+	// Delay stalls Count matching send attempts by Dur each (modeled in
+	// full in the traffic statistics; the real in-process sleep is capped
+	// so tests stay fast).
+	Delay
+	// Straggle slows the rank down: every operation in [AtOp, AtOp+Count)
+	// stalls by Dur, emulating a rank pinned on an oversubscribed or
+	// thermally-throttled node.
+	Straggle
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	case Straggle:
+		return "slow"
+	}
+	return "unknown"
+}
+
+// Event is one injected fault.
+type Event struct {
+	Kind Kind
+	// Rank is the acting rank (the sender for Drop/Delay).
+	Rank int
+	// To filters the destination for Drop/Delay; -1 matches any.
+	To int
+	// AtOp is the first affected operation index of Rank's per-rank
+	// operation counter.
+	AtOp int64
+	// Count is the number of affected operations (Drop/Delay/Straggle);
+	// values < 1 are treated as 1. Ignored for Crash.
+	Count int64
+	// Dur is the injected per-operation latency (Delay/Straggle).
+	Dur time.Duration
+}
+
+// Plan is a replayable fault schedule.
+type Plan struct {
+	// Seed records the chaos-generator seed the plan came from (0 for
+	// hand-written plans); it is provenance only — replay needs nothing
+	// but Events.
+	Seed   int64
+	Events []Event
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *Plan) Empty() bool { return p == nil || len(p.Events) == 0 }
+
+// Chaos generates a random-but-reproducible plan for a world of the given
+// size: n events drawn from all four kinds. Rank 0 and at least half the
+// ranks are never crashed, so every run retains survivors able to heal or
+// degrade (killing everything is a different test, written by hand).
+func Chaos(seed int64, ranks, n int) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Plan{Seed: seed}
+	maxCrashes := (ranks - 1) / 2
+	crashes := 0
+	for i := 0; i < n; i++ {
+		kind := Kind(rng.Intn(4))
+		if kind == Crash && (crashes >= maxCrashes || ranks < 2) {
+			kind = Straggle
+		}
+		ev := Event{Kind: kind, To: -1}
+		switch kind {
+		case Crash:
+			// Spare rank 0: it is the output/coordination rank of the
+			// drivers and its failover is exercised by dedicated tests.
+			ev.Rank = 1 + rng.Intn(ranks-1)
+			ev.AtOp = int64(rng.Intn(12))
+			crashes++
+		case Drop:
+			ev.Rank = rng.Intn(ranks)
+			ev.AtOp = int64(rng.Intn(8))
+			ev.Count = int64(1 + rng.Intn(3))
+		case Delay:
+			ev.Rank = rng.Intn(ranks)
+			ev.AtOp = int64(rng.Intn(8))
+			ev.Count = int64(1 + rng.Intn(3))
+			ev.Dur = time.Duration(50+rng.Intn(500)) * time.Microsecond
+		case Straggle:
+			ev.Rank = rng.Intn(ranks)
+			ev.AtOp = int64(rng.Intn(4))
+			ev.Count = int64(4 + rng.Intn(16))
+			ev.Dur = time.Duration(20+rng.Intn(200)) * time.Microsecond
+		}
+		p.Events = append(p.Events, ev)
+	}
+	return p
+}
+
+// Action is the injector's verdict for one operation.
+type Action struct {
+	// Crash: the rank must die now.
+	Crash bool
+	// Drop: the send attempt is lost in transit.
+	Drop bool
+	// Delay is injected wire latency for this send.
+	Delay time.Duration
+	// Straggle is injected compute slowdown for this operation.
+	Straggle time.Duration
+}
+
+// Injector is the mutable per-run state of a plan: per-rank operation
+// counters plus the event windows. Safe for concurrent use by the rank
+// goroutines (state is sharded per rank).
+type Injector struct {
+	ranks []rankState
+}
+
+type rankState struct {
+	mu      sync.Mutex
+	op      int64
+	crashAt int64 // earliest crash op; -1 = never
+	windows []window
+}
+
+type window struct {
+	kind  Kind
+	to    int
+	at    int64
+	count int64
+	dur   time.Duration
+}
+
+// NewInjector compiles the plan for a world of `ranks` ranks. Events
+// naming out-of-range ranks are ignored (a plan written for a larger
+// world replays harmlessly on a smaller one).
+func (p *Plan) NewInjector(ranks int) *Injector {
+	in := &Injector{ranks: make([]rankState, ranks)}
+	for i := range in.ranks {
+		in.ranks[i].crashAt = -1
+	}
+	if p == nil {
+		return in
+	}
+	for _, ev := range p.Events {
+		if ev.Rank < 0 || ev.Rank >= ranks {
+			continue
+		}
+		rs := &in.ranks[ev.Rank]
+		if ev.Kind == Crash {
+			if rs.crashAt < 0 || ev.AtOp < rs.crashAt {
+				rs.crashAt = ev.AtOp
+			}
+			continue
+		}
+		count := ev.Count
+		if count < 1 {
+			count = 1
+		}
+		rs.windows = append(rs.windows, window{
+			kind: ev.Kind, to: ev.To, at: ev.AtOp, count: count, dur: ev.Dur,
+		})
+	}
+	return in
+}
+
+// Advance consumes one operation slot for rank and returns the injected
+// faults for it. send marks point-to-point send attempts (the only ops
+// Drop/Delay windows apply to); to is the destination rank, or -1.
+func (in *Injector) Advance(rank int, send bool, to int) Action {
+	if in == nil || rank < 0 || rank >= len(in.ranks) {
+		return Action{}
+	}
+	rs := &in.ranks[rank]
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	op := rs.op
+	rs.op++
+	var act Action
+	if rs.crashAt >= 0 && op >= rs.crashAt {
+		act.Crash = true
+	}
+	for i := range rs.windows {
+		w := &rs.windows[i]
+		if op < w.at || op >= w.at+w.count {
+			continue
+		}
+		switch w.kind {
+		case Drop:
+			if send && (w.to < 0 || w.to == to) {
+				act.Drop = true
+			}
+		case Delay:
+			if send && (w.to < 0 || w.to == to) {
+				act.Delay += w.dur
+			}
+		case Straggle:
+			act.Straggle += w.dur
+		}
+	}
+	return act
+}
+
+// Stragglers returns the ranks with at least one Straggle window — the
+// oracle half of straggler detection that the health view exposes.
+func (in *Injector) Stragglers() []int {
+	if in == nil {
+		return nil
+	}
+	var out []int
+	for r := range in.ranks {
+		for _, w := range in.ranks[r].windows {
+			if w.kind == Straggle {
+				out = append(out, r)
+				break
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,144 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestInjectorCrash(t *testing.T) {
+	p := &Plan{Events: []Event{{Kind: Crash, Rank: 1, AtOp: 2}}}
+	in := p.NewInjector(4)
+	for op := 0; op < 2; op++ {
+		if act := in.Advance(1, false, -1); act.Crash {
+			t.Fatalf("crashed early at op %d", op)
+		}
+	}
+	if act := in.Advance(1, false, -1); !act.Crash {
+		t.Fatal("no crash at op 2")
+	}
+	// Other ranks unaffected.
+	for op := 0; op < 10; op++ {
+		if act := in.Advance(0, false, -1); act.Crash {
+			t.Fatal("rank 0 crashed")
+		}
+	}
+}
+
+func TestInjectorDropWindow(t *testing.T) {
+	p := &Plan{Events: []Event{{Kind: Drop, Rank: 0, To: 2, AtOp: 1, Count: 2}}}
+	in := p.NewInjector(3)
+	drops := 0
+	for op := 0; op < 6; op++ {
+		if in.Advance(0, true, 2).Drop {
+			drops++
+		}
+	}
+	if drops != 2 {
+		t.Fatalf("drops = %d, want 2", drops)
+	}
+	// Non-send ops and other destinations never drop.
+	in2 := p.NewInjector(3)
+	if in2.Advance(0, false, -1).Drop {
+		t.Error("non-send op dropped")
+	}
+	if in2.Advance(0, true, 1).Drop {
+		t.Error("send to non-matching destination dropped")
+	}
+}
+
+func TestInjectorDelayAndStraggle(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{Kind: Delay, Rank: 0, To: -1, AtOp: 0, Count: 1, Dur: time.Millisecond},
+		{Kind: Straggle, Rank: 1, AtOp: 0, Count: 3, Dur: time.Microsecond},
+	}}
+	in := p.NewInjector(2)
+	if d := in.Advance(0, true, 1).Delay; d != time.Millisecond {
+		t.Errorf("delay = %v", d)
+	}
+	if d := in.Advance(0, true, 1).Delay; d != 0 {
+		t.Errorf("delay window leaked: %v", d)
+	}
+	total := time.Duration(0)
+	for op := 0; op < 5; op++ {
+		total += in.Advance(1, false, -1).Straggle
+	}
+	if total != 3*time.Microsecond {
+		t.Errorf("straggle total = %v", total)
+	}
+	if got := in.Stragglers(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Stragglers = %v", got)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	src := "crash:1@6,drop:2>0@3+2,delay:0>*@1+3~150µs,slow:3@0+8~200µs"
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 4 {
+		t.Fatalf("parsed %d events", len(p.Events))
+	}
+	if p.Events[1].To != 0 || p.Events[2].To != -1 {
+		t.Errorf("destinations: %+v", p.Events)
+	}
+	back, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("round-trip parse: %v (string %q)", err, p.String())
+	}
+	for i := range p.Events {
+		if back.Events[i] != p.Events[i] {
+			t.Errorf("event %d: %+v != %+v", i, back.Events[i], p.Events[i])
+		}
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"boom:1@0", "crash:1", "crash:x@0", "drop:0>-2@0",
+		"slow:1@0+4", // straggler without a duration
+		"crash:1@-3",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	p, err := Parse("  ")
+	if err != nil || !p.Empty() {
+		t.Fatalf("empty parse: %v %+v", err, p)
+	}
+}
+
+func TestChaosDeterministicAndBounded(t *testing.T) {
+	a := Chaos(42, 8, 20)
+	b := Chaos(42, 8, 20)
+	if a.String() != b.String() {
+		t.Fatal("chaos generator is not deterministic in seed")
+	}
+	if c := Chaos(43, 8, 20); c.String() == a.String() {
+		t.Error("different seeds produced identical plans")
+	}
+	crashed := map[int]bool{}
+	for _, ev := range a.Events {
+		if ev.Kind == Crash {
+			crashed[ev.Rank] = true
+			if ev.Rank == 0 {
+				t.Error("chaos crashed rank 0")
+			}
+		}
+	}
+	if len(crashed) > 3 { // (8-1)/2
+		t.Errorf("chaos crashed %d of 8 ranks", len(crashed))
+	}
+}
+
+func TestInjectorIgnoresOutOfRangeRanks(t *testing.T) {
+	p := &Plan{Events: []Event{{Kind: Crash, Rank: 9, AtOp: 0}}}
+	in := p.NewInjector(2)
+	if in.Advance(1, false, -1).Crash {
+		t.Error("out-of-range event applied")
+	}
+}

@@ -1,0 +1,146 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The textual plan format, one comma-separated token per event:
+//
+//	crash:R@OP          rank R crashes at its OP-th communication op
+//	drop:F>T@OP+N       F's sends to T (or * = anyone) dropped, N attempts from op OP
+//	delay:F>T@OP+N~DUR  matching sends delayed by DUR each
+//	slow:R@OP+N~DUR     rank R stalls DUR on every op in [OP, OP+N)
+//
+// Example: "crash:1@6,drop:2>0@3+2,slow:3@0+8~200us". This is the syntax
+// of cmd/clustersim's -faults flag and the round-trip target of String.
+
+// String renders the plan in the textual format accepted by Parse.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	parts := make([]string, 0, len(p.Events))
+	for _, ev := range p.Events {
+		parts = append(parts, ev.String())
+	}
+	return strings.Join(parts, ",")
+}
+
+// String renders one event token.
+func (e Event) String() string {
+	count := e.Count
+	if count < 1 {
+		count = 1
+	}
+	switch e.Kind {
+	case Crash:
+		return fmt.Sprintf("crash:%d@%d", e.Rank, e.AtOp)
+	case Drop:
+		return fmt.Sprintf("drop:%d>%s@%d+%d", e.Rank, toString(e.To), e.AtOp, count)
+	case Delay:
+		return fmt.Sprintf("delay:%d>%s@%d+%d~%s", e.Rank, toString(e.To), e.AtOp, count, e.Dur)
+	case Straggle:
+		return fmt.Sprintf("slow:%d@%d+%d~%s", e.Rank, e.AtOp, count, e.Dur)
+	}
+	return "unknown"
+}
+
+func toString(to int) string {
+	if to < 0 {
+		return "*"
+	}
+	return strconv.Itoa(to)
+}
+
+// Parse reads a plan from the textual format. An empty string yields an
+// empty plan.
+func Parse(s string) (*Plan, error) {
+	p := &Plan{}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return p, nil
+	}
+	for _, tok := range strings.Split(s, ",") {
+		ev, err := parseEvent(strings.TrimSpace(tok))
+		if err != nil {
+			return nil, err
+		}
+		p.Events = append(p.Events, ev)
+	}
+	return p, nil
+}
+
+func parseEvent(tok string) (Event, error) {
+	kindStr, rest, ok := strings.Cut(tok, ":")
+	if !ok {
+		return Event{}, fmt.Errorf("fault: malformed event %q (want kind:spec)", tok)
+	}
+	ev := Event{To: -1, Count: 1}
+	switch kindStr {
+	case "crash":
+		ev.Kind = Crash
+	case "drop":
+		ev.Kind = Drop
+	case "delay":
+		ev.Kind = Delay
+	case "slow":
+		ev.Kind = Straggle
+	default:
+		return Event{}, fmt.Errorf("fault: unknown event kind %q in %q", kindStr, tok)
+	}
+
+	// Split off ~DUR first, then +COUNT, then @OP; what remains is the
+	// rank (and >TO for the send kinds).
+	if head, durStr, ok := strings.Cut(rest, "~"); ok {
+		d, err := time.ParseDuration(durStr)
+		if err != nil {
+			return Event{}, fmt.Errorf("fault: bad duration in %q: %v", tok, err)
+		}
+		ev.Dur = d
+		rest = head
+	}
+	head, opStr, ok := strings.Cut(rest, "@")
+	if !ok {
+		return Event{}, fmt.Errorf("fault: missing @op in %q", tok)
+	}
+	if opPart, countStr, hasCount := strings.Cut(opStr, "+"); hasCount {
+		n, err := strconv.ParseInt(countStr, 10, 64)
+		if err != nil || n < 1 {
+			return Event{}, fmt.Errorf("fault: bad count in %q", tok)
+		}
+		ev.Count = n
+		opStr = opPart
+	}
+	op, err := strconv.ParseInt(opStr, 10, 64)
+	if err != nil || op < 0 {
+		return Event{}, fmt.Errorf("fault: bad op index in %q", tok)
+	}
+	ev.AtOp = op
+
+	rankStr := head
+	if fromStr, toStr, hasTo := strings.Cut(head, ">"); hasTo {
+		if ev.Kind != Drop && ev.Kind != Delay {
+			return Event{}, fmt.Errorf("fault: destination filter not valid for %s in %q", ev.Kind, tok)
+		}
+		rankStr = fromStr
+		if toStr != "*" {
+			to, err := strconv.Atoi(toStr)
+			if err != nil || to < 0 {
+				return Event{}, fmt.Errorf("fault: bad destination in %q", tok)
+			}
+			ev.To = to
+		}
+	}
+	rank, err := strconv.Atoi(rankStr)
+	if err != nil || rank < 0 {
+		return Event{}, fmt.Errorf("fault: bad rank in %q", tok)
+	}
+	ev.Rank = rank
+	if (ev.Kind == Delay || ev.Kind == Straggle) && ev.Dur <= 0 {
+		return Event{}, fmt.Errorf("fault: %s event needs a ~duration in %q", ev.Kind, tok)
+	}
+	return ev, nil
+}

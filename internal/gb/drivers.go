@@ -27,6 +27,19 @@ type Result struct {
 	Wall time.Duration
 	// Steals counts work-stealing events (shared-memory runs).
 	Steals int64
+
+	// Degraded marks a partial result: ranks died mid-run under the
+	// Degrade policy and Epol is missing their final-phase contributions.
+	// |Epol_serial − Epol| ≤ ErrorBound then holds (see degradedBound).
+	Degraded bool
+	// ErrorBound is the guaranteed bound on the missing energy mass of a
+	// Degraded result, in kcal/mol. Zero when not degraded.
+	ErrorBound float64
+	// LostRanks are the ranks lost to injected crashes during the run.
+	LostRanks []int
+	// Recovered reports that lost or straggling ranks' work was
+	// re-assigned to survivors (at least one phase was healed).
+	Recovered bool
 }
 
 // TotalOps sums the per-core operation counts.
@@ -149,25 +162,83 @@ func balancePool(ops []int64) []int64 {
 // With Params.Division == AtomNode the atom-based division of §IV is used
 // instead.
 func (s *System) RunMPI(P int) (*Result, error) {
-	return s.runDistributed(P, 1)
+	return s.runDistributed(P, 1, nil)
 }
 
 // RunHybrid is OCT_MPI+CILK: P ranks × p work-stealing threads.
 func (s *System) RunHybrid(P, p int) (*Result, error) {
-	return s.runDistributed(P, p)
+	return s.runDistributed(P, p, nil)
 }
 
-func (s *System) runDistributed(P, p int) (*Result, error) {
-	if P < 1 || p < 1 {
-		return nil, fmt.Errorf("gb: invalid layout P=%d p=%d", P, p)
+// RunMPIWithFaults is RunMPI under fault injection: the config's plan is
+// replayed against the run and the driver self-heals (or degrades, per
+// the policy) as ranks crash, messages drop, and stragglers stall. A nil
+// or empty config is exactly RunMPI.
+func (s *System) RunMPIWithFaults(P int, cfg *FaultConfig) (*Result, error) {
+	return s.runDistributed(P, 1, cfg)
+}
+
+// RunHybridWithFaults is RunHybrid under fault injection.
+func (s *System) RunHybridWithFaults(P, p int, cfg *FaultConfig) (*Result, error) {
+	return s.runDistributed(P, p, cfg)
+}
+
+// validateLayout rejects impossible process layouts up front with a
+// descriptive error instead of producing empty segments downstream.
+func (s *System) validateLayout(P, p int) error {
+	if P <= 0 {
+		return fmt.Errorf("gb: invalid layout: processes P=%d must be positive", P)
+	}
+	if p <= 0 {
+		return fmt.Errorf("gb: invalid layout: threads per process p=%d must be positive", p)
+	}
+	if P > s.NumAtoms() {
+		return fmt.Errorf("gb: invalid layout: P=%d exceeds the %d atoms (at most one atom per rank segment)", P, s.NumAtoms())
+	}
+	if s.Params.Division == NodeNode {
+		if n := len(s.qLeaves); P > n {
+			return fmt.Errorf("gb: invalid layout: P=%d exceeds the %d quadrature leaves of the node division", P, n)
+		}
+		if n := len(s.aLeaves); P > n {
+			return fmt.Errorf("gb: invalid layout: P=%d exceeds the %d atom leaves of the node division", P, n)
+		}
+	}
+	return nil
+}
+
+// runDistributed executes the shared-data distributed algorithm. With an
+// inactive fault config it reproduces the seed protocol bit-for-bit. With
+// an active plan, every phase runs under the heal-by-redo discipline
+// described in faulttol.go: partition over the agreed live set, run the
+// phase, re-agree, and redo the phase over the shrunk set if membership
+// changed — or, for the final energy phase under the Degrade policy,
+// accept the partial sum and report a rigorous ErrorBound for the dead
+// ranks' missing share.
+func (s *System) runDistributed(P, p int, cfg *FaultConfig) (*Result, error) {
+	if err := s.validateLayout(P, p); err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	perCoreOps := make([]int64, P*p)
-	radiiOut := make([]float64, s.NumAtoms())
-	energy := 0.0
-	var steals int64
 
-	traffic, err := simmpi.Run(P, func(c *simmpi.Comm) {
+	// Every rank that completes records its outcome in its own slot; the
+	// lowest surviving rank's slot becomes the Result. (All survivors hold
+	// identical agreed values — per-rank slots just keep the writes
+	// race-free without electing a writer, which would itself be a
+	// fault-prone protocol.)
+	type rankOutcome struct {
+		done      bool
+		energy    float64
+		radii     []float64
+		steals    int64
+		degraded  bool
+		bound     float64
+		recovered bool
+	}
+	outs := make([]rankOutcome, P)
+	ft := cfg.active()
+
+	traffic, err := simmpi.RunPlan(P, cfg.plan(), func(c *simmpi.Comm) error {
 		rank := c.Rank()
 		var pool *sched.Pool
 		if p > 1 {
@@ -176,120 +247,291 @@ func (s *System) runDistributed(P, p int) (*Result, error) {
 		}
 		coreBase := rank * p
 
-		// ---- Phase 1+2: Born integrals for this rank's segment --------
-		// One accumulator per worker thread (tasks on the same worker run
-		// sequentially), merged after the join.
-		accs := make([]*bornAccum, p)
-		for i := range accs {
-			accs[i] = s.newBornAccum()
+		var lost, live, stragglers []int
+		recovered := false
+		if ft {
+			var err error
+			if lost, err = agreeLost(c); err != nil {
+				return err
+			}
+			live = liveRanksOf(P, lost)
+			stragglers = c.Health().Straggling
+			if len(stragglers) > 0 {
+				recovered = true // slowed ranks shed half their share
+			}
 		}
-		switch s.Params.Division {
-		case NodeNode:
-			lo, hi := segment(len(s.qLeaves), P, rank)
-			s.forRange(pool, hi-lo, func(worker int, i0, i1 int) {
-				ops := int64(0)
-				for _, q := range s.qLeaves[lo+i0 : lo+i1] {
-					ops += s.ApproxIntegrals(s.TA.Root(), q, accs[worker])
-				}
-				perCoreOps[coreBase+worker] += ops
-			})
-		case AtomNode:
-			alo, ahi := segment(s.NumAtoms(), P, rank)
-			s.forRange(pool, len(s.qLeaves), func(worker int, i0, i1 int) {
-				ops := int64(0)
-				for _, q := range s.qLeaves[i0:i1] {
-					ops += s.approxIntegralsAtomRange(s.TA.Root(), q, int32(alo), int32(ahi), accs[worker])
-				}
-				perCoreOps[coreBase+worker] += ops
-			})
-		}
-		acc := accs[0]
-		for _, other := range accs[1:] {
-			acc.add(other)
+		// share partitions n items: the seed's static segment without
+		// faults, the agreed-live straggler-weighted partition with them.
+		share := func(n int) (int, int) {
+			if !ft {
+				return segment(n, P, rank)
+			}
+			return liveShare(n, live, stragglers, rank)
 		}
 
-		// ---- Phase 3: gather partial integrals (Fig. 4 Step 3) --------
-		flat := make([]float64, 0, 4*len(acc.nodeS)+len(acc.atomS))
-		flat = append(flat, acc.nodeS...)
-		for _, g := range acc.nodeG {
-			flat = append(flat, g.X, g.Y, g.Z)
+		// Flattened integral payload of Fig. 4 Step 3.
+		encodeAcc := func(acc *bornAccum) []float64 {
+			flat := make([]float64, 0, 4*len(acc.nodeS)+len(acc.atomS))
+			flat = append(flat, acc.nodeS...)
+			for _, g := range acc.nodeG {
+				flat = append(flat, g.X, g.Y, g.Z)
+			}
+			flat = append(flat, acc.atomS...)
+			return flat
 		}
-		flat = append(flat, acc.atomS...)
-		merged := c.Allreduce(flat, simmpi.Sum)
-		copy(acc.nodeS, merged[:len(acc.nodeS)])
-		gs := merged[len(acc.nodeS) : 4*len(acc.nodeS)]
-		for i := range acc.nodeG {
-			acc.nodeG[i] = geom.V(gs[3*i], gs[3*i+1], gs[3*i+2])
+		decodeAcc := func(acc *bornAccum, merged []float64) {
+			copy(acc.nodeS, merged[:len(acc.nodeS)])
+			gs := merged[len(acc.nodeS) : 4*len(acc.nodeS)]
+			for i := range acc.nodeG {
+				acc.nodeG[i] = geom.V(gs[3*i], gs[3*i+1], gs[3*i+2])
+			}
+			copy(acc.atomS, merged[4*len(acc.nodeS):])
 		}
-		copy(acc.atomS, merged[4*len(acc.nodeS):])
 
-		// ---- Phase 4: Born radii for this rank's atom segment ---------
+		// ---- Phase 1+2+3: Born integrals + Allreduce (Fig. 4 Steps 1-3),
+		// healed by redo on membership change --------------------------
+		var acc *bornAccum
+		for iter := 0; ; iter++ {
+			if iter > P {
+				return fmt.Errorf("gb: integral phase heal did not converge")
+			}
+			if ft {
+				if err := c.Tick(); err != nil {
+					return err
+				}
+			}
+			// One accumulator per worker thread (tasks on the same worker
+			// run sequentially), merged after the join. Rebuilt fresh per
+			// iteration so a redo cannot double-count.
+			accs := make([]*bornAccum, p)
+			for i := range accs {
+				accs[i] = s.newBornAccum()
+			}
+			switch s.Params.Division {
+			case NodeNode:
+				lo, hi := share(len(s.qLeaves))
+				s.forRange(pool, hi-lo, func(worker int, i0, i1 int) {
+					ops := int64(0)
+					for _, q := range s.qLeaves[lo+i0 : lo+i1] {
+						ops += s.ApproxIntegrals(s.TA.Root(), q, accs[worker])
+					}
+					perCoreOps[coreBase+worker] += ops
+				})
+			case AtomNode:
+				alo, ahi := share(s.NumAtoms())
+				s.forRange(pool, len(s.qLeaves), func(worker int, i0, i1 int) {
+					ops := int64(0)
+					for _, q := range s.qLeaves[i0:i1] {
+						ops += s.approxIntegralsAtomRange(s.TA.Root(), q, int32(alo), int32(ahi), accs[worker])
+					}
+					perCoreOps[coreBase+worker] += ops
+				})
+			}
+			acc = accs[0]
+			for _, other := range accs[1:] {
+				acc.add(other)
+			}
+			merged, err := c.Allreduce(encodeAcc(acc), simmpi.Sum)
+			if err != nil {
+				return err
+			}
+			if ft {
+				newLost, err := agreeLost(c)
+				if err != nil {
+					return err
+				}
+				if !equalInts(newLost, lost) {
+					lost, live = newLost, liveRanksOf(P, newLost)
+					recovered = true
+					continue
+				}
+			}
+			decodeAcc(acc, merged)
+			break
+		}
+
+		// ---- Phase 4+5: Born radii + gather (Fig. 4 Steps 4-5), healed
+		// by redo ------------------------------------------------------
 		radii := make([]float64, s.NumAtoms())
-		alo, ahi := segment(s.NumAtoms(), P, rank)
-		s.forRange(pool, ahi-alo, func(worker int, i0, i1 int) {
-			perCoreOps[coreBase+worker] += s.PushIntegralsToAtoms(acc, alo+i0, alo+i1, radii)
-		})
-
-		// ---- Phase 5: gather Born radii (octree item order) -----------
-		seg := make([]float64, 0, ahi-alo)
-		for pos := alo; pos < ahi; pos++ {
-			seg = append(seg, radii[s.TA.Items[pos]])
+		for iter := 0; ; iter++ {
+			if iter > P {
+				return fmt.Errorf("gb: radii phase heal did not converge")
+			}
+			if ft {
+				if err := c.Tick(); err != nil {
+					return err
+				}
+			}
+			alo, ahi := share(s.NumAtoms())
+			s.forRange(pool, ahi-alo, func(worker int, i0, i1 int) {
+				perCoreOps[coreBase+worker] += s.PushIntegralsToAtoms(acc, alo+i0, alo+i1, radii)
+			})
+			if !ft {
+				// Seed protocol: positional concatenation in octree item
+				// order (every rank present by construction).
+				seg := make([]float64, 0, ahi-alo)
+				for pos := alo; pos < ahi; pos++ {
+					seg = append(seg, radii[s.TA.Items[pos]])
+				}
+				all, err := c.Allgatherv(seg)
+				if err != nil {
+					return err
+				}
+				for pos, r := range all {
+					radii[s.TA.Items[pos]] = r
+				}
+				break
+			}
+			// Fault-tolerant protocol: (atom index, radius) pairs, so a
+			// missing rank cannot silently shift the concatenation.
+			seg := make([]float64, 0, 2*(ahi-alo))
+			for pos := alo; pos < ahi; pos++ {
+				ai := s.TA.Items[pos]
+				seg = append(seg, float64(ai), radii[ai])
+			}
+			all, err := c.Allgatherv(seg)
+			if err != nil {
+				return err
+			}
+			newLost, err := agreeLost(c)
+			if err != nil {
+				return err
+			}
+			if !equalInts(newLost, lost) {
+				lost, live = newLost, liveRanksOf(P, newLost)
+				recovered = true
+				continue
+			}
+			for i := 0; i+1 < len(all); i += 2 {
+				radii[int(all[i])] = all[i+1]
+			}
+			break
 		}
-		all := c.Allgatherv(seg)
-		for pos, r := range all {
-			radii[s.TA.Items[pos]] = r
-		}
 
-		// ---- Phase 6: partial energies ---------------------------------
+		// ---- Phase 6+7: partial energies + reduction (Fig. 4 Steps 6-7),
+		// healed by redo or degraded with a bound ------------------------
 		agg := s.buildEpolAggregates(radii)
 		kernel := pairEnergyKernel(s.Params.Math)
 		factor := epolFarFactor(s.Params.EpsEpol, s.Params.OpeningScale)
-		partials := make([]float64, max(p, 1))
-		switch s.Params.Division {
-		case NodeNode:
-			lo, hi := segment(len(s.aLeaves), P, rank)
-			s.forRange(pool, hi-lo, func(worker int, i0, i1 int) {
-				sum := 0.0
-				ops := int64(0)
-				for _, v := range s.aLeaves[lo+i0 : lo+i1] {
-					vs, vops := s.approxEpol(s.TA.Root(), v, radii, agg, kernel, factor)
-					sum += vs
-					ops += vops
+		energy := 0.0
+		degraded := false
+		bound := 0.0
+		for iter := 0; ; iter++ {
+			if iter > P {
+				return fmt.Errorf("gb: energy phase heal did not converge")
+			}
+			if ft {
+				if err := c.Tick(); err != nil {
+					return err
 				}
-				partials[worker] += sum
-				perCoreOps[coreBase+worker] += ops
-			})
-		case AtomNode:
-			s.forRange(pool, ahi-alo, func(worker int, i0, i1 int) {
-				sum := 0.0
-				ops := int64(0)
-				for pos := alo + i0; pos < alo+i1; pos++ {
-					ai := s.TA.Items[pos]
-					vs, vops := s.approxEpolAtom(ai, s.TA.Root(), radii, agg, kernel, factor)
-					sum += vs
-					ops += vops
+			}
+			partials := make([]float64, max(p, 1))
+			switch s.Params.Division {
+			case NodeNode:
+				lo, hi := share(len(s.aLeaves))
+				s.forRange(pool, hi-lo, func(worker int, i0, i1 int) {
+					sum := 0.0
+					ops := int64(0)
+					for _, v := range s.aLeaves[lo+i0 : lo+i1] {
+						vs, vops := s.approxEpol(s.TA.Root(), v, radii, agg, kernel, factor)
+						sum += vs
+						ops += vops
+					}
+					partials[worker] += sum
+					perCoreOps[coreBase+worker] += ops
+				})
+			case AtomNode:
+				alo, ahi := share(s.NumAtoms())
+				s.forRange(pool, ahi-alo, func(worker int, i0, i1 int) {
+					sum := 0.0
+					ops := int64(0)
+					for pos := alo + i0; pos < alo+i1; pos++ {
+						ai := s.TA.Items[pos]
+						vs, vops := s.approxEpolAtom(ai, s.TA.Root(), radii, agg, kernel, factor)
+						sum += vs
+						ops += vops
+					}
+					partials[worker] += sum
+					perCoreOps[coreBase+worker] += ops
+				})
+			}
+			partial := 0.0
+			for _, v := range partials {
+				partial += v
+			}
+			sum, err := c.Allreduce([]float64{partial}, simmpi.Sum)
+			if err != nil {
+				return err
+			}
+			if !ft {
+				energy = -0.5 * Tau(s.Params.EpsSolvent) * CoulombKcal * sum[0]
+				break
+			}
+			prevLive := live
+			newLost, err := agreeLost(c)
+			if err != nil {
+				return err
+			}
+			if equalInts(newLost, lost) {
+				energy = -0.5 * Tau(s.Params.EpsSolvent) * CoulombKcal * sum[0]
+				break
+			}
+			if cfg.Policy == Recover {
+				lost, live = newLost, liveRanksOf(P, newLost)
+				recovered = true
+				continue
+			}
+			// Degrade: accept the partial sum and bound the energy mass the
+			// newly dead ranks' shares would have contributed. Conservative
+			// for a rank that died after contributing (its real missing
+			// mass is zero ≤ bound).
+			var deadAtoms []int32
+			j := 0
+			for _, d := range newLost {
+				for j < len(lost) && lost[j] < d {
+					j++
 				}
-				partials[worker] += sum
-				perCoreOps[coreBase+worker] += ops
-			})
-		}
-		partial := 0.0
-		for _, v := range partials {
-			partial += v
+				if j < len(lost) && lost[j] == d {
+					continue // lost before this phase: share already re-assigned
+				}
+				if s.Params.Division == NodeNode {
+					lo, hi := liveShare(len(s.aLeaves), prevLive, stragglers, d)
+					deadAtoms = append(deadAtoms, s.shareAtomsNodeNode(lo, hi)...)
+				} else {
+					lo, hi := liveShare(s.NumAtoms(), prevLive, stragglers, d)
+					deadAtoms = append(deadAtoms, s.shareAtomsAtomNode(lo, hi)...)
+				}
+			}
+			energy = -0.5 * Tau(s.Params.EpsSolvent) * CoulombKcal * sum[0]
+			bound = s.degradedBound(deadAtoms)
+			degraded = true
+			break
 		}
 
-		// ---- Phase 7: master accumulates the final Epol ----------------
-		sum := c.Allreduce([]float64{partial}, simmpi.Sum)
-		if rank == 0 {
-			energy = -0.5 * Tau(s.Params.EpsSolvent) * CoulombKcal * sum[0]
-			copy(radiiOut, radii)
+		out := &outs[rank]
+		out.energy = energy
+		out.radii = radii
+		out.degraded = degraded
+		out.bound = bound
+		out.recovered = recovered
+		if pool != nil {
+			out.steals = pool.Steals()
 		}
-		if pool != nil && rank == 0 {
-			steals = pool.Steals()
-		}
+		out.done = true
+		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	winner := -1
+	for r := 0; r < P; r++ {
+		if outs[r].done {
+			winner = r
+			break
+		}
+	}
+	if winner < 0 {
+		return nil, fmt.Errorf("gb: no rank survived the run (lost ranks %v)", traffic.LostRanks)
 	}
 	if p > 1 {
 		// Balance each rank's pool counts (see balancePool): the
@@ -298,13 +540,18 @@ func (s *System) runDistributed(P, p int) (*Result, error) {
 			copy(perCoreOps[rank*p:(rank+1)*p], balancePool(perCoreOps[rank*p:(rank+1)*p]))
 		}
 	}
+	w := &outs[winner]
 	return &Result{
-		Epol: energy, Born: radiiOut,
+		Epol: w.energy, Born: w.radii,
 		Processes: P, ThreadsPerProcess: p,
 		PerCoreOps: perCoreOps,
 		Traffic:    traffic,
 		Wall:       time.Since(start),
-		Steals:     steals,
+		Steals:     w.steals,
+		Degraded:   w.degraded,
+		ErrorBound: w.bound,
+		LostRanks:  traffic.LostRanks,
+		Recovered:  w.recovered,
 	}, nil
 }
 

@@ -23,21 +23,35 @@ import (
 // coordinator serves chunks of [0, total) to ranks 1..P−1 and returns
 // when every worker has been told the phase is drained. Guided
 // self-scheduling: each grant is remaining/(2·workers), floored at
-// minChunk.
-func coordinate(c *simmpi.Comm, total int) {
+// minChunk. Workers that die mid-phase are counted as drained so the
+// coordinator cannot spin forever waiting for their requests.
+func coordinate(c *simmpi.Comm, total int) error {
 	const minChunk = 1
 	workers := c.Size() - 1
 	next := 0
 	done := 0
+	drained := make([]bool, c.Size())
 	for done < workers {
 		served := false
 		for from := 1; from < c.Size(); from++ {
+			if drained[from] {
+				continue
+			}
+			if !c.Alive(from) {
+				drained[from] = true
+				done++
+				served = true
+				continue
+			}
 			if _, ok := c.TryRecv(from); !ok {
 				continue
 			}
 			served = true
 			if next >= total {
-				c.Send(from, []float64{0, 0}) // drained
+				if err := c.Send(from, []float64{0, 0}); err != nil { // drained
+					return err
+				}
+				drained[from] = true
 				done++
 				continue
 			}
@@ -47,23 +61,31 @@ func coordinate(c *simmpi.Comm, total int) {
 			}
 			lo, hi := next, min(next+grant, total)
 			next = hi
-			c.Send(from, []float64{float64(lo), float64(hi)})
+			if err := c.Send(from, []float64{float64(lo), float64(hi)}); err != nil {
+				return err
+			}
 		}
 		if !served {
 			runtime.Gosched()
 		}
 	}
+	return nil
 }
 
 // drainChunks pulls chunks from the coordinator and invokes fn on each
 // until the phase is drained.
-func drainChunks(c *simmpi.Comm, fn func(lo, hi int)) {
+func drainChunks(c *simmpi.Comm, fn func(lo, hi int)) error {
 	for {
-		c.Send(0, []float64{float64(c.Rank())})
-		resp := c.Recv(0)
+		if err := c.Send(0, []float64{float64(c.Rank())}); err != nil {
+			return err
+		}
+		resp, err := c.Recv(0)
+		if err != nil {
+			return err
+		}
 		lo, hi := int(resp[0]), int(resp[1])
 		if hi <= lo {
-			return
+			return nil
 		}
 		fn(lo, hi)
 	}
@@ -79,26 +101,35 @@ func (s *System) RunMPIDynamic(P int) (*Result, error) {
 	if P < 2 {
 		return nil, fmt.Errorf("gb: dynamic load balancing needs P ≥ 2 (one coordinator), got %d", P)
 	}
+	if P-1 > s.NumAtoms() {
+		return nil, fmt.Errorf("gb: invalid layout: %d compute ranks exceed the %d atoms to distribute",
+			P-1, s.NumAtoms())
+	}
 	start := time.Now()
 	perCoreOps := make([]int64, P)
 	radiiOut := make([]float64, s.NumAtoms())
 	energy := 0.0
 
-	traffic, err := simmpi.Run(P, func(c *simmpi.Comm) {
+	traffic, err := simmpi.Run(P, func(c *simmpi.Comm) error {
 		rank := c.Rank()
 
 		// ---- Phase 1+2: Born integrals, dynamic chunks of q-leaves ----
 		acc := s.newBornAccum()
 		if rank == 0 {
-			coordinate(c, len(s.qLeaves))
+			if err := coordinate(c, len(s.qLeaves)); err != nil {
+				return err
+			}
 		} else {
-			drainChunks(c, func(lo, hi int) {
+			err := drainChunks(c, func(lo, hi int) {
 				ops := int64(0)
 				for _, q := range s.qLeaves[lo:hi] {
 					ops += s.ApproxIntegrals(s.TA.Root(), q, acc)
 				}
 				perCoreOps[rank] += ops
 			})
+			if err != nil {
+				return err
+			}
 		}
 
 		// ---- Phase 3: merge partial integrals --------------------------
@@ -108,7 +139,10 @@ func (s *System) RunMPIDynamic(P int) (*Result, error) {
 			flat = append(flat, g.X, g.Y, g.Z)
 		}
 		flat = append(flat, acc.atomS...)
-		merged := c.Allreduce(flat, simmpi.Sum)
+		merged, err := c.Allreduce(flat, simmpi.Sum)
+		if err != nil {
+			return err
+		}
 		copy(acc.nodeS, merged[:len(acc.nodeS)])
 		gs := merged[len(acc.nodeS) : 4*len(acc.nodeS)]
 		for i := range acc.nodeG {
@@ -126,12 +160,18 @@ func (s *System) RunMPIDynamic(P int) (*Result, error) {
 			for pos := alo; pos < ahi; pos++ {
 				seg = append(seg, radii[s.TA.Items[pos]])
 			}
-			all := c.Allgatherv(seg)
+			all, err := c.Allgatherv(seg)
+			if err != nil {
+				return err
+			}
 			for pos, r := range all {
 				radii[s.TA.Items[pos]] = r
 			}
 		} else {
-			all := c.Allgatherv(nil)
+			all, err := c.Allgatherv(nil)
+			if err != nil {
+				return err
+			}
 			for pos, r := range all {
 				radii[s.TA.Items[pos]] = r
 			}
@@ -141,9 +181,11 @@ func (s *System) RunMPIDynamic(P int) (*Result, error) {
 		agg := s.buildEpolAggregates(radii)
 		partial := 0.0
 		if rank == 0 {
-			coordinate(c, len(s.aLeaves))
+			if err := coordinate(c, len(s.aLeaves)); err != nil {
+				return err
+			}
 		} else {
-			drainChunks(c, func(lo, hi int) {
+			err := drainChunks(c, func(lo, hi int) {
 				ops := int64(0)
 				for _, v := range s.aLeaves[lo:hi] {
 					vs, vops := s.ApproxEpol(s.TA.Root(), v, radii, agg)
@@ -152,14 +194,21 @@ func (s *System) RunMPIDynamic(P int) (*Result, error) {
 				}
 				perCoreOps[rank] += ops
 			})
+			if err != nil {
+				return err
+			}
 		}
 
 		// ---- Phase 7: final reduction ----------------------------------
-		sum := c.Allreduce([]float64{partial}, simmpi.Sum)
+		sum, err := c.Allreduce([]float64{partial}, simmpi.Sum)
+		if err != nil {
+			return err
+		}
 		if rank == 0 {
 			energy = -0.5 * Tau(s.Params.EpsSolvent) * CoulombKcal * sum[0]
 			copy(radiiOut, radii)
 		}
+		return nil
 	})
 	if err != nil {
 		return nil, err

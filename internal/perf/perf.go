@@ -145,6 +145,11 @@ type Breakdown struct {
 	CompSeconds     float64
 	CommSeconds     float64
 	OverheadSeconds float64
+	// FaultSeconds is the modeled recovery cost of a fault-injected run:
+	// retry backoff waits, injected message delays, and straggler stalls.
+	// The wire cost of retried/dropped messages is already in CommSeconds
+	// (every send attempt is logged), so this is purely the waiting time.
+	FaultSeconds    float64
 	TotalSeconds    float64
 	CacheFactor     float64
 	ThrashFactor    float64
@@ -218,7 +223,10 @@ func (m Machine) Price(cal Calibration, shape RunShape, perCoreOps []int64, traf
 	// --- communication ---------------------------------------------------
 	b.CommSeconds = m.commSeconds(cal, shape, procsPerNode, traffic)
 
-	b.TotalSeconds = b.CompSeconds + b.CommSeconds + b.OverheadSeconds
+	// --- fault recovery --------------------------------------------------
+	b.FaultSeconds = float64(traffic.BackoffNanos+traffic.DelayNanos+traffic.StragglerNanos) / 1e9
+
+	b.TotalSeconds = b.CompSeconds + b.CommSeconds + b.OverheadSeconds + b.FaultSeconds
 	return b, nil
 }
 
@@ -295,7 +303,7 @@ func (m Machine) PriceNoisy(cal Calibration, shape RunShape, perCoreOps []int64,
 				worst = j
 			}
 		}
-		t := base.CompSeconds*(1+worst) + base.CommSeconds + base.OverheadSeconds
+		t := base.CompSeconds*(1+worst) + base.CommSeconds + base.OverheadSeconds + base.FaultSeconds
 		if t < minSec {
 			minSec = t
 		}

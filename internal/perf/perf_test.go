@@ -199,3 +199,30 @@ func TestLonestar4Shape(t *testing.T) {
 		t.Error("Table I memory sizes wrong")
 	}
 }
+
+func TestFaultRecoveryCostPriced(t *testing.T) {
+	m := Lonestar4()
+	cal := DefaultCalibration()
+	shape := RunShape{Processes: 2, ThreadsPerProcess: 1, DataBytes: 1 << 20}
+	clean, err := m.Price(cal, shape, ops(2, 1e8), simmpi.Stats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.FaultSeconds != 0 {
+		t.Errorf("fault-free run priced FaultSeconds = %v", clean.FaultSeconds)
+	}
+	faulty, err := m.Price(cal, shape, ops(2, 1e8), simmpi.Stats{
+		BackoffNanos:   2_000_000,
+		DelayNanos:     3_000_000,
+		StragglerNanos: 5_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.FaultSeconds != 0.010 {
+		t.Errorf("FaultSeconds = %v, want 0.010", faulty.FaultSeconds)
+	}
+	if faulty.TotalSeconds != clean.TotalSeconds+0.010 {
+		t.Errorf("recovery cost not in the total: %v vs %v", faulty.TotalSeconds, clean.TotalSeconds)
+	}
+}

@@ -97,16 +97,6 @@ func Dunavant(degree int) (TriangleRule, error) {
 	return r, nil
 }
 
-// MustDunavant is Dunavant but panics on an invalid degree; for use with
-// compile-time-constant degrees.
-func MustDunavant(degree int) TriangleRule {
-	r, err := Dunavant(degree)
-	if err != nil {
-		panic(err)
-	}
-	return r
-}
-
 // NumPoints returns the number of nodes in the rule.
 func (r TriangleRule) NumPoints() int { return len(r.Points) }
 

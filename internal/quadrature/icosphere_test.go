@@ -102,7 +102,10 @@ func TestIcosphereNegativeLevel(t *testing.T) {
 // the divergence-theorem volume 3·V = 4π... i.e. flux of identity field.
 func TestSphereFluxIntegral(t *testing.T) {
 	m := Icosphere(3)
-	rule := MustDunavant(2)
+	rule, err := Dunavant(2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	flux := 0.0
 	for _, tr := range m.Triangles {
 		a, b, c := m.Vertices[tr.A], m.Vertices[tr.B], m.Vertices[tr.C]

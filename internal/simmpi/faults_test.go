@@ -1,0 +1,251 @@
+package simmpi
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gbpolar/internal/fault"
+)
+
+func TestRunPlanEmptyPlanMatchesRun(t *testing.T) {
+	stats, err := RunPlan(3, &fault.Plan{}, func(c *Comm) error {
+		_, err := c.Allreduce([]float64{1}, Sum)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.LostRanks) != 0 || stats.Drops != 0 {
+		t.Errorf("empty plan produced fault traffic: %+v", stats)
+	}
+}
+
+func TestInjectedCrashSurvivorsComplete(t *testing.T) {
+	// Rank 1 dies at its first op; the survivors' collectives must release
+	// and combine only live contributions, and Run must report the loss in
+	// stats — not as an error (recovery policy belongs to the caller).
+	plan := &fault.Plan{Events: []fault.Event{{Kind: fault.Crash, Rank: 1, AtOp: 0}}}
+	var sum atomic.Value
+	stats, err := RunPlan(4, plan, func(c *Comm) error {
+		got, err := c.Allreduce([]float64{float64(c.Rank() + 1)}, Sum)
+		if err != nil {
+			return err
+		}
+		sum.Store(got[0])
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		lost := c.Lost()
+		if len(lost) != 1 || lost[0] != 1 {
+			t.Errorf("rank %d: Lost = %v", c.Rank(), lost)
+		}
+		if c.Alive(1) {
+			t.Error("rank 1 reported alive after crash")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.LostRanks) != 1 || stats.LostRanks[0] != 1 {
+		t.Errorf("LostRanks = %v", stats.LostRanks)
+	}
+	// 1 + 3 + 4 (rank 1's +2 is missing).
+	if got := sum.Load().(float64); got != 8 {
+		t.Errorf("survivor Allreduce = %v, want 8", got)
+	}
+}
+
+func TestInjectedDropReturnsErrDropped(t *testing.T) {
+	plan := &fault.Plan{Events: []fault.Event{
+		{Kind: fault.Drop, Rank: 0, To: 1, AtOp: 0, Count: 1},
+	}}
+	stats, err := RunPlan(2, plan, func(c *Comm) error {
+		if c.Rank() == 0 {
+			err := c.Send(1, []float64{1, 2})
+			if !errors.Is(err, ErrDropped) {
+				t.Errorf("first send err = %v, want ErrDropped", err)
+			}
+			c.RecordRetry(100 * time.Microsecond)
+			if err := c.Send(1, []float64{1, 2}); err != nil {
+				return err
+			}
+		} else {
+			m, err := c.Recv(0)
+			if err != nil {
+				return err
+			}
+			if len(m) != 2 {
+				t.Errorf("Recv = %v", m)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Drops != 1 || stats.Retries != 1 || stats.BackoffNanos != 100_000 {
+		t.Errorf("fault stats = %+v", stats)
+	}
+	// Both the dropped attempt and the retry pay wire cost.
+	if stats.P2PMessages != 2 || stats.P2PBytes != 32 {
+		t.Errorf("p2p stats = %+v", stats)
+	}
+}
+
+func TestRecvFromCrashedRank(t *testing.T) {
+	plan := &fault.Plan{Events: []fault.Event{{Kind: fault.Crash, Rank: 1, AtOp: 0}}}
+	_, err := RunPlan(2, plan, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return c.Barrier() // crashes at the fault point before waiting
+		}
+		_, err := c.Recv(1)
+		var lost *RankLostError
+		if !errors.As(err, &lost) || lost.Ranks[0] != 1 {
+			t.Errorf("Recv err = %v, want RankLostError{1}", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendToCrashedRank(t *testing.T) {
+	plan := &fault.Plan{Events: []fault.Event{{Kind: fault.Crash, Rank: 1, AtOp: 0}}}
+	_, err := RunPlan(2, plan, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return c.Barrier()
+		}
+		// Wait for the crash to land, then observe it on Send.
+		for c.Alive(1) {
+			time.Sleep(50 * time.Microsecond)
+		}
+		err := c.Send(1, []float64{1})
+		var lost *RankLostError
+		if !errors.As(err, &lost) {
+			t.Errorf("Send err = %v, want RankLostError", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectedDelayAndStraggleRecorded(t *testing.T) {
+	plan := &fault.Plan{Events: []fault.Event{
+		{Kind: fault.Delay, Rank: 0, To: -1, AtOp: 0, Count: 1, Dur: 3 * time.Millisecond},
+		{Kind: fault.Straggle, Rank: 1, AtOp: 0, Count: 2, Dur: 5 * time.Millisecond},
+	}}
+	stats, err := RunPlan(2, plan, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, []float64{1}); err != nil {
+				return err
+			}
+		} else {
+			if _, err := c.Recv(0); err != nil {
+				return err
+			}
+			if err := c.Tick(); err != nil {
+				return err
+			}
+			h := c.Health()
+			if len(h.Straggling) != 1 || h.Straggling[0] != 1 {
+				t.Errorf("Straggling = %v", h.Straggling)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DelayNanos != 3e6 {
+		t.Errorf("DelayNanos = %d, want 3e6 (full modeled duration)", stats.DelayNanos)
+	}
+	if stats.StragglerNanos != 10e6 {
+		t.Errorf("StragglerNanos = %d, want 10e6", stats.StragglerNanos)
+	}
+}
+
+func TestCrashDuringBarrierWaitReleasesSurvivors(t *testing.T) {
+	// Rank 2's crash strikes at its second op — after it already entered
+	// the first barrier. The survivors' *next* barrier must still release
+	// (live count shrinks under them).
+	plan := &fault.Plan{Events: []fault.Event{{Kind: fault.Crash, Rank: 2, AtOp: 1}}}
+	_, err := RunPlan(3, plan, func(c *Comm) error {
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil { // rank 2 dies at this fault point
+			return err
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhaseMarkersSurviveCrash(t *testing.T) {
+	plan := &fault.Plan{Events: []fault.Event{{Kind: fault.Crash, Rank: 1, AtOp: 2}}}
+	_, err := RunPlan(3, plan, func(c *Comm) error {
+		c.Post(7)
+		if err := c.Barrier(); err != nil { // op 0
+			return err
+		}
+		if err := c.Barrier(); err != nil { // op 1
+			return err
+		}
+		if err := c.Barrier(); err != nil { // op 2: rank 1 dies here
+			return err
+		}
+		if got := c.PhaseOf(1); got != 7 {
+			t.Errorf("PhaseOf(1) = %d, want frozen marker 7", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastDeadRoot(t *testing.T) {
+	plan := &fault.Plan{Events: []fault.Event{{Kind: fault.Crash, Rank: 0, AtOp: 0}}}
+	_, err := RunPlan(3, plan, func(c *Comm) error {
+		_, err := c.Bcast(0, []float64{1})
+		if c.Rank() != 0 {
+			var lost *RankLostError
+			if !errors.As(err, &lost) {
+				t.Errorf("rank %d: Bcast err = %v, want RankLostError", c.Rank(), err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChaosPlanNoDeadlock(t *testing.T) {
+	// Chaos schedules across many seeds: whatever the injected mix, every
+	// run must terminate — survivors either finish or observe errors, never
+	// hang. Run under -race this doubles as the collectives' data-race
+	// check in the presence of deaths.
+	for seed := int64(1); seed <= 8; seed++ {
+		plan := fault.Chaos(seed, 6, 10)
+		_, err := RunPlan(6, plan, func(c *Comm) error {
+			for i := 0; i < 6; i++ {
+				if _, err := c.Allreduce([]float64{1}, Sum); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}

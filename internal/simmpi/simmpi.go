@@ -5,7 +5,8 @@
 // reusable generation barrier with real data movement.
 //
 // All communication traffic is recorded (message counts, byte volumes,
-// collective events) so the performance model in internal/perf can price
+// collective events, and — under fault injection — drops, retries and
+// modeled stall time) so the performance model in internal/perf can price
 // runs with the ts/tw (α–β) cost model the paper uses in §IV-C — the
 // computation is executed for real, only the *time* of the interconnect is
 // modeled.
@@ -13,12 +14,36 @@
 // Collective reductions are computed in rank order on every rank, so
 // results are deterministic and identical across ranks and across runs
 // with the same rank count.
+//
+// # Fault model
+//
+// RunPlan accepts a fault.Plan whose events the world injects at
+// communication operations: ranks crash, sends are dropped or delayed,
+// stragglers stall. The runtime itself never deadlocks on a lost rank:
+//
+//   - the generation barrier releases once every *live* rank has arrived,
+//     and a rank dying mid-wait re-evaluates the release condition;
+//   - collectives combine the contributions of the ranks that are alive
+//     this round (dead ranks are skipped, not waited for);
+//   - Recv unblocks with a *RankLostError when its peer dies, and
+//     RecvTimeout adds a deadline;
+//   - a rank returning an error, or genuinely panicking, aborts the world:
+//     every blocked operation returns the causal error instead of hanging.
+//
+// Recovering lost work (or degrading gracefully) is the *driver's* job —
+// the runtime provides the health view (Alive, Lost, PhaseOf) and the
+// error returns that make those policies implementable without deadlock.
 package simmpi
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"gbpolar/internal/fault"
 )
 
 // Op is a reduction operator.
@@ -80,6 +105,47 @@ type Stats struct {
 	P2PMessages int64
 	P2PBytes    int64
 	Collectives map[CollectiveKind]CollectiveStat
+
+	// Fault-injection traffic: Drops counts send attempts lost in
+	// transit, Retries the re-sends drivers issued in response (recorded
+	// via RecordRetry), BackoffNanos the modeled retry backoff stall,
+	// DelayNanos the modeled injected wire latency, and StragglerNanos
+	// the modeled injected compute slowdown. internal/perf prices these
+	// as recovery cost.
+	Drops          int64
+	Retries        int64
+	BackoffNanos   int64
+	DelayNanos     int64
+	StragglerNanos int64
+	// LostRanks are the ranks killed by injected crashes, sorted.
+	LostRanks []int
+}
+
+// ErrDropped is returned by Send when the attempt was lost to an injected
+// drop fault; the caller may retry.
+var ErrDropped = errors.New("simmpi: message dropped in transit")
+
+// ErrTimeout is returned by RecvTimeout when the deadline expires first.
+var ErrTimeout = errors.New("simmpi: receive timed out")
+
+// RankLostError reports that an operation could not complete because the
+// named peer ranks crashed.
+type RankLostError struct {
+	Ranks []int
+}
+
+func (e *RankLostError) Error() string {
+	return fmt.Sprintf("simmpi: rank(s) %v lost", e.Ranks)
+}
+
+// Health is a snapshot of the world's per-rank state.
+type Health struct {
+	// Live holds the ranks still executing.
+	Live []int
+	// Lost holds the ranks killed by injected crashes.
+	Lost []int
+	// Straggling holds the ranks the fault plan slows down.
+	Straggling []int
 }
 
 // World is one communicator instance shared by all ranks of a Run.
@@ -89,17 +155,43 @@ type World struct {
 	// point-to-point mailboxes: mail[to][from].
 	mail [][]chan []float64
 
-	// generation barrier + collective scratch.
-	mu      sync.Mutex
-	cond    *sync.Cond
-	arrived int
-	gen     uint64
-	slots   [][]float64
+	// generation barrier + collective scratch, all guarded by mu. live is
+	// the number of ranks still executing: the barrier releases when every
+	// live rank has arrived, and retiring a rank (crash or normal return)
+	// re-checks the condition so nobody waits for the dead.
+	mu       sync.Mutex
+	cond     *sync.Cond
+	arrived  int
+	gen      uint64
+	live     int
+	gone     []bool // retired (crashed or returned), by rank
+	slotOK   []bool // slot contributed to the collective round in flight
+	slots    [][]float64
+	abortErr error
+	lost     []int // injected-crash ranks
 
-	p2pMessages atomic.Int64
-	p2pBytes    atomic.Int64
-	collMu      sync.Mutex
-	collectives map[CollectiveKind]CollectiveStat
+	// deadCh[r] closes when rank r retires; abortCh closes on world abort.
+	// Blocked point-to-point operations select on these to stay deadlock-
+	// free.
+	deadCh  []chan struct{}
+	abortCh chan struct{}
+
+	// phase[r] is rank r's driver-posted progress marker (Post/PhaseOf):
+	// the recovery protocols use it to decide which phases a dead rank
+	// completed.
+	phase []atomic.Int64
+
+	inj *fault.Injector
+
+	p2pMessages    atomic.Int64
+	p2pBytes       atomic.Int64
+	drops          atomic.Int64
+	retries        atomic.Int64
+	backoffNanos   atomic.Int64
+	delayNanos     atomic.Int64
+	stragglerNanos atomic.Int64
+	collMu         sync.Mutex
+	collectives    map[CollectiveKind]CollectiveStat
 }
 
 // Comm is one rank's handle on the world.
@@ -110,21 +202,51 @@ type Comm struct {
 
 const float64Bytes = 8
 
+// maxRealSleep caps the real in-process sleep of injected delay/straggle
+// faults; the full duration is recorded in the modeled stall statistics.
+const maxRealSleep = 2 * time.Millisecond
+
+// rankCrashed is the panic sentinel an injected crash uses to unwind the
+// rank's stack; Run recognizes it and does not treat it as a failure of
+// the program under test.
+type rankCrashed struct{ rank int }
+
 // Run executes fn on `size` ranks concurrently and returns the world's
-// traffic statistics once every rank has returned. A panic on any rank is
-// captured and returned as an error (after all surviving ranks finish or
-// deadlock is avoided by the panicking rank releasing the barrier is NOT
-// attempted — collectives must not be conditionally skipped by callers).
-func Run(size int, fn func(c *Comm)) (Stats, error) {
+// traffic statistics once every rank has returned. A rank returning an
+// error, or panicking, aborts the world: blocked communication on the
+// surviving ranks returns the causal error instead of deadlocking, and
+// Run reports that cause.
+func Run(size int, fn func(c *Comm) error) (Stats, error) {
+	return RunPlan(size, nil, fn)
+}
+
+// RunPlan is Run under fault injection: the plan's events are applied at
+// the ranks' communication operations. Injected crashes do NOT abort the
+// world — survivors keep running (collectives skip the dead) and the lost
+// ranks are reported in Stats.LostRanks, leaving recovery policy to the
+// caller.
+func RunPlan(size int, plan *fault.Plan, fn func(c *Comm) error) (Stats, error) {
 	if size < 1 {
 		return Stats{}, fmt.Errorf("simmpi: size %d < 1", size)
 	}
 	w := &World{
 		size:        size,
+		live:        size,
+		gone:        make([]bool, size),
+		slotOK:      make([]bool, size),
 		slots:       make([][]float64, size),
+		deadCh:      make([]chan struct{}, size),
+		abortCh:     make(chan struct{}),
+		phase:       make([]atomic.Int64, size),
 		collectives: make(map[CollectiveKind]CollectiveStat),
 	}
+	if !plan.Empty() {
+		w.inj = plan.NewInjector(size)
+	}
 	w.cond = sync.NewCond(&w.mu)
+	for r := range w.deadCh {
+		w.deadCh[r] = make(chan struct{})
+	}
 	w.mail = make([][]chan []float64, size)
 	for to := range w.mail {
 		w.mail[to] = make([]chan []float64, size)
@@ -139,20 +261,93 @@ func Run(size int, fn func(c *Comm)) (Stats, error) {
 		go func(rank int) {
 			defer wg.Done()
 			defer func() {
-				if rec := recover(); rec != nil {
-					errs[rank] = fmt.Errorf("simmpi: rank %d panicked: %v", rank, rec)
+				rec := recover()
+				if rec == nil {
+					w.retire(rank, false)
+					return
 				}
+				if _, crashed := rec.(rankCrashed); crashed {
+					return // already retired by kill
+				}
+				err := fmt.Errorf("simmpi: rank %d panicked: %v", rank, rec)
+				errs[rank] = err
+				w.abort(err)
+				w.retire(rank, false)
 			}()
-			fn(&Comm{world: w, rank: rank})
+			if err := fn(&Comm{world: w, rank: rank}); err != nil {
+				errs[rank] = err
+				w.abort(err)
+			}
 		}(r)
 	}
 	wg.Wait()
+	stats := w.stats()
+	if cause := w.aborted(); cause != nil {
+		return stats, cause
+	}
 	for _, err := range errs {
 		if err != nil {
-			return w.stats(), err
+			return stats, err
 		}
 	}
-	return w.stats(), nil
+	return stats, nil
+}
+
+// retire removes a rank from the live set — on crash (injected = true) or
+// normal return — releasing any barrier now satisfied by the survivors
+// and unblocking peers waiting on this rank.
+func (w *World) retire(rank int, injected bool) {
+	w.mu.Lock()
+	if w.gone[rank] {
+		w.mu.Unlock()
+		return
+	}
+	w.gone[rank] = true
+	w.slotOK[rank] = false
+	w.slots[rank] = nil
+	w.live--
+	if injected {
+		w.lost = append(w.lost, rank)
+	}
+	close(w.deadCh[rank])
+	if w.live > 0 && w.arrived >= w.live {
+		w.releaseLocked()
+	} else {
+		// Wake waiters so they re-check abort state.
+		w.cond.Broadcast()
+	}
+	w.mu.Unlock()
+}
+
+func (w *World) releaseLocked() {
+	w.arrived = 0
+	w.gen++
+	w.cond.Broadcast()
+}
+
+// abort cancels the world with a causal error: all blocked and future
+// communication returns it.
+func (w *World) abort(err error) {
+	w.mu.Lock()
+	if w.abortErr == nil {
+		w.abortErr = err
+		close(w.abortCh)
+		w.cond.Broadcast()
+	}
+	w.mu.Unlock()
+}
+
+// aborted returns the abort cause, or nil.
+func (w *World) aborted() error {
+	select {
+	case <-w.abortCh:
+		w.mu.Lock()
+		err := w.abortErr
+		w.mu.Unlock()
+		return err
+	default:
+		return nil
+	}
 }
 
 func (w *World) stats() Stats {
@@ -162,10 +357,20 @@ func (w *World) stats() Stats {
 		coll[k] = v
 	}
 	w.collMu.Unlock()
+	w.mu.Lock()
+	lost := append([]int(nil), w.lost...)
+	w.mu.Unlock()
+	sort.Ints(lost)
 	return Stats{
-		P2PMessages: w.p2pMessages.Load(),
-		P2PBytes:    w.p2pBytes.Load(),
-		Collectives: coll,
+		P2PMessages:    w.p2pMessages.Load(),
+		P2PBytes:       w.p2pBytes.Load(),
+		Collectives:    coll,
+		Drops:          w.drops.Load(),
+		Retries:        w.retries.Load(),
+		BackoffNanos:   w.backoffNanos.Load(),
+		DelayNanos:     w.delayNanos.Load(),
+		StragglerNanos: w.stragglerNanos.Load(),
+		LostRanks:      lost,
 	}
 }
 
@@ -178,31 +383,213 @@ func (w *World) recordCollective(kind CollectiveKind, bytesPerRank int64) {
 	w.collMu.Unlock()
 }
 
+// faultPoint is consulted at every communication operation: it applies
+// the injected faults for this op and returns ErrDropped for a dropped
+// send, the abort cause if the world is canceled, or nil. An injected
+// crash does not return — it retires the rank and unwinds via panic.
+func (c *Comm) faultPoint(send bool, to int) error {
+	w := c.world
+	if err := w.aborted(); err != nil {
+		return err
+	}
+	if w.inj == nil {
+		return nil
+	}
+	act := w.inj.Advance(c.rank, send, to)
+	if act.Straggle > 0 {
+		w.stragglerNanos.Add(int64(act.Straggle))
+		sleepCapped(act.Straggle)
+	}
+	if act.Delay > 0 {
+		w.delayNanos.Add(int64(act.Delay))
+		sleepCapped(act.Delay)
+	}
+	if act.Crash {
+		w.retire(c.rank, true)
+		panic(rankCrashed{c.rank})
+	}
+	if act.Drop {
+		w.drops.Add(1)
+		return ErrDropped
+	}
+	return nil
+}
+
+func sleepCapped(d time.Duration) {
+	if d > maxRealSleep {
+		d = maxRealSleep
+	}
+	time.Sleep(d)
+}
+
 // Rank returns this rank's id in [0, Size).
 func (c *Comm) Rank() int { return c.rank }
 
-// Size returns the number of ranks.
+// Size returns the number of ranks the world started with (crashed ranks
+// included — rank ids are stable).
 func (c *Comm) Size() int { return c.world.size }
 
-// Send delivers a copy of data to rank `to`. It blocks only if the
-// destination mailbox is full (64 outstanding messages).
-func (c *Comm) Send(to int, data []float64) {
+// Alive reports whether the rank is still executing.
+func (c *Comm) Alive(rank int) bool {
 	w := c.world
-	buf := make([]float64, len(data))
-	copy(buf, data)
-	w.mail[to][c.rank] <- buf
-	w.p2pMessages.Add(1)
-	w.p2pBytes.Add(int64(len(data)) * float64Bytes)
+	w.mu.Lock()
+	alive := rank >= 0 && rank < w.size && !w.gone[rank]
+	w.mu.Unlock()
+	return alive
 }
 
-// Recv blocks until a message from rank `from` arrives and returns it.
-func (c *Comm) Recv(from int) []float64 {
-	return <-c.world.mail[c.rank][from]
+// Lost returns the ranks killed by injected crashes so far, sorted. This
+// is each rank's *local instantaneous* view; recovery protocols that need
+// an identical view on every rank should agree on one through a
+// collective (see internal/gb's agreeLost).
+func (c *Comm) Lost() []int {
+	w := c.world
+	w.mu.Lock()
+	lost := append([]int(nil), w.lost...)
+	w.mu.Unlock()
+	sort.Ints(lost)
+	return lost
+}
+
+// LiveCount returns the number of ranks still executing.
+func (c *Comm) LiveCount() int {
+	w := c.world
+	w.mu.Lock()
+	n := w.live
+	w.mu.Unlock()
+	return n
+}
+
+// Health returns the world's per-rank health snapshot.
+func (c *Comm) Health() Health {
+	w := c.world
+	h := Health{Lost: c.Lost(), Straggling: w.inj.Stragglers()}
+	w.mu.Lock()
+	for r := 0; r < w.size; r++ {
+		if !w.gone[r] {
+			h.Live = append(h.Live, r)
+		}
+	}
+	w.mu.Unlock()
+	return h
+}
+
+// Post publishes this rank's progress marker (a driver-defined monotone
+// phase id). Survivors read it with PhaseOf to decide which phases a dead
+// rank completed; markers are frozen at death.
+func (c *Comm) Post(v int64) { c.world.phase[c.rank].Store(v) }
+
+// PhaseOf reads rank's last posted progress marker.
+func (c *Comm) PhaseOf(rank int) int64 { return c.world.phase[rank].Load() }
+
+// Tick is a communication-free fault point for compute loops: it advances
+// this rank's operation counter so crash and straggler events can strike
+// mid-phase, and returns the abort cause if the world is canceled. Safe
+// to call only from the rank's own goroutine (a crash unwinds the calling
+// stack).
+func (c *Comm) Tick() error { return c.faultPoint(false, -1) }
+
+// RecordRetry accounts one driver-level re-send after a drop plus the
+// backoff the driver would have waited; internal/perf prices it.
+func (c *Comm) RecordRetry(backoff time.Duration) {
+	c.world.retries.Add(1)
+	c.world.backoffNanos.Add(int64(backoff))
+}
+
+// Send delivers a copy of data to rank `to`. It blocks only if the
+// destination mailbox is full (64 outstanding messages), and unblocks
+// with a *RankLostError if the destination dies. Under fault injection it
+// can return ErrDropped (the attempt is lost; the caller may retry).
+func (c *Comm) Send(to int, data []float64) error {
+	w := c.world
+	if to < 0 || to >= w.size {
+		return fmt.Errorf("simmpi: Send to invalid rank %d (world size %d)", to, w.size)
+	}
+	err := c.faultPoint(true, to)
+	if err != nil && !errors.Is(err, ErrDropped) {
+		return err
+	}
+	// The wire attempt is paid whether or not the message arrives: the
+	// performance model prices dropped attempts as wasted transfers.
+	w.p2pMessages.Add(1)
+	w.p2pBytes.Add(int64(len(data)) * float64Bytes)
+	if err != nil {
+		return err
+	}
+	if !c.Alive(to) {
+		return &RankLostError{Ranks: []int{to}}
+	}
+	buf := make([]float64, len(data))
+	copy(buf, data)
+	select {
+	case w.mail[to][c.rank] <- buf:
+		return nil
+	case <-w.deadCh[to]:
+		return &RankLostError{Ranks: []int{to}}
+	case <-w.abortCh:
+		return w.aborted()
+	}
+}
+
+// Recv blocks until a message from rank `from` arrives and returns it. It
+// unblocks with a *RankLostError if `from` dies with an empty mailbox, or
+// with the abort cause if the world is canceled.
+func (c *Comm) Recv(from int) ([]float64, error) {
+	return c.recvDeadline(from, 0)
+}
+
+// RecvTimeout is Recv with a deadline: it returns ErrTimeout if no
+// message arrives within d.
+func (c *Comm) RecvTimeout(from int, d time.Duration) ([]float64, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("simmpi: RecvTimeout needs a positive deadline, got %v", d)
+	}
+	return c.recvDeadline(from, d)
+}
+
+func (c *Comm) recvDeadline(from int, d time.Duration) ([]float64, error) {
+	w := c.world
+	if from < 0 || from >= w.size {
+		return nil, fmt.Errorf("simmpi: Recv from invalid rank %d (world size %d)", from, w.size)
+	}
+	if err := c.faultPoint(false, -1); err != nil {
+		return nil, err
+	}
+	box := w.mail[c.rank][from]
+	select {
+	case m := <-box:
+		return m, nil
+	default:
+	}
+	var timeout <-chan time.Time
+	if d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case m := <-box:
+		return m, nil
+	case <-w.deadCh[from]:
+		// The peer died — but a message may already be in flight.
+		select {
+		case m := <-box:
+			return m, nil
+		default:
+			return nil, &RankLostError{Ranks: []int{from}}
+		}
+	case <-w.abortCh:
+		return nil, w.aborted()
+	case <-timeout:
+		return nil, ErrTimeout
+	}
 }
 
 // TryRecv returns a pending message from rank `from` without blocking;
 // ok is false when the mailbox is empty. This is the polling primitive
-// the dynamic load-balancing coordinator uses to serve many workers.
+// the dynamic load-balancing coordinator uses to serve many workers. It
+// is not a fault point: polling frequency is scheduler-dependent, and
+// charging it to the op counter would make fault replay nondeterministic.
 func (c *Comm) TryRecv(from int) (data []float64, ok bool) {
 	select {
 	case m := <-c.world.mail[c.rank][from]:
@@ -212,56 +599,86 @@ func (c *Comm) TryRecv(from int) (data []float64, ok bool) {
 	}
 }
 
-// Barrier blocks until every rank has entered it.
-func (c *Comm) Barrier() {
+// Barrier blocks until every live rank has entered it. It returns the
+// abort cause if the world is canceled while waiting — never deadlocking
+// on a crashed or panicked rank.
+func (c *Comm) Barrier() error {
 	w := c.world
+	if err := c.faultPoint(false, -1); err != nil {
+		return err
+	}
 	if c.rank == 0 {
 		w.recordCollective(KindBarrier, 0)
 	}
-	w.mu.Lock()
-	gen := w.gen
-	w.arrived++
-	if w.arrived == w.size {
-		w.arrived = 0
-		w.gen++
-		w.cond.Broadcast()
-	} else {
-		for w.gen == gen {
-			w.cond.Wait()
-		}
-	}
-	w.mu.Unlock()
+	return c.barrierNoRecord()
 }
 
 // barrierNoRecord is Barrier without a traffic-log entry, used internally
 // by collectives (their cost already covers synchronization).
-func (c *Comm) barrierNoRecord() {
+func (c *Comm) barrierNoRecord() error {
 	w := c.world
 	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.abortErr != nil {
+		return w.abortErr
+	}
 	gen := w.gen
 	w.arrived++
-	if w.arrived == w.size {
-		w.arrived = 0
-		w.gen++
-		w.cond.Broadcast()
-	} else {
-		for w.gen == gen {
-			w.cond.Wait()
+	if w.arrived >= w.live {
+		w.releaseLocked()
+		return nil
+	}
+	for w.gen == gen && w.abortErr == nil {
+		w.cond.Wait()
+	}
+	if w.gen == gen {
+		return w.abortErr
+	}
+	return nil
+}
+
+// contribute publishes this rank's slice for the collective round in
+// flight. Writes are per-rank-indexed and ordered by the barrier mutex,
+// so no extra locking is needed.
+func (c *Comm) contribute(data []float64) {
+	c.world.slots[c.rank] = data
+	c.world.slotOK[c.rank] = true
+}
+
+// contributors returns the ranks whose slots belong to this round — the
+// ranks alive when the round's first barrier released. Call only between
+// the two barriers of a collective.
+func (w *World) contributors() []int {
+	out := make([]int, 0, w.size)
+	for r := 0; r < w.size; r++ {
+		if w.slotOK[r] {
+			out = append(out, r)
 		}
 	}
-	w.mu.Unlock()
+	return out
 }
 
 // Bcast distributes root's data to every rank: on the root, data is
 // returned unchanged; on other ranks a copy of root's slice is returned
-// (data may be nil there).
-func (c *Comm) Bcast(root int, data []float64) []float64 {
+// (data may be nil there). If the root is dead, every rank receives a
+// *RankLostError.
+func (c *Comm) Bcast(root int, data []float64) ([]float64, error) {
 	w := c.world
+	if err := c.faultPoint(false, -1); err != nil {
+		return nil, err
+	}
 	if c.rank == root {
-		w.slots[root] = data
+		c.contribute(data)
 		w.recordCollective(KindBcast, int64(len(data))*float64Bytes)
 	}
-	c.barrierNoRecord()
+	if err := c.barrierNoRecord(); err != nil {
+		return nil, err
+	}
+	if !w.slotOK[root] {
+		// Consistent verdict on every live rank: all skip the close
+		// barrier together.
+		return nil, &RankLostError{Ranks: []int{root}}
+	}
 	var out []float64
 	if c.rank == root {
 		out = data
@@ -269,96 +686,155 @@ func (c *Comm) Bcast(root int, data []float64) []float64 {
 		out = make([]float64, len(w.slots[root]))
 		copy(out, w.slots[root])
 	}
-	c.barrierNoRecord()
-	return out
+	if err := c.barrierNoRecord(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
-// Allreduce combines data elementwise across all ranks with op and returns
-// the combined vector on every rank. All ranks must pass equal-length
-// slices. The input is not modified.
-func (c *Comm) Allreduce(data []float64, op Op) []float64 {
+// Allreduce combines data elementwise across the live ranks with op and
+// returns the combined vector on every rank. All ranks must pass
+// equal-length slices: a mismatch returns an error (on every live rank,
+// consistently) instead of panicking. The input is not modified.
+func (c *Comm) Allreduce(data []float64, op Op) ([]float64, error) {
 	w := c.world
-	w.slots[c.rank] = data
-	if c.rank == 0 {
-		w.recordCollective(KindAllreduce, int64(len(data))*float64Bytes)
+	if err := c.faultPoint(false, -1); err != nil {
+		return nil, err
 	}
-	c.barrierNoRecord()
-	out := make([]float64, len(data))
-	copy(out, w.slots[0])
-	for r := 1; r < w.size; r++ {
+	c.contribute(data)
+	if err := c.barrierNoRecord(); err != nil {
+		return nil, err
+	}
+	ranks := w.contributors()
+	first := ranks[0]
+	out := make([]float64, len(w.slots[first]))
+	copy(out, w.slots[first])
+	for _, r := range ranks[1:] {
 		if len(w.slots[r]) != len(out) {
-			panic(fmt.Sprintf("simmpi: Allreduce length mismatch: rank %d has %d, rank 0 has %d",
-				r, len(w.slots[r]), len(out)))
+			// Every live rank computes the same verdict from the same
+			// slots and returns here, skipping the close barrier in
+			// lockstep; the error then propagates out of Run via fn.
+			return nil, fmt.Errorf("simmpi: Allreduce length mismatch: rank %d has %d elements, rank %d has %d",
+				r, len(w.slots[r]), first, len(out))
 		}
 		op.apply(out, w.slots[r])
 	}
-	c.barrierNoRecord()
-	return out
+	if c.rank == first {
+		w.recordCollective(KindAllreduce, int64(len(out))*float64Bytes)
+	}
+	if err := c.barrierNoRecord(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
-// Reduce combines data across ranks onto the root, which receives the
-// combined vector; other ranks receive nil.
-func (c *Comm) Reduce(root int, data []float64, op Op) []float64 {
+// Reduce combines data across the live ranks onto the root, which
+// receives the combined vector; other ranks receive nil. A dead root is
+// an error on every rank.
+func (c *Comm) Reduce(root int, data []float64, op Op) ([]float64, error) {
 	w := c.world
-	w.slots[c.rank] = data
-	if c.rank == 0 {
+	if err := c.faultPoint(false, -1); err != nil {
+		return nil, err
+	}
+	c.contribute(data)
+	if err := c.barrierNoRecord(); err != nil {
+		return nil, err
+	}
+	if !w.slotOK[root] {
+		return nil, &RankLostError{Ranks: []int{root}}
+	}
+	ranks := w.contributors()
+	if c.rank == ranks[0] {
 		w.recordCollective(KindReduce, int64(len(data))*float64Bytes)
 	}
-	c.barrierNoRecord()
 	var out []float64
+	var err error
 	if c.rank == root {
 		out = make([]float64, len(data))
-		copy(out, w.slots[0])
-		for r := 1; r < w.size; r++ {
+		copy(out, w.slots[ranks[0]])
+		for _, r := range ranks[1:] {
+			if len(w.slots[r]) != len(out) {
+				err = fmt.Errorf("simmpi: Reduce length mismatch: rank %d has %d elements, want %d",
+					r, len(w.slots[r]), len(out))
+				break
+			}
 			op.apply(out, w.slots[r])
 		}
 	}
-	c.barrierNoRecord()
-	return out
+	if berr := c.barrierNoRecord(); berr != nil {
+		return nil, berr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
-// Allgatherv concatenates every rank's (variable-length) contribution in
-// rank order and returns the concatenation on every rank.
-func (c *Comm) Allgatherv(data []float64) []float64 {
+// Allgatherv concatenates every live rank's (variable-length)
+// contribution in rank order and returns the concatenation on every rank.
+// Crashed ranks contribute nothing — callers running a recovery protocol
+// should encode (index, value) pairs rather than relying on positional
+// concatenation.
+func (c *Comm) Allgatherv(data []float64) ([]float64, error) {
 	w := c.world
-	w.slots[c.rank] = data
-	c.barrierNoRecord()
+	if err := c.faultPoint(false, -1); err != nil {
+		return nil, err
+	}
+	c.contribute(data)
+	if err := c.barrierNoRecord(); err != nil {
+		return nil, err
+	}
+	ranks := w.contributors()
 	total := 0
-	for r := 0; r < w.size; r++ {
+	for _, r := range ranks {
 		total += len(w.slots[r])
 	}
-	if c.rank == 0 {
+	if c.rank == ranks[0] {
 		// Bytes records the full gathered vector (the "m" of the
 		// ts + tw·m·(P−1)/P cost model).
 		w.recordCollective(KindAllgatherv, int64(total)*float64Bytes)
 	}
 	out := make([]float64, 0, total)
-	for r := 0; r < w.size; r++ {
+	for _, r := range ranks {
 		out = append(out, w.slots[r]...)
 	}
-	c.barrierNoRecord()
-	return out
+	if err := c.barrierNoRecord(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
-// Gather concatenates contributions in rank order onto the root; other
-// ranks receive nil.
-func (c *Comm) Gather(root int, data []float64) []float64 {
+// Gather concatenates the live ranks' contributions in rank order onto
+// the root; other ranks receive nil. A dead root is an error on every
+// rank.
+func (c *Comm) Gather(root int, data []float64) ([]float64, error) {
 	w := c.world
-	w.slots[c.rank] = data
-	c.barrierNoRecord()
-	if c.rank == 0 {
+	if err := c.faultPoint(false, -1); err != nil {
+		return nil, err
+	}
+	c.contribute(data)
+	if err := c.barrierNoRecord(); err != nil {
+		return nil, err
+	}
+	if !w.slotOK[root] {
+		return nil, &RankLostError{Ranks: []int{root}}
+	}
+	ranks := w.contributors()
+	if c.rank == ranks[0] {
 		total := 0
-		for r := 0; r < w.size; r++ {
+		for _, r := range ranks {
 			total += len(w.slots[r])
 		}
 		w.recordCollective(KindGather, int64(total)*float64Bytes)
 	}
 	var out []float64
 	if c.rank == root {
-		for r := 0; r < w.size; r++ {
+		for _, r := range ranks {
 			out = append(out, w.slots[r]...)
 		}
 	}
-	c.barrierNoRecord()
-	return out
+	if err := c.barrierNoRecord(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

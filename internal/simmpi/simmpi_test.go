@@ -6,13 +6,27 @@ import (
 	"testing"
 )
 
+// must unwraps a collective result inside rank functions: the happy-path
+// tests treat any communication error as fatal. Curried so call sites can
+// forward a (data, err) pair directly: must(t)(c.Allreduce(...)).
+func must(t *testing.T) func(data []float64, err error) []float64 {
+	return func(data []float64, err error) []float64 {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("collective failed: %v", err)
+		}
+		return data
+	}
+}
+
 func TestRunAllRanksExecute(t *testing.T) {
 	var count atomic.Int64
-	stats, err := Run(8, func(c *Comm) {
+	stats, err := Run(8, func(c *Comm) error {
 		count.Add(1)
 		if c.Size() != 8 {
 			t.Errorf("Size = %d", c.Size())
 		}
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -26,32 +40,53 @@ func TestRunAllRanksExecute(t *testing.T) {
 }
 
 func TestRunInvalidSize(t *testing.T) {
-	if _, err := Run(0, func(c *Comm) {}); err == nil {
+	if _, err := Run(0, func(c *Comm) error { return nil }); err == nil {
 		t.Fatal("size 0 accepted")
 	}
 }
 
 func TestRunCapturesPanic(t *testing.T) {
-	_, err := Run(2, func(c *Comm) {
+	_, err := Run(2, func(c *Comm) error {
 		if c.Rank() == 1 {
 			panic("boom")
 		}
+		return nil
 	})
 	if err == nil {
 		t.Fatal("panic not reported")
 	}
 }
 
-func TestSendRecv(t *testing.T) {
-	stats, err := Run(2, func(c *Comm) {
-		if c.Rank() == 0 {
-			c.Send(1, []float64{1, 2, 3})
-		} else {
-			got := c.Recv(0)
-			if len(got) != 3 || got[0] != 1 || got[2] != 3 {
-				t.Errorf("Recv = %v", got)
-			}
+func TestRunPropagatesError(t *testing.T) {
+	want := "rank 2 gave up"
+	_, err := Run(4, func(c *Comm) error {
+		if c.Rank() == 2 {
+			return errInjected(want)
 		}
+		return nil
+	})
+	if err == nil || err.Error() != want {
+		t.Fatalf("err = %v, want %q", err, want)
+	}
+}
+
+type errInjected string
+
+func (e errInjected) Error() string { return string(e) }
+
+func TestSendRecv(t *testing.T) {
+	stats, err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, []float64{1, 2, 3})
+		}
+		got, err := c.Recv(0)
+		if err != nil {
+			return err
+		}
+		if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+			t.Errorf("Recv = %v", got)
+		}
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -62,16 +97,23 @@ func TestSendRecv(t *testing.T) {
 }
 
 func TestSendCopiesData(t *testing.T) {
-	_, err := Run(2, func(c *Comm) {
+	_, err := Run(2, func(c *Comm) error {
 		if c.Rank() == 0 {
 			buf := []float64{42}
-			c.Send(1, buf)
-			buf[0] = 0 // mutation after send must not affect the receiver
-		} else {
-			if got := c.Recv(0); got[0] != 42 {
-				t.Errorf("Recv = %v", got)
+			if err := c.Send(1, buf); err != nil {
+				return err
 			}
+			buf[0] = 0 // mutation after send must not affect the receiver
+			return nil
 		}
+		got, err := c.Recv(0)
+		if err != nil {
+			return err
+		}
+		if got[0] != 42 {
+			t.Errorf("Recv = %v", got)
+		}
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -81,14 +123,16 @@ func TestSendCopiesData(t *testing.T) {
 func TestBarrier(t *testing.T) {
 	const P = 16
 	var phase atomic.Int64
-	_, err := Run(P, func(c *Comm) {
+	_, err := Run(P, func(c *Comm) error {
 		phase.Add(1)
-		c.Barrier()
+		if err := c.Barrier(); err != nil {
+			return err
+		}
 		// After the barrier every rank must observe all P arrivals.
 		if got := phase.Load(); got != P {
 			t.Errorf("rank %d saw phase %d", c.Rank(), got)
 		}
-		c.Barrier()
+		return c.Barrier()
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -97,9 +141,9 @@ func TestBarrier(t *testing.T) {
 
 func TestAllreduceSum(t *testing.T) {
 	const P = 7
-	stats, err := Run(P, func(c *Comm) {
+	stats, err := Run(P, func(c *Comm) error {
 		data := []float64{float64(c.Rank()), 1}
-		got := c.Allreduce(data, Sum)
+		got := must(t)(c.Allreduce(data, Sum))
 		wantFirst := float64(P * (P - 1) / 2)
 		if got[0] != wantFirst || got[1] != P {
 			t.Errorf("rank %d: Allreduce = %v", c.Rank(), got)
@@ -108,6 +152,7 @@ func TestAllreduceSum(t *testing.T) {
 		if data[0] != float64(c.Rank()) {
 			t.Error("Allreduce modified input")
 		}
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -118,14 +163,15 @@ func TestAllreduceSum(t *testing.T) {
 }
 
 func TestAllreduceMinMax(t *testing.T) {
-	_, err := Run(5, func(c *Comm) {
+	_, err := Run(5, func(c *Comm) error {
 		v := []float64{float64(c.Rank())}
-		if got := c.Allreduce(v, Min); got[0] != 0 {
+		if got := must(t)(c.Allreduce(v, Min)); got[0] != 0 {
 			t.Errorf("Min = %v", got)
 		}
-		if got := c.Allreduce(v, Max); got[0] != 4 {
+		if got := must(t)(c.Allreduce(v, Max)); got[0] != 4 {
 			t.Errorf("Max = %v", got)
 		}
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -138,13 +184,14 @@ func TestAllreduceDeterministicOrder(t *testing.T) {
 	vals := []float64{1e-17, 1.0, -1e17, 1e17, 3.14}
 	var first atomic.Value
 	for trial := 0; trial < 3; trial++ {
-		_, err := Run(5, func(c *Comm) {
-			got := c.Allreduce([]float64{vals[c.Rank()]}, Sum)
+		_, err := Run(5, func(c *Comm) error {
+			got := must(t)(c.Allreduce([]float64{vals[c.Rank()]}, Sum))
 			if prev := first.Load(); prev == nil {
 				first.Store(got[0])
 			} else if prev.(float64) != got[0] {
 				t.Errorf("non-deterministic allreduce: %v vs %v", prev, got[0])
 			}
+			return nil
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -152,9 +199,32 @@ func TestAllreduceDeterministicOrder(t *testing.T) {
 	}
 }
 
+func TestAllreduceLengthMismatchError(t *testing.T) {
+	// Satellite: a shape mismatch must surface as an error on every rank
+	// (and through Run) instead of panicking the process.
+	var sawErr atomic.Int64
+	_, err := Run(3, func(c *Comm) error {
+		data := []float64{1}
+		if c.Rank() == 2 {
+			data = []float64{1, 2}
+		}
+		_, err := c.Allreduce(data, Sum)
+		if err != nil {
+			sawErr.Add(1)
+		}
+		return err
+	})
+	if err == nil {
+		t.Fatal("length mismatch not reported by Run")
+	}
+	if sawErr.Load() != 3 {
+		t.Errorf("%d of 3 ranks observed the mismatch", sawErr.Load())
+	}
+}
+
 func TestReduceOnlyRoot(t *testing.T) {
-	_, err := Run(4, func(c *Comm) {
-		got := c.Reduce(2, []float64{1}, Sum)
+	_, err := Run(4, func(c *Comm) error {
+		got := must(t)(c.Reduce(2, []float64{1}, Sum))
 		if c.Rank() == 2 {
 			if got == nil || got[0] != 4 {
 				t.Errorf("root got %v", got)
@@ -162,6 +232,7 @@ func TestReduceOnlyRoot(t *testing.T) {
 		} else if got != nil {
 			t.Errorf("non-root rank %d got %v", c.Rank(), got)
 		}
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -169,15 +240,16 @@ func TestReduceOnlyRoot(t *testing.T) {
 }
 
 func TestBcast(t *testing.T) {
-	_, err := Run(6, func(c *Comm) {
+	_, err := Run(6, func(c *Comm) error {
 		var data []float64
 		if c.Rank() == 3 {
 			data = []float64{9, 8, 7}
 		}
-		got := c.Bcast(3, data)
+		got := must(t)(c.Bcast(3, data))
 		if len(got) != 3 || got[0] != 9 || got[2] != 7 {
 			t.Errorf("rank %d: Bcast = %v", c.Rank(), got)
 		}
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -185,13 +257,13 @@ func TestBcast(t *testing.T) {
 }
 
 func TestAllgatherv(t *testing.T) {
-	_, err := Run(4, func(c *Comm) {
+	_, err := Run(4, func(c *Comm) error {
 		// Rank r contributes r+1 copies of float64(r).
 		data := make([]float64, c.Rank()+1)
 		for i := range data {
 			data[i] = float64(c.Rank())
 		}
-		got := c.Allgatherv(data)
+		got := must(t)(c.Allgatherv(data))
 		if len(got) != 1+2+3+4 {
 			t.Fatalf("rank %d: len = %d", c.Rank(), len(got))
 		}
@@ -204,6 +276,7 @@ func TestAllgatherv(t *testing.T) {
 				idx++
 			}
 		}
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -211,8 +284,8 @@ func TestAllgatherv(t *testing.T) {
 }
 
 func TestGather(t *testing.T) {
-	_, err := Run(3, func(c *Comm) {
-		got := c.Gather(0, []float64{float64(c.Rank() * 10)})
+	_, err := Run(3, func(c *Comm) error {
+		got := must(t)(c.Gather(0, []float64{float64(c.Rank() * 10)}))
 		if c.Rank() == 0 {
 			if len(got) != 3 || got[1] != 10 || got[2] != 20 {
 				t.Errorf("Gather = %v", got)
@@ -220,6 +293,7 @@ func TestGather(t *testing.T) {
 		} else if got != nil {
 			t.Errorf("non-root got %v", got)
 		}
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -228,15 +302,16 @@ func TestGather(t *testing.T) {
 
 func TestRepeatedCollectives(t *testing.T) {
 	// Many back-to-back collectives exercise barrier generation reuse.
-	_, err := Run(5, func(c *Comm) {
+	_, err := Run(5, func(c *Comm) error {
 		acc := 0.0
 		for i := 0; i < 50; i++ {
-			got := c.Allreduce([]float64{1}, Sum)
+			got := must(t)(c.Allreduce([]float64{1}, Sum))
 			acc += got[0]
 		}
 		if acc != 250 {
 			t.Errorf("rank %d: acc = %v", c.Rank(), acc)
 		}
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -244,14 +319,17 @@ func TestRepeatedCollectives(t *testing.T) {
 }
 
 func TestSingleRankWorld(t *testing.T) {
-	_, err := Run(1, func(c *Comm) {
-		if got := c.Allreduce([]float64{5}, Sum); got[0] != 5 {
+	_, err := Run(1, func(c *Comm) error {
+		if got := must(t)(c.Allreduce([]float64{5}, Sum)); got[0] != 5 {
 			t.Errorf("Allreduce = %v", got)
 		}
-		c.Barrier()
-		if got := c.Allgatherv([]float64{1, 2}); len(got) != 2 {
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if got := must(t)(c.Allgatherv([]float64{1, 2})); len(got) != 2 {
 			t.Errorf("Allgatherv = %v", got)
 		}
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -261,11 +339,12 @@ func TestSingleRankWorld(t *testing.T) {
 func TestLargeWorld(t *testing.T) {
 	// 144 ranks — the paper's 12 nodes × 12 cores configuration.
 	const P = 144
-	_, err := Run(P, func(c *Comm) {
-		got := c.Allreduce([]float64{1}, Sum)
+	_, err := Run(P, func(c *Comm) error {
+		got := must(t)(c.Allreduce([]float64{1}, Sum))
 		if got[0] != P {
 			t.Errorf("rank %d: %v", c.Rank(), got)
 		}
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -289,15 +368,19 @@ func TestOpApply(t *testing.T) {
 }
 
 func TestTryRecv(t *testing.T) {
-	_, err := Run(2, func(c *Comm) {
+	_, err := Run(2, func(c *Comm) error {
 		if c.Rank() == 0 {
 			// Phase 1: nothing can have been sent before the first
 			// barrier — TryRecv must report empty without blocking.
 			if _, ok := c.TryRecv(1); ok {
 				t.Error("TryRecv returned a phantom message")
 			}
-			c.Barrier() // rank 1 sends after this
-			c.Barrier() // ... and the send completes before this returns
+			if err := c.Barrier(); err != nil { // rank 1 sends after this
+				return err
+			}
+			if err := c.Barrier(); err != nil { // send completed before this
+				return err
+			}
 			m, ok := c.TryRecv(1)
 			if !ok || len(m) != 1 || m[0] != 42 {
 				t.Errorf("TryRecv = %v, %v", m, ok)
@@ -306,11 +389,15 @@ func TestTryRecv(t *testing.T) {
 			if _, ok := c.TryRecv(1); ok {
 				t.Error("TryRecv returned a second phantom")
 			}
-		} else {
-			c.Barrier()
-			c.Send(0, []float64{42})
-			c.Barrier()
+			return nil
 		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if err := c.Send(0, []float64{42}); err != nil {
+			return err
+		}
+		return c.Barrier()
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -318,13 +405,175 @@ func TestTryRecv(t *testing.T) {
 }
 
 func TestGatherTotalBytesRecorded(t *testing.T) {
-	stats, err := Run(3, func(c *Comm) {
-		c.Allgatherv(make([]float64, c.Rank()+1)) // 1+2+3 = 6 floats total
+	stats, err := Run(3, func(c *Comm) error {
+		must(t)(c.Allgatherv(make([]float64, c.Rank()+1))) // 1+2+3 = 6 floats
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := stats.Collectives[KindAllgatherv].Bytes; got != 6*8 {
 		t.Errorf("allgatherv bytes = %d, want 48 (total gathered vector)", got)
+	}
+}
+
+// --- satellite edge cases -------------------------------------------------
+
+func TestBarrierUnderPanickingRank(t *testing.T) {
+	// A rank that panics must not deadlock peers blocked in Barrier: the
+	// world aborts and the barrier returns the causal error.
+	var released atomic.Int64
+	_, err := Run(4, func(c *Comm) error {
+		if c.Rank() == 3 {
+			panic("rank 3 exploded")
+		}
+		err := c.Barrier()
+		if err != nil {
+			released.Add(1)
+		}
+		return err
+	})
+	if err == nil {
+		t.Fatal("panic not reported")
+	}
+	// Note: ranks 0-2 may have been released normally if rank 3's retire
+	// happened after they all arrived — either way nobody deadlocked, which
+	// is the property under test (the test completing at all proves it).
+	_ = released.Load()
+}
+
+func TestBarrierUnderErroringRank(t *testing.T) {
+	_, err := Run(3, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return errInjected("early failure")
+		}
+		return c.Barrier()
+	})
+	if err == nil {
+		t.Fatal("error not reported")
+	}
+}
+
+func TestZeroLengthPayloads(t *testing.T) {
+	_, err := Run(3, func(c *Comm) error {
+		if got := must(t)(c.Bcast(0, nil)); len(got) != 0 {
+			t.Errorf("Bcast(nil) = %v", got)
+		}
+		got, err := c.Gather(1, nil)
+		if err != nil {
+			return err
+		}
+		if len(got) != 0 {
+			t.Errorf("Gather(nil) = %v", got)
+		}
+		if got := must(t)(c.Allgatherv(nil)); len(got) != 0 {
+			t.Errorf("Allgatherv(nil) = %v", got)
+		}
+		if got := must(t)(c.Allreduce([]float64{}, Sum)); len(got) != 0 {
+			t.Errorf("Allreduce(empty) = %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvTimeoutExpires(t *testing.T) {
+	_, err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			_, err := c.RecvTimeout(1, 5e6) // 5ms, nothing is ever sent
+			if err != ErrTimeout {
+				t.Errorf("RecvTimeout err = %v, want ErrTimeout", err)
+			}
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvTimeoutDeliversPending(t *testing.T) {
+	_, err := Run(2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			if err := c.Send(0, []float64{7}); err != nil {
+				return err
+			}
+			return c.Barrier()
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		m, err := c.RecvTimeout(1, 1e9)
+		if err != nil || len(m) != 1 || m[0] != 7 {
+			t.Errorf("RecvTimeout = %v, %v", m, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvTimeoutInvalidDeadline(t *testing.T) {
+	_, err := Run(1, func(c *Comm) error {
+		if _, err := c.RecvTimeout(0, 0); err == nil {
+			t.Error("zero deadline accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendInvalidRank(t *testing.T) {
+	_, err := Run(2, func(c *Comm) error {
+		if err := c.Send(5, []float64{1}); err == nil {
+			t.Error("Send to out-of-range rank accepted")
+		}
+		if _, err := c.Recv(-1); err == nil {
+			t.Error("Recv from out-of-range rank accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHealthAllAlive(t *testing.T) {
+	_, err := Run(3, func(c *Comm) error {
+		h := c.Health()
+		if len(h.Live) != 3 || len(h.Lost) != 0 || len(h.Straggling) != 0 {
+			t.Errorf("Health = %+v", h)
+		}
+		if !c.Alive(2) || c.Alive(7) {
+			t.Error("Alive misreports")
+		}
+		if c.LiveCount() != 3 {
+			t.Errorf("LiveCount = %d", c.LiveCount())
+		}
+		// Hold every rank until all have sampled: a rank returning early
+		// retires and would legitimately shrink the others' live view.
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEarlyReturnDoesNotDeadlockBarrier(t *testing.T) {
+	// A rank returning nil early (normal completion) must not wedge peers
+	// in a barrier: the live count shrinks and the barrier releases.
+	_, err := Run(4, func(c *Comm) error {
+		if c.Rank() == 2 {
+			return nil // leaves before the barrier
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
