@@ -76,25 +76,24 @@ func (s *System) RunCilk(pool *sched.Pool) *Result {
 
 	perWorkerOps := make([]int64, p)
 
-	// Phase A: APPROX-INTEGRALS over quadrature leaves, thread-local
-	// accumulators merged after the join.
-	accs := make([]*bornAccum, p)
-	for i := range accs {
-		accs[i] = s.newBornAccum()
-	}
+	// Phase A: APPROX-INTEGRALS over quadrature leaves. Accumulators are
+	// per-SUBRANGE, not per-worker, and merged in range order: under
+	// randomized stealing the leaf→worker assignment varies run to run, and
+	// per-worker accumulation would make the floating-point merge order —
+	// and hence the low bits of every radius and energy — scheduling-
+	// dependent. ParallelReduce pins the reduction tree to (n, grain) so
+	// results are bitwise reproducible (see determinism_test.go).
 	grain := len(s.qLeaves)/(8*p) + 1
-	pool.ParallelRange(len(s.qLeaves), grain, func(w *sched.Worker, lo, hi int) {
-		acc := accs[w.ID()]
-		ops := int64(0)
-		for _, q := range s.qLeaves[lo:hi] {
-			ops += s.ApproxIntegrals(s.TA.Root(), q, acc)
-		}
-		perWorkerOps[w.ID()] += ops
-	})
-	acc := accs[0]
-	for _, other := range accs[1:] {
-		acc.add(other)
-	}
+	acc := sched.ParallelReduce(pool, len(s.qLeaves), grain,
+		s.newBornAccum,
+		func(w *sched.Worker, lo, hi int, acc *bornAccum) {
+			ops := int64(0)
+			for _, q := range s.qLeaves[lo:hi] {
+				ops += s.ApproxIntegrals(s.TA.Root(), q, acc)
+			}
+			perWorkerOps[w.ID()] += ops
+		},
+		(*bornAccum).add)
 
 	// Phase B: PUSH-INTEGRALS over atom segments.
 	radii := make([]float64, s.NumAtoms())
@@ -103,25 +102,25 @@ func (s *System) RunCilk(pool *sched.Pool) *Result {
 		perWorkerOps[w.ID()] += s.PushIntegralsToAtoms(acc, lo, hi, radii)
 	})
 
-	// Phase C: APPROX-Epol over atom leaves.
+	// Phase C: APPROX-Epol over atom leaves, reduced in range order for the
+	// same bitwise reproducibility as phase A.
 	agg := s.buildEpolAggregates(radii)
-	sums := make([]float64, p)
 	grain = len(s.aLeaves)/(8*p) + 1
-	pool.ParallelRange(len(s.aLeaves), grain, func(w *sched.Worker, lo, hi int) {
-		sum := 0.0
-		ops := int64(0)
-		for _, v := range s.aLeaves[lo:hi] {
-			vs, vops := s.ApproxEpol(s.TA.Root(), v, radii, agg)
-			sum += vs
-			ops += vops
-		}
-		sums[w.ID()] += sum
-		perWorkerOps[w.ID()] += ops
-	})
-	total := 0.0
-	for _, v := range sums {
-		total += v
-	}
+	totalP := sched.ParallelReduce(pool, len(s.aLeaves), grain,
+		func() *float64 { return new(float64) },
+		func(w *sched.Worker, lo, hi int, part *float64) {
+			sum := 0.0
+			ops := int64(0)
+			for _, v := range s.aLeaves[lo:hi] {
+				vs, vops := s.ApproxEpol(s.TA.Root(), v, radii, agg)
+				sum += vs
+				ops += vops
+			}
+			*part += sum
+			perWorkerOps[w.ID()] += ops
+		},
+		func(dst, src *float64) { *dst += *src })
+	total := *totalP
 
 	return &Result{
 		Epol:      -0.5 * Tau(s.Params.EpsSolvent) * CoulombKcal * total,
@@ -300,36 +299,34 @@ func (s *System) runDistributed(P, p int, cfg *FaultConfig) (*Result, error) {
 					return err
 				}
 			}
-			// One accumulator per worker thread (tasks on the same worker
-			// run sequentially), merged after the join. Rebuilt fresh per
-			// iteration so a redo cannot double-count.
-			accs := make([]*bornAccum, p)
-			for i := range accs {
-				accs[i] = s.newBornAccum()
-			}
+			// One accumulator per subrange, merged in range order (see
+			// reduceRange): scheduling never changes the float merge
+			// order, so each rank's integral payload is bitwise
+			// reproducible. Rebuilt fresh per iteration so a redo cannot
+			// double-count.
 			switch s.Params.Division {
 			case NodeNode:
 				lo, hi := share(len(s.qLeaves))
-				s.forRange(pool, hi-lo, func(worker int, i0, i1 int) {
-					ops := int64(0)
-					for _, q := range s.qLeaves[lo+i0 : lo+i1] {
-						ops += s.ApproxIntegrals(s.TA.Root(), q, accs[worker])
-					}
-					perCoreOps[coreBase+worker] += ops
-				})
+				acc = reduceRange(pool, hi-lo, s.newBornAccum,
+					func(worker, i0, i1 int, acc *bornAccum) {
+						ops := int64(0)
+						for _, q := range s.qLeaves[lo+i0 : lo+i1] {
+							ops += s.ApproxIntegrals(s.TA.Root(), q, acc)
+						}
+						perCoreOps[coreBase+worker] += ops
+					},
+					(*bornAccum).add)
 			case AtomNode:
 				alo, ahi := share(s.NumAtoms())
-				s.forRange(pool, len(s.qLeaves), func(worker int, i0, i1 int) {
-					ops := int64(0)
-					for _, q := range s.qLeaves[i0:i1] {
-						ops += s.approxIntegralsAtomRange(s.TA.Root(), q, int32(alo), int32(ahi), accs[worker])
-					}
-					perCoreOps[coreBase+worker] += ops
-				})
-			}
-			acc = accs[0]
-			for _, other := range accs[1:] {
-				acc.add(other)
+				acc = reduceRange(pool, len(s.qLeaves), s.newBornAccum,
+					func(worker, i0, i1 int, acc *bornAccum) {
+						ops := int64(0)
+						for _, q := range s.qLeaves[i0:i1] {
+							ops += s.approxIntegralsAtomRange(s.TA.Root(), q, int32(alo), int32(ahi), acc)
+						}
+						perCoreOps[coreBase+worker] += ops
+					},
+					(*bornAccum).add)
 			}
 			merged, err := c.Allreduce(encodeAcc(acc), simmpi.Sum)
 			if err != nil {
@@ -425,40 +422,41 @@ func (s *System) runDistributed(P, p int, cfg *FaultConfig) (*Result, error) {
 					return err
 				}
 			}
-			partials := make([]float64, max(p, 1))
+			var partialP *float64
 			switch s.Params.Division {
 			case NodeNode:
 				lo, hi := share(len(s.aLeaves))
-				s.forRange(pool, hi-lo, func(worker int, i0, i1 int) {
-					sum := 0.0
-					ops := int64(0)
-					for _, v := range s.aLeaves[lo+i0 : lo+i1] {
-						vs, vops := s.approxEpol(s.TA.Root(), v, radii, agg, kernel, factor)
-						sum += vs
-						ops += vops
-					}
-					partials[worker] += sum
-					perCoreOps[coreBase+worker] += ops
-				})
+				partialP = reduceRange(pool, hi-lo, func() *float64 { return new(float64) },
+					func(worker, i0, i1 int, part *float64) {
+						sum := 0.0
+						ops := int64(0)
+						for _, v := range s.aLeaves[lo+i0 : lo+i1] {
+							vs, vops := s.approxEpol(s.TA.Root(), v, radii, agg, kernel, factor)
+							sum += vs
+							ops += vops
+						}
+						*part += sum
+						perCoreOps[coreBase+worker] += ops
+					},
+					func(dst, src *float64) { *dst += *src })
 			case AtomNode:
 				alo, ahi := share(s.NumAtoms())
-				s.forRange(pool, ahi-alo, func(worker int, i0, i1 int) {
-					sum := 0.0
-					ops := int64(0)
-					for pos := alo + i0; pos < alo+i1; pos++ {
-						ai := s.TA.Items[pos]
-						vs, vops := s.approxEpolAtom(ai, s.TA.Root(), radii, agg, kernel, factor)
-						sum += vs
-						ops += vops
-					}
-					partials[worker] += sum
-					perCoreOps[coreBase+worker] += ops
-				})
+				partialP = reduceRange(pool, ahi-alo, func() *float64 { return new(float64) },
+					func(worker, i0, i1 int, part *float64) {
+						sum := 0.0
+						ops := int64(0)
+						for pos := alo + i0; pos < alo+i1; pos++ {
+							ai := s.TA.Items[pos]
+							vs, vops := s.approxEpolAtom(ai, s.TA.Root(), radii, agg, kernel, factor)
+							sum += vs
+							ops += vops
+						}
+						*part += sum
+						perCoreOps[coreBase+worker] += ops
+					},
+					func(dst, src *float64) { *dst += *src })
 			}
-			partial := 0.0
-			for _, v := range partials {
-				partial += v
-			}
+			partial := *partialP
 			sum, err := c.Allreduce([]float64{partial}, simmpi.Sum)
 			if err != nil {
 				return err
@@ -558,6 +556,27 @@ func (s *System) runDistributed(P, p int, cfg *FaultConfig) (*Result, error) {
 // forRange runs fn over [0, n) either serially (pool nil: worker 0 gets
 // everything) or via the rank's work-stealing pool. fn receives the
 // worker index and a half-open subrange.
+// reduceRange is forRange with an ordered reduction: each subrange folds
+// into its own accumulator and merge combines them in ascending-range
+// order via sched.ParallelReduce, so a fixed (P, p) layout reduces in a
+// fixed order and the result is bitwise identical run to run regardless
+// of stealing. The serial (pool == nil) path is a single fold; its
+// grouping differs from the parallel tree's, so results across DIFFERENT
+// layouts still agree only to rounding (as the cross-layout tests assert).
+func reduceRange[T any](pool *sched.Pool, n int, mk func() T, fn func(worker, lo, hi int, acc T), merge func(dst, src T)) T {
+	if pool == nil {
+		acc := mk()
+		if n > 0 {
+			fn(0, 0, n, acc)
+		}
+		return acc
+	}
+	grain := n/(8*pool.NumWorkers()) + 1
+	return sched.ParallelReduce(pool, n, grain, mk,
+		func(w *sched.Worker, lo, hi int, acc T) { fn(w.ID(), lo, hi, acc) },
+		merge)
+}
+
 func (s *System) forRange(pool *sched.Pool, n int, fn func(worker, lo, hi int)) {
 	if n <= 0 {
 		return

@@ -1,0 +1,57 @@
+package sched
+
+// ParallelReduce runs fn over [0, n) with the same recursive binary
+// splitting (and therefore the same stealing behavior) as ParallelRange,
+// but gives every subrange its own accumulator and combines them with
+// merge in ascending-range order along the split tree.
+//
+// The split tree — and hence the merge order — is a pure function of
+// (n, grain): which worker executes which subrange varies run to run under
+// randomized stealing, but the reduction ORDER does not. For
+// non-commutative merges (floating-point summation foremost) the result is
+// therefore bitwise identical across runs, which is what lets the drivers
+// in internal/gb promise bitwise-reproducible energies while still load
+// balancing dynamically. (This is the classic Cilk "reducer" discipline.)
+//
+// mk must return a fresh zero accumulator; fn folds one subrange into the
+// accumulator it is handed; merge folds src into dst, where every element
+// of src covers ranges strictly above those already in dst. At most
+// O(n/grain) accumulators are live at once — size grain accordingly when
+// accumulators are large.
+//
+// It is a package-level function rather than a Pool method only because Go
+// methods cannot have type parameters.
+func ParallelReduce[T any](p *Pool, n, grain int, mk func() T, fn func(w *Worker, lo, hi int, acc T), merge func(dst, src T)) T {
+	root := mk()
+	if n <= 0 {
+		return root
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	p.Run(func(w *Worker) {
+		var rec func(w *Worker, lo, hi int, acc T)
+		rec = func(w *Worker, lo, hi int, acc T) {
+			var g Group
+			// children[i] accumulates the i-th spawned right half; spawn
+			// order walks downward, so children hold DESCENDING ranges.
+			var children []T
+			for hi-lo > grain {
+				mid := lo + (hi-lo)/2
+				child := mk()
+				children = append(children, child)
+				rlo, rhi := mid, hi // capture by value: hi mutates below
+				w.Spawn(&g, func(inner *Worker) { rec(inner, rlo, rhi, child) })
+				hi = mid
+			}
+			fn(w, lo, hi, acc)
+			w.Wait(&g)
+			// Merge in ascending-range order: reverse of spawn order.
+			for i := len(children) - 1; i >= 0; i-- {
+				merge(acc, children[i])
+			}
+		}
+		rec(w, 0, n, root)
+	})
+	return root
+}

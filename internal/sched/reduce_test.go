@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+// TestParallelReduceOrdered drives a non-commutative merge (sequence
+// concatenation) through heavy stealing and asserts the reduction order is
+// exactly ascending range order: the root must see 0..n-1 in order no
+// matter which workers ran which subranges.
+func TestParallelReduceOrdered(t *testing.T) {
+	const n = 1000
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := New(workers)
+		for rep := 0; rep < 5; rep++ {
+			got := ParallelReduce(p, n, 3,
+				func() *[]int { s := make([]int, 0, n); return &s },
+				func(_ *Worker, lo, hi int, acc *[]int) {
+					for i := lo; i < hi; i++ {
+						*acc = append(*acc, i)
+					}
+				},
+				func(dst, src *[]int) { *dst = append(*dst, *src...) })
+			if len(*got) != n {
+				t.Fatalf("workers=%d: %d elements, want %d", workers, len(*got), n)
+			}
+			for i, v := range *got {
+				if v != i {
+					t.Fatalf("workers=%d rep=%d: element %d = %d, reduction order not ascending", workers, rep, i, v)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestParallelReduceBitwiseStable sums floats whose addition order changes
+// the low bits, and asserts the result is bitwise identical across
+// repeats and worker counts at a fixed grain.
+func TestParallelReduceBitwiseStable(t *testing.T) {
+	const n = 4096
+	vals := make([]float64, n)
+	x := uint64(12345)
+	for i := range vals {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		vals[i] = math.Ldexp(float64(x%1000003), int(x%40)-20)
+	}
+	sum := func(workers int) float64 {
+		p := New(workers)
+		defer p.Close()
+		got := ParallelReduce(p, n, 7,
+			func() *float64 { return new(float64) },
+			func(_ *Worker, lo, hi int, acc *float64) {
+				for i := lo; i < hi; i++ {
+					*acc += vals[i]
+				}
+			},
+			func(dst, src *float64) { *dst += *src })
+		return *got
+	}
+	want := sum(1)
+	for _, workers := range []int{1, 2, 4, 8} {
+		for rep := 0; rep < 5; rep++ {
+			if got := sum(workers); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("workers=%d rep=%d: %x != %x", workers, rep, math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+	}
+}
+
+func TestParallelReduceEmpty(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	got := ParallelReduce(p, 0, 1,
+		func() *int { return new(int) },
+		func(_ *Worker, lo, hi int, acc *int) { *acc += hi - lo },
+		func(dst, src *int) { *dst += *src })
+	if *got != 0 {
+		t.Fatalf("empty range reduced to %d", *got)
+	}
+}
