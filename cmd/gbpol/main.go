@@ -15,11 +15,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"gbpolar/internal/gb"
 	"gbpolar/internal/molecule"
 	"gbpolar/internal/sched"
+	"gbpolar/internal/simmpi"
 	"gbpolar/internal/surface"
 )
 
@@ -98,7 +100,13 @@ func main() {
 			fmt.Printf("steals        %d\n", res.Steals)
 		}
 		if res.Traffic.Collectives != nil {
-			for kind, st := range res.Traffic.Collectives {
+			kinds := make([]string, 0, len(res.Traffic.Collectives))
+			for kind := range res.Traffic.Collectives {
+				kinds = append(kinds, string(kind))
+			}
+			sort.Strings(kinds)
+			for _, kind := range kinds {
+				st := res.Traffic.Collectives[simmpi.CollectiveKind(kind)]
 				fmt.Printf("comm          %s: %d calls, %d bytes\n", kind, st.Calls, st.Bytes)
 			}
 		}

@@ -9,6 +9,7 @@ import (
 	"gbpolar/internal/geom"
 	"gbpolar/internal/molecule"
 	"gbpolar/internal/octree"
+	"gbpolar/internal/perf"
 	"gbpolar/internal/simmpi"
 	"gbpolar/internal/surface"
 )
@@ -320,7 +321,7 @@ func (s *System) runDistData(P int, cfg *FaultConfig) (*Result, error) {
 		return nil, fmt.Errorf("gb: invalid layout: P=%d exceeds the %d atoms / %d quadrature points to distribute",
 			P, s.NumAtoms(), s.NumQPoints())
 	}
-	start := time.Now()
+	sw := perf.StartTimer()
 	perCoreOps := make([]int64, P)
 	beta := farBeta(s.Params.EpsBorn)
 	r4 := s.Params.Integral == IntegralR4
@@ -637,7 +638,7 @@ func (s *System) runDistData(P int, cfg *FaultConfig) (*Result, error) {
 		Processes: P, ThreadsPerProcess: 1,
 		PerCoreOps: perCoreOps,
 		Traffic:    traffic,
-		Wall:       time.Since(start),
+		Wall:       sw.Elapsed(),
 		Degraded:   w.degraded,
 		ErrorBound: w.bound,
 		LostRanks:  traffic.LostRanks,

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"gbpolar/internal/geom"
+	"gbpolar/internal/perf"
 	"gbpolar/internal/sched"
 	"gbpolar/internal/simmpi"
 )
@@ -54,14 +55,14 @@ func (r *Result) TotalOps() int64 {
 // RunSerial computes Born radii and Epol with the serial octree algorithm
 // (the OCT baseline at P = p = 1).
 func (s *System) RunSerial() *Result {
-	start := time.Now()
+	sw := perf.StartTimer()
 	radii, bornOps := s.BornRadii()
 	e, epolOps := s.Epol(radii)
 	return &Result{
 		Epol: e, Born: radii,
 		Processes: 1, ThreadsPerProcess: 1,
 		PerCoreOps: []int64{bornOps + epolOps},
-		Wall:       time.Since(start),
+		Wall:       sw.Elapsed(),
 	}
 }
 
@@ -70,7 +71,7 @@ func (s *System) RunSerial() *Result {
 // leaves (energy phase) by recursive splitting onto the work-stealing
 // pool, the paper's implicit dynamic load balancing.
 func (s *System) RunCilk(pool *sched.Pool) *Result {
-	start := time.Now()
+	sw := perf.StartTimer()
 	p := pool.NumWorkers()
 	stealsBefore := pool.Steals()
 
@@ -127,7 +128,7 @@ func (s *System) RunCilk(pool *sched.Pool) *Result {
 		Born:      radii,
 		Processes: 1, ThreadsPerProcess: p,
 		PerCoreOps: balancePool(perWorkerOps),
-		Wall:       time.Since(start),
+		Wall:       sw.Elapsed(),
 		Steals:     pool.Steals() - stealsBefore,
 	}
 }
@@ -217,7 +218,7 @@ func (s *System) runDistributed(P, p int, cfg *FaultConfig) (*Result, error) {
 	if err := s.validateLayout(P, p); err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	sw := perf.StartTimer()
 	perCoreOps := make([]int64, P*p)
 
 	// Every rank that completes records its outcome in its own slot; the
@@ -544,7 +545,7 @@ func (s *System) runDistributed(P, p int, cfg *FaultConfig) (*Result, error) {
 		Processes: P, ThreadsPerProcess: p,
 		PerCoreOps: perCoreOps,
 		Traffic:    traffic,
-		Wall:       time.Since(start),
+		Wall:       sw.Elapsed(),
 		Steals:     w.steals,
 		Degraded:   w.degraded,
 		ErrorBound: w.bound,

@@ -3,9 +3,9 @@ package gb
 import (
 	"fmt"
 	"runtime"
-	"time"
 
 	"gbpolar/internal/geom"
+	"gbpolar/internal/perf"
 	"gbpolar/internal/simmpi"
 )
 
@@ -105,7 +105,7 @@ func (s *System) RunMPIDynamic(P int) (*Result, error) {
 		return nil, fmt.Errorf("gb: invalid layout: %d compute ranks exceed the %d atoms to distribute",
 			P-1, s.NumAtoms())
 	}
-	start := time.Now()
+	sw := perf.StartTimer()
 	perCoreOps := make([]int64, P)
 	radiiOut := make([]float64, s.NumAtoms())
 	energy := 0.0
@@ -218,6 +218,6 @@ func (s *System) RunMPIDynamic(P int) (*Result, error) {
 		Processes: P, ThreadsPerProcess: 1,
 		PerCoreOps: perCoreOps,
 		Traffic:    traffic,
-		Wall:       time.Since(start),
+		Wall:       sw.Elapsed(),
 	}, nil
 }

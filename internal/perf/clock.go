@@ -1,0 +1,22 @@
+package perf
+
+import "time"
+
+// Stopwatch measures wall-clock elapsed time for run instrumentation
+// (Result.Wall and friends).
+//
+// It lives in perf because this package is the project's measurement
+// boundary: the `determinism` analyzer in internal/analysis forbids
+// reading the clock inside numeric kernel packages, so that wall time is
+// observably instrumentation — priced and reported, never fed back into
+// the numbers a run produces. Kernels start a Stopwatch instead of
+// calling time.Now directly.
+type Stopwatch struct {
+	start time.Time
+}
+
+// StartTimer starts a stopwatch.
+func StartTimer() Stopwatch { return Stopwatch{start: time.Now()} }
+
+// Elapsed returns the wall-clock time since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration { return time.Since(s.start) }

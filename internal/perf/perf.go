@@ -24,6 +24,7 @@ package perf
 import (
 	"fmt"
 	"math"
+	"sort"
 	"math/rand"
 
 	"gbpolar/internal/simmpi"
@@ -256,8 +257,18 @@ func (m Machine) commSeconds(cal Calibration, shape RunShape, procsPerNode int, 
 	if logP < 1 {
 		logP = 1
 	}
+	// Price collectives in sorted-kind order: Go randomizes map iteration,
+	// and accumulating float terms in map order would make the priced
+	// seconds differ in the low bits between runs of the same workload.
+	kinds := make([]string, 0, len(traffic.Collectives))
+	for kind := range traffic.Collectives {
+		kinds = append(kinds, string(kind))
+	}
+	sort.Strings(kinds)
 	total := 0.0
-	for kind, st := range traffic.Collectives {
+	for _, k := range kinds {
+		kind := simmpi.CollectiveKind(k)
+		st := traffic.Collectives[kind]
 		bytes := float64(st.Bytes)
 		calls := float64(st.Calls)
 		// Synchronization skew: each collective waits for the slowest of
