@@ -1,0 +1,49 @@
+// Command gblint runs the project's static-analysis suite (see
+// internal/analysis) over the module containing the working directory.
+//
+// Usage:
+//
+//	gblint [./...]
+//
+// The argument is accepted for familiarity but the whole module is
+// always analyzed — the invariants (SPMD symmetry, determinism,
+// panic-freedom) are module-wide properties.
+//
+// Exit status: 0 when clean, 1 when findings are reported, 2 when the
+// module fails to load or type-check.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"gbpolar/internal/analysis"
+)
+
+func main() {
+	for _, arg := range os.Args[1:] {
+		if arg != "./..." && arg != "." {
+			fmt.Fprintf(os.Stderr, "gblint: unsupported argument %q (the whole module is always analyzed)\n", arg)
+			os.Exit(2)
+		}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gblint: %v\n", err)
+		os.Exit(2)
+	}
+	loader := analysis.NewLoader()
+	pkgs, err := loader.LoadModule(wd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gblint: %v\n", err)
+		os.Exit(2)
+	}
+	findings := analysis.Analyze(loader.Fset, pkgs, analysis.All)
+	for _, f := range findings {
+		fmt.Println(f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "gblint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,250 @@
+// Package analysis is the project's static-analysis suite (`gblint`). It
+// enforces the invariants the compiler cannot see but the paper's
+// correctness story rests on:
+//
+//   - every rank executes the same sequence of collectives (spmdsym);
+//   - simmpi/fault error returns are never silently dropped (erretcheck);
+//   - numeric kernels are bitwise deterministic — no map-order float
+//     accumulation, no unseeded RNGs, no clock reads (determinism);
+//   - library packages never panic or exit the process (panicfree);
+//   - float64 values are never compared with == / != (floateq).
+//
+// The suite is built on the standard library only (go/ast, go/parser,
+// go/types): go.mod stays dependency-free. Findings carry file:line
+// positions; a `//lint:ignore reason` comment on the offending line or
+// the line above suppresses them (optionally scoped to one analyzer:
+// `//lint:ignore floateq exact sentinel comparison`). DESIGN.md §"Static
+// invariants" documents the analyzers and the ignore policy.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic.
+type Finding struct {
+	// Analyzer names the analyzer that produced the finding ("lint" for
+	// directive-hygiene diagnostics from the driver itself).
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	Fset *token.FileSet
+	Pkg  *Package
+
+	analyzer *Analyzer
+	report   func(Finding)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Finding{
+		Analyzer: p.analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All holds the five project analyzers in reporting order.
+var All = []*Analyzer{SPMDSym, ErrRetCheck, Determinism, PanicFree, FloatEq}
+
+// byName maps analyzer names for directive scoping.
+var byName = func() map[string]*Analyzer {
+	m := make(map[string]*Analyzer, len(All))
+	for _, a := range All {
+		m[a.Name] = a
+	}
+	return m
+}()
+
+// Analyze runs the analyzers over the packages, applies `//lint:ignore`
+// directives, and returns the surviving findings sorted by position.
+func Analyze(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var all []Finding
+	for _, pkg := range pkgs {
+		dirs, bad := collectDirectives(fset, pkg)
+		var found []Finding
+		for _, a := range analyzers {
+			pass := &Pass{
+				Fset:     fset,
+				Pkg:      pkg,
+				analyzer: a,
+				report:   func(f Finding) { found = append(found, f) },
+			}
+			a.Run(pass)
+		}
+		found = append(found, bad...)
+		all = append(all, suppress(found, dirs)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return all
+}
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	file     string
+	line     int
+	analyzer string // "" suppresses every analyzer
+}
+
+// collectDirectives parses the //lint:ignore comments of a package and
+// returns them plus hygiene findings for malformed ones (an ignore
+// without a reason is itself an error: the reason IS the review record).
+func collectDirectives(fset *token.FileSet, pkg *Package) ([]directive, []Finding) {
+	var dirs []directive
+	var bad []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments are not directives
+				}
+				rest, ok := strings.CutPrefix(strings.TrimSpace(text), "lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d := directive{file: pos.Filename, line: pos.Line}
+				fields := strings.Fields(rest)
+				if len(fields) > 0 {
+					if _, isAnalyzer := byName[fields[0]]; isAnalyzer {
+						d.analyzer = fields[0]
+						fields = fields[1:]
+					}
+				}
+				if len(fields) == 0 {
+					bad = append(bad, Finding{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "malformed //lint:ignore: a reason is required",
+					})
+					continue
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// suppress drops findings covered by a directive on the same line or the
+// line directly above.
+func suppress(findings []Finding, dirs []directive) []Finding {
+	if len(dirs) == 0 {
+		return findings
+	}
+	out := findings[:0]
+	for _, f := range findings {
+		ignored := false
+		for _, d := range dirs {
+			if d.file == f.Pos.Filename &&
+				(d.line == f.Pos.Line || d.line == f.Pos.Line-1) &&
+				(d.analyzer == "" || d.analyzer == f.Analyzer) {
+				ignored = true
+				break
+			}
+		}
+		if !ignored {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// --- shared helpers -----------------------------------------------------
+
+// hasPathSuffix reports whether an import path is suffix or ends in
+// "/suffix" — "internal/simmpi" matches "gbpolar/internal/simmpi" both in
+// the real module and in the golden-test corpora.
+func hasPathSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// kernelPkgSuffixes are the numeric kernel packages the determinism
+// analyzer polices. perf is included for the map-iteration rule but
+// exempt from the clock/RNG rule: it is the designated measurement
+// boundary (see internal/perf/clock.go).
+var kernelPkgSuffixes = []string{
+	"internal/gb",
+	"internal/octree",
+	"internal/quadrature",
+	"internal/surface",
+	"internal/bench",
+	"internal/molecule",
+	"internal/perf",
+}
+
+func isKernelPkg(path string) bool {
+	for _, s := range kernelPkgSuffixes {
+		if hasPathSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// walkFuncs visits every function body in the package: declarations and
+// (nested) literals, each paired with its outermost enclosing body so
+// per-function context (taint, sort calls) can be computed once.
+func walkFuncs(pkg *Package, visit func(body *ast.BlockStmt)) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				visit(fd.Body)
+			}
+		}
+		// Function literals bound at package scope (var f = func() {...}).
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					ast.Inspect(v, func(n ast.Node) bool {
+						if fl, ok := n.(*ast.FuncLit); ok {
+							visit(fl.Body)
+							return false
+						}
+						return true
+					})
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Determinism enforces bitwise reproducibility in the numeric kernel
+// packages (internal/gb, octree, quadrature, surface, bench, molecule,
+// perf):
+//
+//   - ranging over a map while accumulating floats or appending to a
+//     slice — Go randomizes map iteration order, float addition is not
+//     associative, and slice order becomes run-dependent. Appends are
+//     tolerated when the same function sorts the slice afterwards.
+//   - package-level math/rand calls (rand.Intn, rand.Float64, ...) —
+//     these share the globally-seeded source; kernels must thread an
+//     explicit rand.New(rand.NewSource(seed)).
+//   - time.Now — clock reads belong behind the perf measurement
+//     boundary (perf.Stopwatch), never inside kernel math.
+//
+// The perf package is the measurement boundary itself, so the clock/RNG
+// rules skip it; the map-order rule still applies (perf aggregates float
+// statistics).
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "map-order float accumulation, unseeded RNGs, and clock reads in numeric kernels",
+	Run:  runDeterminism,
+}
+
+// randAllowed are the receiver-less math/rand functions that construct
+// explicitly seeded sources rather than consume the global one.
+var randAllowed = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runDeterminism(pass *Pass) {
+	path := pass.Pkg.Path
+	if !isKernelPkg(path) {
+		return
+	}
+	info := pass.Pkg.Info
+	isPerf := hasPathSuffix(path, "internal/perf")
+
+	walkFuncs(pass.Pkg, func(body *ast.BlockStmt) {
+		sorted := sortedSlices(info, body)
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if isMapRange(info, n) {
+					checkMapRangeBody(pass, info, n, sorted)
+				}
+			case *ast.CallExpr:
+				if isPerf {
+					return true
+				}
+				if f := calleeFunc(info, n); f != nil && f.Pkg() != nil {
+					sig, _ := f.Type().(*types.Signature)
+					receiverless := sig != nil && sig.Recv() == nil
+					if receiverless && f.Pkg().Path() == "math/rand" && !randAllowed[f.Name()] {
+						pass.Reportf(n.Pos(),
+							"rand.%s uses the shared global source: kernels must thread an explicit rand.New(rand.NewSource(seed))", f.Name())
+					}
+				}
+				if isPkgFunc(info, n, "time", "Now") {
+					pass.Reportf(n.Pos(),
+						"time.Now in a numeric kernel: clock reads belong behind the perf measurement boundary (perf.StartTimer)")
+				}
+			}
+			return true
+		})
+	})
+}
+
+// checkMapRangeBody flags float accumulation and unsorted appends inside
+// the body of a map-range statement.
+func checkMapRangeBody(pass *Pass, info *types.Info, rs *ast.RangeStmt, sorted map[*types.Var]bool) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			for _, l := range as.Lhs {
+				if t := info.TypeOf(l); t != nil && isFloatType(t) {
+					pass.Reportf(as.Pos(),
+						"float accumulation over map iteration: iteration order is randomized and float addition is not associative; iterate sorted keys")
+					return true
+				}
+			}
+		case token.ASSIGN, token.DEFINE:
+			for i, r := range as.Rhs {
+				call, ok := ast.Unparen(r).(*ast.CallExpr)
+				if !ok || i >= len(as.Lhs) {
+					continue
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "append" {
+					continue
+				}
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+					continue
+				}
+				if v := identVar(info, as.Lhs[i]); v != nil && sorted[v] {
+					continue // order restored by a sort.* call in this function
+				}
+				pass.Reportf(as.Pos(),
+					"append inside map iteration yields a run-dependent order; sort the result or iterate sorted keys")
+			}
+		}
+		return true
+	})
+}
+
+// sortedSlices collects the local variables passed to a sort.* call
+// anywhere in the function body — evidence that map-order appends are
+// re-ordered before use (the bench IDs() idiom).
+func sortedSlices(info *types.Info, body *ast.BlockStmt) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(info, call)
+		if f == nil || f.Pkg() == nil || len(call.Args) == 0 {
+			return true
+		}
+		p := f.Pkg().Path()
+		if p != "sort" && p != "slices" {
+			return true
+		}
+		if v := identVar(info, call.Args[0]); v != nil {
+			out[v] = true
+		}
+		return true
+	})
+	return out
+}
+
+// identVar resolves an expression to the local/package variable it names,
+// or nil for anything more structured.
+func identVar(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}

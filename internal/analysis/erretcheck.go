@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errPkgSuffixes are the packages whose error returns exist precisely so
+// callers cannot ignore crashes: simmpi's communication errors (rank
+// lost, dropped, aborted) and fault's plan parsing/validation.
+var errPkgSuffixes = []string{"internal/simmpi", "internal/fault"}
+
+// ErrRetCheck flags calls to simmpi and fault APIs whose error result is
+// discarded: expression statements, go/defer statements, and assignments
+// that send every error result to the blank identifier. PR 1 made the
+// runtime error-returning instead of deadlocking exactly so that drivers
+// must observe crashes; dropping the error silently reintroduces the lie.
+var ErrRetCheck = &Analyzer{
+	Name: "erretcheck",
+	Doc:  "ignored error results from simmpi/fault APIs",
+	Run:  runErrRetCheck,
+}
+
+func runErrRetCheck(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// check reports the call if its callee is a simmpi/fault function or
+	// method returning an error.
+	check := func(call *ast.CallExpr, how string) {
+		f := calleeFunc(info, call)
+		if f == nil || f.Pkg() == nil {
+			return
+		}
+		match := false
+		for _, s := range errPkgSuffixes {
+			if hasPathSuffix(f.Pkg().Path(), s) {
+				match = true
+				break
+			}
+		}
+		if !match {
+			return
+		}
+		sig := f.Type().(*types.Signature)
+		if len(errorResultIndices(sig)) == 0 {
+			return
+		}
+		pass.Reportf(call.Pos(), "error result of %s.%s is %s: simmpi/fault errors signal rank loss and must be handled",
+			f.Pkg().Name(), f.Name(), how)
+	}
+
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					check(call, "dropped")
+				}
+			case *ast.GoStmt:
+				check(n.Call, "dropped by go statement")
+			case *ast.DeferStmt:
+				check(n.Call, "dropped by defer")
+			case *ast.AssignStmt:
+				// x, _ := f() — flag only when every error position is
+				// blanked; handling one error result of a multi-error
+				// return (none exist today) would still count as handled.
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				f := calleeFunc(info, call)
+				if f == nil {
+					return true
+				}
+				sig, ok := f.Type().(*types.Signature)
+				if !ok {
+					return true
+				}
+				idx := errorResultIndices(sig)
+				if len(idx) == 0 || len(n.Lhs) != sig.Results().Len() {
+					return true
+				}
+				allBlank := true
+				for _, i := range idx {
+					id, isIdent := ast.Unparen(n.Lhs[i]).(*ast.Ident)
+					if !isIdent || id.Name != "_" {
+						allBlank = false
+					}
+				}
+				if allBlank {
+					check(call, "assigned to the blank identifier")
+				}
+			}
+			return true
+		})
+	}
+}

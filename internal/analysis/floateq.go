@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatEq flags == and != between floating-point operands. Energies and
+// radii emerge from long non-associative reductions; exact comparison is
+// either a latent bug or an undocumented bitwise contract — the latter
+// should spell itself out via math.Float64bits (as the determinism tests
+// do). Comparisons against the exact constant 0 are permitted: zero is
+// exactly representable and the repo uses it pervasively as the "field
+// unset" sentinel in config structs.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "float64 compared with == or !=",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := info.TypeOf(be.X), info.TypeOf(be.Y)
+			if xt == nil || yt == nil || (!isFloatType(xt) && !isFloatType(yt)) {
+				return true
+			}
+			if isExactZero(info, be.X) || isExactZero(info, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"floating-point values compared with %s: use a tolerance, or math.Float64bits for an explicit bitwise contract", be.Op)
+			return true
+		})
+	}
+}

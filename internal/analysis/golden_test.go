@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// corpusDirs maps the golden corpora onto import paths chosen so the
+// path-sensitive analyzers see each package the way they would see the
+// real module: the simmpi/fault stubs sit on gbpolar/internal/... paths,
+// the determinism corpus on a kernel suffix, the panicfree corpus under
+// /internal/, and its command-side negative outside it.
+var corpusDirs = map[string]string{
+	"gbpolar/internal/simmpi":   "simmpi",
+	"gbpolar/internal/fault":    "fault",
+	"corpus/spmdsym":            "spmdsym",
+	"corpus/erretcheck":         "erretcheck",
+	"detcorp/internal/gb":       "determinism",
+	"corpus/detskip":            "detskip",
+	"corpus/internal/panicfree": "panicfree",
+	"corpus/toplevelok":         "toplevelok",
+	"corpus/floateq":            "floateq",
+	"corpus/ignore":             "ignore",
+	"corpus/badignore":          "badignore",
+}
+
+var (
+	corpusOnce sync.Once
+	corpusFset *token.FileSet
+	corpusPkgs map[string]*Package
+	corpusErr  error
+)
+
+// loadCorpus parses and type-checks every corpus package once per test
+// binary; the shared loader also caches type-checked standard-library
+// packages across corpora.
+func loadCorpus(t *testing.T) (*token.FileSet, map[string]*Package) {
+	t.Helper()
+	corpusOnce.Do(func() {
+		l := NewLoader()
+		dirs := make(map[string]string, len(corpusDirs))
+		for imp, d := range corpusDirs {
+			dirs[imp] = filepath.Join("testdata", "src", d)
+		}
+		pkgs, err := l.LoadDirs(dirs)
+		if err != nil {
+			corpusErr = err
+			return
+		}
+		corpusFset = l.Fset
+		corpusPkgs = make(map[string]*Package, len(pkgs))
+		for _, p := range pkgs {
+			corpusPkgs[p.Path] = p
+		}
+	})
+	if corpusErr != nil {
+		t.Fatalf("loading corpus: %v", corpusErr)
+	}
+	return corpusFset, corpusPkgs
+}
+
+// want is one expectation parsed from a `// want "substring"` comment.
+type want struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want "([^"]+)"`)
+
+// collectWants scans a corpus directory's sources for want comments.
+func collectWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	names, err := goSources(dir)
+	if err != nil {
+		t.Fatalf("listing %s: %v", dir, err)
+	}
+	var wants []*want
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading %s: %v", path, err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				wants = append(wants, &want{file: path, line: i + 1, substr: m[1]})
+			}
+		}
+	}
+	return wants
+}
+
+// TestGolden checks every analyzer against its positive and negative
+// corpus: each finding must match a `// want` on its exact line, and
+// each want must be hit exactly once.
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		name      string
+		pkg       string
+		analyzers []*Analyzer
+	}{
+		{"spmdsym", "corpus/spmdsym", []*Analyzer{SPMDSym}},
+		{"erretcheck", "corpus/erretcheck", []*Analyzer{ErrRetCheck}},
+		{"determinism", "detcorp/internal/gb", []*Analyzer{Determinism}},
+		{"determinism-nonkernel", "corpus/detskip", []*Analyzer{Determinism}},
+		{"panicfree", "corpus/internal/panicfree", []*Analyzer{PanicFree}},
+		{"panicfree-cmd", "corpus/toplevelok", []*Analyzer{PanicFree}},
+		{"floateq", "corpus/floateq", []*Analyzer{FloatEq}},
+		{"ignore", "corpus/ignore", []*Analyzer{FloatEq}},
+		// The stubs model real packages and must be clean under the full
+		// suite — in particular simmpi's rankCrashed panic (the panicfree
+		// allowlist) and its error-returning collectives.
+		{"stub-simmpi-clean", "gbpolar/internal/simmpi", All},
+		{"stub-fault-clean", "gbpolar/internal/fault", All},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fset, pkgs := loadCorpus(t)
+			pkg := pkgs[tc.pkg]
+			if pkg == nil {
+				t.Fatalf("corpus package %q not loaded", tc.pkg)
+			}
+			findings := Analyze(fset, []*Package{pkg}, tc.analyzers)
+			wants := collectWants(t, pkg.Dir)
+			for _, f := range findings {
+				ok := false
+				for _, w := range wants {
+					if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line &&
+						strings.Contains(f.Message, w.substr) {
+						w.matched = true
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Errorf("unexpected finding: %s", f)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("%s:%d: no finding containing %q", w.file, w.line, w.substr)
+				}
+			}
+		})
+	}
+}
+
+// TestMalformedIgnore asserts by hand what a want comment cannot express
+// (it would merge into the directive it documents): a reasonless
+// //lint:ignore produces a hygiene finding and suppresses nothing.
+func TestMalformedIgnore(t *testing.T) {
+	fset, pkgs := loadCorpus(t)
+	pkg := pkgs["corpus/badignore"]
+	if pkg == nil {
+		t.Fatal("corpus package corpus/badignore not loaded")
+	}
+	findings := Analyze(fset, []*Package{pkg}, []*Analyzer{FloatEq})
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2 (hygiene + unsuppressed floateq):\n%v", len(findings), findings)
+	}
+	var haveLint, haveFloat bool
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "lint":
+			haveLint = strings.Contains(f.Message, "a reason is required")
+		case "floateq":
+			haveFloat = true
+		}
+	}
+	if !haveLint || !haveFloat {
+		t.Errorf("missing expected findings (lint hygiene: %v, floateq: %v):\n%v", haveLint, haveFloat, findings)
+	}
+}
+
+// TestModuleClean loads the real module through the same path gblint
+// uses and requires it to be finding-free — the repo must hold its own
+// invariants.
+func TestModuleClean(t *testing.T) {
+	l := NewLoader()
+	pkgs, err := l.LoadModule("../..")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded (%d): module walk is broken", len(pkgs))
+	}
+	for _, f := range Analyze(l.Fset, pkgs, All) {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// calleeFunc resolves the *types.Func a call invokes (package function or
+// method), or nil for builtins, conversions, and indirect calls through
+// variables.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fn]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fn.Sel]
+	default:
+		return nil
+	}
+	f, _ := obj.(*types.Func)
+	return f
+}
+
+// isPkgFunc reports whether a call invokes the named package-level
+// function of a package whose import path ends in pkgSuffix.
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgSuffix, name string) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Name() != name {
+		return false
+	}
+	if f.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	return hasPathSuffix(f.Pkg().Path(), pkgSuffix)
+}
+
+// isMethodOn reports whether a call invokes a method (any of names; nil
+// names matches every method) on the named type defined in a package
+// whose import path ends in pkgSuffix.
+func isMethodOn(info *types.Info, call *ast.CallExpr, pkgSuffix, typeName string, names map[string]bool) bool {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	if names != nil && !names[f.Name()] {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && hasPathSuffix(obj.Pkg().Path(), pkgSuffix)
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// returnsError reports whether a function signature includes an error
+// result, and at which positions.
+func errorResultIndices(sig *types.Signature) []int {
+	var idx []int
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// isFloatType reports whether t's underlying type is a floating-point
+// basic type (including untyped float constants).
+func isFloatType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isExactZero reports whether expr is a constant whose exact value is 0
+// (the "unset sentinel" comparisons floateq permits: zero is exactly
+// representable and assignments of the literal compare reliably).
+func isExactZero(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+// isMapRange reports whether a range statement iterates a map.
+func isMapRange(info *types.Info, rs *ast.RangeStmt) bool {
+	t := info.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PanicFree forbids panic, log.Fatal*, and os.Exit in library packages
+// (import paths containing "/internal/"). The fault runtime propagates
+// rank failures as errors so drivers can heal or degrade; a library panic
+// or process exit bypasses that machinery and kills the whole simulated
+// world. Commands (cmd/*) and examples keep the right to exit.
+//
+// One allowlisted exception: simmpi's internal rankCrashed control-flow
+// panic, which never escapes the package (it is recovered at the worker
+// boundary and converted to an error).
+var PanicFree = &Analyzer{
+	Name: "panicfree",
+	Doc:  "panic/log.Fatal/os.Exit in library packages",
+	Run:  runPanicFree,
+}
+
+var logFatalNames = map[string]bool{"Fatal": true, "Fatalf": true, "Fatalln": true}
+
+func runPanicFree(pass *Pass) {
+	if !strings.Contains(pass.Pkg.Path, "/internal/") {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					if !isRankCrashedPanic(info, call) {
+						pass.Reportf(call.Pos(),
+							"panic in a library package: return an error so the fault runtime can heal the world")
+					}
+				}
+				return true
+			}
+			if isPkgFunc(info, call, "os", "Exit") {
+				pass.Reportf(call.Pos(),
+					"os.Exit in a library package: only commands may terminate the process")
+			}
+			if f := calleeFunc(info, call); f != nil && f.Pkg() != nil &&
+				f.Pkg().Path() == "log" && logFatalNames[f.Name()] {
+				pass.Reportf(call.Pos(),
+					"log.%s in a library package: log the error and return it instead", f.Name())
+			}
+			return true
+		})
+	}
+}
+
+// isRankCrashedPanic recognizes simmpi's sanctioned control-flow panic:
+// panic(rankCrashed{...}) inside internal/simmpi, recovered before it can
+// escape the package.
+func isRankCrashedPanic(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	t := info.TypeOf(call.Args[0])
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "rankCrashed" && obj.Pkg() != nil &&
+		hasPathSuffix(obj.Pkg().Path(), "internal/simmpi")
+}

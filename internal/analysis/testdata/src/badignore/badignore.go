@@ -1,0 +1,9 @@
+// Corpus for malformed //lint:ignore directives: an ignore without a
+// reason is itself a finding, and it suppresses nothing. Checked by
+// TestMalformedIgnore with explicit assertions (a want comment cannot
+// share the line without becoming part of the directive).
+package badignore
+
+func malformed(a, b float64) bool {
+	return a != b //lint:ignore
+}

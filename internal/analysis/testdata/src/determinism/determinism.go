@@ -1,0 +1,78 @@
+// Corpus for the determinism analyzer, loaded under a kernel import path
+// (suffix internal/gb): map-order float math, global RNGs, and clock
+// reads all make kernel results run-dependent.
+package gb
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Positive: float accumulation order follows randomized map iteration.
+func mapAccum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "float accumulation over map iteration"
+	}
+	return sum
+}
+
+// Positive: the slice's element order is a coin flip per run.
+func mapAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append inside map iteration yields a run-dependent order"
+	}
+	return out
+}
+
+// Negative: a later sort re-establishes a canonical order (the bench
+// experiment-registry IDs idiom).
+func mapAppendSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Negative: the canonical fix — accumulate over sorted keys.
+func sortedKeyAccum(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// Negative: integer accumulation is associative; order cannot matter.
+func mapCount(m map[int]float64) int {
+	total := 0
+	for range m {
+		total += 1
+	}
+	return total
+}
+
+// Positive: the package-level source is shared, globally seeded state.
+func globalRand() float64 {
+	return rand.Float64() // want "uses the shared global source"
+}
+
+// Negative: an explicitly seeded source is a pure function of its seed.
+func seededRand(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Positive: wall-clock reads belong behind the perf boundary.
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "clock reads belong behind the perf measurement boundary"
+}

@@ -1,0 +1,19 @@
+// Negative corpus for the determinism analyzer: this package is not in
+// the kernel set, so the same patterns that fire in the determinism
+// corpus are out of scope here. (CLI layers may read clocks and iterate
+// maps for display; only kernels owe bitwise reproducibility.)
+package detskip
+
+import "time"
+
+func timestamp() int64 {
+	return time.Now().UnixNano()
+}
+
+func display(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

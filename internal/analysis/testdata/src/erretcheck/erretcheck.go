@@ -1,0 +1,54 @@
+// Corpus for the erretcheck analyzer: simmpi/fault error results signal
+// rank loss and plan errors; discarding them is always a bug.
+package erretcheck
+
+import (
+	"fmt"
+
+	"gbpolar/internal/fault"
+	"gbpolar/internal/simmpi"
+)
+
+// Positives: the three discard shapes for statement calls.
+func dropped(c *simmpi.Comm) {
+	c.Barrier()          // want "error result of simmpi.Barrier is dropped"
+	go c.Barrier()       // want "error result of simmpi.Barrier is dropped by go statement"
+	defer c.Barrier()    // want "error result of simmpi.Barrier is dropped by defer"
+	fault.Parse("bad@@") // want "error result of fault.Parse is dropped"
+}
+
+// Positives: blanking every error position discards it just as surely.
+func blanked(c *simmpi.Comm) {
+	_, _ = c.Allreduce(nil, simmpi.Sum) // want "error result of simmpi.Allreduce is assigned to the blank identifier"
+	v, _ := c.Gather(nil, 0)            // want "error result of simmpi.Gather is assigned to the blank identifier"
+	_ = v
+	_, _ = fault.Parse("chaos:5") // want "error result of fault.Parse is assigned to the blank identifier"
+}
+
+// Negative: the error is named and handled.
+func handled(c *simmpi.Comm) error {
+	if err := c.Barrier(); err != nil {
+		return err
+	}
+	v, err := c.Allreduce(nil, simmpi.Sum)
+	if err != nil {
+		return err
+	}
+	_ = v
+	p, err := fault.Parse("crash:1@4")
+	if err != nil {
+		return err
+	}
+	return p.Validate()
+}
+
+// Negative: the analyzer polices simmpi and fault only — other dropped
+// errors are vet/errcheck territory, not an SPMD invariant.
+func otherPackages() {
+	fmt.Println("fmt errors are not simmpi errors")
+}
+
+// Negative: error-free simmpi methods have nothing to drop.
+func noError(c *simmpi.Comm) int {
+	return c.Rank() + c.Size()
+}

@@ -1,0 +1,13 @@
+// Package fault is a corpus stub standing in for gbpolar/internal/fault.
+package fault
+
+// Plan is a parsed fault-injection plan.
+type Plan struct {
+	Events int
+}
+
+// Parse parses the fault plan mini-language.
+func Parse(spec string) (*Plan, error) { return &Plan{}, nil }
+
+// Validate checks a plan against a world size.
+func (p *Plan) Validate() error { return nil }

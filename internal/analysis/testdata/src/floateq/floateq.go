@@ -1,0 +1,39 @@
+// Corpus for the floateq analyzer: energies come out of non-associative
+// reductions, so exact comparison is a latent bug unless it is the
+// exact-zero sentinel idiom.
+package floateq
+
+// Positive: classic tolerance bug.
+func eq(a, b float64) bool {
+	return a == b // want "floating-point values compared with =="
+}
+
+// Positive: negated form.
+func neq(a, b float64) bool {
+	return a != b // want "floating-point values compared with !="
+}
+
+// Positive: float32 counts too.
+func eq32(a, b float32) bool {
+	return a == b // want "floating-point values compared with =="
+}
+
+// Positive: a non-zero constant is not exactly representable in general.
+func third(x float64) bool {
+	return x == 0.3 // want "floating-point values compared with =="
+}
+
+// Negative: zero is exact — the pervasive "field unset" config sentinel.
+func zeroSentinel(cutoff float64) bool {
+	return cutoff == 0
+}
+
+// Negative: exact zero on either side, spelled as a float literal.
+func zeroLeft(x float64) bool {
+	return 0.0 != x
+}
+
+// Negative: integer comparison is exact.
+func ints(a, b int) bool {
+	return a == b
+}

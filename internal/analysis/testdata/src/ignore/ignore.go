@@ -1,0 +1,28 @@
+// Corpus for //lint:ignore handling, exercised through floateq findings.
+package ignore
+
+// Suppressed: a directive on the offending line, scoped to the analyzer.
+func sameLine(a, b float64) bool {
+	return a == b //lint:ignore floateq corpus: exact comparison intended
+}
+
+// Suppressed: a directive on the line above, unscoped (covers every
+// analyzer).
+func lineAbove(a, b float64) bool {
+	//lint:ignore corpus: bitwise contract documented here
+	return a == b
+}
+
+// Not suppressed: the directive is scoped to a different analyzer, so
+// the floateq finding survives.
+func wrongScope(a, b float64) bool {
+	return a == b //lint:ignore spmdsym corpus: scope mismatch on purpose // want "floating-point values compared with =="
+}
+
+// Not suppressed: the directive is two lines up; only same-line and
+// line-above placements count.
+func tooFarAway(a, b float64) bool {
+	//lint:ignore corpus: too far from the finding to apply
+
+	return a == b // want "floating-point values compared with =="
+}

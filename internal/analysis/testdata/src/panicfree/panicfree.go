@@ -1,0 +1,42 @@
+// Corpus for the panicfree analyzer, loaded under an internal/ import
+// path: library packages must propagate errors, never kill the world.
+package panicfree
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+)
+
+// Positive: a library panic bypasses the fault runtime's healing.
+func explode(n int) {
+	if n < 0 {
+		panic("negative count") // want "panic in a library package"
+	}
+}
+
+// Positives: log.Fatal* is an exit in disguise.
+func fatal(err error) {
+	log.Fatal(err)              // want "log.Fatal in a library package"
+	log.Fatalf("died: %v", err) // want "log.Fatalf in a library package"
+}
+
+// Positive: only commands may terminate the process.
+func quit() {
+	os.Exit(1) // want "os.Exit in a library package"
+}
+
+// Negative: returning an error is the sanctioned failure path.
+func polite(n int) error {
+	if n < 0 {
+		return errors.New("negative count")
+	}
+	return nil
+}
+
+// Negative: non-fatal logging is fine.
+func chatty(err error) error {
+	log.Printf("recovering: %v", err)
+	return fmt.Errorf("wrapped: %w", err)
+}

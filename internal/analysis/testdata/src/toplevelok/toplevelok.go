@@ -1,0 +1,15 @@
+// Negative corpus for the panicfree analyzer: this package's import path
+// has no /internal/ segment (it models a cmd/ main package), so process
+// exits are its prerogative.
+package toplevelok
+
+import (
+	"log"
+	"os"
+)
+
+// Die exits like any CLI entry point may.
+func Die(err error) {
+	log.Fatalf("toplevelok: %v", err)
+	os.Exit(2)
+}
