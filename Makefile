@@ -1,12 +1,18 @@
 GO ?= go
 
-.PHONY: build test check chaos-smoke
+.PHONY: build test lint check chaos-smoke
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# lint runs the project static-analysis suite (internal/analysis): SPMD
+# collective symmetry, simmpi/fault error handling, kernel determinism,
+# panic-freedom in libraries, float equality. Nonzero exit on findings.
+lint:
+	$(GO) run ./cmd/gblint ./...
 
 # chaos-smoke replays seeded chaos schedules against the runtime and the
 # self-healing drivers under a short deadline: any deadlock fails fast.
@@ -15,6 +21,6 @@ chaos-smoke:
 		-run 'TestChaosPlanNoDeadlock|TestChaosRecoverNeverDeadlocksOrLies|TestDistDataChaosNeverDeadlocks' \
 		./internal/simmpi/ ./internal/gb/
 
-check: chaos-smoke
+check: chaos-smoke lint
 	$(GO) vet ./...
 	$(GO) test -race ./...
