@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check chaos-smoke
+.PHONY: build test lint check chaos-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,19 @@ chaos-smoke:
 		-run 'TestChaosPlanNoDeadlock|TestChaosRecoverNeverDeadlocksOrLies|TestDistDataChaosNeverDeadlocks' \
 		./internal/simmpi/ ./internal/gb/
 
-check: chaos-smoke lint
+# trace-smoke runs a small fault-free layout sweep with -trace-out and
+# asserts the Chrome trace parses and every rank timeline carries all
+# four algorithm phases.
+trace-smoke:
+	$(GO) run ./cmd/clustersim -atoms 2000 -nodes 1,2 -rpn 2 \
+		-trace-out /tmp/gbpolar-trace.json >/dev/null
+	$(GO) run ./cmd/tracecheck \
+		-phases octree-build,approx-integrals,push-integrals-to-atoms,approx-epol \
+		/tmp/gbpolar-trace.json
+
+# The race detector multiplies the bench suite's runtime ~14x (past go
+# test's 600s default package timeout on modest hardware), so the race
+# pass carries an explicit generous timeout.
+check: chaos-smoke lint trace-smoke
 	$(GO) vet ./...
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 3600s ./...

@@ -140,7 +140,9 @@ func BenchmarkRunCilk12(b *testing.B) {
 	defer pool.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sys.RunCilk(pool)
+		if _, err := sys.Run(gb.RunSpec{Pool: pool}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -148,7 +150,7 @@ func BenchmarkRunMPI12(b *testing.B) {
 	sys := benchSystem(b, 3000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.RunMPI(12); err != nil {
+		if _, err := sys.Run(gb.RunSpec{Processes: 12}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -158,7 +160,7 @@ func BenchmarkRunHybrid2x6(b *testing.B) {
 	sys := benchSystem(b, 3000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.RunHybrid(2, 6); err != nil {
+		if _, err := sys.Run(gb.RunSpec{Processes: 2, ThreadsPerProcess: 6}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -10,6 +10,8 @@
 //	clustersim -nodes 1,2,4,8 -rpn 12,2       # custom node counts / ranks-per-node
 //	clustersim -faults chaos:6                # seeded chaos schedule per layout
 //	clustersim -faults 'crash:1@4,slow:2@0+8~100us' -policy degrade
+//	clustersim -trace-out trace.json          # chrome://tracing span timeline
+//	clustersim -metrics text                  # deterministic per-layout counters
 package main
 
 import (
@@ -23,21 +25,27 @@ import (
 	"gbpolar/internal/fault"
 	"gbpolar/internal/gb"
 	"gbpolar/internal/molecule"
+	"gbpolar/internal/obs"
 	"gbpolar/internal/perf"
 	"gbpolar/internal/surface"
 )
 
 func main() {
 	var (
-		atoms   = flag.Int("atoms", 50000, "workload size")
-		shapeF  = flag.String("shape", "globule", "globule | shell")
-		nodesF  = flag.String("nodes", "1,2,4,8,16,32", "comma-separated node counts")
-		rpnF    = flag.String("rpn", "12,2", "ranks per node to compare (threads fill the node)")
-		seed    = flag.Int64("seed", 7, "workload seed (also seeds chaos fault schedules)")
-		faultsF = flag.String("faults", "", "fault plan: 'chaos:N' for N seeded random events per layout, or an explicit schedule like 'crash:1@4,drop:0>2@3+2,slow:1@0+8~100us' (empty: no injection)")
-		policyF = flag.String("policy", "recover", "fault policy: recover (re-assign lost work) | degrade (partial Epol + error bound)")
+		atoms    = flag.Int("atoms", 50000, "workload size")
+		shapeF   = flag.String("shape", "globule", "globule | shell")
+		nodesF   = flag.String("nodes", "1,2,4,8,16,32", "comma-separated node counts")
+		rpnF     = flag.String("rpn", "12,2", "ranks per node to compare (threads fill the node)")
+		seed     = flag.Int64("seed", 7, "workload seed (also seeds chaos fault schedules)")
+		faultsF  = flag.String("faults", "", "fault plan: 'chaos:N' for N seeded random events per layout, or an explicit schedule like 'crash:1@4,drop:0>2@3+2,slow:1@0+8~100us' (empty: no injection)")
+		policyF  = flag.String("policy", "recover", "fault policy: recover (re-assign lost work) | degrade (partial Epol + error bound)")
+		traceOut = flag.String("trace-out", "", "write the sweep's spans as one Chrome trace-event JSON (chrome://tracing; one process row per layout) to this file")
+		metrics  = flag.String("metrics", "", "print per-layout metrics to stdout after the table: text (deterministic summaries) | json (one document per layout)")
 	)
 	flag.Parse()
+	if *metrics != "" && *metrics != "text" && *metrics != "json" {
+		fatal(fmt.Errorf("unknown -metrics mode %q (want text or json)", *metrics))
+	}
 
 	var policy gb.FaultPolicy
 	switch *policyF {
@@ -97,13 +105,15 @@ func main() {
 	}
 
 	tab := &bench.Table{
-		ID:    "clustersim",
-		Title: fmt.Sprintf("Layout sweep for %s (%d atoms, %d q-points)", mol.Name, sys.NumAtoms(), sys.NumQPoints()),
+		ID:     "clustersim",
+		Title:  fmt.Sprintf("Layout sweep for %s (%d atoms, %d q-points)", mol.Name, sys.NumAtoms(), sys.NumQPoints()),
 		Header: []string{"Nodes", "Ranks/node", "Threads/rank", "Cores", "Comp", "Comm", "Total", "Mem/node GB"},
 	}
 	if injecting {
 		tab.Header = append(tab.Header, "Fault", "Outcome")
 	}
+	observing := *traceOut != "" || *metrics != ""
+	var recs []*obs.Recorder
 	for _, n := range nodes {
 		for _, rpn := range rpns {
 			if machine.CoresPerNode%rpn != 0 {
@@ -119,12 +129,20 @@ func main() {
 				}
 				cfg = &gb.FaultConfig{Plan: plan, Policy: policy}
 			}
-			var res *gb.Result
-			if threads == 1 {
-				res, err = sys.RunMPIWithFaults(P, cfg)
-			} else {
-				res, err = sys.RunHybridWithFaults(P, threads, cfg)
+			// One recorder per layout: in the Chrome trace each layout
+			// renders as its own process row with per-rank thread timelines.
+			var rec *obs.Recorder
+			if observing {
+				rec = obs.NewRecorder(perf.StartTimer().Elapsed)
+				rec.SetLabel(fmt.Sprintf("P=%d p=%d", P, threads))
+				recs = append(recs, rec)
 			}
+			res, err := sys.Run(gb.RunSpec{
+				Processes:         P,
+				ThreadsPerProcess: threads,
+				Faults:            cfg,
+				Obs:               rec,
+			})
 			if err != nil {
 				fatal(err)
 			}
@@ -133,6 +151,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			b.Record(rec)
 			row := []string{strconv.Itoa(n), strconv.Itoa(rpn), strconv.Itoa(threads),
 				strconv.Itoa(P * threads),
 				fmt.Sprintf("%.4gs", b.CompSeconds), fmt.Sprintf("%.4gs", b.CommSeconds),
@@ -146,6 +165,30 @@ func main() {
 	}
 	if err := tab.Print(os.Stdout); err != nil {
 		fatal(err)
+	}
+	switch *metrics {
+	case "text":
+		for _, rec := range recs {
+			fmt.Print(rec.Summary())
+		}
+	case "json":
+		for _, rec := range recs {
+			if err := rec.WriteJSON(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteChromeTrace(f, recs...); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -9,39 +9,46 @@
 //	gbpol -in m.pqr -driver naive               # exact reference
 //	gbpol -in m.pqr -eps-born 0.5 -eps-epol 0.3 # accuracy knobs
 //	gbpol -in m.pqr -radii out.txt              # dump Born radii
+//	gbpol -in m.pqr -driver mpi -metrics text   # deterministic counters
+//	gbpol -in m.pqr -trace-out trace.json       # chrome://tracing spans
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 
 	"gbpolar/internal/gb"
 	"gbpolar/internal/molecule"
+	"gbpolar/internal/obs"
+	"gbpolar/internal/perf"
 	"gbpolar/internal/sched"
-	"gbpolar/internal/simmpi"
 	"gbpolar/internal/surface"
 )
 
 func main() {
 	var (
-		in        = flag.String("in", "", "input molecule (.pqr or .xyzrq)")
-		synth     = flag.String("synthetic", "", "synthetic workload: globule | shell | helix | cmv | btv")
-		atoms     = flag.Int("atoms", 10000, "atom count for synthetic workloads")
-		seed      = flag.Int64("seed", 1, "seed for synthetic workloads")
-		driver    = flag.String("driver", "serial", "serial | cilk | mpi | hybrid | naive")
-		bigP      = flag.Int("P", 2, "processes (mpi/hybrid)")
-		smallP    = flag.Int("p", 6, "threads per process (cilk/hybrid)")
-		epsBorn   = flag.Float64("eps-born", 0.9, "Born-radii approximation parameter")
-		epsEpol   = flag.Float64("eps-epol", 0.9, "energy approximation parameter")
-		approx    = flag.Bool("approx-math", false, "use fast inverse-sqrt/exp kernels")
-		icoLevel  = flag.Int("surface-level", 0, "icosphere level for the surface sampler (default 1)")
-		radiiOut  = flag.String("radii", "", "write Born radii to this file")
-		verbose   = flag.Bool("v", false, "print run statistics")
+		in       = flag.String("in", "", "input molecule (.pqr or .xyzrq)")
+		synth    = flag.String("synthetic", "", "synthetic workload: globule | shell | helix | cmv | btv")
+		atoms    = flag.Int("atoms", 10000, "atom count for synthetic workloads")
+		seed     = flag.Int64("seed", 1, "seed for synthetic workloads")
+		driver   = flag.String("driver", "serial", "serial | cilk | mpi | hybrid | naive")
+		bigP     = flag.Int("P", 2, "processes (mpi/hybrid)")
+		smallP   = flag.Int("p", 6, "threads per process (cilk/hybrid)")
+		epsBorn  = flag.Float64("eps-born", 0.9, "Born-radii approximation parameter")
+		epsEpol  = flag.Float64("eps-epol", 0.9, "energy approximation parameter")
+		approx   = flag.Bool("approx-math", false, "use fast inverse-sqrt/exp kernels")
+		icoLevel = flag.Int("surface-level", 0, "icosphere level for the surface sampler (default 1)")
+		radiiOut = flag.String("radii", "", "write Born radii to this file")
+		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON (chrome://tracing) to this file")
+		metrics  = flag.String("metrics", "", "print run metrics to stdout: text (deterministic summary) | json")
+		verbose  = flag.Bool("v", false, "print run statistics")
 	)
 	flag.Parse()
+	if *metrics != "" && *metrics != "text" && *metrics != "json" {
+		fatal(fmt.Errorf("unknown -metrics mode %q (want text or json)", *metrics))
+	}
 
 	mol, err := loadMolecule(*in, *synth, *atoms, *seed)
 	if err != nil {
@@ -65,18 +72,24 @@ func main() {
 		fatal(err)
 	}
 
+	var rec *obs.Recorder
+	if *traceOut != "" || *metrics != "" {
+		rec = obs.NewRecorder(perf.StartTimer().Elapsed)
+		rec.SetLabel(fmt.Sprintf("gbpol %s %s", mol.Name, strings.ToLower(*driver)))
+	}
+
 	var res *gb.Result
 	switch strings.ToLower(*driver) {
 	case "serial":
-		res = sys.RunSerial()
+		res, err = sys.Run(gb.RunSpec{Obs: rec})
 	case "cilk":
 		pool := sched.New(*smallP)
-		res = sys.RunCilk(pool)
+		res, err = sys.Run(gb.RunSpec{Pool: pool, Obs: rec})
 		pool.Close()
 	case "mpi":
-		res, err = sys.RunMPI(*bigP)
+		res, err = sys.Run(gb.RunSpec{Processes: *bigP, Obs: rec})
 	case "hybrid":
-		res, err = sys.RunHybrid(*bigP, *smallP)
+		res, err = sys.Run(gb.RunSpec{Processes: *bigP, ThreadsPerProcess: *smallP, Obs: rec})
 	case "naive":
 		radii, bornOps := sys.NaiveBornRadiiR6()
 		e, epolOps := sys.NaiveEpol(radii)
@@ -99,16 +112,31 @@ func main() {
 		if res.Steals > 0 {
 			fmt.Printf("steals        %d\n", res.Steals)
 		}
-		if res.Traffic.Collectives != nil {
-			kinds := make([]string, 0, len(res.Traffic.Collectives))
-			for kind := range res.Traffic.Collectives {
-				kinds = append(kinds, string(kind))
-			}
-			sort.Strings(kinds)
-			for _, kind := range kinds {
-				st := res.Traffic.Collectives[simmpi.CollectiveKind(kind)]
-				fmt.Printf("comm          %s: %d calls, %d bytes\n", kind, st.Calls, st.Bytes)
-			}
+		// Sorted-kind rendering via the shared helper: map-order output
+		// would drift between identical runs.
+		for _, kind := range obs.SortedKeys(res.Traffic.Collectives) {
+			st := res.Traffic.Collectives[kind]
+			fmt.Printf("comm          %s: %d calls, %d bytes\n", kind, st.Calls, st.Bytes)
+		}
+	}
+	switch *metrics {
+	case "text":
+		fmt.Print(rec.Summary())
+	case "json":
+		if err := rec.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteChromeTrace(f, rec); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
 		}
 	}
 	if *radiiOut != "" {

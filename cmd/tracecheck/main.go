@@ -1,0 +1,88 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced
+// by gbpol/clustersim -trace-out: the file must parse, contain at least
+// one complete ("X") span event, and — when -phases is given — every
+// thread timeline (pid,tid pair) that emitted spans must contain all of
+// the named phase spans. It is the assertion half of `make trace-smoke`.
+//
+// Usage:
+//
+//	tracecheck trace.json
+//	tracecheck -phases octree-build,approx-integrals trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// traceEvent is the subset of the Chrome trace-event schema we assert on.
+type traceEvent struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	Pid  int    `json:"pid"`
+	Tid  int    `json:"tid"`
+}
+
+type traceDoc struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+func main() {
+	phasesF := flag.String("phases", "", "comma-separated span names every span-emitting thread must contain")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fatal(fmt.Errorf("usage: tracecheck [-phases a,b,c] trace.json"))
+	}
+	path := flag.Arg(0)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fatal(fmt.Errorf("%s: not valid trace JSON: %w", path, err))
+	}
+
+	type thread struct{ pid, tid int }
+	spans := 0
+	byThread := make(map[thread]map[string]bool)
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		spans++
+		t := thread{ev.Pid, ev.Tid}
+		if byThread[t] == nil {
+			byThread[t] = make(map[string]bool)
+		}
+		byThread[t][ev.Name] = true
+	}
+	if spans == 0 {
+		fatal(fmt.Errorf("%s: no complete (ph=X) span events", path))
+	}
+
+	if *phasesF != "" {
+		var missing []string
+		for t, names := range byThread {
+			for _, phase := range strings.Split(*phasesF, ",") {
+				if !names[strings.TrimSpace(phase)] {
+					missing = append(missing,
+						fmt.Sprintf("pid=%d tid=%d lacks %q", t.pid, t.tid, phase))
+				}
+			}
+		}
+		if len(missing) > 0 {
+			fatal(fmt.Errorf("%s: %s", path, strings.Join(missing, "; ")))
+		}
+	}
+	fmt.Printf("%s: ok (%d spans across %d threads)\n", path, spans, len(byThread))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracecheck:", err)
+	os.Exit(1)
+}

@@ -43,7 +43,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res := sys.RunSerial()
+		res, err := sys.Run(gb.RunSpec{})
+		if err != nil {
+			log.Fatal(err)
+		}
 		// The octree itself is parameter-independent: same memory at
 		// every ε (§II, the contrast with cutoff-sized nonbonded lists).
 		treeBytes := sys.TA.MemoryBytes() + sys.TQ.MemoryBytes()

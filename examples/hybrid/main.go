@@ -54,16 +54,20 @@ func main() {
 	}
 
 	pool := sched.New(12)
-	show("OCT_CILK 1×12", sys.RunCilk(pool))
+	cilk, err := sys.Run(gb.RunSpec{Pool: pool})
+	if err != nil {
+		log.Fatal(err)
+	}
 	pool.Close()
+	show("OCT_CILK 1×12", cilk)
 
-	mpi, err := sys.RunMPI(12)
+	mpi, err := sys.Run(gb.RunSpec{Processes: 12})
 	if err != nil {
 		log.Fatal(err)
 	}
 	show("OCT_MPI 12×1", mpi)
 
-	hyb, err := sys.RunHybrid(2, 6)
+	hyb, err := sys.Run(gb.RunSpec{Processes: 2, ThreadsPerProcess: 6})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -39,8 +39,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 4. Compute: serial octree run.
-	res := sys.RunSerial()
+	// 4. Compute: serial octree run (the zero RunSpec).
+	res, err := sys.Run(gb.RunSpec{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\noctree:   Epol = %.2f kcal/mol  (%d interactions, %v)\n",
 		res.Epol, res.TotalOps(), res.Wall)
 

@@ -59,7 +59,10 @@ func main() {
 			log.Fatal(err)
 		}
 		start = time.Now()
-		res := s2.RunSerial()
+		res, err := s2.Run(gb.RunSpec{})
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("GB octree ε = %.1f                  %12.2f   %8v\n",
 			eps, res.Epol, time.Since(start).Round(time.Microsecond))
 	}

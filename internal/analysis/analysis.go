@@ -194,7 +194,9 @@ func hasPathSuffix(path, suffix string) bool {
 // kernelPkgSuffixes are the numeric kernel packages the determinism
 // analyzer polices. perf is included for the map-iteration rule but
 // exempt from the clock/RNG rule: it is the designated measurement
-// boundary (see internal/perf/clock.go).
+// boundary (see internal/perf/clock.go). obs is policed like a kernel:
+// the recorder must never read a clock itself — its clock is injected at
+// construction (by perf, behind the measurement boundary).
 var kernelPkgSuffixes = []string{
 	"internal/gb",
 	"internal/octree",
@@ -203,6 +205,7 @@ var kernelPkgSuffixes = []string{
 	"internal/bench",
 	"internal/molecule",
 	"internal/perf",
+	"internal/obs",
 }
 
 func isKernelPkg(path string) bool {

@@ -8,7 +8,7 @@ import (
 
 // Determinism enforces bitwise reproducibility in the numeric kernel
 // packages (internal/gb, octree, quadrature, surface, bench, molecule,
-// perf):
+// perf, obs):
 //
 //   - ranging over a map while accumulating floats or appending to a
 //     slice — Go randomizes map iteration order, float addition is not

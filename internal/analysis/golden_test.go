@@ -18,6 +18,7 @@ import (
 var corpusDirs = map[string]string{
 	"gbpolar/internal/simmpi":   "simmpi",
 	"gbpolar/internal/fault":    "fault",
+	"gbpolar/internal/obs":      "obs",
 	"corpus/spmdsym":            "spmdsym",
 	"corpus/erretcheck":         "erretcheck",
 	"detcorp/internal/gb":       "determinism",
@@ -119,6 +120,9 @@ func TestGolden(t *testing.T) {
 		// allowlist) and its error-returning collectives.
 		{"stub-simmpi-clean", "gbpolar/internal/simmpi", All},
 		{"stub-fault-clean", "gbpolar/internal/fault", All},
+		// The obs stub sits on the kernel list: it must be determinism-
+		// clean by construction (injected clock, no map-order output).
+		{"stub-obs-clean", "gbpolar/internal/obs", All},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

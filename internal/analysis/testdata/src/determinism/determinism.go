@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"sort"
 	"time"
+
+	"gbpolar/internal/obs"
 )
 
 // Positive: float accumulation order follows randomized map iteration.
@@ -75,4 +77,27 @@ func seededRand(seed int64) float64 {
 // Positive: wall-clock reads belong behind the perf boundary.
 func wallClock() int64 {
 	return time.Now().UnixNano() // want "clock reads belong behind the perf measurement boundary"
+}
+
+// Negative: obs instrumentation inside a kernel is fine — spans and
+// counters take no clock reads of their own (the recorder's clock is
+// injected at construction, behind the perf boundary), so timing stays
+// observational and never feeds the numerics.
+func instrumentedKernel(rec *obs.Recorder, xs []float64) float64 {
+	sp := rec.StartSpan(0, "kernel")
+	defer sp.End()
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	rec.Count("kernel.ops", int64(len(xs)))
+	return sum
+}
+
+// Positive: timing instrumentation with a direct clock read bypasses
+// both the injected clock and the perf measurement boundary.
+func selfClockedSpan(rec *obs.Recorder) int64 {
+	start := time.Now() // want "clock reads belong behind the perf measurement boundary"
+	rec.Count("kernel.ops", 1)
+	return time.Since(start).Nanoseconds()
 }

@@ -1,0 +1,63 @@
+// Corpus stub of internal/obs, loaded on the kernel import path
+// gbpolar/internal/obs: the recorder never reads a clock itself — time
+// is injected at construction (by perf, behind the measurement
+// boundary), which is exactly the invariant the determinism analyzer
+// enforces now that obs sits on the kernel list. The stub must stay
+// findings-clean under the full suite.
+package obs
+
+import "time"
+
+// Recorder collects spans and counters against an injected clock.
+type Recorder struct {
+	clock    func() time.Duration
+	counters map[string]int64
+	spans    []spanData
+}
+
+type spanData struct {
+	rank  int
+	name  string
+	start time.Duration
+	end   time.Duration
+}
+
+// Span is a handle to an open span; the zero Span is inert.
+type Span struct {
+	r   *Recorder
+	idx int
+}
+
+// NewRecorder builds a recorder around the injected clock; nil means a
+// zero clock (spans carry no wall time but counters still work).
+func NewRecorder(clock func() time.Duration) *Recorder {
+	if clock == nil {
+		clock = func() time.Duration { return 0 }
+	}
+	return &Recorder{clock: clock, counters: make(map[string]int64)}
+}
+
+// StartSpan opens a span on a rank's timeline. Nil recorders are inert.
+func (r *Recorder) StartSpan(rank int, name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	r.spans = append(r.spans, spanData{rank: rank, name: name, start: r.clock()})
+	return Span{r: r, idx: len(r.spans) - 1}
+}
+
+// End closes the span.
+func (s Span) End() {
+	if s.r == nil {
+		return
+	}
+	s.r.spans[s.idx].end = s.r.clock()
+}
+
+// Count adds n to a named counter. Nil recorders are inert.
+func (r *Recorder) Count(name string, n int64) {
+	if r == nil {
+		return
+	}
+	r.counters[name] += n
+}

@@ -48,6 +48,7 @@ func (s *System) approxIntegralsAtomRange(a, q int32, lo, hi int32, acc *bornAcc
 			}
 			acc.atomS[ai] += sum
 		}
+		acc.near += ops
 		return ops
 	}
 	ops := int64(1)
@@ -64,7 +65,7 @@ func (s *System) approxIntegralsAtomRange(a, q int32, lo, hi int32, acc *bornAcc
 // reduces to d > r_U·factor): the atom-based energy traversal. Returns the
 // raw Σ_j q_i q_j/f sum and the evaluation count.
 func (s *System) approxEpolAtom(ai int32, u int32, radii []float64, agg *epolAggregates,
-	kernel func(qq, r2, RiRj float64) float64, factor float64) (float64, int64) {
+	kernel func(qq, r2, RiRj float64) float64, factor float64, tally *pairTally) (float64, int64) {
 	un := &s.TA.Nodes[u]
 	pi := s.atomPos[ai]
 	qi := s.Mol.Atoms[ai].Charge
@@ -104,6 +105,7 @@ func (s *System) approxEpolAtom(ai int32, u int32, radii []float64, agg *epolAgg
 		if ops == 0 {
 			ops = 1
 		}
+		tally.addFar(ops)
 		return sum, ops
 	}
 	if un.Leaf {
@@ -119,13 +121,14 @@ func (s *System) approxEpolAtom(ai int32, u int32, radii []float64, agg *epolAgg
 			sum += kernel(qi*s.Mol.Atoms[vi].Charge, r2, ri*radii[vi])
 			ops++
 		}
+		tally.addNear(ops)
 		return sum, ops
 	}
 	sum := 0.0
 	ops := int64(1)
 	for _, c := range un.Children {
 		if c != octree.NoChild {
-			cs, cops := s.approxEpolAtom(ai, c, radii, agg, kernel, factor)
+			cs, cops := s.approxEpolAtom(ai, c, radii, agg, kernel, factor, tally)
 			sum += cs
 			ops += cops
 		}

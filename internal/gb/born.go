@@ -81,6 +81,11 @@ type bornAccum struct {
 	// spreading one scalar across the whole node.
 	nodeG []geom.Vec3
 	atomS []float64 // s_a per atom (original index)
+	// near/far tally the exact-pair and approximated evaluations for the
+	// obs pair counters. They ride along with the numeric fields but stay
+	// rank-local: encodeAcc/decodeAcc in the distributed driver exchange
+	// only the numeric payload, so each rank reports its own work split.
+	near, far int64
 }
 
 func (s *System) newBornAccum() *bornAccum {
@@ -103,6 +108,8 @@ func (b *bornAccum) add(o *bornAccum) {
 	for i, v := range o.atomS {
 		b.atomS[i] += v
 	}
+	b.near += o.near
+	b.far += o.far
 }
 
 // ApproxIntegrals is Fig. 2's APPROX-INTEGRALS(A, Q): it accumulates the
@@ -147,6 +154,7 @@ func (s *System) approxIntegrals(a, q int32, qn *octree.Node, qNormal geom.Vec3,
 		// ∇_x [(q̄−x)·ñ/|q̄−x|ᵖ] = −ñ/dᵖ + p (d·ñ) d̂ / dᵖ⁺¹.
 		grad := qNormal.Scale(-1 / rp).Add(dhat.Scale(pow * diff.Dot(qNormal) / (rp * d)))
 		acc.nodeG[a] = acc.nodeG[a].Add(grad)
+		acc.far++
 		return 1
 	}
 	if an.Leaf {
@@ -168,6 +176,7 @@ func (s *System) approxIntegrals(a, q int32, qn *octree.Node, qNormal geom.Vec3,
 			acc.atomS[ai] += sum
 			ops += int64(len(s.TQ.ItemsOf(q)))
 		}
+		acc.near += ops
 		return ops
 	}
 	ops := int64(1)

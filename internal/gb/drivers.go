@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"gbpolar/internal/geom"
+	"gbpolar/internal/obs"
 	"gbpolar/internal/perf"
 	"gbpolar/internal/sched"
 	"gbpolar/internal/simmpi"
@@ -52,26 +53,108 @@ func (r *Result) TotalOps() int64 {
 	return t
 }
 
-// RunSerial computes Born radii and Epol with the serial octree algorithm
-// (the OCT baseline at P = p = 1).
-func (s *System) RunSerial() *Result {
+// Span names of the algorithm phases; comm spans ("comm:<kind>") are
+// opened inside simmpi and fault-recovery redo iterations carry a
+// "redo:" prefix (see phaseName).
+const (
+	spanRank   = "rank"
+	spanBorn   = "approx-integrals"
+	spanPush   = "push-integrals-to-atoms"
+	spanOctree = "octree-build"
+	spanEpol   = "approx-epol"
+	redoPrefix = "redo:"
+)
+
+// phaseName names a phase span, marking heal-by-redo repeat iterations.
+func phaseName(base string, iter int) string {
+	if iter == 0 {
+		return base
+	}
+	return redoPrefix + base
+}
+
+// countPairSplit publishes an iteration's near/far evaluation split. The
+// counts are work-done totals across ranks (and across redo iterations),
+// so they are deterministic exactly when the iteration structure is —
+// always for crash-free runs.
+func countPairSplit(rec *obs.Recorder, bornNear, bornFar, epolNear, epolFar int64) {
+	rec.Count("pairs.born.near", bornNear)
+	rec.Count("pairs.born.far", bornFar)
+	rec.Count("pairs.epol.near", epolNear)
+	rec.Count("pairs.epol.far", epolFar)
+}
+
+// runSerial is the serial octree baseline (P = p = 1), instrumented. The
+// phase structure and floating-point operation order are exactly
+// BornRadii + Epol, so the result is bitwise identical to the
+// uninstrumented pipeline (asserted by runspec_test.go).
+func (s *System) runSerial(rec *obs.Recorder) *Result {
 	sw := perf.StartTimer()
-	radii, bornOps := s.BornRadii()
-	e, epolOps := s.Epol(radii)
+	root := rec.StartSpan(0, spanRank)
+	defer root.End()
+
+	sp := rec.StartSpan(0, spanBorn)
+	acc := s.newBornAccum()
+	bornOps := int64(0)
+	for _, q := range s.qLeaves {
+		bornOps += s.ApproxIntegrals(s.TA.Root(), q, acc)
+	}
+	sp.End()
+
+	sp = rec.StartSpan(0, spanPush)
+	radii := make([]float64, s.NumAtoms())
+	bornOps += s.PushIntegralsToAtoms(acc, 0, s.NumAtoms(), radii)
+	sp.End()
+
+	sp = rec.StartSpan(0, spanOctree)
+	agg := s.buildEpolAggregates(radii)
+	sp.End()
+
+	sp = rec.StartSpan(0, spanEpol)
+	kernel := pairEnergyKernel(s.Params.Math)
+	factor := epolFarFactor(s.Params.EpsEpol, s.Params.OpeningScale)
+	var tally pairTally
+	sum := 0.0
+	epolOps := int64(0)
+	for _, v := range s.aLeaves {
+		vs, vops := s.approxEpol(s.TA.Root(), v, radii, agg, kernel, factor, &tally)
+		sum += vs
+		epolOps += vops
+	}
+	sp.End()
+
+	countPairSplit(rec, acc.near, acc.far, tally.near, tally.far)
 	return &Result{
-		Epol: e, Born: radii,
+		Epol:      -0.5 * Tau(s.Params.EpsSolvent) * CoulombKcal * sum,
+		Born:      radii,
 		Processes: 1, ThreadsPerProcess: 1,
 		PerCoreOps: []int64{bornOps + epolOps},
 		Wall:       sw.Elapsed(),
 	}
 }
 
-// RunCilk is OCT_CILK: the shared-memory driver. Work is divided over the
-// quadrature leaves (Born phase), atom segments (push phase) and atom
-// leaves (energy phase) by recursive splitting onto the work-stealing
-// pool, the paper's implicit dynamic load balancing.
-func (s *System) RunCilk(pool *sched.Pool) *Result {
+// epolPart is the energy-phase reduction accumulator: the partial raw sum
+// plus the near/far evaluation tally riding along. The sum field is
+// accumulated and merged exactly like the former bare *float64, so the
+// reduction stays bitwise identical.
+type epolPart struct {
+	sum   float64
+	tally pairTally
+}
+
+func newEpolPart() *epolPart { return new(epolPart) }
+
+func (p *epolPart) merge(o *epolPart) {
+	p.sum += o.sum
+	p.tally.near += o.tally.near
+	p.tally.far += o.tally.far
+}
+
+// runCilk is OCT_CILK, the shared-memory driver, instrumented.
+func (s *System) runCilk(pool *sched.Pool, rec *obs.Recorder) *Result {
 	sw := perf.StartTimer()
+	root := rec.StartSpan(0, spanRank)
+	defer root.End()
 	p := pool.NumWorkers()
 	stealsBefore := pool.Steals()
 
@@ -84,6 +167,7 @@ func (s *System) RunCilk(pool *sched.Pool) *Result {
 	// and hence the low bits of every radius and energy — scheduling-
 	// dependent. ParallelReduce pins the reduction tree to (n, grain) so
 	// results are bitwise reproducible (see determinism_test.go).
+	sp := rec.StartSpan(0, spanBorn)
 	grain := len(s.qLeaves)/(8*p) + 1
 	acc := sched.ParallelReduce(pool, len(s.qLeaves), grain,
 		s.newBornAccum,
@@ -95,33 +179,45 @@ func (s *System) RunCilk(pool *sched.Pool) *Result {
 			perWorkerOps[w.ID()] += ops
 		},
 		(*bornAccum).add)
+	sp.End()
 
 	// Phase B: PUSH-INTEGRALS over atom segments.
+	sp = rec.StartSpan(0, spanPush)
 	radii := make([]float64, s.NumAtoms())
 	grain = s.NumAtoms()/(8*p) + 1
 	pool.ParallelRange(s.NumAtoms(), grain, func(w *sched.Worker, lo, hi int) {
 		perWorkerOps[w.ID()] += s.PushIntegralsToAtoms(acc, lo, hi, radii)
 	})
+	sp.End()
 
 	// Phase C: APPROX-Epol over atom leaves, reduced in range order for the
 	// same bitwise reproducibility as phase A.
+	sp = rec.StartSpan(0, spanOctree)
 	agg := s.buildEpolAggregates(radii)
+	sp.End()
+	sp = rec.StartSpan(0, spanEpol)
+	kernel := pairEnergyKernel(s.Params.Math)
+	factor := epolFarFactor(s.Params.EpsEpol, s.Params.OpeningScale)
 	grain = len(s.aLeaves)/(8*p) + 1
 	totalP := sched.ParallelReduce(pool, len(s.aLeaves), grain,
-		func() *float64 { return new(float64) },
-		func(w *sched.Worker, lo, hi int, part *float64) {
+		newEpolPart,
+		func(w *sched.Worker, lo, hi int, part *epolPart) {
 			sum := 0.0
 			ops := int64(0)
 			for _, v := range s.aLeaves[lo:hi] {
-				vs, vops := s.ApproxEpol(s.TA.Root(), v, radii, agg)
+				vs, vops := s.approxEpol(s.TA.Root(), v, radii, agg, kernel, factor, &part.tally)
 				sum += vs
 				ops += vops
 			}
-			*part += sum
+			part.sum += sum
 			perWorkerOps[w.ID()] += ops
 		},
-		func(dst, src *float64) { *dst += *src })
-	total := *totalP
+		(*epolPart).merge)
+	total := totalP.sum
+	sp.End()
+
+	countPairSplit(rec, acc.near, acc.far, totalP.tally.near, totalP.tally.far)
+	rec.GaugeAdd("sched.steals", pool.Steals()-stealsBefore)
 
 	return &Result{
 		Epol:      -0.5 * Tau(s.Params.EpsSolvent) * CoulombKcal * total,
@@ -156,33 +252,6 @@ func balancePool(ops []int64) []int64 {
 	return out
 }
 
-// RunMPI is OCT_MPI: P single-threaded message-passing ranks following
-// Fig. 4 (static node-based division, Allreduce of partial integrals,
-// Allgatherv of Born-radius segments, Allreduce of partial energies).
-// With Params.Division == AtomNode the atom-based division of §IV is used
-// instead.
-func (s *System) RunMPI(P int) (*Result, error) {
-	return s.runDistributed(P, 1, nil)
-}
-
-// RunHybrid is OCT_MPI+CILK: P ranks × p work-stealing threads.
-func (s *System) RunHybrid(P, p int) (*Result, error) {
-	return s.runDistributed(P, p, nil)
-}
-
-// RunMPIWithFaults is RunMPI under fault injection: the config's plan is
-// replayed against the run and the driver self-heals (or degrades, per
-// the policy) as ranks crash, messages drop, and stragglers stall. A nil
-// or empty config is exactly RunMPI.
-func (s *System) RunMPIWithFaults(P int, cfg *FaultConfig) (*Result, error) {
-	return s.runDistributed(P, 1, cfg)
-}
-
-// RunHybridWithFaults is RunHybrid under fault injection.
-func (s *System) RunHybridWithFaults(P, p int, cfg *FaultConfig) (*Result, error) {
-	return s.runDistributed(P, p, cfg)
-}
-
 // validateLayout rejects impossible process layouts up front with a
 // descriptive error instead of producing empty segments downstream.
 func (s *System) validateLayout(P, p int) error {
@@ -214,7 +283,7 @@ func (s *System) validateLayout(P, p int) error {
 // changed — or, for the final energy phase under the Degrade policy,
 // accept the partial sum and report a rigorous ErrorBound for the dead
 // ranks' missing share.
-func (s *System) runDistributed(P, p int, cfg *FaultConfig) (*Result, error) {
+func (s *System) runDistributed(P, p int, cfg *FaultConfig, rec *obs.Recorder) (*Result, error) {
 	if err := s.validateLayout(P, p); err != nil {
 		return nil, err
 	}
@@ -238,11 +307,17 @@ func (s *System) runDistributed(P, p int, cfg *FaultConfig) (*Result, error) {
 	outs := make([]rankOutcome, P)
 	ft := cfg.active()
 
-	traffic, err := simmpi.RunPlan(P, cfg.plan(), func(c *simmpi.Comm) error {
+	traffic, err := simmpi.RunPlanObs(P, cfg.plan(), rec, func(c *simmpi.Comm) error {
 		rank := c.Rank()
+		// The rank root span. Its deferred End force-closes any phase span
+		// leaked by an error return or an injected crash (panic unwind), so
+		// the exported span tree stays balanced on every path.
+		rankSpan := rec.StartSpan(rank, spanRank)
+		defer rankSpan.End()
 		var pool *sched.Pool
 		if p > 1 {
 			pool = sched.New(p)
+			pool.Observe(rec)
 			defer pool.Close()
 		}
 		coreBase := rank * p
@@ -300,6 +375,7 @@ func (s *System) runDistributed(P, p int, cfg *FaultConfig) (*Result, error) {
 					return err
 				}
 			}
+			sp := rec.StartSpan(rank, phaseName(spanBorn, iter))
 			// One accumulator per subrange, merged in range order (see
 			// reduceRange): scheduling never changes the float merge
 			// order, so each rank's integral payload is bitwise
@@ -329,6 +405,10 @@ func (s *System) runDistributed(P, p int, cfg *FaultConfig) (*Result, error) {
 					},
 					(*bornAccum).add)
 			}
+			// Work-done counters: a redo iteration counts again, because the
+			// evaluations really ran again.
+			rec.Count("pairs.born.near", acc.near)
+			rec.Count("pairs.born.far", acc.far)
 			merged, err := c.Allreduce(encodeAcc(acc), simmpi.Sum)
 			if err != nil {
 				return err
@@ -341,10 +421,12 @@ func (s *System) runDistributed(P, p int, cfg *FaultConfig) (*Result, error) {
 				if !equalInts(newLost, lost) {
 					lost, live = newLost, liveRanksOf(P, newLost)
 					recovered = true
+					sp.End()
 					continue
 				}
 			}
 			decodeAcc(acc, merged)
+			sp.End()
 			break
 		}
 
@@ -360,6 +442,7 @@ func (s *System) runDistributed(P, p int, cfg *FaultConfig) (*Result, error) {
 					return err
 				}
 			}
+			sp := rec.StartSpan(rank, phaseName(spanPush, iter))
 			alo, ahi := share(s.NumAtoms())
 			s.forRange(pool, ahi-alo, func(worker int, i0, i1 int) {
 				perCoreOps[coreBase+worker] += s.PushIntegralsToAtoms(acc, alo+i0, alo+i1, radii)
@@ -378,6 +461,7 @@ func (s *System) runDistributed(P, p int, cfg *FaultConfig) (*Result, error) {
 				for pos, r := range all {
 					radii[s.TA.Items[pos]] = r
 				}
+				sp.End()
 				break
 			}
 			// Fault-tolerant protocol: (atom index, radius) pairs, so a
@@ -398,17 +482,21 @@ func (s *System) runDistributed(P, p int, cfg *FaultConfig) (*Result, error) {
 			if !equalInts(newLost, lost) {
 				lost, live = newLost, liveRanksOf(P, newLost)
 				recovered = true
+				sp.End()
 				continue
 			}
 			for i := 0; i+1 < len(all); i += 2 {
 				radii[int(all[i])] = all[i+1]
 			}
+			sp.End()
 			break
 		}
 
 		// ---- Phase 6+7: partial energies + reduction (Fig. 4 Steps 6-7),
 		// healed by redo or degraded with a bound ------------------------
+		osp := rec.StartSpan(rank, spanOctree)
 		agg := s.buildEpolAggregates(radii)
+		osp.End()
 		kernel := pairEnergyKernel(s.Params.Math)
 		factor := epolFarFactor(s.Params.EpsEpol, s.Params.OpeningScale)
 		energy := 0.0
@@ -423,47 +511,51 @@ func (s *System) runDistributed(P, p int, cfg *FaultConfig) (*Result, error) {
 					return err
 				}
 			}
-			var partialP *float64
+			sp := rec.StartSpan(rank, phaseName(spanEpol, iter))
+			var partialP *epolPart
 			switch s.Params.Division {
 			case NodeNode:
 				lo, hi := share(len(s.aLeaves))
-				partialP = reduceRange(pool, hi-lo, func() *float64 { return new(float64) },
-					func(worker, i0, i1 int, part *float64) {
+				partialP = reduceRange(pool, hi-lo, newEpolPart,
+					func(worker, i0, i1 int, part *epolPart) {
 						sum := 0.0
 						ops := int64(0)
 						for _, v := range s.aLeaves[lo+i0 : lo+i1] {
-							vs, vops := s.approxEpol(s.TA.Root(), v, radii, agg, kernel, factor)
+							vs, vops := s.approxEpol(s.TA.Root(), v, radii, agg, kernel, factor, &part.tally)
 							sum += vs
 							ops += vops
 						}
-						*part += sum
+						part.sum += sum
 						perCoreOps[coreBase+worker] += ops
 					},
-					func(dst, src *float64) { *dst += *src })
+					(*epolPart).merge)
 			case AtomNode:
 				alo, ahi := share(s.NumAtoms())
-				partialP = reduceRange(pool, ahi-alo, func() *float64 { return new(float64) },
-					func(worker, i0, i1 int, part *float64) {
+				partialP = reduceRange(pool, ahi-alo, newEpolPart,
+					func(worker, i0, i1 int, part *epolPart) {
 						sum := 0.0
 						ops := int64(0)
 						for pos := alo + i0; pos < alo+i1; pos++ {
 							ai := s.TA.Items[pos]
-							vs, vops := s.approxEpolAtom(ai, s.TA.Root(), radii, agg, kernel, factor)
+							vs, vops := s.approxEpolAtom(ai, s.TA.Root(), radii, agg, kernel, factor, &part.tally)
 							sum += vs
 							ops += vops
 						}
-						*part += sum
+						part.sum += sum
 						perCoreOps[coreBase+worker] += ops
 					},
-					func(dst, src *float64) { *dst += *src })
+					(*epolPart).merge)
 			}
-			partial := *partialP
+			partial := partialP.sum
+			rec.Count("pairs.epol.near", partialP.tally.near)
+			rec.Count("pairs.epol.far", partialP.tally.far)
 			sum, err := c.Allreduce([]float64{partial}, simmpi.Sum)
 			if err != nil {
 				return err
 			}
 			if !ft {
 				energy = -0.5 * Tau(s.Params.EpsSolvent) * CoulombKcal * sum[0]
+				sp.End()
 				break
 			}
 			prevLive := live
@@ -473,11 +565,13 @@ func (s *System) runDistributed(P, p int, cfg *FaultConfig) (*Result, error) {
 			}
 			if equalInts(newLost, lost) {
 				energy = -0.5 * Tau(s.Params.EpsSolvent) * CoulombKcal * sum[0]
+				sp.End()
 				break
 			}
 			if cfg.Policy == Recover {
 				lost, live = newLost, liveRanksOf(P, newLost)
 				recovered = true
+				sp.End()
 				continue
 			}
 			// Degrade: accept the partial sum and bound the energy mass the
@@ -504,6 +598,7 @@ func (s *System) runDistributed(P, p int, cfg *FaultConfig) (*Result, error) {
 			energy = -0.5 * Tau(s.Params.EpsSolvent) * CoulombKcal * sum[0]
 			bound = s.degradedBound(deadAtoms)
 			degraded = true
+			sp.End()
 			break
 		}
 

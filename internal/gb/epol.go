@@ -173,6 +173,24 @@ func epolFar(d, ru, rv, factor float64) bool {
 	return d > (ru+rv)*factor
 }
 
+// pairTally splits an energy traversal's evaluation count into exact
+// (near) and class-approximated (far) pair evaluations for the obs
+// counters. A nil tally disables counting, so callers that only want the
+// sum (Complex, the distributed data variants) pass nil.
+type pairTally struct{ near, far int64 }
+
+func (t *pairTally) addNear(n int64) {
+	if t != nil {
+		t.near += n
+	}
+}
+
+func (t *pairTally) addFar(n int64) {
+	if t != nil {
+		t.far += n
+	}
+}
+
 // ApproxEpol is Fig. 3's APPROX-Epol(U, V): the raw pair sum
 // Σ q_u q_v / f_GB between the atoms under U and the atoms under leaf V,
 // approximated by class histograms when (U, V) is far, exact at leaves.
@@ -180,11 +198,11 @@ func epolFar(d, ru, rv, factor float64) bool {
 func (s *System) ApproxEpol(u, v int32, radii []float64, agg *epolAggregates) (float64, int64) {
 	kernel := pairEnergyKernel(s.Params.Math)
 	factor := epolFarFactor(s.Params.EpsEpol, s.Params.OpeningScale)
-	return s.approxEpol(u, v, radii, agg, kernel, factor)
+	return s.approxEpol(u, v, radii, agg, kernel, factor, nil)
 }
 
 func (s *System) approxEpol(u, v int32, radii []float64, agg *epolAggregates,
-	kernel func(qq, r2, RiRj float64) float64, factor float64) (float64, int64) {
+	kernel func(qq, r2, RiRj float64) float64, factor float64, tally *pairTally) (float64, int64) {
 	un := &s.TA.Nodes[u]
 	vn := &s.TA.Nodes[v]
 	d := un.Center.Dist(vn.Center)
@@ -195,7 +213,7 @@ func (s *System) approxEpol(u, v int32, radii []float64, agg *epolAggregates,
 	// radii) while still close on the f_GB scale √(R_iR_j), where binned
 	// radii misprice the kernel.
 	if u != v && !un.Leaf && epolFar(d, un.Radius, vn.Radius, factor) {
-		return s.farClassSum(u, v, d, vn.Center.Sub(un.Center), agg)
+		return s.farClassSum(u, v, d, vn.Center.Sub(un.Center), agg, tally)
 	}
 	if un.Leaf {
 		// Exact: ordered pairs (u-atom, v-atom); self terms arise when
@@ -217,13 +235,14 @@ func (s *System) approxEpol(u, v int32, radii []float64, agg *epolAggregates,
 				ops++
 			}
 		}
+		tally.addNear(ops)
 		return sum, ops
 	}
 	sum := 0.0
 	ops := int64(1)
 	for _, c := range un.Children {
 		if c != octree.NoChild {
-			cs, cops := s.approxEpol(c, v, radii, agg, kernel, factor)
+			cs, cops := s.approxEpol(c, v, radii, agg, kernel, factor, tally)
 			sum += cs
 			ops += cops
 		}
@@ -240,7 +259,7 @@ func (s *System) approxEpol(u, v int32, radii []float64, agg *epolAggregates,
 // with g(r) = 1/f_GB(r; R_iR_j ≈ Rmin²(1+ε)^(i+j+1)). The derivative term
 // is the first-order dipole correction (see epolAggregates.dip). Returns
 // (raw sum, evaluations).
-func (s *System) farClassSum(u, v int32, d float64, dvec geom.Vec3, agg *epolAggregates) (float64, int64) {
+func (s *System) farClassSum(u, v int32, d float64, dvec geom.Vec3, agg *epolAggregates, tally *pairTally) (float64, int64) {
 	r2 := d * d
 	dhat := dvec.Scale(1 / d)
 	approx := s.Params.Math == ApproxMath
@@ -282,6 +301,7 @@ func (s *System) farClassSum(u, v int32, d float64, dvec geom.Vec3, agg *epolAgg
 	if ops == 0 {
 		ops = 1
 	}
+	tally.addFar(ops)
 	return sum, ops
 }
 

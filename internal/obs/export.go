@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"cmp"
+	"encoding/json"
+	"fmt"
+	"io"
+	"slices"
+	"strings"
+	"time"
+)
+
+// SortedKeys returns m's keys in ascending order. It is the shared
+// sorted-render helper for every map-derived output line in the project
+// (perf pricing, gbpol -v, the exporters here): Go randomizes map
+// iteration, and printing or accumulating in map order would make output
+// differ between identical runs (the PR-2 drift class of bug).
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// Summary renders the deterministic text summary: the label, every
+// counter, and per-name span call counts, all in sorted order. It
+// excludes gauges and timestamps on purpose — two same-seed crash-free
+// runs produce byte-identical summaries (asserted by the gb tests).
+func (r *Recorder) Summary() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	label := r.label
+	counters := make(map[string]int64, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	spanCounts := make(map[string]int64)
+	for _, sd := range r.spans {
+		spanCounts[sd.name]++
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	if label != "" {
+		fmt.Fprintf(&b, "# %s\n", label)
+	}
+	for _, k := range SortedKeys(counters) {
+		fmt.Fprintf(&b, "counter %s %d\n", k, counters[k])
+	}
+	for _, k := range SortedKeys(spanCounts) {
+		fmt.Fprintf(&b, "span %s %d\n", k, spanCounts[k])
+	}
+	return b.String()
+}
+
+// jsonDoc is the WriteJSON document.
+type jsonDoc struct {
+	Label    string           `json:"label,omitempty"`
+	Counters map[string]int64 `json:"counters"`
+	Gauges   map[string]int64 `json:"gauges"`
+	Spans    []jsonSpan       `json:"spans"`
+}
+
+type jsonSpan struct {
+	Rank    int     `json:"rank"`
+	Name    string  `json:"name"`
+	StartUs float64 `json:"start_us"`
+	DurUs   float64 `json:"dur_us"`
+	Parent  int     `json:"parent"`
+}
+
+// WriteJSON writes the full recorder state — counters, gauges, and the
+// span tree — as one JSON document. encoding/json marshals maps in
+// sorted key order, so the counter/gauge sections are deterministic;
+// span timings are observational.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	doc := jsonDoc{
+		Label:    r.Label(),
+		Counters: r.Counters(),
+		Gauges:   r.Gauges(),
+		Spans:    []jsonSpan{},
+	}
+	for _, sp := range r.Spans() {
+		if sp.Open {
+			continue
+		}
+		doc.Spans = append(doc.Spans, jsonSpan{
+			Rank: sp.Rank, Name: sp.Name,
+			StartUs: us(sp.Start), DurUs: us(sp.End - sp.Start),
+			Parent: sp.Parent,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// traceEvent is one Chrome trace-event (the chrome://tracing and
+// Perfetto "trace event format"): ph "X" is a complete slice, ph "M"
+// process/thread metadata. Timestamps are microseconds.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the JSON-object flavor of the trace format.
+type chromeDoc struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the recorders' spans as one Chrome trace-event
+// JSON document loadable in chrome://tracing or Perfetto. Each recorder
+// becomes a process (pid = its position, process_name = its label) and
+// each rank a thread, so a clustersim sweep renders as one process row
+// per layout with the rank timelines beneath it. Nil recorders are
+// skipped.
+func WriteChromeTrace(w io.Writer, recs ...*Recorder) error {
+	doc := chromeDoc{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	for pid, r := range recs {
+		if r == nil {
+			continue
+		}
+		label := r.Label()
+		if label == "" {
+			label = fmt.Sprintf("recorder-%d", pid)
+		}
+		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": label},
+		})
+		seenRank := make(map[int]bool)
+		for _, sp := range r.Spans() {
+			if sp.Open {
+				continue
+			}
+			if !seenRank[sp.Rank] {
+				seenRank[sp.Rank] = true
+				doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+					Name: "thread_name", Ph: "M", Pid: pid, Tid: sp.Rank,
+					Args: map[string]any{"name": fmt.Sprintf("rank %d", sp.Rank)},
+				})
+			}
+			dur := us(sp.End - sp.Start)
+			doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+				Name: sp.Name, Ph: "X",
+				Ts: us(sp.Start), Dur: &dur,
+				Pid: pid, Tid: sp.Rank,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// us converts a duration to fractional microseconds (the trace format's
+// time unit).
+func us(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e3
+}

@@ -1,0 +1,265 @@
+// Package obs is the project's zero-dependency observability layer for
+// the simulated cluster: per-rank hierarchical spans around the algorithm
+// phases and collectives, named counters and gauges, and exporters (a
+// deterministic text summary, JSON, and the Chrome trace-event format —
+// see export.go).
+//
+// # Determinism contract
+//
+// The recorder never reads the clock itself: NewRecorder takes the clock
+// as a function, and callers inject perf.Stopwatch.Elapsed so every
+// timestamp crosses the project's one sanctioned measurement boundary
+// (internal/perf/clock.go). The `determinism` analyzer in
+// internal/analysis polices this package like a numeric kernel — a
+// time.Now call here would be a lint finding. Instrumentation is
+// strictly write-only with respect to the computation: nothing a
+// Recorder collects ever feeds back into the numbers a run produces.
+//
+// Counters and gauges are deliberately distinct:
+//
+//   - Count records values that are a pure function of the workload and
+//     layout (collective calls and bytes, near/far pair splits, injected
+//     fault events). Counters appear in Summary, which is therefore
+//     bitwise identical between two same-seed crash-free runs.
+//   - Gauge/GaugeAdd record observational values that legitimately vary
+//     with host scheduling (steal counts, wall time, priced seconds).
+//     Gauges are exported by WriteJSON and the trace, never by Summary.
+//
+// A nil *Recorder is a valid no-op on every method, so call sites need
+// no guards; the zero Span is likewise inert.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Recorder collects spans, counters, and gauges for one run (or one
+// labeled unit of work, e.g. a clustersim layout). Safe for concurrent
+// use by rank goroutines.
+type Recorder struct {
+	clock func() time.Duration
+
+	mu       sync.Mutex
+	label    string
+	spans    []spanData
+	open     map[int][]int32 // per-rank stack of open span indices
+	counters map[string]int64
+	gauges   map[string]int64
+}
+
+// spanData is the internal mutable span record.
+type spanData struct {
+	rank   int
+	name   string
+	start  time.Duration
+	end    time.Duration
+	parent int32 // index into spans, -1 for a rank root
+	open   bool
+}
+
+// NewRecorder returns a recorder reading time through the given clock —
+// pass perf.StartTimer().Elapsed so timestamps stay behind the perf
+// measurement boundary. A nil clock yields zero timestamps (spans still
+// form a well-shaped tree; only durations are lost).
+func NewRecorder(clock func() time.Duration) *Recorder {
+	if clock == nil {
+		clock = func() time.Duration { return 0 }
+	}
+	return &Recorder{
+		clock:    clock,
+		open:     make(map[int][]int32),
+		counters: make(map[string]int64),
+		gauges:   make(map[string]int64),
+	}
+}
+
+// SetLabel names the recorder (shown by Summary and as the Chrome trace
+// process name).
+func (r *Recorder) SetLabel(label string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.label = label
+	r.mu.Unlock()
+}
+
+// Label returns the recorder's name.
+func (r *Recorder) Label() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.label
+}
+
+// Span is a handle on one open span. The zero Span is inert.
+type Span struct {
+	r    *Recorder
+	idx  int32
+	rank int
+}
+
+// StartSpan opens a span named name on the given rank, nested under the
+// rank's innermost open span.
+func (r *Recorder) StartSpan(rank int, name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.clock()
+	parent := int32(-1)
+	if st := r.open[rank]; len(st) > 0 {
+		parent = st[len(st)-1]
+	}
+	idx := int32(len(r.spans))
+	r.spans = append(r.spans, spanData{
+		rank: rank, name: name, start: now, end: now, parent: parent, open: true,
+	})
+	r.open[rank] = append(r.open[rank], idx)
+	return Span{r: r, idx: idx, rank: rank}
+}
+
+// End closes the span. Any descendants still open are force-closed at
+// the same timestamp: an error return or an injected crash unwinds a
+// rank's stack past inner spans' End calls, and closing the enclosing
+// (deferred) span must still leave a balanced tree. Ending a span twice
+// is a no-op.
+func (s Span) End() {
+	if s.r == nil {
+		return
+	}
+	r := s.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.spans[s.idx].open {
+		return
+	}
+	now := r.clock()
+	st := r.open[s.rank]
+	for len(st) > 0 {
+		top := st[len(st)-1]
+		st = st[:len(st)-1]
+		if sd := &r.spans[top]; sd.open {
+			sd.open = false
+			sd.end = now
+		}
+		if top == s.idx {
+			break
+		}
+	}
+	r.open[s.rank] = st
+}
+
+// Count adds delta to the named deterministic counter (see the package
+// doc for the counter/gauge split).
+func (r *Recorder) Count(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Gauge sets the named observational gauge.
+func (r *Recorder) Gauge(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// GaugeAdd adds delta to the named observational gauge.
+func (r *Recorder) GaugeAdd(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] += delta
+	r.mu.Unlock()
+}
+
+// SpanRecord is an exported span snapshot.
+type SpanRecord struct {
+	// Rank is the SPMD rank (0 for shared-memory and serial runs).
+	Rank int
+	// Name is the span name ("approx-epol", "comm:allreduce", ...).
+	Name string
+	// Start and End are clock readings (durations since the injected
+	// stopwatch started).
+	Start, End time.Duration
+	// Parent indexes the enclosing span in the Spans() slice, -1 for a
+	// rank root.
+	Parent int
+	// Open marks a span not yet ended (a snapshot taken mid-run).
+	Open bool
+}
+
+// Spans returns a snapshot of every span in creation order.
+func (r *Recorder) Spans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanRecord, len(r.spans))
+	for i, sd := range r.spans {
+		out[i] = SpanRecord{
+			Rank: sd.rank, Name: sd.name,
+			Start: sd.start, End: sd.end,
+			Parent: int(sd.parent), Open: sd.open,
+		}
+	}
+	return out
+}
+
+// OpenSpans returns the number of spans not yet ended — zero after a
+// completed run (the well-formedness tests assert this).
+func (r *Recorder) OpenSpans() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, sd := range r.spans {
+		if sd.open {
+			n++
+		}
+	}
+	return n
+}
+
+// Counters returns a copy of the deterministic counters.
+func (r *Recorder) Counters() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Gauges returns a copy of the observational gauges.
+func (r *Recorder) Gauges() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.gauges))
+	for k, v := range r.gauges {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic monotone clock for tests.
+type fakeClock struct{ now time.Duration }
+
+func (c *fakeClock) tick() time.Duration {
+	c.now += time.Millisecond
+	return c.now
+}
+
+func newTestRecorder() (*Recorder, *fakeClock) {
+	c := &fakeClock{}
+	return NewRecorder(c.tick), c
+}
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	sp := r.StartSpan(0, "x")
+	sp.End()
+	r.Count("a", 1)
+	r.Gauge("b", 2)
+	r.GaugeAdd("b", 3)
+	r.SetLabel("l")
+	if r.Label() != "" || r.Summary() != "" {
+		t.Errorf("nil recorder produced output: %q / %q", r.Label(), r.Summary())
+	}
+	if r.Spans() != nil || r.Counters() != nil || r.Gauges() != nil || r.OpenSpans() != 0 {
+		t.Error("nil recorder returned non-empty state")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil WriteJSON: %v", err)
+	}
+	if err := WriteChromeTrace(&buf, r, nil); err != nil {
+		t.Fatalf("nil WriteChromeTrace: %v", err)
+	}
+	// The zero Span must also be inert.
+	Span{}.End()
+}
+
+func TestSpanNestingAndParents(t *testing.T) {
+	r, _ := newTestRecorder()
+	root := r.StartSpan(3, "root")
+	child := r.StartSpan(3, "child")
+	grand := r.StartSpan(3, "grand")
+	other := r.StartSpan(5, "other-rank") // separate stack
+	grand.End()
+	child.End()
+	other.End()
+	root.End()
+
+	spans := r.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	if r.OpenSpans() != 0 {
+		t.Errorf("%d spans left open", r.OpenSpans())
+	}
+	byName := map[string]SpanRecord{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	if byName["root"].Parent != -1 || byName["other-rank"].Parent != -1 {
+		t.Errorf("root parents: %d, %d (want -1, -1)", byName["root"].Parent, byName["other-rank"].Parent)
+	}
+	if p := byName["child"].Parent; spans[p].Name != "root" {
+		t.Errorf("child's parent is %q, want root", spans[p].Name)
+	}
+	if p := byName["grand"].Parent; spans[p].Name != "child" {
+		t.Errorf("grand's parent is %q, want child", spans[p].Name)
+	}
+	// Containment: every child interval inside its parent's.
+	for _, sp := range spans {
+		if sp.Parent < 0 {
+			continue
+		}
+		par := spans[sp.Parent]
+		if sp.Start < par.Start || sp.End > par.End {
+			t.Errorf("span %q [%v,%v] escapes parent %q [%v,%v]",
+				sp.Name, sp.Start, sp.End, par.Name, par.Start, par.End)
+		}
+	}
+}
+
+func TestEndForceClosesChildren(t *testing.T) {
+	r, _ := newTestRecorder()
+	root := r.StartSpan(0, "root")
+	r.StartSpan(0, "leaked-child") // never ended (simulates error unwinding)
+	r.StartSpan(0, "leaked-grand")
+	root.End()
+	if n := r.OpenSpans(); n != 0 {
+		t.Fatalf("%d spans open after root.End, want 0", n)
+	}
+	spans := r.Spans()
+	rootEnd := spans[0].End
+	for _, sp := range spans[1:] {
+		if sp.End != rootEnd {
+			t.Errorf("force-closed span %q ends at %v, want parent end %v", sp.Name, sp.End, rootEnd)
+		}
+	}
+	// Double End stays a no-op.
+	root.End()
+	if len(r.Spans()) != 3 {
+		t.Error("double End changed the span list")
+	}
+}
+
+func TestSummaryDeterministicAndSorted(t *testing.T) {
+	build := func(order []string) string {
+		r, _ := newTestRecorder()
+		r.SetLabel("unit")
+		for _, k := range order {
+			r.Count(k, 2)
+		}
+		r.Gauge("sched.steals", 99) // must NOT appear
+		sp := r.StartSpan(0, "approx-epol")
+		sp.End()
+		return r.Summary()
+	}
+	a := build([]string{"zz", "aa", "mm"})
+	b := build([]string{"mm", "zz", "aa"})
+	if a != b {
+		t.Errorf("summaries differ by insertion order:\n%s\nvs\n%s", a, b)
+	}
+	want := "# unit\ncounter aa 2\ncounter mm 2\ncounter zz 2\nspan approx-epol 1\n"
+	if a != want {
+		t.Errorf("summary:\n%q\nwant:\n%q", a, want)
+	}
+	if strings.Contains(a, "steals") {
+		t.Error("gauge leaked into the deterministic summary")
+	}
+}
+
+func TestWriteJSONParses(t *testing.T) {
+	r, _ := newTestRecorder()
+	r.SetLabel("j")
+	r.Count("c", 7)
+	r.GaugeAdd("g", 8)
+	sp := r.StartSpan(1, "phase")
+	sp.End()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Label    string           `json:"label"`
+		Counters map[string]int64 `json:"counters"`
+		Gauges   map[string]int64 `json:"gauges"`
+		Spans    []struct {
+			Rank int    `json:"rank"`
+			Name string `json:"name"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if doc.Label != "j" || doc.Counters["c"] != 7 || doc.Gauges["g"] != 8 {
+		t.Errorf("round trip lost data: %+v", doc)
+	}
+	if len(doc.Spans) != 1 || doc.Spans[0].Name != "phase" || doc.Spans[0].Rank != 1 {
+		t.Errorf("spans: %+v", doc.Spans)
+	}
+}
+
+func TestWriteChromeTraceParses(t *testing.T) {
+	mk := func(label string, ranks int) *Recorder {
+		r, _ := newTestRecorder()
+		r.SetLabel(label)
+		for rank := 0; rank < ranks; rank++ {
+			sp := r.StartSpan(rank, "work")
+			inner := r.StartSpan(rank, "comm:allreduce")
+			inner.End()
+			sp.End()
+		}
+		return r
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, mk("a", 2), mk("b", 3)); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	var complete, meta int
+	pids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+			pids[ev.Pid] = true
+		case "M":
+			meta++
+		}
+	}
+	if complete != 2*2+3*2 {
+		t.Errorf("complete events: %d, want 10", complete)
+	}
+	if !pids[0] || !pids[1] {
+		t.Errorf("pids seen: %v, want both recorders", pids)
+	}
+	if meta == 0 {
+		t.Error("no metadata events (process/thread names)")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"c": 1, "a": 2, "b": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("SortedKeys = %v", got)
+	}
+	mi := map[int]string{9: "", 1: "", 5: ""}
+	gi := SortedKeys(mi)
+	if len(gi) != 3 || gi[0] != 1 || gi[1] != 5 || gi[2] != 9 {
+		t.Errorf("SortedKeys(int) = %v", gi)
+	}
+	if out := SortedKeys(map[int]int(nil)); len(out) != 0 {
+		t.Errorf("nil map keys = %v", out)
+	}
+}

@@ -24,9 +24,9 @@ package perf
 import (
 	"fmt"
 	"math"
-	"sort"
 	"math/rand"
 
+	"gbpolar/internal/obs"
 	"gbpolar/internal/simmpi"
 )
 
@@ -158,6 +158,17 @@ type Breakdown struct {
 	NodesUsed       int
 }
 
+// Record publishes the priced breakdown into the recorder as gauges
+// (modeled seconds are derived from deterministic inputs, but they are a
+// model output, not a workload invariant — keep them out of Summary).
+func (b Breakdown) Record(rec *obs.Recorder) {
+	rec.Gauge("perf.comp_us", int64(b.CompSeconds*1e6))
+	rec.Gauge("perf.comm_us", int64(b.CommSeconds*1e6))
+	rec.Gauge("perf.overhead_us", int64(b.OverheadSeconds*1e6))
+	rec.Gauge("perf.fault_us", int64(b.FaultSeconds*1e6))
+	rec.Gauge("perf.total_us", int64(b.TotalSeconds*1e6))
+}
+
 // EstimateDataBytes returns the size of one copy of the input working set
 // for a molecule with the given atom and quadrature-point counts: atom
 // record + octree share (88 B) and quadrature record + octree share (60 B).
@@ -257,17 +268,12 @@ func (m Machine) commSeconds(cal Calibration, shape RunShape, procsPerNode int, 
 	if logP < 1 {
 		logP = 1
 	}
-	// Price collectives in sorted-kind order: Go randomizes map iteration,
-	// and accumulating float terms in map order would make the priced
-	// seconds differ in the low bits between runs of the same workload.
-	kinds := make([]string, 0, len(traffic.Collectives))
-	for kind := range traffic.Collectives {
-		kinds = append(kinds, string(kind))
-	}
-	sort.Strings(kinds)
+	// Price collectives in sorted-kind order (the shared obs.SortedKeys
+	// helper): Go randomizes map iteration, and accumulating float terms
+	// in map order would make the priced seconds differ in the low bits
+	// between runs of the same workload.
 	total := 0.0
-	for _, k := range kinds {
-		kind := simmpi.CollectiveKind(k)
+	for _, kind := range obs.SortedKeys(traffic.Collectives) {
 		st := traffic.Collectives[kind]
 		bytes := float64(st.Bytes)
 		calls := float64(st.Calls)

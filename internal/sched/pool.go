@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"gbpolar/internal/obs"
 )
 
 // Pool is a fixed set of workers executing fork-join task graphs with
@@ -17,6 +19,17 @@ type Pool struct {
 	cond   *sync.Cond
 	idle   int
 	closed bool
+	rec    *obs.Recorder
+}
+
+// Observe attaches an observability recorder: Close flushes the pool's
+// lifetime steal and spawn totals into the "sched.steals"/"sched.tasks"
+// gauges (gauges, not counters — stealing is scheduling-dependent by
+// design). Several pools may share one recorder; their totals add up.
+func (p *Pool) Observe(rec *obs.Recorder) {
+	p.mu.Lock()
+	p.rec = rec
+	p.mu.Unlock()
 }
 
 // Worker is one scheduler thread. Tasks receive the worker they run on so
@@ -78,9 +91,15 @@ func (p *Pool) WorkerLoads() []int64 {
 // meant to be called after all Run calls have returned.
 func (p *Pool) Close() {
 	p.mu.Lock()
+	alreadyClosed := p.closed
 	p.closed = true
+	rec := p.rec
 	p.mu.Unlock()
 	p.cond.Broadcast()
+	if !alreadyClosed && rec != nil {
+		rec.GaugeAdd("sched.steals", p.steals.Load())
+		rec.GaugeAdd("sched.tasks", p.spawned.Load())
+	}
 }
 
 // loop is the worker main loop: run local work, steal, or park.

@@ -36,14 +36,18 @@
 package simmpi
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"gbpolar/internal/fault"
+	"gbpolar/internal/obs"
 )
 
 // Op is a reduction operator.
@@ -183,6 +187,12 @@ type World struct {
 
 	inj *fault.Injector
 
+	// rec is the optional observability recorder: collectives open
+	// "comm:<kind>" spans on the calling rank and count calls/bytes per
+	// kind; fault points count injected events. All obs methods are
+	// nil-safe, so a nil rec costs nothing.
+	rec *obs.Recorder
+
 	p2pMessages    atomic.Int64
 	p2pBytes       atomic.Int64
 	drops          atomic.Int64
@@ -226,6 +236,14 @@ func Run(size int, fn func(c *Comm) error) (Stats, error) {
 // ranks are reported in Stats.LostRanks, leaving recovery policy to the
 // caller.
 func RunPlan(size int, plan *fault.Plan, fn func(c *Comm) error) (Stats, error) {
+	return RunPlanObs(size, plan, nil, fn)
+}
+
+// RunPlanObs is RunPlan with an observability recorder: collectives and
+// fault events are recorded per rank, and every rank goroutine runs under
+// a pprof "simmpi_rank" label so CPU profiles split by rank. A nil rec is
+// exactly RunPlan.
+func RunPlanObs(size int, plan *fault.Plan, rec *obs.Recorder, fn func(c *Comm) error) (Stats, error) {
 	if size < 1 {
 		return Stats{}, fmt.Errorf("simmpi: size %d < 1", size)
 	}
@@ -239,6 +257,7 @@ func RunPlan(size int, plan *fault.Plan, fn func(c *Comm) error) (Stats, error) 
 		abortCh:     make(chan struct{}),
 		phase:       make([]atomic.Int64, size),
 		collectives: make(map[CollectiveKind]CollectiveStat),
+		rec:         rec,
 	}
 	if !plan.Empty() {
 		w.inj = plan.NewInjector(size)
@@ -274,10 +293,22 @@ func RunPlan(size int, plan *fault.Plan, fn func(c *Comm) error) (Stats, error) 
 				w.abort(err)
 				w.retire(rank, false)
 			}()
-			if err := fn(&Comm{world: w, rank: rank}); err != nil {
-				errs[rank] = err
-				w.abort(err)
+			body := func() {
+				if err := fn(&Comm{world: w, rank: rank}); err != nil {
+					errs[rank] = err
+					w.abort(err)
+				}
 			}
+			if w.rec == nil {
+				body()
+				return
+			}
+			// Label the rank's goroutine (and everything it spawns) so CPU
+			// profiles can be split per rank. A crash panic propagates
+			// through pprof.Do to the recover above.
+			pprof.Do(context.Background(),
+				pprof.Labels("simmpi_rank", strconv.Itoa(rank)),
+				func(context.Context) { body() })
 		}(r)
 	}
 	wg.Wait()
@@ -381,6 +412,17 @@ func (w *World) recordCollective(kind CollectiveKind, bytesPerRank int64) {
 	s.Bytes += bytesPerRank
 	w.collectives[kind] = s
 	w.collMu.Unlock()
+	// Exactly one rank per collective call reaches here, so the counters
+	// count calls, not call×ranks.
+	w.rec.Count("comm."+string(kind)+".calls", 1)
+	w.rec.Count("comm."+string(kind)+".bytes", bytesPerRank)
+}
+
+// span opens a "comm:<kind>" span on this rank — inert when the world has
+// no recorder. Opened before the collective's fault point so injected
+// stall time shows up inside the communication slice.
+func (c *Comm) span(kind CollectiveKind) obs.Span {
+	return c.world.rec.StartSpan(c.rank, "comm:"+string(kind))
 }
 
 // faultPoint is consulted at every communication operation: it applies
@@ -397,18 +439,22 @@ func (c *Comm) faultPoint(send bool, to int) error {
 	}
 	act := w.inj.Advance(c.rank, send, to)
 	if act.Straggle > 0 {
+		w.rec.Count("fault.straggles", 1)
 		w.stragglerNanos.Add(int64(act.Straggle))
 		sleepCapped(act.Straggle)
 	}
 	if act.Delay > 0 {
+		w.rec.Count("fault.delays", 1)
 		w.delayNanos.Add(int64(act.Delay))
 		sleepCapped(act.Delay)
 	}
 	if act.Crash {
+		w.rec.Count("fault.crashes", 1)
 		w.retire(c.rank, true)
 		panic(rankCrashed{c.rank})
 	}
 	if act.Drop {
+		w.rec.Count("fault.drops", 1)
 		w.drops.Add(1)
 		return ErrDropped
 	}
@@ -492,6 +538,7 @@ func (c *Comm) Tick() error { return c.faultPoint(false, -1) }
 // RecordRetry accounts one driver-level re-send after a drop plus the
 // backoff the driver would have waited; internal/perf prices it.
 func (c *Comm) RecordRetry(backoff time.Duration) {
+	c.world.rec.Count("fault.retries", 1)
 	c.world.retries.Add(1)
 	c.world.backoffNanos.Add(int64(backoff))
 }
@@ -604,6 +651,8 @@ func (c *Comm) TryRecv(from int) (data []float64, ok bool) {
 // on a crashed or panicked rank.
 func (c *Comm) Barrier() error {
 	w := c.world
+	sp := c.span(KindBarrier)
+	defer sp.End()
 	if err := c.faultPoint(false, -1); err != nil {
 		return err
 	}
@@ -664,6 +713,8 @@ func (w *World) contributors() []int {
 // *RankLostError.
 func (c *Comm) Bcast(root int, data []float64) ([]float64, error) {
 	w := c.world
+	sp := c.span(KindBcast)
+	defer sp.End()
 	if err := c.faultPoint(false, -1); err != nil {
 		return nil, err
 	}
@@ -698,6 +749,8 @@ func (c *Comm) Bcast(root int, data []float64) ([]float64, error) {
 // consistently) instead of panicking. The input is not modified.
 func (c *Comm) Allreduce(data []float64, op Op) ([]float64, error) {
 	w := c.world
+	sp := c.span(KindAllreduce)
+	defer sp.End()
 	if err := c.faultPoint(false, -1); err != nil {
 		return nil, err
 	}
@@ -733,6 +786,8 @@ func (c *Comm) Allreduce(data []float64, op Op) ([]float64, error) {
 // an error on every rank.
 func (c *Comm) Reduce(root int, data []float64, op Op) ([]float64, error) {
 	w := c.world
+	sp := c.span(KindReduce)
+	defer sp.End()
 	if err := c.faultPoint(false, -1); err != nil {
 		return nil, err
 	}
@@ -777,6 +832,8 @@ func (c *Comm) Reduce(root int, data []float64, op Op) ([]float64, error) {
 // concatenation.
 func (c *Comm) Allgatherv(data []float64) ([]float64, error) {
 	w := c.world
+	sp := c.span(KindAllgatherv)
+	defer sp.End()
 	if err := c.faultPoint(false, -1); err != nil {
 		return nil, err
 	}
@@ -809,6 +866,8 @@ func (c *Comm) Allgatherv(data []float64) ([]float64, error) {
 // rank.
 func (c *Comm) Gather(root int, data []float64) ([]float64, error) {
 	w := c.world
+	sp := c.span(KindGather)
+	defer sp.End()
 	if err := c.faultPoint(false, -1); err != nil {
 		return nil, err
 	}
