@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: build test lint check chaos-smoke trace-smoke
+# Shared knobs for the bench trajectory: the gate compares like against
+# like, so the head collection must use the same roster subset and
+# repeat count as the committed BENCH_seed.json baseline.
+BENCH_MAX_ATOMS ?= 2000
+BENCH_REPEATS ?= 3
+
+.PHONY: build test lint check chaos-smoke trace-smoke bench-json bench-gate
 
 build:
 	$(GO) build ./...
@@ -22,14 +28,32 @@ chaos-smoke:
 		./internal/simmpi/ ./internal/gb/
 
 # trace-smoke runs a small fault-free layout sweep with -trace-out and
-# asserts the Chrome trace parses and every rank timeline carries all
-# four algorithm phases.
+# -metrics-out and asserts the Chrome trace parses with every rank
+# timeline carrying all four algorithm phases, and the metrics file's
+# histograms satisfy the exporter invariants.
 trace-smoke:
 	$(GO) run ./cmd/clustersim -atoms 2000 -nodes 1,2 -rpn 2 \
-		-trace-out /tmp/gbpolar-trace.json >/dev/null
+		-trace-out /tmp/gbpolar-trace.json \
+		-metrics-out /tmp/gbpolar-metrics.json >/dev/null
 	$(GO) run ./cmd/tracecheck \
 		-phases octree-build,approx-integrals,push-integrals-to-atoms,approx-epol \
+		-metrics /tmp/gbpolar-metrics.json \
 		/tmp/gbpolar-trace.json
+
+# bench-json collects the head bench trajectory (roster × driver
+# layouts) as schema-versioned JSON. BENCH_seed.json was produced the
+# same way; see EXPERIMENTS.md for regenerating it after an intended
+# performance or workload change.
+bench-json:
+	$(GO) run ./cmd/benchjson -label head -out BENCH_head.json \
+		-max-atoms $(BENCH_MAX_ATOMS) -repeats $(BENCH_REPEATS)
+
+# bench-gate is the perf regression gate: collect a fresh head
+# trajectory and diff it against the committed seed baseline. Nonzero
+# exit on any host-normalized kernel slowdown past the gate ratio or on
+# deterministic ops/model/histogram drift.
+bench-gate: bench-json
+	$(GO) run ./cmd/benchdiff BENCH_seed.json BENCH_head.json
 
 # The race detector multiplies the bench suite's runtime ~14x (past go
 # test's 600s default package timeout on modest hardware), so the race

@@ -1,0 +1,74 @@
+// Command benchdiff compares two benchjson trajectories and exits
+// nonzero when the new one regresses against the baseline. Wall times
+// are gated on host-normalized ns/op ratios (a uniformly slower machine
+// cancels out); ops counts, modeled times, and histogram summaries are
+// deterministic, so any drift there is reported regardless of noise.
+// `make bench-gate` runs it as `benchdiff BENCH_seed.json BENCH_head.json`.
+//
+// Usage:
+//
+//	benchdiff [-max-ratio 1.6] [-max-model-ratio 1.05] [-min-wall-ms 1] old.json new.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gbpolar/internal/bench"
+)
+
+func main() {
+	maxRatioF := flag.Float64("max-ratio", 0, "host-normalized ns/op ratio gate (0 = default 1.6)")
+	maxModelF := flag.Float64("max-model-ratio", 0, "deterministic modeled-seconds ratio gate (0 = default 1.05)")
+	minWallF := flag.Int64("min-wall-ms", 0, "skip the ns/op gate for kernels faster than this (0 = default 1ms)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fatal(fmt.Errorf("usage: benchdiff [flags] old.json new.json"))
+	}
+
+	old, err := readTrajectory(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	head, err := readTrajectory(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	d := bench.DiffTrajectories(old, head, bench.DiffOptions{
+		MaxKernelRatio: *maxRatioF,
+		MaxModelRatio:  *maxModelF,
+		MinWallNs:      *minWallF * 1e6,
+	})
+	for _, n := range d.Notes {
+		fmt.Printf("note: %s\n", n)
+	}
+	fmt.Printf("host ratio %.3fx (%s -> %s)\n", d.HostRatio, old.Label, head.Label)
+	if len(d.Regressions) > 0 {
+		for _, r := range d.Regressions {
+			fmt.Printf("REGRESSION %s\n", r)
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) vs %s\n", len(d.Regressions), flag.Arg(0))
+		os.Exit(1)
+	}
+	fmt.Printf("ok: %d kernels, no regressions vs %s\n", len(head.Kernels), flag.Arg(0))
+}
+
+func readTrajectory(path string) (*bench.Trajectory, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := bench.ReadTrajectory(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

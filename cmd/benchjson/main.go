@@ -1,0 +1,59 @@
+// Command benchjson collects one bench trajectory — the roster × driver
+// layout grid of internal/bench — and writes it as schema-versioned JSON
+// for benchdiff to gate against. `make bench-json` produces the head
+// trajectory; the committed BENCH_seed.json baseline was produced the
+// same way (see EXPERIMENTS.md for regeneration).
+//
+// Usage:
+//
+//	benchjson -label seed -out BENCH_seed.json -max-atoms 2000 -repeats 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gbpolar/internal/bench"
+)
+
+func main() {
+	labelF := flag.String("label", "dev", "trajectory label embedded in the JSON")
+	outF := flag.String("out", "", "output path (default BENCH_<label>.json)")
+	maxAtomsF := flag.Int("max-atoms", 2000, "largest roster molecule to run (0 = full roster)")
+	repeatsF := flag.Int("repeats", 3, "runs per kernel; the minimum wall time is kept")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fatal(fmt.Errorf("usage: benchjson [-label L] [-out FILE] [-max-atoms N] [-repeats R]"))
+	}
+
+	o := bench.DefaultOptions()
+	o.MaxAtoms = *maxAtomsF
+	traj, err := bench.CollectTrajectory(o, *labelF, *repeatsF)
+	if err != nil {
+		fatal(err)
+	}
+
+	out := *outF
+	if out == "" {
+		out = "BENCH_" + *labelF + ".json"
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := traj.Write(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d kernels, %d histograms (label %q, max-atoms %d, repeats %d)\n",
+		out, len(traj.Kernels), len(traj.Hists), traj.Label, traj.MaxAtoms, traj.Repeats)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -12,12 +12,19 @@
 //	clustersim -faults 'crash:1@4,slow:2@0+8~100us' -policy degrade
 //	clustersim -trace-out trace.json          # chrome://tracing span timeline
 //	clustersim -metrics text                  # deterministic per-layout counters
+//	clustersim -metrics-out metrics.json      # JSON metrics documents to a file
+//	clustersim -serve 127.0.0.1:8080          # live /metrics + pprof during the sweep
+//
+// Fault-injected sweeps (-faults) dump each recovering layout's flight
+// recorder — the last spans, collectives, and fault hits per rank — to
+// stderr, so a degraded row in the table comes with its post-mortem.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -32,15 +39,17 @@ import (
 
 func main() {
 	var (
-		atoms    = flag.Int("atoms", 50000, "workload size")
-		shapeF   = flag.String("shape", "globule", "globule | shell")
-		nodesF   = flag.String("nodes", "1,2,4,8,16,32", "comma-separated node counts")
-		rpnF     = flag.String("rpn", "12,2", "ranks per node to compare (threads fill the node)")
-		seed     = flag.Int64("seed", 7, "workload seed (also seeds chaos fault schedules)")
-		faultsF  = flag.String("faults", "", "fault plan: 'chaos:N' for N seeded random events per layout, or an explicit schedule like 'crash:1@4,drop:0>2@3+2,slow:1@0+8~100us' (empty: no injection)")
-		policyF  = flag.String("policy", "recover", "fault policy: recover (re-assign lost work) | degrade (partial Epol + error bound)")
-		traceOut = flag.String("trace-out", "", "write the sweep's spans as one Chrome trace-event JSON (chrome://tracing; one process row per layout) to this file")
-		metrics  = flag.String("metrics", "", "print per-layout metrics to stdout after the table: text (deterministic summaries) | json (one document per layout)")
+		atoms      = flag.Int("atoms", 50000, "workload size")
+		shapeF     = flag.String("shape", "globule", "globule | shell")
+		nodesF     = flag.String("nodes", "1,2,4,8,16,32", "comma-separated node counts")
+		rpnF       = flag.String("rpn", "12,2", "ranks per node to compare (threads fill the node)")
+		seed       = flag.Int64("seed", 7, "workload seed (also seeds chaos fault schedules)")
+		faultsF    = flag.String("faults", "", "fault plan: 'chaos:N' for N seeded random events per layout, or an explicit schedule like 'crash:1@4,drop:0>2@3+2,slow:1@0+8~100us' (empty: no injection)")
+		policyF    = flag.String("policy", "recover", "fault policy: recover (re-assign lost work) | degrade (partial Epol + error bound)")
+		traceOut   = flag.String("trace-out", "", "write the sweep's spans as one Chrome trace-event JSON (chrome://tracing; one process row per layout) to this file")
+		metrics    = flag.String("metrics", "", "print per-layout metrics to stdout after the table: text (deterministic summaries) | json (one document per layout)")
+		metricsOut = flag.String("metrics-out", "", "write the per-layout JSON metrics documents (concatenated) to this file")
+		serveF     = flag.String("serve", "", "serve /metrics, /healthz, and /debug/pprof on this address during the sweep and until interrupted")
 	)
 	flag.Parse()
 	if *metrics != "" && *metrics != "text" && *metrics != "json" {
@@ -112,8 +121,17 @@ func main() {
 	if injecting {
 		tab.Header = append(tab.Header, "Fault", "Outcome")
 	}
-	observing := *traceOut != "" || *metrics != ""
+	observing := *traceOut != "" || *metrics != "" || *metricsOut != "" || *serveF != ""
 	var recs []*obs.Recorder
+	var srv *obs.Server
+	if *serveF != "" {
+		srv, err = obs.Serve(*serveF)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "clustersim: serving /metrics, /healthz, /debug/pprof on http://%s\n", srv.Addr())
+	}
 	for _, n := range nodes {
 		for _, rpn := range rpns {
 			if machine.CoresPerNode%rpn != 0 {
@@ -132,17 +150,29 @@ func main() {
 			// One recorder per layout: in the Chrome trace each layout
 			// renders as its own process row with per-rank thread timelines.
 			var rec *obs.Recorder
-			if observing {
+			if observing || injecting {
 				rec = obs.NewRecorder(perf.StartTimer().Elapsed)
 				rec.SetLabel(fmt.Sprintf("P=%d p=%d", P, threads))
-				recs = append(recs, rec)
+				if observing {
+					recs = append(recs, rec)
+				}
+				if srv != nil {
+					srv.Attach(rec)
+				}
 			}
-			res, err := sys.Run(gb.RunSpec{
+			spec := gb.RunSpec{
 				Processes:         P,
 				ThreadsPerProcess: threads,
 				Faults:            cfg,
 				Obs:               rec,
-			})
+			}
+			if injecting {
+				// Post-mortem context for any layout that had to heal or
+				// degrade: its flight recorder lands on stderr next to the
+				// table row.
+				spec.Flight = os.Stderr
+			}
+			res, err := sys.Run(spec)
 			if err != nil {
 				fatal(err)
 			}
@@ -178,6 +208,20 @@ func main() {
 			}
 		}
 	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		for _, rec := range recs {
+			if err := rec.WriteJSON(f); err != nil {
+				fatal(err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -189,6 +233,12 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
+	}
+	if srv != nil {
+		fmt.Fprintf(os.Stderr, "clustersim: sweep complete, still serving on http://%s (interrupt to exit)\n", srv.Addr())
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
 	}
 }
 

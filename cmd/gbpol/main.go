@@ -11,12 +11,15 @@
 //	gbpol -in m.pqr -radii out.txt              # dump Born radii
 //	gbpol -in m.pqr -driver mpi -metrics text   # deterministic counters
 //	gbpol -in m.pqr -trace-out trace.json       # chrome://tracing spans
+//	gbpol -in m.pqr -metrics-out metrics.json   # JSON metrics to a file
+//	gbpol -in m.pqr -serve 127.0.0.1:8080       # live /metrics + pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"gbpolar/internal/gb"
@@ -29,21 +32,23 @@ import (
 
 func main() {
 	var (
-		in       = flag.String("in", "", "input molecule (.pqr or .xyzrq)")
-		synth    = flag.String("synthetic", "", "synthetic workload: globule | shell | helix | cmv | btv")
-		atoms    = flag.Int("atoms", 10000, "atom count for synthetic workloads")
-		seed     = flag.Int64("seed", 1, "seed for synthetic workloads")
-		driver   = flag.String("driver", "serial", "serial | cilk | mpi | hybrid | naive")
-		bigP     = flag.Int("P", 2, "processes (mpi/hybrid)")
-		smallP   = flag.Int("p", 6, "threads per process (cilk/hybrid)")
-		epsBorn  = flag.Float64("eps-born", 0.9, "Born-radii approximation parameter")
-		epsEpol  = flag.Float64("eps-epol", 0.9, "energy approximation parameter")
-		approx   = flag.Bool("approx-math", false, "use fast inverse-sqrt/exp kernels")
-		icoLevel = flag.Int("surface-level", 0, "icosphere level for the surface sampler (default 1)")
-		radiiOut = flag.String("radii", "", "write Born radii to this file")
-		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON (chrome://tracing) to this file")
-		metrics  = flag.String("metrics", "", "print run metrics to stdout: text (deterministic summary) | json")
-		verbose  = flag.Bool("v", false, "print run statistics")
+		in         = flag.String("in", "", "input molecule (.pqr or .xyzrq)")
+		synth      = flag.String("synthetic", "", "synthetic workload: globule | shell | helix | cmv | btv")
+		atoms      = flag.Int("atoms", 10000, "atom count for synthetic workloads")
+		seed       = flag.Int64("seed", 1, "seed for synthetic workloads")
+		driver     = flag.String("driver", "serial", "serial | cilk | mpi | hybrid | naive")
+		bigP       = flag.Int("P", 2, "processes (mpi/hybrid)")
+		smallP     = flag.Int("p", 6, "threads per process (cilk/hybrid)")
+		epsBorn    = flag.Float64("eps-born", 0.9, "Born-radii approximation parameter")
+		epsEpol    = flag.Float64("eps-epol", 0.9, "energy approximation parameter")
+		approx     = flag.Bool("approx-math", false, "use fast inverse-sqrt/exp kernels")
+		icoLevel   = flag.Int("surface-level", 0, "icosphere level for the surface sampler (default 1)")
+		radiiOut   = flag.String("radii", "", "write Born radii to this file")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON (chrome://tracing) to this file")
+		metrics    = flag.String("metrics", "", "print run metrics to stdout: text (deterministic summary) | json")
+		metricsOut = flag.String("metrics-out", "", "write the JSON metrics document to this file")
+		serveF     = flag.String("serve", "", "serve /metrics, /healthz, and /debug/pprof on this address (e.g. 127.0.0.1:8080) during the run and until interrupted")
+		verbose    = flag.Bool("v", false, "print run statistics")
 	)
 	flag.Parse()
 	if *metrics != "" && *metrics != "text" && *metrics != "json" {
@@ -73,9 +78,18 @@ func main() {
 	}
 
 	var rec *obs.Recorder
-	if *traceOut != "" || *metrics != "" {
+	if *traceOut != "" || *metrics != "" || *metricsOut != "" || *serveF != "" {
 		rec = obs.NewRecorder(perf.StartTimer().Elapsed)
 		rec.SetLabel(fmt.Sprintf("gbpol %s %s", mol.Name, strings.ToLower(*driver)))
+	}
+	var srv *obs.Server
+	if *serveF != "" {
+		srv, err = obs.Serve(*serveF, rec)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "gbpol: serving /metrics, /healthz, /debug/pprof on http://%s\n", srv.Addr())
 	}
 
 	var res *gb.Result
@@ -139,6 +153,18 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
 	if *radiiOut != "" {
 		f, err := os.Create(*radiiOut)
 		if err != nil {
@@ -150,6 +176,14 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
+	}
+	if srv != nil {
+		// Keep the endpoint up after the run so /debug/pprof and the final
+		// /metrics remain scrapeable; Ctrl-C exits.
+		fmt.Fprintf(os.Stderr, "gbpol: run complete, still serving on http://%s (interrupt to exit)\n", srv.Addr())
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
 	}
 }
 

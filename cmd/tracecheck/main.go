@@ -1,19 +1,27 @@
-// Command tracecheck validates a Chrome trace-event JSON file produced
-// by gbpol/clustersim -trace-out: the file must parse, contain at least
-// one complete ("X") span event, and — when -phases is given — every
-// thread timeline (pid,tid pair) that emitted spans must contain all of
-// the named phase spans. It is the assertion half of `make trace-smoke`.
+// Command tracecheck validates observability artifacts produced by
+// gbpol/clustersim. Given a trace argument (a Chrome trace-event JSON
+// from -trace-out), the file must parse, contain at least one complete
+// ("X") span event, and — when -phases is given — every thread timeline
+// (pid,tid pair) that emitted spans must contain all of the named phase
+// spans. Given -metrics (a -metrics-out file of concatenated JSON
+// metrics documents), every histogram must have strictly increasing
+// bucket bounds, bucket counts summing to the total, and ordered
+// quantiles. It is the assertion half of `make trace-smoke`.
 //
 // Usage:
 //
 //	tracecheck trace.json
 //	tracecheck -phases octree-build,approx-integrals trace.json
+//	tracecheck -metrics metrics.json
+//	tracecheck -metrics metrics.json trace.json
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 )
@@ -30,21 +38,53 @@ type traceDoc struct {
 	TraceEvents []traceEvent `json:"traceEvents"`
 }
 
+// metricsDoc is the subset of the obs.WriteJSON schema we assert on.
+type metricsDoc struct {
+	Label  string        `json:"label"`
+	Hists  []metricsHist `json:"hists"`
+	GaugeH []metricsHist `json:"gauge_hists"`
+}
+
+type metricsHist struct {
+	Name    string `json:"name"`
+	Count   int64  `json:"count"`
+	P50     int64  `json:"p50"`
+	P90     int64  `json:"p90"`
+	P99     int64  `json:"p99"`
+	Buckets []struct {
+		Le    int64 `json:"le"`
+		Count int64 `json:"count"`
+	} `json:"buckets"`
+}
+
 func main() {
 	phasesF := flag.String("phases", "", "comma-separated span names every span-emitting thread must contain")
+	metricsF := flag.String("metrics", "", "validate this -metrics-out file (concatenated JSON metrics documents)")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fatal(fmt.Errorf("usage: tracecheck [-phases a,b,c] trace.json"))
+	if flag.NArg() > 1 || (flag.NArg() == 0 && *metricsF == "") {
+		fatal(fmt.Errorf("usage: tracecheck [-phases a,b,c] [-metrics metrics.json] [trace.json]"))
 	}
-	path := flag.Arg(0)
 
+	if *metricsF != "" {
+		if err := checkMetrics(*metricsF); err != nil {
+			fatal(err)
+		}
+	}
+	if flag.NArg() == 1 {
+		if err := checkTrace(flag.Arg(0), *phasesF); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func checkTrace(path, phases string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	var doc traceDoc
 	if err := json.Unmarshal(data, &doc); err != nil {
-		fatal(fmt.Errorf("%s: not valid trace JSON: %w", path, err))
+		return fmt.Errorf("%s: not valid trace JSON: %w", path, err)
 	}
 
 	type thread struct{ pid, tid int }
@@ -62,13 +102,13 @@ func main() {
 		byThread[t][ev.Name] = true
 	}
 	if spans == 0 {
-		fatal(fmt.Errorf("%s: no complete (ph=X) span events", path))
+		return fmt.Errorf("%s: no complete (ph=X) span events", path)
 	}
 
-	if *phasesF != "" {
+	if phases != "" {
 		var missing []string
 		for t, names := range byThread {
-			for _, phase := range strings.Split(*phasesF, ",") {
+			for _, phase := range strings.Split(phases, ",") {
 				if !names[strings.TrimSpace(phase)] {
 					missing = append(missing,
 						fmt.Sprintf("pid=%d tid=%d lacks %q", t.pid, t.tid, phase))
@@ -76,10 +116,76 @@ func main() {
 			}
 		}
 		if len(missing) > 0 {
-			fatal(fmt.Errorf("%s: %s", path, strings.Join(missing, "; ")))
+			return fmt.Errorf("%s: %s", path, strings.Join(missing, "; "))
 		}
 	}
 	fmt.Printf("%s: ok (%d spans across %d threads)\n", path, spans, len(byThread))
+	return nil
+}
+
+// checkMetrics validates a -metrics-out file: one or more concatenated
+// obs.WriteJSON documents, each of whose histograms must satisfy the
+// exporter's structural invariants.
+func checkMetrics(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	docs, hists := 0, 0
+	for {
+		var doc metricsDoc
+		if err := dec.Decode(&doc); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return fmt.Errorf("%s: document %d: not valid metrics JSON: %w", path, docs+1, err)
+		}
+		docs++
+		for _, side := range []struct {
+			kind string
+			hs   []metricsHist
+		}{{"hist", doc.Hists}, {"gauge_hist", doc.GaugeH}} {
+			for _, h := range side.hs {
+				if err := checkHist(h); err != nil {
+					return fmt.Errorf("%s: document %d (%s): %s %q: %w",
+						path, docs, doc.Label, side.kind, h.Name, err)
+				}
+				hists++
+			}
+		}
+	}
+	if docs == 0 {
+		return fmt.Errorf("%s: no metrics documents", path)
+	}
+	fmt.Printf("%s: ok (%d documents, %d histograms)\n", path, docs, hists)
+	return nil
+}
+
+func checkHist(h metricsHist) error {
+	if h.Count < 0 {
+		return fmt.Errorf("negative count %d", h.Count)
+	}
+	var sum int64
+	prev := int64(-1)
+	for i, b := range h.Buckets {
+		if b.Le <= prev {
+			return fmt.Errorf("bucket %d bound %d not above previous %d", i, b.Le, prev)
+		}
+		if b.Count <= 0 {
+			return fmt.Errorf("bucket %d (le=%d) has non-positive count %d (empty buckets are elided)", i, b.Le, b.Count)
+		}
+		prev = b.Le
+		sum += b.Count
+	}
+	if sum != h.Count {
+		return fmt.Errorf("bucket counts sum to %d, total says %d", sum, h.Count)
+	}
+	if h.P50 > h.P90 || h.P90 > h.P99 {
+		return fmt.Errorf("quantiles out of order: p50=%d p90=%d p99=%d", h.P50, h.P90, h.P99)
+	}
+	return nil
 }
 
 func fatal(err error) {

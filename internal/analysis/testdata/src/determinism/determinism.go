@@ -101,3 +101,47 @@ func selfClockedSpan(rec *obs.Recorder) int64 {
 	rec.Count("kernel.ops", 1)
 	return time.Since(start).Nanoseconds()
 }
+
+// Negative: histogram observations from a kernel are pure integer
+// updates against injected state — no clock, no floats, no map-order
+// dependence — so instrumenting pair splits is clean.
+func histObservingKernel(rec *obs.Recorder, near, far []int) int {
+	rec.Observe("pairs.split.near", int64(len(near)))
+	rec.Observe("pairs.split.far", int64(len(far)))
+	return len(near) + len(far)
+}
+
+// Positive: rendering histogram lines straight off map iteration makes
+// the exported summary differ between identical runs.
+func histSummaryUnsorted(hists map[string]int64) []string {
+	var lines []string
+	for name := range hists {
+		lines = append(lines, name) // want "append inside map iteration yields a run-dependent order"
+	}
+	return lines
+}
+
+// Positive: averaging histogram sums in map order reassociates the
+// float reduction per run.
+func histMeanUnsorted(sums map[string]float64) float64 {
+	var total float64
+	for _, s := range sums {
+		total += s // want "float accumulation over map iteration"
+	}
+	return total / float64(len(sums))
+}
+
+// Negative: the exporter idiom — walk histogram names in sorted order,
+// then render; byte-identical output run to run.
+func histSummarySorted(hists map[string]int64) []string {
+	names := make([]string, 0, len(hists))
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	lines := make([]string, 0, len(names))
+	for _, name := range names {
+		lines = append(lines, name)
+	}
+	return lines
+}

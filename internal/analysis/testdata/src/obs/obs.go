@@ -12,6 +12,7 @@ import "time"
 type Recorder struct {
 	clock    func() time.Duration
 	counters map[string]int64
+	hists    map[string]*histogram
 	spans    []spanData
 }
 
@@ -60,4 +61,40 @@ func (r *Recorder) Count(name string, n int64) {
 		return
 	}
 	r.counters[name] += n
+}
+
+// histogram mirrors the real fixed log-bucket layout: pure integer
+// state, so observing from a kernel introduces no float or clock
+// hazards — the property that keeps Observe callable on the kernel list.
+type histogram struct {
+	count   int64
+	sum     int64
+	buckets [8]int64
+}
+
+func histBucketIndex(v int64) int {
+	i := 0
+	for b := int64(1); b < v && i < len(histogram{}.buckets)-1; b <<= 1 {
+		i++
+	}
+	return i
+}
+
+// Observe adds v to a named log-bucket histogram. Nil recorders are
+// inert.
+func (r *Recorder) Observe(name string, v int64) {
+	if r == nil {
+		return
+	}
+	if r.hists == nil {
+		r.hists = make(map[string]*histogram)
+	}
+	h := r.hists[name]
+	if h == nil {
+		h = &histogram{}
+		r.hists[name] = h
+	}
+	h.count++
+	h.sum += v
+	h.buckets[histBucketIndex(v)]++
 }

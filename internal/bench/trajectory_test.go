@@ -1,0 +1,266 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fixtureTrajectory is a hand-built baseline for gate-logic tests: four
+// kernels, all above the wall floor, plus one deterministic histogram.
+func fixtureTrajectory() *Trajectory {
+	return &Trajectory{
+		Schema:   TrajectorySchemaVersion,
+		Label:    "seed",
+		MaxAtoms: 2000,
+		Repeats:  3,
+		Kernels: []TrajectoryKernel{
+			{Name: "serial/mol_a", Atoms: 500, Ops: 1000000, WallNs: 40e6, NsPerOp: 40, ModelSec: 0.8},
+			{Name: "cilk4/mol_a", Atoms: 500, Ops: 1000000, WallNs: 12e6, NsPerOp: 12, ModelSec: 0.25},
+			{Name: "mpi4/mol_a", Atoms: 500, Ops: 1000000, WallNs: 14e6, NsPerOp: 14, ModelSec: 0.3},
+			{Name: "hybrid2x2/mol_a", Atoms: 500, Ops: 1000000, WallNs: 13e6, NsPerOp: 13, ModelSec: 0.28},
+		},
+		Hists: map[string]TrajectoryHist{
+			"pairs.born.near.rank": {Count: 8, Sum: 4000, P50: 512, P90: 1024, P99: 1024},
+		},
+	}
+}
+
+func cloneTrajectory(t *Trajectory) *Trajectory {
+	cp := *t
+	cp.Kernels = append([]TrajectoryKernel(nil), t.Kernels...)
+	cp.Hists = make(map[string]TrajectoryHist, len(t.Hists))
+	for k, v := range t.Hists {
+		cp.Hists[k] = v
+	}
+	return &cp
+}
+
+func regressionFor(d Diff, kernel string) bool {
+	for _, r := range d.Regressions {
+		if r.Kernel == kernel {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDiffIdenticalClean: a trajectory diffed against itself is clean.
+func TestDiffIdenticalClean(t *testing.T) {
+	seed := fixtureTrajectory()
+	d := DiffTrajectories(seed, cloneTrajectory(seed), DiffOptions{})
+	if len(d.Regressions) != 0 {
+		t.Fatalf("self-diff reported regressions: %v", d.Regressions)
+	}
+	if d.HostRatio < 0.999 || d.HostRatio > 1.001 {
+		t.Errorf("self-diff host ratio = %v, want 1", d.HostRatio)
+	}
+}
+
+// TestDiffCatchesSingleKernelSlowdown is the gate's acceptance criterion:
+// a synthetic 2x slowdown injected into one kernel's timing must come
+// back as a regression.
+func TestDiffCatchesSingleKernelSlowdown(t *testing.T) {
+	seed := fixtureTrajectory()
+	head := cloneTrajectory(seed)
+	head.Kernels[2].WallNs *= 2
+	head.Kernels[2].NsPerOp *= 2
+	d := DiffTrajectories(seed, head, DiffOptions{})
+	if !regressionFor(d, "mpi4/mol_a") {
+		t.Fatalf("2x slowdown on mpi4/mol_a not flagged; diff: %+v", d)
+	}
+	if regressionFor(d, "serial/mol_a") {
+		t.Errorf("untouched kernel flagged: %+v", d.Regressions)
+	}
+}
+
+// TestDiffNormalizesHostSpeed: a uniformly 3x slower host (every kernel
+// scaled identically) is NOT a regression — the geometric-mean
+// normalization cancels it.
+func TestDiffNormalizesHostSpeed(t *testing.T) {
+	seed := fixtureTrajectory()
+	head := cloneTrajectory(seed)
+	for i := range head.Kernels {
+		head.Kernels[i].WallNs *= 3
+		head.Kernels[i].NsPerOp *= 3
+	}
+	d := DiffTrajectories(seed, head, DiffOptions{})
+	if len(d.Regressions) != 0 {
+		t.Fatalf("uniform host slowdown flagged as regression: %v", d.Regressions)
+	}
+	if d.HostRatio < 2.9 || d.HostRatio > 3.1 {
+		t.Errorf("host ratio = %v, want ~3", d.HostRatio)
+	}
+}
+
+// TestDiffDeterministicGates: ops drift, modeled-time drift, histogram
+// drift, and kernel disappearance all gate independently of wall noise.
+func TestDiffDeterministicGates(t *testing.T) {
+	seed := fixtureTrajectory()
+
+	t.Run("ops-drift", func(t *testing.T) {
+		head := cloneTrajectory(seed)
+		head.Kernels[0].Ops += 7
+		d := DiffTrajectories(seed, head, DiffOptions{})
+		if !regressionFor(d, "serial/mol_a") {
+			t.Fatalf("ops drift not flagged: %+v", d)
+		}
+	})
+
+	t.Run("model-drift", func(t *testing.T) {
+		head := cloneTrajectory(seed)
+		head.Kernels[1].ModelSec *= 1.2
+		d := DiffTrajectories(seed, head, DiffOptions{})
+		if !regressionFor(d, "cilk4/mol_a") {
+			t.Fatalf("modeled-time drift not flagged: %+v", d)
+		}
+		// A modeled speedup is not a regression.
+		faster := cloneTrajectory(seed)
+		faster.Kernels[1].ModelSec *= 0.5
+		if d := DiffTrajectories(seed, faster, DiffOptions{}); len(d.Regressions) != 0 {
+			t.Errorf("modeled speedup flagged: %v", d.Regressions)
+		}
+	})
+
+	t.Run("hist-drift", func(t *testing.T) {
+		head := cloneTrajectory(seed)
+		h := head.Hists["pairs.born.near.rank"]
+		h.Sum++
+		head.Hists["pairs.born.near.rank"] = h
+		d := DiffTrajectories(seed, head, DiffOptions{})
+		if !regressionFor(d, "hist pairs.born.near.rank") {
+			t.Fatalf("histogram drift not flagged: %+v", d)
+		}
+	})
+
+	t.Run("missing-kernel", func(t *testing.T) {
+		head := cloneTrajectory(seed)
+		head.Kernels = head.Kernels[:3]
+		d := DiffTrajectories(seed, head, DiffOptions{})
+		if !regressionFor(d, "hybrid2x2/mol_a") {
+			t.Fatalf("missing kernel not flagged: %+v", d)
+		}
+	})
+
+	t.Run("new-kernel-is-note", func(t *testing.T) {
+		head := cloneTrajectory(seed)
+		head.Kernels = append(head.Kernels, TrajectoryKernel{
+			Name: "mpi8/mol_a", Ops: 1000000, WallNs: 9e6, NsPerOp: 9, ModelSec: 0.2,
+		})
+		d := DiffTrajectories(seed, head, DiffOptions{})
+		if len(d.Regressions) != 0 {
+			t.Fatalf("new kernel flagged as regression: %v", d.Regressions)
+		}
+		found := false
+		for _, n := range d.Notes {
+			if strings.Contains(n, "mpi8/mol_a") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("new kernel not noted: %v", d.Notes)
+		}
+	})
+}
+
+// TestDiffWallFloor: kernels under the wall floor skip the noisy ns/op
+// gate (noted, not flagged) but still gate on deterministic drift.
+func TestDiffWallFloor(t *testing.T) {
+	seed := fixtureTrajectory()
+	seed.Kernels[3].WallNs = 200e3 // 0.2ms, under the 1ms default floor
+	seed.Kernels[3].NsPerOp = 0.2
+	head := cloneTrajectory(seed)
+	head.Kernels[3].NsPerOp *= 10
+	d := DiffTrajectories(seed, head, DiffOptions{})
+	if regressionFor(d, "hybrid2x2/mol_a") {
+		t.Fatalf("sub-floor kernel wall-gated: %+v", d.Regressions)
+	}
+	noted := false
+	for _, n := range d.Notes {
+		if strings.Contains(n, "hybrid2x2/mol_a") && strings.Contains(n, "floor") {
+			noted = true
+		}
+	}
+	if !noted {
+		t.Errorf("sub-floor skip not noted: %v", d.Notes)
+	}
+
+	head.Kernels[3].Ops++
+	d = DiffTrajectories(seed, head, DiffOptions{})
+	if !regressionFor(d, "hybrid2x2/mol_a") {
+		t.Fatalf("sub-floor kernel escaped the ops gate: %+v", d)
+	}
+}
+
+// TestTrajectoryRoundTrip: Write then ReadTrajectory is lossless, and the
+// reader refuses foreign schema versions.
+func TestTrajectoryRoundTrip(t *testing.T) {
+	seed := fixtureTrajectory()
+	var buf bytes.Buffer
+	if err := seed.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrajectory(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := DiffTrajectories(seed, got, DiffOptions{}); len(d.Regressions) != 0 {
+		t.Fatalf("round trip drifted: %v", d.Regressions)
+	}
+	if got.Label != seed.Label || got.Repeats != seed.Repeats || len(got.Kernels) != len(seed.Kernels) {
+		t.Errorf("round trip lost fields: %+v", got)
+	}
+
+	bad := cloneTrajectory(seed)
+	bad.Schema = TrajectorySchemaVersion + 1
+	buf.Reset()
+	if err := bad.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrajectory(&buf); err == nil {
+		t.Error("foreign schema version accepted")
+	}
+}
+
+// TestCollectTrajectorySmoke runs a real (tiny) collection and checks
+// structural invariants: full layout × roster coverage, positive ops and
+// wall, deterministic histograms present, and two back-to-back
+// collections agreeing on everything deterministic.
+func TestCollectTrajectorySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("collects real benchmark runs")
+	}
+	o := DefaultOptions()
+	o.MaxAtoms = 500
+	collect := func() *Trajectory {
+		tr, err := CollectTrajectory(o, "smoke", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	tr := collect()
+	wantKernels := len(trajectoryLayouts) * len(roster(o.MaxAtoms))
+	if len(tr.Kernels) != wantKernels {
+		t.Fatalf("got %d kernels, want %d", len(tr.Kernels), wantKernels)
+	}
+	for _, k := range tr.Kernels {
+		if k.Ops <= 0 || k.WallNs <= 0 || k.NsPerOp <= 0 || k.ModelSec <= 0 {
+			t.Errorf("kernel %s has a non-positive field: %+v", k.Name, k)
+		}
+	}
+	for _, name := range []string{"pairs.born.near.rank", "redo.iterations"} {
+		if _, found := tr.Hists[name]; !found {
+			t.Errorf("trajectory lacks histogram %q (has %v)", name, tr.Hists)
+		}
+	}
+	// The deterministic sections must survive a re-collection: diffing
+	// two fresh same-workload trajectories reports no ops/model/hist
+	// drift (wall time may differ; the host gate normalizes it).
+	d := DiffTrajectories(tr, collect(), DiffOptions{})
+	for _, r := range d.Regressions {
+		if strings.Contains(r.Detail, "workload drift") || strings.Contains(r.Detail, "deterministic") {
+			t.Errorf("deterministic section drifted across collections: %v", r)
+		}
+	}
+}

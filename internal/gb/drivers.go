@@ -84,6 +84,18 @@ func countPairSplit(rec *obs.Recorder, bornNear, bornFar, epolNear, epolFar int6
 	rec.Count("pairs.epol.far", epolFar)
 }
 
+// observePairSplit feeds one rank's (or the whole run's, for the
+// non-distributed drivers) near/far split into the counter-side
+// ".rank"-suffixed histograms: the distribution across ranks is how load
+// imbalance of the static division shows up, and it is as deterministic
+// as the per-rank totals themselves.
+func observePairSplit(rec *obs.Recorder, bornNear, bornFar, epolNear, epolFar int64) {
+	rec.Observe("pairs.born.near.rank", bornNear)
+	rec.Observe("pairs.born.far.rank", bornFar)
+	rec.Observe("pairs.epol.near.rank", epolNear)
+	rec.Observe("pairs.epol.far.rank", epolFar)
+}
+
 // runSerial is the serial octree baseline (P = p = 1), instrumented. The
 // phase structure and floating-point operation order are exactly
 // BornRadii + Epol, so the result is bitwise identical to the
@@ -124,6 +136,7 @@ func (s *System) runSerial(rec *obs.Recorder) *Result {
 	sp.End()
 
 	countPairSplit(rec, acc.near, acc.far, tally.near, tally.far)
+	observePairSplit(rec, acc.near, acc.far, tally.near, tally.far)
 	return &Result{
 		Epol:      -0.5 * Tau(s.Params.EpsSolvent) * CoulombKcal * sum,
 		Born:      radii,
@@ -217,6 +230,7 @@ func (s *System) runCilk(pool *sched.Pool, rec *obs.Recorder) *Result {
 	sp.End()
 
 	countPairSplit(rec, acc.near, acc.far, totalP.tally.near, totalP.tally.far)
+	observePairSplit(rec, acc.near, acc.far, totalP.tally.near, totalP.tally.far)
 	rec.GaugeAdd("sched.steals", pool.Steals()-stealsBefore)
 
 	return &Result{
@@ -365,8 +379,14 @@ func (s *System) runDistributed(P, p int, cfg *FaultConfig, rec *obs.Recorder) (
 
 		// ---- Phase 1+2+3: Born integrals + Allreduce (Fig. 4 Steps 1-3),
 		// healed by redo on membership change --------------------------
+		// healIters tracks each phase loop's final iteration count; the
+		// "redo.iterations" histogram is a workload property (zero on
+		// every rank for crash-free plans, so crash-free summaries stay
+		// byte-identical).
 		var acc *bornAccum
+		healIters := 0
 		for iter := 0; ; iter++ {
+			healIters = iter
 			if iter > P {
 				return fmt.Errorf("gb: integral phase heal did not converge")
 			}
@@ -406,9 +426,12 @@ func (s *System) runDistributed(P, p int, cfg *FaultConfig, rec *obs.Recorder) (
 					(*bornAccum).add)
 			}
 			// Work-done counters: a redo iteration counts again, because the
-			// evaluations really ran again.
+			// evaluations really ran again. The per-rank values also feed
+			// the cross-rank split histograms.
 			rec.Count("pairs.born.near", acc.near)
 			rec.Count("pairs.born.far", acc.far)
+			rec.Observe("pairs.born.near.rank", acc.near)
+			rec.Observe("pairs.born.far.rank", acc.far)
 			merged, err := c.Allreduce(encodeAcc(acc), simmpi.Sum)
 			if err != nil {
 				return err
@@ -429,11 +452,14 @@ func (s *System) runDistributed(P, p int, cfg *FaultConfig, rec *obs.Recorder) (
 			sp.End()
 			break
 		}
+		rec.Observe("redo.iterations", int64(healIters))
 
 		// ---- Phase 4+5: Born radii + gather (Fig. 4 Steps 4-5), healed
 		// by redo ------------------------------------------------------
 		radii := make([]float64, s.NumAtoms())
+		healIters = 0
 		for iter := 0; ; iter++ {
+			healIters = iter
 			if iter > P {
 				return fmt.Errorf("gb: radii phase heal did not converge")
 			}
@@ -491,6 +517,7 @@ func (s *System) runDistributed(P, p int, cfg *FaultConfig, rec *obs.Recorder) (
 			sp.End()
 			break
 		}
+		rec.Observe("redo.iterations", int64(healIters))
 
 		// ---- Phase 6+7: partial energies + reduction (Fig. 4 Steps 6-7),
 		// healed by redo or degraded with a bound ------------------------
@@ -502,7 +529,9 @@ func (s *System) runDistributed(P, p int, cfg *FaultConfig, rec *obs.Recorder) (
 		energy := 0.0
 		degraded := false
 		bound := 0.0
+		healIters = 0
 		for iter := 0; ; iter++ {
+			healIters = iter
 			if iter > P {
 				return fmt.Errorf("gb: energy phase heal did not converge")
 			}
@@ -549,6 +578,8 @@ func (s *System) runDistributed(P, p int, cfg *FaultConfig, rec *obs.Recorder) (
 			partial := partialP.sum
 			rec.Count("pairs.epol.near", partialP.tally.near)
 			rec.Count("pairs.epol.far", partialP.tally.far)
+			rec.Observe("pairs.epol.near.rank", partialP.tally.near)
+			rec.Observe("pairs.epol.far.rank", partialP.tally.far)
 			sum, err := c.Allreduce([]float64{partial}, simmpi.Sum)
 			if err != nil {
 				return err
@@ -601,6 +632,7 @@ func (s *System) runDistributed(P, p int, cfg *FaultConfig, rec *obs.Recorder) (
 			sp.End()
 			break
 		}
+		rec.Observe("redo.iterations", int64(healIters))
 
 		out := &outs[rank]
 		out.energy = energy

@@ -2,6 +2,7 @@ package gb
 
 import (
 	"fmt"
+	"io"
 
 	"gbpolar/internal/obs"
 	"gbpolar/internal/sched"
@@ -38,6 +39,11 @@ type RunSpec struct {
 	// internal/obs). Nil disables instrumentation at zero cost; recording
 	// never changes the computed numbers.
 	Obs *obs.Recorder
+	// Flight receives the recorder's flight dump — each rank's ring of
+	// recent span/comm/fault events — when the run needed recovery or
+	// came back Degraded, so post-mortems don't require re-running with
+	// tracing on. Nil (or a nil Obs) disables the dump.
+	Flight io.Writer
 }
 
 // Run executes the computation the spec describes. It is the single
@@ -48,6 +54,11 @@ func (s *System) Run(spec RunSpec) (*Result, error) {
 		return nil, err
 	}
 	spec.Obs.Gauge("run.wall_us", res.Wall.Microseconds())
+	if spec.Flight != nil && spec.Obs != nil && (res.Degraded || res.Recovered) {
+		if _, werr := io.WriteString(spec.Flight, spec.Obs.FlightDump()); werr != nil {
+			return nil, fmt.Errorf("gb: writing flight dump: %w", werr)
+		}
+	}
 	return res, nil
 }
 

@@ -211,6 +211,13 @@ func TestSummaryDeterministic(t *testing.T) {
 		// Drop/Delay target point-to-point sends; this driver is pure
 		// collectives, so only the straggle events leave a counter.
 		"counter fault.straggles ",
+		// Counter-side histograms: per-rank pair splits (one observation
+		// per rank), per-call collective payloads, and the heal-loop
+		// iteration counts (3 phases × 3 ranks, all zero crash-free).
+		"hist comm.allreduce.bytes.percall ",
+		"hist pairs.born.near.rank count=3 ",
+		"hist pairs.epol.far.rank count=3 ",
+		"hist redo.iterations count=9 ",
 		"span approx-integrals ",
 		"span push-integrals-to-atoms ",
 		"span octree-build ",

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestChromeTraceNameEscaping feeds the exporter span names and labels
+// containing JSON-hostile characters — quotes, backslashes, newlines,
+// control characters, multi-byte UTF-8 — and requires the emitted trace
+// to parse and round-trip the names byte for byte (encoding/json does
+// the escaping; this pins that no hand-rolled formatting sneaks in).
+func TestChromeTraceNameEscaping(t *testing.T) {
+	names := []string{
+		`quoted "phase"`,
+		`back\slash`,
+		"new\nline",
+		"tab\tand ctrl\x01",
+		"hélix-φάση-相位",
+		`{"looks":"like json"}`,
+	}
+	r, _ := newTestRecorder()
+	r.SetLabel("esc \"label\"\nΔ")
+	for _, n := range names {
+		sp := r.StartSpan(0, n)
+		sp.End()
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace with hostile names failed to parse: %v", err)
+	}
+	got := map[string]bool{}
+	label := ""
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			got[ev.Name] = true
+		case "M":
+			if ev.Name == "process_name" {
+				label, _ = ev.Args["name"].(string)
+			}
+		}
+	}
+	for _, n := range names {
+		if !got[n] {
+			t.Errorf("span name %q did not round-trip (got %v)", n, got)
+		}
+	}
+	if label != "esc \"label\"\nΔ" {
+		t.Errorf("process label round-trip: %q", label)
+	}
+
+	// The JSON exporter must survive the same names.
+	buf.Reset()
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("WriteJSON produced invalid JSON for hostile names")
+	}
+}

@@ -25,9 +25,10 @@ func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
 }
 
 // Summary renders the deterministic text summary: the label, every
-// counter, and per-name span call counts, all in sorted order. It
-// excludes gauges and timestamps on purpose — two same-seed crash-free
-// runs produce byte-identical summaries (asserted by the gb tests).
+// counter, counter-side histogram quantiles, and per-name span call
+// counts, all in sorted order. It excludes gauges, gauge-side
+// histograms, and timestamps on purpose — two same-seed crash-free runs
+// produce byte-identical summaries (asserted by the gb tests).
 func (r *Recorder) Summary() string {
 	if r == nil {
 		return ""
@@ -38,6 +39,7 @@ func (r *Recorder) Summary() string {
 	for k, v := range r.counters {
 		counters[k] = v
 	}
+	hists := snapshotHists(r.hists)
 	spanCounts := make(map[string]int64)
 	for _, sd := range r.spans {
 		spanCounts[sd.name]++
@@ -51,6 +53,10 @@ func (r *Recorder) Summary() string {
 	for _, k := range SortedKeys(counters) {
 		fmt.Fprintf(&b, "counter %s %d\n", k, counters[k])
 	}
+	for _, h := range hists {
+		fmt.Fprintf(&b, "hist %s count=%d p50=%d p90=%d p99=%d\n",
+			h.Name, h.Count, h.P50, h.P90, h.P99)
+	}
 	for _, k := range SortedKeys(spanCounts) {
 		fmt.Fprintf(&b, "span %s %d\n", k, spanCounts[k])
 	}
@@ -62,6 +68,8 @@ type jsonDoc struct {
 	Label    string           `json:"label,omitempty"`
 	Counters map[string]int64 `json:"counters"`
 	Gauges   map[string]int64 `json:"gauges"`
+	Hists    []jsonHist       `json:"hists"`
+	GaugeH   []jsonHist       `json:"gauge_hists"`
 	Spans    []jsonSpan       `json:"spans"`
 }
 
@@ -71,6 +79,40 @@ type jsonSpan struct {
 	StartUs float64 `json:"start_us"`
 	DurUs   float64 `json:"dur_us"`
 	Parent  int     `json:"parent"`
+}
+
+// jsonHist is one exported histogram: quantiles plus the non-empty
+// buckets in ascending bound order (cmd/tracecheck validates both
+// invariants).
+type jsonHist struct {
+	Name    string       `json:"name"`
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	P50     int64        `json:"p50"`
+	P90     int64        `json:"p90"`
+	P99     int64        `json:"p99"`
+	Buckets []jsonBucket `json:"buckets"`
+}
+
+type jsonBucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+func toJSONHists(hs []HistogramRecord) []jsonHist {
+	out := make([]jsonHist, 0, len(hs))
+	for _, h := range hs {
+		jh := jsonHist{
+			Name: h.Name, Count: h.Count, Sum: h.Sum,
+			P50: h.P50, P90: h.P90, P99: h.P99,
+			Buckets: []jsonBucket{},
+		}
+		for _, b := range h.Buckets {
+			jh.Buckets = append(jh.Buckets, jsonBucket{Le: b.UpperBound, Count: b.Count})
+		}
+		out = append(out, jh)
+	}
+	return out
 }
 
 // WriteJSON writes the full recorder state — counters, gauges, and the
@@ -86,6 +128,8 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 		Label:    r.Label(),
 		Counters: r.Counters(),
 		Gauges:   r.Gauges(),
+		Hists:    toJSONHists(r.Histograms()),
+		GaugeH:   toJSONHists(r.GaugeHistograms()),
 		Spans:    []jsonSpan{},
 	}
 	for _, sp := range r.Spans() {

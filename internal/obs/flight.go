@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Flight recorder: a bounded per-rank ring of the most recent span,
+// comm, and fault events. It is always on (the cost is a fixed-size
+// ring per rank) so when a run comes back Degraded or a crash-plan redo
+// fires, the driver can dump "what each rank was doing just before"
+// without re-running with tracing enabled.
+//
+// The dump carries no timestamps — only event kinds, names, and
+// per-rank ordering — so for a deterministic fault schedule the dump
+// text is itself deterministic (asserted by the gb tests).
+
+// flightCap is the per-rank ring capacity. 32 events cover several
+// phases of lookback at the project's span granularity while keeping
+// the always-on cost trivial.
+const flightCap = 32
+
+// Event kinds recorded in the flight ring.
+const (
+	flightSpan  = "span"
+	flightComm  = "comm"
+	flightFault = "fault"
+)
+
+type flightEvent struct {
+	kind string
+	name string
+}
+
+// flightRing is one rank's bounded event history: a circular buffer
+// plus the total ever seen, so the dump can say "last 32 of 187".
+type flightRing struct {
+	total  int64
+	events []flightEvent
+	next   int
+}
+
+func (fr *flightRing) add(ev flightEvent) {
+	fr.total++
+	if len(fr.events) < flightCap {
+		fr.events = append(fr.events, ev)
+		return
+	}
+	fr.events[fr.next] = ev
+	fr.next = (fr.next + 1) % flightCap
+}
+
+// ordered returns the ring's events oldest-first.
+func (fr *flightRing) ordered() []flightEvent {
+	out := make([]flightEvent, 0, len(fr.events))
+	out = append(out, fr.events[fr.next:]...)
+	out = append(out, fr.events[:fr.next]...)
+	return out
+}
+
+// flightEvent appends an event to rank's ring. Callers hold r.mu.
+func (r *Recorder) flightEvent(rank int, kind, name string) {
+	fr := r.flight[rank]
+	if fr == nil {
+		fr = &flightRing{}
+		r.flight[rank] = fr
+	}
+	fr.add(flightEvent{kind: kind, name: name})
+}
+
+// Event records a free-form event in rank's flight ring — the hook the
+// fault machinery uses to interleave injected faults with the span and
+// comm events StartSpan records automatically.
+func (r *Recorder) Event(rank int, kind, name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.flightEvent(rank, kind, name)
+	r.mu.Unlock()
+}
+
+// FlightDump renders every rank's recent-event ring as deterministic
+// text: ranks in ascending order, each rank's events oldest-first, no
+// timestamps.
+func (r *Recorder) FlightDump() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	if r.label != "" {
+		fmt.Fprintf(&b, "flight recorder: %s\n", r.label)
+	} else {
+		b.WriteString("flight recorder\n")
+	}
+	for _, rank := range SortedKeys(r.flight) {
+		fr := r.flight[rank]
+		fmt.Fprintf(&b, "rank %d: last %d of %d events\n", rank, len(fr.events), fr.total)
+		for _, ev := range fr.ordered() {
+			fmt.Fprintf(&b, "  %-5s %s\n", ev.kind, ev.name)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestFlightRingBounded(t *testing.T) {
+	r, _ := newTestRecorder()
+	for i := 0; i < flightCap+10; i++ {
+		r.Event(2, "fault", fmt.Sprintf("ev-%d", i))
+	}
+	dump := r.FlightDump()
+	want := fmt.Sprintf("rank 2: last %d of %d events", flightCap, flightCap+10)
+	if !strings.Contains(dump, want) {
+		t.Errorf("dump lacks %q:\n%s", want, dump)
+	}
+	// Oldest entries evicted, newest retained, oldest-first order.
+	if strings.Contains(dump, "ev-9\n") {
+		t.Error("evicted event still in dump")
+	}
+	i10 := strings.Index(dump, "ev-10\n")
+	iLast := strings.Index(dump, fmt.Sprintf("ev-%d\n", flightCap+9))
+	if i10 < 0 || iLast < 0 || i10 > iLast {
+		t.Errorf("ring order wrong (ev-10 at %d, newest at %d):\n%s", i10, iLast, dump)
+	}
+}
+
+func TestFlightDumpDeterministicAndSorted(t *testing.T) {
+	build := func() string {
+		r, _ := newTestRecorder()
+		r.SetLabel("unit")
+		sp := r.StartSpan(3, "approx-epol")
+		sp.End()
+		r.Event(0, "fault", "straggle")
+		cs := r.StartSpan(0, "comm:allreduce")
+		cs.End()
+		return r.FlightDump()
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Errorf("flight dumps differ between identical runs:\n%s\nvs\n%s", a, b)
+	}
+	// Ranks ascending, and spans/comm recorded automatically by StartSpan.
+	i0 := strings.Index(a, "rank 0:")
+	i3 := strings.Index(a, "rank 3:")
+	if i0 < 0 || i3 < 0 || i0 > i3 {
+		t.Errorf("ranks not in ascending order:\n%s", a)
+	}
+	for _, want := range []string{
+		"flight recorder: unit\n",
+		"span  approx-epol\n",
+		"fault straggle\n",
+		"comm  comm:allreduce\n",
+	} {
+		if !strings.Contains(a, want) {
+			t.Errorf("dump lacks %q:\n%s", want, a)
+		}
+	}
+	// No timestamps: dumps must not depend on the clock.
+	if strings.Contains(a, "us") || strings.Contains(a, "ms") {
+		t.Errorf("dump appears to contain timings:\n%s", a)
+	}
+}
+
+func TestFlightNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Event(0, "fault", "x")
+	if r.FlightDump() != "" {
+		t.Error("nil recorder produced a flight dump")
+	}
+}

@@ -1,0 +1,191 @@
+package obs
+
+import "math/bits"
+
+// Fixed log₂-bucket histograms. Bucket bounds are powers of two chosen
+// once for every histogram in the project — never adapted to the data —
+// so two histograms of the same workload have identical bucket layouts
+// and their rendered summaries can be compared byte for byte. Bucket i
+// has the inclusive upper bound 2^i: values ≤ 1 land in bucket 0 and
+// the last bucket is effectively unbounded (2^62 exceeds any duration
+// or byte count the project produces).
+//
+// Histograms come in the same two flavors as scalar metrics (see the
+// package doc): Observe feeds the counter (workload) side — pair-split
+// sizes, redo iterations, per-call collective payloads — and is
+// rendered by the deterministic Summary; ObserveGauge feeds the
+// observational side — span durations, per-worker task counts, modeled
+// seconds — and is exported by WriteJSON and /metrics only. Quantiles
+// are bucket upper bounds computed with integer rank arithmetic, so a
+// counter-side histogram's p50/p90/p99 are as deterministic as the
+// counts that produced them.
+
+// histBuckets is the number of buckets; the last one absorbs everything
+// above 2^(histBuckets-2).
+const histBuckets = 63
+
+// histogram is the internal mutable state (guarded by Recorder.mu).
+type histogram struct {
+	count   int64
+	sum     int64
+	buckets [histBuckets]int64
+}
+
+// histBucketIndex returns the bucket of v: the smallest i with
+// v ≤ 2^i, clamped to the last bucket. Non-positive values count in
+// bucket 0 (sizes and durations are never negative; a zero is real).
+func histBucketIndex(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(v - 1)) // smallest i with v <= 2^i
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// histUpperBound returns bucket i's inclusive upper bound.
+func histUpperBound(i int) int64 {
+	if i >= 62 {
+		return int64(1) << 62
+	}
+	return int64(1) << i
+}
+
+func (h *histogram) observe(v int64) {
+	h.count++
+	h.sum += v
+	h.buckets[histBucketIndex(v)]++
+}
+
+// quantile returns the upper bound of the bucket holding the q-th
+// ranked observation (0 < q ≤ 1). Integer rank arithmetic: the rank is
+// ⌈q·count⌉, so the result is a pure function of the bucket counts.
+func (h *histogram) quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.count))
+	if float64(rank) < q*float64(h.count) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	cum := int64(0)
+	for i := range h.buckets {
+		cum += h.buckets[i]
+		if cum >= rank {
+			return histUpperBound(i)
+		}
+	}
+	return histUpperBound(histBuckets - 1)
+}
+
+// HistogramBucket is one non-empty bucket of an exported histogram.
+type HistogramBucket struct {
+	// UpperBound is the bucket's inclusive upper value bound (a power of
+	// two; the Prometheus "le" label).
+	UpperBound int64
+	// Count is the number of observations in this bucket (non-cumulative).
+	Count int64
+}
+
+// HistogramRecord is an exported histogram snapshot.
+type HistogramRecord struct {
+	Name       string
+	Count, Sum int64
+	// P50/P90/P99 are bucket-upper-bound quantile estimates.
+	P50, P90, P99 int64
+	// Buckets holds the non-empty buckets in ascending bound order.
+	Buckets []HistogramBucket
+}
+
+// snapshotHist renders one histogram under the recorder lock.
+func snapshotHist(name string, h *histogram) HistogramRecord {
+	rec := HistogramRecord{
+		Name:  name,
+		Count: h.count,
+		Sum:   h.sum,
+		P50:   h.quantile(0.50),
+		P90:   h.quantile(0.90),
+		P99:   h.quantile(0.99),
+	}
+	for i, c := range h.buckets {
+		if c > 0 {
+			rec.Buckets = append(rec.Buckets, HistogramBucket{UpperBound: histUpperBound(i), Count: c})
+		}
+	}
+	return rec
+}
+
+// Observe adds v to the named counter-side histogram: values that are a
+// pure function of the workload (pair-split sizes, redo iterations,
+// collective payload bytes). Counter-side histograms appear in the
+// deterministic Summary with their count and p50/p90/p99.
+func (r *Recorder) Observe(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.histInto(r.hists, name, v)
+	r.mu.Unlock()
+}
+
+// ObserveGauge adds v to the named observational histogram: values that
+// legitimately vary with host scheduling (span durations, per-worker
+// task counts, modeled seconds). Exported by WriteJSON and /metrics,
+// never by Summary.
+func (r *Recorder) ObserveGauge(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.histInto(r.gaugeHists, name, v)
+	r.mu.Unlock()
+}
+
+// histInto observes into a named histogram of the given family,
+// creating it on first use. Callers hold r.mu.
+func (r *Recorder) histInto(family map[string]*histogram, name string, v int64) {
+	h := family[name]
+	if h == nil {
+		h = &histogram{}
+		family[name] = h
+	}
+	h.observe(v)
+}
+
+// Histograms returns snapshots of the counter-side histograms sorted by
+// name.
+func (r *Recorder) Histograms() []HistogramRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return snapshotHists(r.hists)
+}
+
+// GaugeHistograms returns snapshots of the observational histograms
+// sorted by name.
+func (r *Recorder) GaugeHistograms() []HistogramRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return snapshotHists(r.gaugeHists)
+}
+
+func snapshotHists(family map[string]*histogram) []HistogramRecord {
+	out := make([]HistogramRecord, 0, len(family))
+	for _, name := range SortedKeys(family) {
+		out = append(out, snapshotHist(name, family[name]))
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestHistBucketIndex(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0},
+		{2, 1},
+		{3, 2}, {4, 2},
+		{5, 3}, {8, 3},
+		{9, 4},
+		{1024, 10}, {1025, 11},
+		{1 << 40, 40},
+		{1<<62 + 5, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := histBucketIndex(c.v); got != c.want {
+			t.Errorf("histBucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+		// The defining property: v fits under its bucket's bound, and (for
+		// v > 1) not under the previous bucket's.
+		i := histBucketIndex(c.v)
+		if c.v > histUpperBound(i) && i < histBuckets-1 {
+			t.Errorf("v=%d above its bucket bound %d", c.v, histUpperBound(i))
+		}
+		if i > 0 && c.v <= histUpperBound(i-1) {
+			t.Errorf("v=%d fits bucket %d, placed in %d", c.v, i-1, i)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h histogram
+	if h.quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	// 100 observations of value 1..100: p50 covers rank 50 (value 50,
+	// bucket bound 64), p99 rank 99 (bound 128).
+	for v := int64(1); v <= 100; v++ {
+		h.observe(v)
+	}
+	if got := h.quantile(0.50); got != 64 {
+		t.Errorf("p50 = %d, want 64", got)
+	}
+	if got := h.quantile(0.90); got != 128 {
+		t.Errorf("p90 = %d, want 128", got)
+	}
+	if got := h.quantile(0.99); got != 128 {
+		t.Errorf("p99 = %d, want 128", got)
+	}
+	if h.count != 100 || h.sum != 5050 {
+		t.Errorf("count=%d sum=%d, want 100/5050", h.count, h.sum)
+	}
+}
+
+// TestObserveDeterministicAcrossOrder pins the histogram determinism
+// contract: the rendered summary depends only on the multiset of
+// observed values, not the order they arrived in.
+func TestObserveDeterministicAcrossOrder(t *testing.T) {
+	build := func(values []int64) string {
+		r, _ := newTestRecorder()
+		r.SetLabel("h")
+		for _, v := range values {
+			r.Observe("pairs.split", v)
+		}
+		return r.Summary()
+	}
+	a := build([]int64{1, 900, 17, 17, 4096, 33})
+	b := build([]int64{4096, 17, 33, 1, 17, 900})
+	if a != b {
+		t.Errorf("summaries differ by observation order:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, "hist pairs.split count=6 ") {
+		t.Errorf("summary lacks hist line:\n%s", a)
+	}
+}
+
+func TestGaugeHistogramsStayOutOfSummary(t *testing.T) {
+	r, _ := newTestRecorder()
+	r.Observe("workload.sizes", 10)
+	r.ObserveGauge("span.phase.us", 1234)
+	s := r.Summary()
+	if !strings.Contains(s, "hist workload.sizes ") {
+		t.Errorf("counter-side hist missing from summary:\n%s", s)
+	}
+	if strings.Contains(s, "span.phase.us") {
+		t.Errorf("gauge-side hist leaked into the deterministic summary:\n%s", s)
+	}
+	// Both sides are visible to the JSON exporter.
+	if len(r.Histograms()) != 1 || len(r.GaugeHistograms()) != 1 {
+		t.Errorf("snapshot counts: %d counter-side, %d gauge-side, want 1/1",
+			len(r.Histograms()), len(r.GaugeHistograms()))
+	}
+}
+
+func TestSpanDurationsFeedGaugeHistograms(t *testing.T) {
+	r, _ := newTestRecorder()
+	for i := 0; i < 3; i++ {
+		sp := r.StartSpan(0, "phase")
+		sp.End()
+	}
+	hs := r.GaugeHistograms()
+	if len(hs) != 1 || hs[0].Name != "span.phase.us" {
+		t.Fatalf("gauge hists = %+v, want one span.phase.us", hs)
+	}
+	if hs[0].Count != 3 {
+		t.Errorf("span duration observations: %d, want 3", hs[0].Count)
+	}
+	if hs[0].Sum <= 0 {
+		t.Errorf("span duration sum %d, want > 0 (fake clock ticks)", hs[0].Sum)
+	}
+}
+
+func TestHistogramJSONInvariants(t *testing.T) {
+	r, _ := newTestRecorder()
+	for _, v := range []int64{1, 1, 5, 900, 900, 900, 1 << 30} {
+		r.Observe("x", v)
+	}
+	r.ObserveGauge("g", 7)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Hists []struct {
+			Name    string `json:"name"`
+			Count   int64  `json:"count"`
+			P50     int64  `json:"p50"`
+			P90     int64  `json:"p90"`
+			P99     int64  `json:"p99"`
+			Buckets []struct {
+				Le    int64 `json:"le"`
+				Count int64 `json:"count"`
+			} `json:"buckets"`
+		} `json:"hists"`
+		GaugeH []json.RawMessage `json:"gauge_hists"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(doc.Hists) != 1 || len(doc.GaugeH) != 1 {
+		t.Fatalf("hists=%d gauge_hists=%d, want 1/1", len(doc.Hists), len(doc.GaugeH))
+	}
+	h := doc.Hists[0]
+	if h.Name != "x" || h.Count != 7 {
+		t.Errorf("hist = %+v", h)
+	}
+	sum := int64(0)
+	prev := int64(-1)
+	for _, b := range h.Buckets {
+		if b.Le <= prev {
+			t.Errorf("bucket bounds not strictly increasing: %d after %d", b.Le, prev)
+		}
+		prev = b.Le
+		sum += b.Count
+	}
+	if sum != h.Count {
+		t.Errorf("bucket counts sum to %d, total %d", sum, h.Count)
+	}
+	if h.P50 > h.P90 || h.P90 > h.P99 {
+		t.Errorf("quantiles out of order: p50=%d p90=%d p99=%d", h.P50, h.P90, h.P99)
+	}
+}
+
+func TestNilRecorderHistogramsInert(t *testing.T) {
+	var r *Recorder
+	r.Observe("a", 1)
+	r.ObserveGauge("b", 2)
+	if r.Histograms() != nil || r.GaugeHistograms() != nil {
+		t.Error("nil recorder returned histogram state")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r, _ := newTestRecorder()
+	r.SetLabel(`lay"out\1`)
+	r.Count("comm.allreduce.calls", 3)
+	r.Gauge("run.wall_us", 42)
+	r.Observe("pairs.split", 2)
+	r.Observe("pairs.split", 900)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE gbpolar_comm_allreduce_calls counter\n",
+		`gbpolar_comm_allreduce_calls{run="lay\"out\\1"} 3` + "\n",
+		"# TYPE gbpolar_run_wall_us gauge\n",
+		"# TYPE gbpolar_pairs_split histogram\n",
+		`le="2"} 1` + "\n",
+		`le="1024"} 2` + "\n", // cumulative: 900's bucket includes the 2
+		`le="+Inf"} 2` + "\n",
+		"gbpolar_pairs_split_sum",
+		"gbpolar_pairs_split_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output lacks %q:\n%s", want, out)
+		}
+	}
+	// The exposition must render identically on repeat.
+	var buf2 bytes.Buffer
+	if err := WritePrometheus(&buf2, r, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("prometheus rendering not deterministic for fixed state")
+	}
+}

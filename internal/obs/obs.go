@@ -1,6 +1,9 @@
 // Package obs is the project's zero-dependency observability layer for
 // the simulated cluster: per-rank hierarchical spans around the algorithm
-// phases and collectives, named counters and gauges, and exporters (a
+// phases and collectives, named counters, gauges and fixed-bucket
+// histograms (histogram.go), a bounded per-rank flight recorder for
+// post-mortems (flight.go), an opt-in live HTTP endpoint serving
+// Prometheus text, health, and pprof (serve.go), and exporters (a
 // deterministic text summary, JSON, and the Chrome trace-event format —
 // see export.go).
 //
@@ -25,11 +28,18 @@
 //     with host scheduling (steal counts, wall time, priced seconds).
 //     Gauges are exported by WriteJSON and the trace, never by Summary.
 //
+// Histograms follow the same split: Observe is the counter-side
+// distribution (pair-split sizes, redo iterations, per-call comm bytes)
+// and shows its quantiles in Summary; ObserveGauge is the observational
+// distribution (span durations, per-worker task counts) and is exported
+// by WriteJSON and /metrics only.
+//
 // A nil *Recorder is a valid no-op on every method, so call sites need
 // no guards; the zero Span is likewise inert.
 package obs
 
 import (
+	"strings"
 	"sync"
 	"time"
 )
@@ -40,12 +50,16 @@ import (
 type Recorder struct {
 	clock func() time.Duration
 
-	mu       sync.Mutex
-	label    string
-	spans    []spanData
-	open     map[int][]int32 // per-rank stack of open span indices
-	counters map[string]int64
-	gauges   map[string]int64
+	mu         sync.Mutex
+	label      string
+	spans      []spanData
+	open       map[int][]int32 // per-rank stack of open span indices
+	counters   map[string]int64
+	gauges     map[string]int64
+	hists      map[string]*histogram // counter-side (see histogram.go)
+	gaugeHists map[string]*histogram // observational side
+	flight     map[int]*flightRing   // per-rank recent-event rings (flight.go)
+	health     func() HealthView     // live-rank source for Serve's /healthz
 }
 
 // spanData is the internal mutable span record.
@@ -67,10 +81,13 @@ func NewRecorder(clock func() time.Duration) *Recorder {
 		clock = func() time.Duration { return 0 }
 	}
 	return &Recorder{
-		clock:    clock,
-		open:     make(map[int][]int32),
-		counters: make(map[string]int64),
-		gauges:   make(map[string]int64),
+		clock:      clock,
+		open:       make(map[int][]int32),
+		counters:   make(map[string]int64),
+		gauges:     make(map[string]int64),
+		hists:      make(map[string]*histogram),
+		gaugeHists: make(map[string]*histogram),
+		flight:     make(map[int]*flightRing),
 	}
 }
 
@@ -120,6 +137,11 @@ func (r *Recorder) StartSpan(rank int, name string) Span {
 		rank: rank, name: name, start: now, end: now, parent: parent, open: true,
 	})
 	r.open[rank] = append(r.open[rank], idx)
+	kind := flightSpan
+	if strings.HasPrefix(name, "comm:") {
+		kind = flightComm
+	}
+	r.flightEvent(rank, kind, name)
 	return Span{r: r, idx: idx, rank: rank}
 }
 
@@ -146,6 +168,9 @@ func (s Span) End() {
 		if sd := &r.spans[top]; sd.open {
 			sd.open = false
 			sd.end = now
+			// Span durations are wall time — scheduling-dependent by
+			// nature — so they histogram on the observational side.
+			r.histInto(r.gaugeHists, "span."+sd.name+".us", (sd.end - sd.start).Microseconds())
 		}
 		if top == s.idx {
 			break

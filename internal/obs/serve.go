@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Live introspection endpoint. Serve starts an HTTP server exposing the
+// attached recorders as /metrics (Prometheus text exposition), /healthz
+// (live-rank view, when a recorder has a health source registered), and
+// the standard net/http/pprof handlers under /debug/pprof/.
+//
+// The server sits on the far side of the determinism boundary: it only
+// *reads* recorder snapshots (all nil-safe and lock-protected), so a
+// run with the endpoint enabled stays bitwise identical to one without
+// — asserted by the gb serve tests. The obs package is policed like a
+// numeric kernel by gblint's determinism analyzer; the one real clock
+// read here (server start time, for /healthz uptime) carries a
+// documented //lint:ignore marking it as outside the measured
+// computation.
+
+// HealthView is a live-rank snapshot served at /healthz — the obs-side
+// mirror of simmpi's Health (simmpi registers a source on the recorder
+// rather than obs importing simmpi, keeping the dependency one-way).
+type HealthView struct {
+	Live       []int `json:"live"`
+	Lost       []int `json:"lost"`
+	Straggling []int `json:"straggling"`
+}
+
+// SetHealthSource registers fn as this recorder's live-rank view; Serve
+// calls it on every /healthz request. fn must be safe for concurrent
+// use (simmpi's Health snapshot is).
+func (r *Recorder) SetHealthSource(fn func() HealthView) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.health = fn
+	r.mu.Unlock()
+}
+
+// healthSource returns the registered live-rank source, or nil.
+func (r *Recorder) healthSource() func() HealthView {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.health
+}
+
+// Server is a running obs endpoint. Close it when the run ends.
+type Server struct {
+	ln      net.Listener
+	srv     *http.Server
+	started time.Time
+
+	mu   sync.Mutex
+	recs []*Recorder
+}
+
+// Serve starts the endpoint on addr (host:port; ":0" picks a free port —
+// read it back with Addr). The initial recorders are optional; Attach
+// adds more while the server runs.
+func Serve(addr string, recs ...*Recorder) (*Server, error) {
+	s := &Server{}
+	for _, r := range recs {
+		if r != nil {
+			s.recs = append(s.recs, r)
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: serve on %q: %w", addr, err)
+	}
+	s.ln = ln
+	//lint:ignore determinism server start time feeds only /healthz uptime, outside the measured computation
+	s.started = time.Now()
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		// Serve returns http.ErrServerClosed after Close; nothing to do.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Attach adds a recorder to the live views (clustersim attaches one per
+// layout as the sweep progresses). Nil recorders are ignored.
+func (s *Server) Attach(rec *Recorder) {
+	if s == nil || rec == nil {
+		return
+	}
+	s.mu.Lock()
+	s.recs = append(s.recs, rec)
+	s.mu.Unlock()
+}
+
+// Addr returns the listener's address ("127.0.0.1:43210").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// snapshot returns the attached recorders.
+func (s *Server) snapshot() []*Recorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Recorder(nil), s.recs...)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := WritePrometheus(w, s.snapshot()...); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// healthzDoc is the /healthz response body.
+type healthzDoc struct {
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Runs          []healthzRun `json:"runs"`
+}
+
+type healthzRun struct {
+	Label string `json:"label"`
+	HealthView
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	//lint:ignore determinism uptime reporting on the health endpoint, outside the measured computation
+	doc := healthzDoc{UptimeSeconds: time.Now().Sub(s.started).Seconds(), Runs: []healthzRun{}}
+	for _, rec := range s.snapshot() {
+		src := rec.healthSource()
+		if src == nil {
+			continue
+		}
+		doc.Runs = append(doc.Runs, healthzRun{Label: rec.Label(), HealthView: src()})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(doc); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// promFamily accumulates one metric family's samples across recorders.
+type promFamily struct {
+	typ   string // counter | gauge | histogram
+	lines []string
+}
+
+// WritePrometheus renders the recorders' counters, gauges, and both
+// histogram families in the Prometheus text exposition format: one
+// family per metric name (sorted), one sample per recorder labeled
+// {run="<label>"}, histograms as cumulative _bucket/_sum/_count series.
+// All map iteration goes through SortedKeys, so the output for a given
+// recorder state is deterministic.
+func WritePrometheus(w io.Writer, recs ...*Recorder) error {
+	fams := make(map[string]*promFamily)
+	add := func(name, typ, line string) {
+		f := fams[name]
+		if f == nil {
+			f = &promFamily{typ: typ}
+			fams[name] = f
+		}
+		f.lines = append(f.lines, line)
+	}
+	for i, rec := range recs {
+		if rec == nil {
+			continue
+		}
+		run := rec.Label()
+		if run == "" {
+			run = fmt.Sprintf("recorder-%d", i)
+		}
+		lbl := `{run="` + promLabelEscape(run) + `"}`
+		counters := rec.Counters()
+		for _, k := range SortedKeys(counters) {
+			name := promName(k)
+			add(name, "counter", fmt.Sprintf("%s%s %d", name, lbl, counters[k]))
+		}
+		gauges := rec.Gauges()
+		for _, k := range SortedKeys(gauges) {
+			name := promName(k)
+			add(name, "gauge", fmt.Sprintf("%s%s %d", name, lbl, gauges[k]))
+		}
+		for _, h := range rec.Histograms() {
+			addPromHistogram(add, h, run)
+		}
+		for _, h := range rec.GaugeHistograms() {
+			addPromHistogram(add, h, run)
+		}
+	}
+	for _, name := range SortedKeys(fams) {
+		f := fams[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ); err != nil {
+			return err
+		}
+		for _, line := range f.lines {
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// addPromHistogram emits one histogram's cumulative bucket, sum, and
+// count series under the family of its base name.
+func addPromHistogram(add func(name, typ, line string), h HistogramRecord, run string) {
+	name := promName(h.Name)
+	esc := promLabelEscape(run)
+	cum := int64(0)
+	for _, b := range h.Buckets {
+		cum += b.Count
+		add(name, "histogram",
+			fmt.Sprintf(`%s_bucket{run="%s",le="%d"} %d`, name, esc, b.UpperBound, cum))
+	}
+	add(name, "histogram", fmt.Sprintf(`%s_bucket{run="%s",le="+Inf"} %d`, name, esc, h.Count))
+	add(name, "histogram", fmt.Sprintf(`%s_sum{run="%s"} %d`, name, esc, h.Sum))
+	add(name, "histogram", fmt.Sprintf(`%s_count{run="%s"} %d`, name, esc, h.Count))
+}
+
+// promName maps a recorder metric name onto a legal Prometheus family
+// name: the gbpolar_ namespace prefix, dots and other separators
+// becoming underscores.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("gbpolar_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabelEscape escapes a label value per the exposition format
+// (backslash, double quote, and newline).
+func promLabelEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r, _ := newTestRecorder()
+	r.SetLabel("live")
+	r.Count("comm.allreduce.calls", 5)
+	r.Observe("pairs.split", 12)
+	r.SetHealthSource(func() HealthView {
+		return HealthView{Live: []int{0, 2}, Lost: []int{1}, Straggling: []int{2}}
+	})
+
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE gbpolar_comm_allreduce_calls counter\n",
+		`gbpolar_comm_allreduce_calls{run="live"} 5` + "\n",
+		"# TYPE gbpolar_pairs_split histogram\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics lacks %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, base+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status %d", code)
+	}
+	var doc struct {
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Runs          []struct {
+			Label string `json:"label"`
+			Live  []int  `json:"live"`
+			Lost  []int  `json:"lost"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("healthz JSON: %v\n%s", err, body)
+	}
+	if len(doc.Runs) != 1 || doc.Runs[0].Label != "live" ||
+		len(doc.Runs[0].Live) != 2 || len(doc.Runs[0].Lost) != 1 {
+		t.Errorf("healthz runs: %+v", doc.Runs)
+	}
+
+	if code, _ = get(t, base+"/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+
+	// A recorder attached mid-run shows up on the next scrape.
+	r2, _ := newTestRecorder()
+	r2.SetLabel("second")
+	r2.Count("comm.barrier.calls", 1)
+	srv.Attach(r2)
+	_, body = get(t, base+"/metrics")
+	if !strings.Contains(body, `{run="second"} 1`) {
+		t.Errorf("attached recorder missing from /metrics:\n%s", body)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("definitely:not:an:addr"); err == nil {
+		t.Fatal("Serve accepted a malformed address")
+	}
+}
+
+func TestServerNilSafe(t *testing.T) {
+	var s *Server
+	s.Attach(nil)
+	if s.Addr() != "" {
+		t.Error("nil server returned an address")
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}

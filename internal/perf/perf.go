@@ -161,12 +161,16 @@ type Breakdown struct {
 // Record publishes the priced breakdown into the recorder as gauges
 // (modeled seconds are derived from deterministic inputs, but they are a
 // model output, not a workload invariant — keep them out of Summary).
+// The totals also feed the "perf.layout.total_us" gauge-side histogram,
+// so a multi-layout sweep sharing one recorder exposes its distribution
+// of modeled layout times on /metrics.
 func (b Breakdown) Record(rec *obs.Recorder) {
 	rec.Gauge("perf.comp_us", int64(b.CompSeconds*1e6))
 	rec.Gauge("perf.comm_us", int64(b.CommSeconds*1e6))
 	rec.Gauge("perf.overhead_us", int64(b.OverheadSeconds*1e6))
 	rec.Gauge("perf.fault_us", int64(b.FaultSeconds*1e6))
 	rec.Gauge("perf.total_us", int64(b.TotalSeconds*1e6))
+	rec.ObserveGauge("perf.layout.total_us", int64(b.TotalSeconds*1e6))
 }
 
 // EstimateDataBytes returns the size of one copy of the input working set

@@ -24,8 +24,10 @@ type Pool struct {
 
 // Observe attaches an observability recorder: Close flushes the pool's
 // lifetime steal and spawn totals into the "sched.steals"/"sched.tasks"
-// gauges (gauges, not counters — stealing is scheduling-dependent by
-// design). Several pools may share one recorder; their totals add up.
+// gauges and each worker's executed-task count into the
+// "sched.tasks_per_worker" gauge-side histogram (gauges, not counters —
+// stealing is scheduling-dependent by design). Several pools may share
+// one recorder; their totals add up.
 func (p *Pool) Observe(rec *obs.Recorder) {
 	p.mu.Lock()
 	p.rec = rec
@@ -99,6 +101,9 @@ func (p *Pool) Close() {
 	if !alreadyClosed && rec != nil {
 		rec.GaugeAdd("sched.steals", p.steals.Load())
 		rec.GaugeAdd("sched.tasks", p.spawned.Load())
+		for _, w := range p.workers {
+			rec.ObserveGauge("sched.tasks_per_worker", w.executed.Load())
+		}
 	}
 }
 

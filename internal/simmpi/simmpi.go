@@ -262,6 +262,16 @@ func RunPlanObs(size int, plan *fault.Plan, rec *obs.Recorder, fn func(c *Comm) 
 	if !plan.Empty() {
 		w.inj = plan.NewInjector(size)
 	}
+	// Publish the world's live-rank view on the recorder so obs.Serve can
+	// answer /healthz during the run. obs cannot import simmpi (the
+	// dependency runs the other way), so the view crosses as a closure.
+	// The snapshot keeps working after Run returns: a finished world
+	// reports every surviving rank as retired-normally, i.e. Lost stays
+	// the injected-crash list.
+	rec.SetHealthSource(func() obs.HealthView {
+		h := (&Comm{world: w, rank: 0}).Health()
+		return obs.HealthView{Live: h.Live, Lost: h.Lost, Straggling: h.Straggling}
+	})
 	w.cond = sync.NewCond(&w.mu)
 	for r := range w.deadCh {
 		w.deadCh[r] = make(chan struct{})
@@ -413,9 +423,11 @@ func (w *World) recordCollective(kind CollectiveKind, bytesPerRank int64) {
 	w.collectives[kind] = s
 	w.collMu.Unlock()
 	// Exactly one rank per collective call reaches here, so the counters
-	// count calls, not call×ranks.
+	// count calls, not call×ranks. The per-call payload distribution is a
+	// workload property too, so it histograms on the counter side.
 	w.rec.Count("comm."+string(kind)+".calls", 1)
 	w.rec.Count("comm."+string(kind)+".bytes", bytesPerRank)
+	w.rec.Observe("comm."+string(kind)+".bytes.percall", bytesPerRank)
 }
 
 // span opens a "comm:<kind>" span on this rank — inert when the world has
@@ -440,21 +452,25 @@ func (c *Comm) faultPoint(send bool, to int) error {
 	act := w.inj.Advance(c.rank, send, to)
 	if act.Straggle > 0 {
 		w.rec.Count("fault.straggles", 1)
+		w.rec.Event(c.rank, "fault", "straggle")
 		w.stragglerNanos.Add(int64(act.Straggle))
 		sleepCapped(act.Straggle)
 	}
 	if act.Delay > 0 {
 		w.rec.Count("fault.delays", 1)
+		w.rec.Event(c.rank, "fault", "delay")
 		w.delayNanos.Add(int64(act.Delay))
 		sleepCapped(act.Delay)
 	}
 	if act.Crash {
 		w.rec.Count("fault.crashes", 1)
+		w.rec.Event(c.rank, "fault", "crash")
 		w.retire(c.rank, true)
 		panic(rankCrashed{c.rank})
 	}
 	if act.Drop {
 		w.rec.Count("fault.drops", 1)
+		w.rec.Event(c.rank, "fault", "drop")
 		w.drops.Add(1)
 		return ErrDropped
 	}
