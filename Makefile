@@ -6,7 +6,7 @@ GO ?= go
 BENCH_MAX_ATOMS ?= 2000
 BENCH_REPEATS ?= 3
 
-.PHONY: build test lint check chaos-smoke trace-smoke bench-json bench-gate
+.PHONY: build test lint check check-race chaos-smoke trace-smoke bench-json bench-gate
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,14 @@ bench-json:
 # deterministic ops/model/histogram drift.
 bench-gate: bench-json
 	$(GO) run ./cmd/benchdiff BENCH_seed.json BENCH_head.json
+
+# check-race is the quick race pass: short mode skips the figure
+# sweeps, PB grid solves, and calibration probes (the numerics they
+# cover are single-goroutine anyway), leaving the concurrency-bearing
+# suites — simmpi, gb drivers, supervise, obs — under the detector at
+# a few minutes of wall time. `make check` still races everything.
+check-race:
+	$(GO) test -race -short -count=1 -timeout 1200s ./...
 
 # The race detector multiplies the bench suite's runtime ~14x (past go
 # test's 600s default package timeout on modest hardware), so the race

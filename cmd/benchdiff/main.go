@@ -44,6 +44,20 @@ func main() {
 	for _, n := range d.Notes {
 		fmt.Printf("note: %s\n", n)
 	}
+	// Explicit membership delta: kernels present in only one trajectory,
+	// so a coverage change never hides inside the note stream.
+	if len(d.Added) > 0 {
+		fmt.Printf("added kernels (%d, only in %s):\n", len(d.Added), flag.Arg(1))
+		for _, name := range d.Added {
+			fmt.Printf("  + %s\n", name)
+		}
+	}
+	if len(d.Removed) > 0 {
+		fmt.Printf("removed kernels (%d, only in %s):\n", len(d.Removed), flag.Arg(0))
+		for _, name := range d.Removed {
+			fmt.Printf("  - %s\n", name)
+		}
+	}
 	fmt.Printf("host ratio %.3fx (%s -> %s)\n", d.HostRatio, old.Label, head.Label)
 	if len(d.Regressions) > 0 {
 		for _, r := range d.Regressions {

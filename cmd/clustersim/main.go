@@ -10,6 +10,10 @@
 //	clustersim -nodes 1,2,4,8 -rpn 12,2       # custom node counts / ranks-per-node
 //	clustersim -faults chaos:6                # seeded chaos schedule per layout
 //	clustersim -faults 'crash:1@4,slow:2@0+8~100us' -policy degrade
+//	clustersim -faults chaos:6 -retries 3     # supervised: retry/resume per layout
+//	clustersim -checkpoint-dir ckpt           # phase checkpoints per layout
+//	clustersim -checkpoint-dir ckpt -resume   # pick interrupted layouts back up
+//	clustersim -faults chaos:8 -deadline 30s  # shed accuracy rather than overshoot
 //	clustersim -trace-out trace.json          # chrome://tracing span timeline
 //	clustersim -metrics text                  # deterministic per-layout counters
 //	clustersim -metrics-out metrics.json      # JSON metrics documents to a file
@@ -25,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -34,6 +39,7 @@ import (
 	"gbpolar/internal/molecule"
 	"gbpolar/internal/obs"
 	"gbpolar/internal/perf"
+	"gbpolar/internal/supervise"
 	"gbpolar/internal/surface"
 )
 
@@ -50,10 +56,18 @@ func main() {
 		metrics    = flag.String("metrics", "", "print per-layout metrics to stdout after the table: text (deterministic summaries) | json (one document per layout)")
 		metricsOut = flag.String("metrics-out", "", "write the per-layout JSON metrics documents (concatenated) to this file")
 		serveF     = flag.String("serve", "", "serve /metrics, /healthz, and /debug/pprof on this address during the sweep and until interrupted")
+		ckptDir    = flag.String("checkpoint-dir", "", "write per-layout phase checkpoints under this directory and run each layout supervised")
+		resumeF    = flag.Bool("resume", false, "resume layouts from their checkpoints in -checkpoint-dir")
+		deadlineF  = flag.Duration("deadline", 0, "per-layout supervised deadline: on expiry a layout sheds accuracy instead of overshooting (0 = none)")
+		retriesF   = flag.Int("retries", 0, "per-layout supervised retry budget (0 = default 2)")
 	)
 	flag.Parse()
 	if *metrics != "" && *metrics != "text" && *metrics != "json" {
 		fatal(fmt.Errorf("unknown -metrics mode %q (want text or json)", *metrics))
+	}
+	supervised := *ckptDir != "" || *resumeF || *deadlineF > 0 || *retriesF > 0
+	if *resumeF && *ckptDir == "" {
+		fatal(fmt.Errorf("-resume needs -checkpoint-dir to resume from"))
 	}
 
 	var policy gb.FaultPolicy
@@ -118,7 +132,7 @@ func main() {
 		Title:  fmt.Sprintf("Layout sweep for %s (%d atoms, %d q-points)", mol.Name, sys.NumAtoms(), sys.NumQPoints()),
 		Header: []string{"Nodes", "Ranks/node", "Threads/rank", "Cores", "Comp", "Comm", "Total", "Mem/node GB"},
 	}
-	if injecting {
+	if injecting || supervised {
 		tab.Header = append(tab.Header, "Fault", "Outcome")
 	}
 	observing := *traceOut != "" || *metrics != "" || *metricsOut != "" || *serveF != ""
@@ -153,42 +167,90 @@ func main() {
 			if observing || injecting {
 				rec = obs.NewRecorder(perf.StartTimer().Elapsed)
 				rec.SetLabel(fmt.Sprintf("P=%d p=%d", P, threads))
-				if observing {
-					recs = append(recs, rec)
-				}
 				if srv != nil {
 					srv.Attach(rec)
 				}
 			}
-			spec := gb.RunSpec{
-				Processes:         P,
-				ThreadsPerProcess: threads,
-				Faults:            cfg,
-				Obs:               rec,
+			var res *gb.Result
+			var supOut *supervise.Outcome
+			if supervised {
+				var store supervise.Store
+				if *ckptDir != "" {
+					store, err = layoutStore(*ckptDir, P, threads, *resumeF)
+					if err != nil {
+						fatal(err)
+					}
+				}
+				var planFn func(int) *fault.Plan
+				if cfg != nil {
+					plan := cfg.Plan
+					planFn = func(int) *fault.Plan { return plan }
+				}
+				supOut, err = supervise.Run(sys, supervise.Spec{
+					Processes:         P,
+					ThreadsPerProcess: threads,
+					Policy:            policy,
+					Plan:              planFn,
+					Deadline:          *deadlineF,
+					Retries:           *retriesF,
+					Store:             store,
+					Obs:               rec,
+				})
+				if err != nil {
+					fatal(err)
+				}
+				res = supOut.Result
+				if observing {
+					// The layout recorder keeps the supervisor's counters and
+					// escalation events; the winning attempt's run recorder
+					// carries the run itself. Export both.
+					supOut.Recorder.SetLabel(fmt.Sprintf("P=%d p=%d run", P, threads))
+					recs = append(recs, rec, supOut.Recorder)
+				}
+			} else {
+				if observing {
+					recs = append(recs, rec)
+				}
+				spec := gb.RunSpec{
+					Processes:         P,
+					ThreadsPerProcess: threads,
+					Faults:            cfg,
+					Obs:               rec,
+				}
+				if injecting {
+					// Post-mortem context for any layout that had to heal or
+					// degrade: its flight recorder lands on stderr next to the
+					// table row.
+					spec.Flight = os.Stderr
+				}
+				res, err = sys.Run(spec)
+				if err != nil {
+					fatal(err)
+				}
 			}
-			if injecting {
-				// Post-mortem context for any layout that had to heal or
-				// degrade: its flight recorder lands on stderr next to the
-				// table row.
-				spec.Flight = os.Stderr
-			}
-			res, err := sys.Run(spec)
-			if err != nil {
-				fatal(err)
-			}
-			shape := perf.RunShape{Processes: P, ThreadsPerProcess: threads, DataBytes: sys.DataBytes()}
-			b, err := machine.Price(cal, shape, res.PerCoreOps, res.Traffic)
-			if err != nil {
-				fatal(err)
-			}
-			b.Record(rec)
 			row := []string{strconv.Itoa(n), strconv.Itoa(rpn), strconv.Itoa(threads),
-				strconv.Itoa(P * threads),
-				fmt.Sprintf("%.4gs", b.CompSeconds), fmt.Sprintf("%.4gs", b.CommSeconds),
-				fmt.Sprintf("%.4gs", b.TotalSeconds),
-				fmt.Sprintf("%.2f", float64(b.MemPerNodeBytes)/float64(1<<30))}
-			if injecting {
-				row = append(row, fmt.Sprintf("%.4gs", b.FaultSeconds), outcome(res))
+				strconv.Itoa(P * threads)}
+			if len(res.PerCoreOps) > 0 {
+				shape := perf.RunShape{Processes: res.Processes, ThreadsPerProcess: res.ThreadsPerProcess, DataBytes: sys.DataBytes()}
+				b, err := machine.Price(cal, shape, res.PerCoreOps, res.Traffic)
+				if err != nil {
+					fatal(err)
+				}
+				b.Record(rec)
+				row = append(row,
+					fmt.Sprintf("%.4gs", b.CompSeconds), fmt.Sprintf("%.4gs", b.CommSeconds),
+					fmt.Sprintf("%.4gs", b.TotalSeconds),
+					fmt.Sprintf("%.2f", float64(b.MemPerNodeBytes)/float64(1<<30)))
+				if injecting || supervised {
+					row = append(row, fmt.Sprintf("%.4gs", b.FaultSeconds), outcomeCell(res, supOut))
+				}
+			} else {
+				// The layout resumed from an already-complete checkpoint:
+				// no work ran, so there is nothing to price.
+				row = append(row, "-", "-", "-", "-")
+				if injecting || supervised {
+					row = append(row, "-", outcomeCell(res, supOut))
+				}
 			}
 			tab.AddRow(row...)
 		}
@@ -240,6 +302,44 @@ func main() {
 		signal.Notify(ch, os.Interrupt)
 		<-ch
 	}
+}
+
+// layoutStore returns the layout's on-disk checkpoint store under dir.
+// Without -resume a subdirectory already holding checkpoints is refused
+// rather than silently resumed from stale state.
+func layoutStore(dir string, P, threads int, resume bool) (supervise.Store, error) {
+	ds := &supervise.DirStore{Dir: filepath.Join(dir, fmt.Sprintf("P%dp%d", P, threads))}
+	ck, err := ds.Latest()
+	if err != nil {
+		return nil, err
+	}
+	if ck != nil && !resume {
+		return nil, fmt.Errorf("checkpoint dir %s already holds a %s checkpoint; pass -resume to continue it or clear the directory", ds.Dir, ck.Phase)
+	}
+	if ck != nil {
+		fmt.Fprintf(os.Stderr, "clustersim: resuming P=%d p=%d from its %s checkpoint\n", P, threads, ck.Phase)
+	}
+	return ds, nil
+}
+
+// outcomeCell renders the table's Outcome column: the supervised ladder
+// verdict when the layout ran under the supervisor, the in-run recovery
+// status otherwise.
+func outcomeCell(r *gb.Result, sup *supervise.Outcome) string {
+	if sup == nil {
+		return outcome(r)
+	}
+	s := sup.Rung.String()
+	if len(sup.Attempts) > 1 {
+		s += fmt.Sprintf(" (%d attempts)", len(sup.Attempts))
+	}
+	if sup.DeadlineExceeded {
+		s += " deadline"
+	}
+	if sup.Degraded {
+		s += fmt.Sprintf(" degraded ±%.3g", r.ErrorBound)
+	}
+	return s
 }
 
 // outcome summarizes a fault-injected run's recovery status for the table.

@@ -13,6 +13,15 @@
 //	gbpol -in m.pqr -trace-out trace.json       # chrome://tracing spans
 //	gbpol -in m.pqr -metrics-out metrics.json   # JSON metrics to a file
 //	gbpol -in m.pqr -serve 127.0.0.1:8080       # live /metrics + pprof
+//
+// Distributed runs (-driver mpi or hybrid) can be supervised: phase
+// checkpoints land in -checkpoint-dir, a killed run picks up from the
+// last completed phase with -resume, and -deadline/-retries bound how
+// long the supervisor fights a bad cluster before shedding accuracy:
+//
+//	gbpol -in m.pqr -driver mpi -P 4 -checkpoint-dir ckpt
+//	gbpol -in m.pqr -driver mpi -P 4 -checkpoint-dir ckpt -resume
+//	gbpol -in m.pqr -driver mpi -P 4 -deadline 30s -retries 3
 package main
 
 import (
@@ -21,12 +30,14 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"gbpolar/internal/gb"
 	"gbpolar/internal/molecule"
 	"gbpolar/internal/obs"
 	"gbpolar/internal/perf"
 	"gbpolar/internal/sched"
+	"gbpolar/internal/supervise"
 	"gbpolar/internal/surface"
 )
 
@@ -48,11 +59,26 @@ func main() {
 		metrics    = flag.String("metrics", "", "print run metrics to stdout: text (deterministic summary) | json")
 		metricsOut = flag.String("metrics-out", "", "write the JSON metrics document to this file")
 		serveF     = flag.String("serve", "", "serve /metrics, /healthz, and /debug/pprof on this address (e.g. 127.0.0.1:8080) during the run and until interrupted")
+		ckptDir    = flag.String("checkpoint-dir", "", "write phase checkpoints to this directory and run supervised (mpi/hybrid)")
+		resumeF    = flag.Bool("resume", false, "resume from the latest checkpoint in -checkpoint-dir")
+		deadlineF  = flag.Duration("deadline", 0, "supervised wall-time budget: on expiry the run sheds accuracy instead of overshooting (0 = none)")
+		retriesF   = flag.Int("retries", 0, "supervised retry budget before escalating down the degradation ladder (0 = default 2)")
 		verbose    = flag.Bool("v", false, "print run statistics")
 	)
 	flag.Parse()
 	if *metrics != "" && *metrics != "text" && *metrics != "json" {
 		fatal(fmt.Errorf("unknown -metrics mode %q (want text or json)", *metrics))
+	}
+	supervised := *ckptDir != "" || *resumeF || *deadlineF > 0 || *retriesF > 0
+	if *resumeF && *ckptDir == "" {
+		fatal(fmt.Errorf("-resume needs -checkpoint-dir to resume from"))
+	}
+	if supervised {
+		switch strings.ToLower(*driver) {
+		case "mpi", "hybrid":
+		default:
+			fatal(fmt.Errorf("-checkpoint-dir/-resume/-deadline/-retries need -driver mpi or hybrid"))
+		}
 	}
 
 	mol, err := loadMolecule(*in, *synth, *atoms, *seed)
@@ -93,6 +119,7 @@ func main() {
 	}
 
 	var res *gb.Result
+	var sup *supervise.Outcome
 	switch strings.ToLower(*driver) {
 	case "serial":
 		res, err = sys.Run(gb.RunSpec{Obs: rec})
@@ -101,9 +128,17 @@ func main() {
 		res, err = sys.Run(gb.RunSpec{Pool: pool, Obs: rec})
 		pool.Close()
 	case "mpi":
-		res, err = sys.Run(gb.RunSpec{Processes: *bigP, Obs: rec})
+		if supervised {
+			sup, err = runSupervised(sys, *bigP, 1, *ckptDir, *resumeF, *deadlineF, *retriesF, rec)
+		} else {
+			res, err = sys.Run(gb.RunSpec{Processes: *bigP, Obs: rec})
+		}
 	case "hybrid":
-		res, err = sys.Run(gb.RunSpec{Processes: *bigP, ThreadsPerProcess: *smallP, Obs: rec})
+		if supervised {
+			sup, err = runSupervised(sys, *bigP, *smallP, *ckptDir, *resumeF, *deadlineF, *retriesF, rec)
+		} else {
+			res, err = sys.Run(gb.RunSpec{Processes: *bigP, ThreadsPerProcess: *smallP, Obs: rec})
+		}
 	case "naive":
 		radii, bornOps := sys.NaiveBornRadiiR6()
 		e, epolOps := sys.NaiveEpol(radii)
@@ -115,11 +150,30 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-
+	if sup != nil {
+		res = sup.Result
+		// The supervised output paths below export the winning attempt's
+		// run recorder; the CLI-level recorder (already attached to -serve)
+		// keeps the supervisor's own counters and escalation events.
+		if rec != nil {
+			rec = sup.Recorder
+			rec.SetLabel(fmt.Sprintf("gbpol %s %s supervised", mol.Name, strings.ToLower(*driver)))
+		}
+	}
 	fmt.Printf("molecule      %s (%d atoms, %d quadrature points)\n",
 		mol.Name, mol.NumAtoms(), surf.NumPoints())
 	fmt.Printf("driver        %s (P=%d, p=%d)\n", *driver, res.Processes, res.ThreadsPerProcess)
 	fmt.Printf("Epol          %.4f kcal/mol\n", res.Epol)
+	if sup != nil {
+		fmt.Printf("supervision   rung=%s attempts=%d eps-factor=%.3g\n",
+			sup.Rung, len(sup.Attempts), sup.EpsFactor)
+		if sup.DeadlineExceeded {
+			fmt.Printf("supervision   deadline exceeded — fell back to a best-effort run\n")
+		}
+		if sup.Degraded {
+			fmt.Printf("supervision   degraded result, error bound ±%.4g kcal/mol\n", res.ErrorBound)
+		}
+	}
 	if *verbose {
 		fmt.Printf("interactions  %d\n", res.TotalOps())
 		fmt.Printf("wall time     %v\n", res.Wall)
@@ -185,6 +239,36 @@ func main() {
 		signal.Notify(ch, os.Interrupt)
 		<-ch
 	}
+}
+
+// runSupervised routes a distributed run through the run supervisor:
+// checkpoints go to dir (in memory when dir is empty), the deadline and
+// retry budget bound the escalation ladder. Without -resume, a directory
+// already holding checkpoints is refused rather than silently resumed
+// from stale state.
+func runSupervised(sys *gb.System, P, p int, dir string, resume bool, deadline time.Duration, retries int, rec *obs.Recorder) (*supervise.Outcome, error) {
+	var store supervise.Store
+	if dir != "" {
+		ds := &supervise.DirStore{Dir: dir}
+		if ck, err := ds.Latest(); err != nil {
+			return nil, err
+		} else if ck != nil && !resume {
+			return nil, fmt.Errorf("checkpoint dir %s already holds a %s checkpoint; pass -resume to continue it or clear the directory", dir, ck.Phase)
+		} else if ck != nil {
+			fmt.Fprintf(os.Stderr, "gbpol: resuming from %s checkpoint in %s\n", ck.Phase, dir)
+		} else if resume {
+			return nil, fmt.Errorf("-resume: no usable checkpoint in %s", dir)
+		}
+		store = ds
+	}
+	return supervise.Run(sys, supervise.Spec{
+		Processes:         P,
+		ThreadsPerProcess: p,
+		Deadline:          deadline,
+		Retries:           retries,
+		Store:             store,
+		Obs:               rec,
+	})
 }
 
 func loadMolecule(in, synth string, atoms int, seed int64) (*molecule.Molecule, error) {

@@ -145,3 +145,60 @@ func histSummarySorted(hists map[string]int64) []string {
 	}
 	return lines
 }
+
+// Positive: a checkpoint encoder that serializes its counter table in
+// map order produces a different byte stream (and CRC) on every run,
+// so resume-equivalence checks against a re-encoded snapshot can never
+// be bitwise.
+func encodeCheckpointUnsorted(counters map[string]int64) []byte {
+	var buf []byte
+	for name, v := range counters {
+		buf = append(buf, name...) // want "append inside map iteration yields a run-dependent order"
+		buf = append(buf, byte(v)) // want "append inside map iteration yields a run-dependent order"
+	}
+	return buf
+}
+
+// Negative: the checkpoint encoder idiom — snapshot the keys, sort,
+// then emit records in canonical order; the encoded payload and its
+// checksum are identical run to run.
+func encodeCheckpointSorted(counters map[string]int64) []byte {
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var buf []byte
+	for _, name := range names {
+		buf = append(buf, name...)
+		buf = append(buf, byte(counters[name]))
+	}
+	return buf
+}
+
+// Positive: folding restored per-phase partial sums back into the
+// accumulator in map order reassociates the float reduction, so a
+// resumed run diverges from the uninterrupted one in the last ulps.
+func decodeCheckpointPartials(partials map[int]float64) float64 {
+	var epol float64
+	for _, p := range partials {
+		epol += p // want "float accumulation over map iteration"
+	}
+	return epol
+}
+
+// Negative: restore in rank order — the resumed accumulation order
+// matches the order the uninterrupted run would have used, keeping
+// resume bitwise-identical.
+func decodeCheckpointByRank(partials map[int]float64) float64 {
+	ranks := make([]int, 0, len(partials))
+	for r := range partials {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	var epol float64
+	for _, r := range ranks {
+		epol += partials[r]
+	}
+	return epol
+}

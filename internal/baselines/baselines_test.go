@@ -168,6 +168,9 @@ func TestPackagesEnergyCloseToNaive(t *testing.T) {
 }
 
 func TestTinkerAndGBr6RunOutOfMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large memory-envelope sweep")
+	}
 	// §V-D: Tinker fails above ~12k atoms, GBr6 above ~13k. Use sparse
 	// synthetic molecules (the pair-list *count* is what matters; build a
 	// small helix so the full pair list is cheap to count but exceeds the

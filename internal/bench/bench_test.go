@@ -73,6 +73,9 @@ func TestTables1And2(t *testing.T) {
 }
 
 func TestFig5SpeedupGrows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep")
+	}
 	tab, err := Run("fig5", quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -99,6 +102,9 @@ func TestFig5SpeedupGrows(t *testing.T) {
 }
 
 func TestFig6EnvelopesOrdered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep")
+	}
 	tab, err := Run("fig6", quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -115,6 +121,9 @@ func TestFig6EnvelopesOrdered(t *testing.T) {
 }
 
 func TestFig7And8Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep")
+	}
 	o := quickOpts()
 	tab, err := Run("fig7", o)
 	if err != nil {
@@ -150,6 +159,9 @@ func TestFig7And8Shapes(t *testing.T) {
 }
 
 func TestFig9EnergiesNegativeAndClose(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep")
+	}
 	tab, err := Run("fig9", quickOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -171,6 +183,9 @@ func TestFig9EnergiesNegativeAndClose(t *testing.T) {
 }
 
 func TestFig10ErrorGrowsWithEps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep")
+	}
 	o := quickOpts()
 	o.MaxAtoms = 900
 	tab, err := Run("fig10", o)
@@ -231,6 +246,9 @@ func TestFig11AndMemory(t *testing.T) {
 }
 
 func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep")
+	}
 	o := quickOpts()
 	for _, id := range []string{"ablation-division", "ablation-math",
 		"ablation-leaf", "ablation-binning", "ablation-stealing",

@@ -224,6 +224,13 @@ type Diff struct {
 	Regressions []DiffFinding
 	// Notes are informational (new kernels, skipped comparisons).
 	Notes []string
+	// Added and Removed name the kernels present in only one trajectory,
+	// in input order. Added kernels are informational (a baseline will
+	// exist after the next regeneration); removed kernels additionally
+	// fail the gate — a benchmark that silently vanishes is how coverage
+	// rots.
+	Added   []string
+	Removed []string
 	// HostRatio is the geometric-mean ns/op ratio new/old over the
 	// gated kernels — the host-speed factor the per-kernel gate divides
 	// out.
@@ -255,6 +262,7 @@ func DiffTrajectories(old, new *Trajectory, opt DiffOptions) Diff {
 		newNames[nk.Name] = true
 		ok, found := oldByName[nk.Name]
 		if !found {
+			d.Added = append(d.Added, nk.Name)
 			d.Notes = append(d.Notes, "new kernel "+nk.Name+" (no baseline)")
 			continue
 		}
@@ -279,6 +287,7 @@ func DiffTrajectories(old, new *Trajectory, opt DiffOptions) Diff {
 	}
 	for _, k := range old.Kernels {
 		if !newNames[k.Name] {
+			d.Removed = append(d.Removed, k.Name)
 			d.Regressions = append(d.Regressions, DiffFinding{k.Name,
 				"kernel disappeared from the new trajectory"})
 		}

@@ -264,3 +264,37 @@ func TestCollectTrajectorySmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestDiffAddedRemovedSections: membership changes surface as explicit
+// Added/Removed lists (benchdiff renders them as their own sections), not
+// just as entries buried in the note/regression streams.
+func TestDiffAddedRemovedSections(t *testing.T) {
+	seed := fixtureTrajectory()
+	head := cloneTrajectory(seed)
+	head.Kernels = head.Kernels[1:] // drop seed's first kernel
+	head.Kernels = append(head.Kernels,
+		TrajectoryKernel{Name: "mpi8/mol_a", Ops: 1000000, WallNs: 9e6, NsPerOp: 9, ModelSec: 0.2},
+		TrajectoryKernel{Name: "mpi16/mol_a", Ops: 1000000, WallNs: 5e6, NsPerOp: 5, ModelSec: 0.1},
+	)
+	d := DiffTrajectories(seed, head, DiffOptions{})
+	if len(d.Added) != 2 || d.Added[0] != "mpi8/mol_a" || d.Added[1] != "mpi16/mol_a" {
+		t.Errorf("Added = %v, want the two new kernels in input order", d.Added)
+	}
+	if len(d.Removed) != 1 || d.Removed[0] != "serial/mol_a" {
+		t.Errorf("Removed = %v, want the dropped kernel", d.Removed)
+	}
+	// A removed kernel still fails the gate; added ones never do.
+	if !regressionFor(d, "serial/mol_a") {
+		t.Error("removed kernel no longer gates")
+	}
+	for _, name := range d.Added {
+		if regressionFor(d, name) {
+			t.Errorf("added kernel %s flagged as regression", name)
+		}
+	}
+	// Identical trajectories have an empty membership delta.
+	same := DiffTrajectories(seed, cloneTrajectory(seed), DiffOptions{})
+	if len(same.Added) != 0 || len(same.Removed) != 0 {
+		t.Errorf("identical trajectories produced membership delta: +%v -%v", same.Added, same.Removed)
+	}
+}

@@ -37,6 +37,12 @@ const (
 	// stalls by Dur, emulating a rank pinned on an oversubscribed or
 	// thermally-throttled node.
 	Straggle
+	// Corrupt flips bits in the payload Rank publishes at the affected
+	// operations (sends and collective contributions; operations without a
+	// payload are unaffected). The runtime checksums payloads under
+	// injection, so corruption is always *detected* — this kind tests the
+	// detection/retransmit machinery, not silent data loss.
+	Corrupt
 )
 
 func (k Kind) String() string {
@@ -49,6 +55,8 @@ func (k Kind) String() string {
 		return "delay"
 	case Straggle:
 		return "slow"
+	case Corrupt:
+		return "corrupt"
 	}
 	return "unknown"
 }
@@ -124,12 +132,59 @@ func Chaos(seed int64, ranks, n int) *Plan {
 	return p
 }
 
+// ChaosWithCorruption is Chaos with Corrupt events mixed into the draw.
+// It is a separate generator on purpose: extending Chaos's kind range
+// would shift every subsequent rng draw and silently change all existing
+// seeded plans the chaos tests and replay flags depend on.
+func ChaosWithCorruption(seed int64, ranks, n int) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Plan{Seed: seed}
+	maxCrashes := (ranks - 1) / 2
+	crashes := 0
+	for i := 0; i < n; i++ {
+		kind := Kind(rng.Intn(5))
+		if kind == Crash && (crashes >= maxCrashes || ranks < 2) {
+			kind = Straggle
+		}
+		ev := Event{Kind: kind, To: -1}
+		switch kind {
+		case Crash:
+			ev.Rank = 1 + rng.Intn(ranks-1)
+			ev.AtOp = int64(rng.Intn(12))
+			crashes++
+		case Drop:
+			ev.Rank = rng.Intn(ranks)
+			ev.AtOp = int64(rng.Intn(8))
+			ev.Count = int64(1 + rng.Intn(3))
+		case Delay:
+			ev.Rank = rng.Intn(ranks)
+			ev.AtOp = int64(rng.Intn(8))
+			ev.Count = int64(1 + rng.Intn(3))
+			ev.Dur = time.Duration(50+rng.Intn(500)) * time.Microsecond
+		case Straggle:
+			ev.Rank = rng.Intn(ranks)
+			ev.AtOp = int64(rng.Intn(4))
+			ev.Count = int64(4 + rng.Intn(16))
+			ev.Dur = time.Duration(20+rng.Intn(200)) * time.Microsecond
+		case Corrupt:
+			ev.Rank = rng.Intn(ranks)
+			ev.AtOp = int64(rng.Intn(10))
+			ev.Count = int64(1 + rng.Intn(2))
+		}
+		p.Events = append(p.Events, ev)
+	}
+	return p
+}
+
 // Action is the injector's verdict for one operation.
 type Action struct {
 	// Crash: the rank must die now.
 	Crash bool
 	// Drop: the send attempt is lost in transit.
 	Drop bool
+	// Corrupt: the payload this rank publishes at this operation is
+	// bit-flipped in transit.
+	Corrupt bool
 	// Delay is injected wire latency for this send.
 	Delay time.Duration
 	// Straggle is injected compute slowdown for this operation.
@@ -223,6 +278,8 @@ func (in *Injector) Advance(rank int, send bool, to int) Action {
 			}
 		case Straggle:
 			act.Straggle += w.dur
+		case Corrupt:
+			act.Corrupt = true
 		}
 	}
 	return act

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -140,5 +141,113 @@ func TestInjectorIgnoresOutOfRangeRanks(t *testing.T) {
 	in := p.NewInjector(2)
 	if in.Advance(1, false, -1).Crash {
 		t.Error("out-of-range event applied")
+	}
+}
+
+func TestInjectorCorrupt(t *testing.T) {
+	p := &Plan{Events: []Event{{Kind: Corrupt, Rank: 1, AtOp: 2, Count: 2}}}
+	in := p.NewInjector(3)
+	hits := 0
+	for op := 0; op < 6; op++ {
+		if in.Advance(1, false, -1).Corrupt {
+			hits++
+		}
+	}
+	if hits != 2 {
+		t.Fatalf("corrupt fired %d times, want 2 (the Count window)", hits)
+	}
+	in2 := p.NewInjector(3)
+	for op := 0; op < 6; op++ {
+		if in2.Advance(0, false, -1).Corrupt {
+			t.Fatal("corrupt leaked to another rank")
+		}
+	}
+}
+
+func TestParseCorruptRoundTrip(t *testing.T) {
+	p, err := Parse("corrupt:2@5+3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := p.Events[0]
+	if ev.Kind != Corrupt || ev.Rank != 2 || ev.AtOp != 5 || ev.Count != 3 {
+		t.Fatalf("parsed %+v", ev)
+	}
+	back, err := Parse(p.String())
+	if err != nil || back.Events[0] != ev {
+		t.Fatalf("round trip: %v %+v", err, back)
+	}
+}
+
+func TestParseErrorsNameTheToken(t *testing.T) {
+	// Satellite contract: every parse error names the offending token so
+	// a long -faults string is debuggable from the message alone.
+	for _, tc := range []struct{ src, wantSub string }{
+		{"crash:1@zz", `"crash:1@zz"`},
+		{"boom:1@0", `"boom:1@0"`},
+		{"drop:0>x@1", `"drop:0>x@1"`},
+		{"crash:abc@0", `"crash:abc@0"`},
+		{"delay:0>1@2+0~1ms", `"delay:0>1@2+0~1ms"`},
+		{"slow:1@0+4~nope", `"slow:1@0+4~nope"`},
+	} {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted", tc.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("Parse(%q) error %q does not name the token %s", tc.src, err, tc.wantSub)
+		}
+	}
+}
+
+func TestParseRejectsDuplicatePlans(t *testing.T) {
+	// Two events of the same kind for the same rank/destination/op are a
+	// spec bug, not a schedule: reject with both tokens named.
+	if _, err := Parse("crash:1@4,crash:1@4"); err == nil {
+		t.Error("duplicate crash accepted")
+	} else if !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("error %q does not say duplicate", err)
+	}
+	if _, err := Parse("drop:0>2@3+1,drop:0>2@3+5"); err == nil {
+		t.Error("duplicate drop (same rank/dest/op, different count) accepted")
+	}
+	// Same op, different destination or kind: legal.
+	for _, ok := range []string{
+		"drop:0>2@3+1,drop:0>1@3+1",
+		"crash:1@4,slow:1@4+2~1ms",
+		"crash:1@4,crash:2@4",
+	} {
+		if _, err := Parse(ok); err != nil {
+			t.Errorf("Parse(%q) rejected: %v", ok, err)
+		}
+	}
+}
+
+func TestChaosWithCorruption(t *testing.T) {
+	a := ChaosWithCorruption(7, 6, 40)
+	b := ChaosWithCorruption(7, 6, 40)
+	if a.String() != b.String() {
+		t.Fatal("ChaosWithCorruption is not deterministic in seed")
+	}
+	// The base Chaos stream must be unchanged by the new kind: existing
+	// seeded plans keep their historical alignment.
+	if Chaos(7, 6, 40).String() == a.String() {
+		t.Error("corruption generator produced the plain chaos plan")
+	}
+	sawCorrupt := false
+	for _, ev := range a.Events {
+		if ev.Kind == Corrupt {
+			sawCorrupt = true
+			if ev.Count < 1 {
+				t.Errorf("corrupt event without a window: %+v", ev)
+			}
+		}
+		if ev.Kind == Crash && ev.Rank == 0 {
+			t.Error("chaos crashed rank 0")
+		}
+	}
+	if !sawCorrupt {
+		t.Error("40-event corruption chaos produced no corrupt events")
 	}
 }

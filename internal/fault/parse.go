@@ -13,6 +13,7 @@ import (
 //	drop:F>T@OP+N       F's sends to T (or * = anyone) dropped, N attempts from op OP
 //	delay:F>T@OP+N~DUR  matching sends delayed by DUR each
 //	slow:R@OP+N~DUR     rank R stalls DUR on every op in [OP, OP+N)
+//	corrupt:R@OP+N      R's payloads bit-flipped in transit for N ops from OP
 //
 // Example: "crash:1@6,drop:2>0@3+2,slow:3@0+8~200us". This is the syntax
 // of cmd/clustersim's -faults flag and the round-trip target of String.
@@ -44,6 +45,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("delay:%d>%s@%d+%d~%s", e.Rank, toString(e.To), e.AtOp, count, e.Dur)
 	case Straggle:
 		return fmt.Sprintf("slow:%d@%d+%d~%s", e.Rank, e.AtOp, count, e.Dur)
+	case Corrupt:
+		return fmt.Sprintf("corrupt:%d@%d+%d", e.Rank, e.AtOp, count)
 	}
 	return "unknown"
 }
@@ -56,18 +59,35 @@ func toString(to int) string {
 }
 
 // Parse reads a plan from the textual format. An empty string yields an
-// empty plan.
+// empty plan. Two events of the same kind on the same rank, destination,
+// and starting op are rejected: a duplicate is almost always a typo'd
+// plan, and silently letting the last token win (the pre-PR-5 behavior)
+// hid exactly that class of mistake.
 func Parse(s string) (*Plan, error) {
 	p := &Plan{}
 	s = strings.TrimSpace(s)
 	if s == "" {
 		return p, nil
 	}
+	type planKey struct {
+		kind Kind
+		rank int
+		to   int
+		atOp int64
+	}
+	seen := make(map[planKey]string)
 	for _, tok := range strings.Split(s, ",") {
-		ev, err := parseEvent(strings.TrimSpace(tok))
+		tok = strings.TrimSpace(tok)
+		ev, err := parseEvent(tok)
 		if err != nil {
 			return nil, err
 		}
+		key := planKey{kind: ev.Kind, rank: ev.Rank, to: ev.To, atOp: ev.AtOp}
+		if prev, dup := seen[key]; dup {
+			return nil, fmt.Errorf("fault: duplicate %s plan for rank %d at op %d: %q conflicts with earlier %q",
+				ev.Kind, ev.Rank, ev.AtOp, tok, prev)
+		}
+		seen[key] = tok
 		p.Events = append(p.Events, ev)
 	}
 	return p, nil
@@ -88,8 +108,10 @@ func parseEvent(tok string) (Event, error) {
 		ev.Kind = Delay
 	case "slow":
 		ev.Kind = Straggle
+	case "corrupt":
+		ev.Kind = Corrupt
 	default:
-		return Event{}, fmt.Errorf("fault: unknown event kind %q in %q", kindStr, tok)
+		return Event{}, fmt.Errorf("fault: unknown event kind %q in token %q (want crash, drop, delay, slow, or corrupt)", kindStr, tok)
 	}
 
 	// Split off ~DUR first, then +COUNT, then @OP; what remains is the
@@ -97,50 +119,50 @@ func parseEvent(tok string) (Event, error) {
 	if head, durStr, ok := strings.Cut(rest, "~"); ok {
 		d, err := time.ParseDuration(durStr)
 		if err != nil {
-			return Event{}, fmt.Errorf("fault: bad duration in %q: %v", tok, err)
+			return Event{}, fmt.Errorf("fault: bad duration %q in token %q: %v", durStr, tok, err)
 		}
 		ev.Dur = d
 		rest = head
 	}
 	head, opStr, ok := strings.Cut(rest, "@")
 	if !ok {
-		return Event{}, fmt.Errorf("fault: missing @op in %q", tok)
+		return Event{}, fmt.Errorf("fault: missing @op in token %q", tok)
 	}
 	if opPart, countStr, hasCount := strings.Cut(opStr, "+"); hasCount {
 		n, err := strconv.ParseInt(countStr, 10, 64)
 		if err != nil || n < 1 {
-			return Event{}, fmt.Errorf("fault: bad count in %q", tok)
+			return Event{}, fmt.Errorf("fault: bad count %q in token %q (want an integer ≥ 1)", countStr, tok)
 		}
 		ev.Count = n
 		opStr = opPart
 	}
 	op, err := strconv.ParseInt(opStr, 10, 64)
 	if err != nil || op < 0 {
-		return Event{}, fmt.Errorf("fault: bad op index in %q", tok)
+		return Event{}, fmt.Errorf("fault: bad op index %q in token %q (want an integer ≥ 0)", opStr, tok)
 	}
 	ev.AtOp = op
 
 	rankStr := head
 	if fromStr, toStr, hasTo := strings.Cut(head, ">"); hasTo {
 		if ev.Kind != Drop && ev.Kind != Delay {
-			return Event{}, fmt.Errorf("fault: destination filter not valid for %s in %q", ev.Kind, tok)
+			return Event{}, fmt.Errorf("fault: destination filter %q not valid for %s in token %q", ">"+toStr, ev.Kind, tok)
 		}
 		rankStr = fromStr
 		if toStr != "*" {
 			to, err := strconv.Atoi(toStr)
 			if err != nil || to < 0 {
-				return Event{}, fmt.Errorf("fault: bad destination in %q", tok)
+				return Event{}, fmt.Errorf("fault: bad destination %q in token %q (want a rank ≥ 0 or *)", toStr, tok)
 			}
 			ev.To = to
 		}
 	}
 	rank, err := strconv.Atoi(rankStr)
 	if err != nil || rank < 0 {
-		return Event{}, fmt.Errorf("fault: bad rank in %q", tok)
+		return Event{}, fmt.Errorf("fault: bad rank %q in token %q (want an integer ≥ 0)", rankStr, tok)
 	}
 	ev.Rank = rank
 	if (ev.Kind == Delay || ev.Kind == Straggle) && ev.Dur <= 0 {
-		return Event{}, fmt.Errorf("fault: %s event needs a ~duration in %q", ev.Kind, tok)
+		return Event{}, fmt.Errorf("fault: %s event needs a ~duration in token %q", ev.Kind, tok)
 	}
 	return ev, nil
 }

@@ -399,8 +399,13 @@ func (s *System) runDistData(P int, cfg *FaultConfig) (*Result, error) {
 			}
 			data, err := c.RecvTimeout(src, distRecvDeadline)
 			if err != nil {
+				// A corrupted bundle (checksum mismatch) is handled exactly
+				// like a lost or too-slow source: the data is shared, so the
+				// receiver rebuilds the segment locally instead of trusting
+				// damaged floats.
 				var lostErr *simmpi.RankLostError
-				if !errors.As(err, &lostErr) && !errors.Is(err, simmpi.ErrTimeout) {
+				if !errors.As(err, &lostErr) && !errors.Is(err, simmpi.ErrTimeout) &&
+					!errors.Is(err, simmpi.ErrCorrupt) {
 					return err
 				}
 				process(s.distQSeg(P, src))

@@ -297,11 +297,46 @@ func (s *System) validateLayout(P, p int) error {
 // changed — or, for the final energy phase under the Degrade policy,
 // accept the partial sum and report a rigorous ErrorBound for the dead
 // ranks' missing share.
-func (s *System) runDistributed(P, p int, cfg *FaultConfig, rec *obs.Recorder) (*Result, error) {
+//
+// With spec.Checkpoint set, a snapshot of the world-global state is saved
+// after each completed phase inside Sync brackets (quiet barriers), so
+// the sink perturbs neither the numbers nor the counter-side Summary.
+// With spec.Resume set, completed phases are skipped: their merged state
+// comes from the snapshot and the run re-enters at the first incomplete
+// phase. The restored obs.CounterSnapshot makes the resumed run's Summary
+// cover the whole logical run; the initial membership agreement is
+// skipped on resume because the snapshot's run already performed it (the
+// resumed half starts with all its ranks live and agrees after its first
+// phase as usual).
+func (s *System) runDistributed(P, p int, spec RunSpec) (*Result, error) {
+	cfg, rec, sink, resume := spec.Faults, spec.Obs, spec.Checkpoint, spec.Resume
 	if err := s.validateLayout(P, p); err != nil {
 		return nil, err
 	}
 	sw := perf.StartTimer()
+
+	startPhase := PhaseNone
+	if resume != nil {
+		startPhase = resume.Phase
+		rec.RestoreCounterSnapshot(resume.Obs)
+		if startPhase >= PhaseEpol {
+			// The snapshot is a finished run: reconstruct the Result without
+			// spinning up a world. The Summary covers everything the snapshot
+			// did (all phases); only the rank-root spans — open while the
+			// snapshot was taken — are absent, since no world runs here.
+			n := s.NumAtoms()
+			radii := make([]float64, n)
+			copy(radii, resume.Payload[:n])
+			return &Result{
+				Epol: resume.Payload[n], Born: radii,
+				Processes: P, ThreadsPerProcess: p,
+				PerCoreOps: make([]int64, P*p),
+				Wall:       sw.Elapsed(),
+				Degraded:   resume.Payload[n+1] != 0,
+				ErrorBound: resume.Payload[n+2],
+			}, nil
+		}
+	}
 	perCoreOps := make([]int64, P*p)
 
 	// Every rank that completes records its outcome in its own slot; the
@@ -339,15 +374,58 @@ func (s *System) runDistributed(P, p int, cfg *FaultConfig, rec *obs.Recorder) (
 		var lost, live, stragglers []int
 		recovered := false
 		if ft {
-			var err error
-			if lost, err = agreeLost(c); err != nil {
-				return err
+			if startPhase == PhaseNone {
+				var err error
+				if lost, err = agreeLost(c); err != nil {
+					return err
+				}
+			} else {
+				// Resume: the saving run already performed the initial
+				// membership agreement (it is part of the restored counter
+				// snapshot), and every rank of this fresh world is live.
+				// Running it again would double the op and counter cost
+				// relative to an uninterrupted run; the first post-phase
+				// agreement below catches any injected early crash.
+				lost = nil
 			}
 			live = liveRanksOf(P, lost)
 			stragglers = c.Health().Straggling
 			if len(stragglers) > 0 {
 				recovered = true // slowed ranks shed half their share
 			}
+		}
+		// saveCheckpoint snapshots the agreed world-global state after a
+		// completed phase. The bracket Syncs are quiet barriers: the first
+		// guarantees every live rank finished the phase's counting before
+		// the lowest live rank encodes (one writer, no concurrent Save),
+		// the second holds the others until the write is durable. Nothing
+		// here is a fault point or a deterministic counter, so a run with a
+		// sink is op- and Summary-identical to one without.
+		saveCheckpoint := func(phase CheckpointPhase, payload func() []float64) error {
+			if sink == nil {
+				return nil
+			}
+			if err := c.Sync(); err != nil {
+				return err
+			}
+			liveNow := live
+			if !ft {
+				liveNow = liveRanksOf(P, nil)
+			}
+			if len(liveNow) > 0 && rank == liveNow[0] {
+				enc := (&Checkpoint{
+					Phase: phase, Processes: P,
+					Live: liveNow, Lost: lost,
+					ConfigTag: s.configTag(),
+					Payload:   payload(),
+					Obs:       rec.CounterSnapshot(),
+				}).Encode()
+				c.RecordCheckpoint(int64(len(enc)))
+				if err := sink.Save(phase, enc); err != nil {
+					return fmt.Errorf("gb: saving %s checkpoint: %w", phase, err)
+				}
+			}
+			return c.Sync()
 		}
 		// share partitions n items: the seed's static segment without
 		// faults, the agreed-live straggler-weighted partition with them.
@@ -384,59 +462,141 @@ func (s *System) runDistributed(P, p int, cfg *FaultConfig, rec *obs.Recorder) (
 		// every rank for crash-free plans, so crash-free summaries stay
 		// byte-identical).
 		var acc *bornAccum
-		healIters := 0
-		for iter := 0; ; iter++ {
-			healIters = iter
-			if iter > P {
-				return fmt.Errorf("gb: integral phase heal did not converge")
-			}
-			if ft {
-				if err := c.Tick(); err != nil {
+		runIntegrals := func() error {
+			healIters := 0
+			for iter := 0; ; iter++ {
+				healIters = iter
+				if iter > P {
+					return fmt.Errorf("gb: integral phase heal did not converge")
+				}
+				if ft {
+					if err := c.Tick(); err != nil {
+						return err
+					}
+				}
+				sp := rec.StartSpan(rank, phaseName(spanBorn, iter))
+				// One accumulator per subrange, merged in range order (see
+				// reduceRange): scheduling never changes the float merge
+				// order, so each rank's integral payload is bitwise
+				// reproducible. Rebuilt fresh per iteration so a redo cannot
+				// double-count.
+				switch s.Params.Division {
+				case NodeNode:
+					lo, hi := share(len(s.qLeaves))
+					acc = reduceRange(pool, hi-lo, s.newBornAccum,
+						func(worker, i0, i1 int, acc *bornAccum) {
+							ops := int64(0)
+							for _, q := range s.qLeaves[lo+i0 : lo+i1] {
+								ops += s.ApproxIntegrals(s.TA.Root(), q, acc)
+							}
+							perCoreOps[coreBase+worker] += ops
+						},
+						(*bornAccum).add)
+				case AtomNode:
+					alo, ahi := share(s.NumAtoms())
+					acc = reduceRange(pool, len(s.qLeaves), s.newBornAccum,
+						func(worker, i0, i1 int, acc *bornAccum) {
+							ops := int64(0)
+							for _, q := range s.qLeaves[i0:i1] {
+								ops += s.approxIntegralsAtomRange(s.TA.Root(), q, int32(alo), int32(ahi), acc)
+							}
+							perCoreOps[coreBase+worker] += ops
+						},
+						(*bornAccum).add)
+				}
+				// Work-done counters: a redo iteration counts again, because the
+				// evaluations really ran again. The per-rank values also feed
+				// the cross-rank split histograms.
+				rec.Count("pairs.born.near", acc.near)
+				rec.Count("pairs.born.far", acc.far)
+				rec.Observe("pairs.born.near.rank", acc.near)
+				rec.Observe("pairs.born.far.rank", acc.far)
+				merged, err := c.Allreduce(encodeAcc(acc), simmpi.Sum)
+				if err != nil {
 					return err
 				}
+				if ft {
+					newLost, err := agreeLost(c)
+					if err != nil {
+						return err
+					}
+					if !equalInts(newLost, lost) {
+						lost, live = newLost, liveRanksOf(P, newLost)
+						recovered = true
+						sp.End()
+						continue
+					}
+				}
+				decodeAcc(acc, merged)
+				sp.End()
+				break
 			}
-			sp := rec.StartSpan(rank, phaseName(spanBorn, iter))
-			// One accumulator per subrange, merged in range order (see
-			// reduceRange): scheduling never changes the float merge
-			// order, so each rank's integral payload is bitwise
-			// reproducible. Rebuilt fresh per iteration so a redo cannot
-			// double-count.
-			switch s.Params.Division {
-			case NodeNode:
-				lo, hi := share(len(s.qLeaves))
-				acc = reduceRange(pool, hi-lo, s.newBornAccum,
-					func(worker, i0, i1 int, acc *bornAccum) {
-						ops := int64(0)
-						for _, q := range s.qLeaves[lo+i0 : lo+i1] {
-							ops += s.ApproxIntegrals(s.TA.Root(), q, acc)
-						}
-						perCoreOps[coreBase+worker] += ops
-					},
-					(*bornAccum).add)
-			case AtomNode:
-				alo, ahi := share(s.NumAtoms())
-				acc = reduceRange(pool, len(s.qLeaves), s.newBornAccum,
-					func(worker, i0, i1 int, acc *bornAccum) {
-						ops := int64(0)
-						for _, q := range s.qLeaves[i0:i1] {
-							ops += s.approxIntegralsAtomRange(s.TA.Root(), q, int32(alo), int32(ahi), acc)
-						}
-						perCoreOps[coreBase+worker] += ops
-					},
-					(*bornAccum).add)
-			}
-			// Work-done counters: a redo iteration counts again, because the
-			// evaluations really ran again. The per-rank values also feed
-			// the cross-rank split histograms.
-			rec.Count("pairs.born.near", acc.near)
-			rec.Count("pairs.born.far", acc.far)
-			rec.Observe("pairs.born.near.rank", acc.near)
-			rec.Observe("pairs.born.far.rank", acc.far)
-			merged, err := c.Allreduce(encodeAcc(acc), simmpi.Sum)
-			if err != nil {
+			rec.Observe("redo.iterations", int64(healIters))
+			return nil
+		}
+		if startPhase < PhaseIntegrals {
+			if err := runIntegrals(); err != nil {
 				return err
 			}
-			if ft {
+			if err := saveCheckpoint(PhaseIntegrals, func() []float64 { return encodeAcc(acc) }); err != nil {
+				return err
+			}
+		} else if startPhase == PhaseIntegrals {
+			// Resume: the merged integrals come from the snapshot; nothing to
+			// recompute or communicate. (Resuming past this phase, the
+			// accumulator is never read and stays nil.)
+			acc = s.newBornAccum()
+			decodeAcc(acc, resume.Payload)
+		}
+
+		// ---- Phase 4+5: Born radii + gather (Fig. 4 Steps 4-5), healed
+		// by redo ------------------------------------------------------
+		radii := make([]float64, s.NumAtoms())
+		runRadii := func() error {
+			healIters := 0
+			for iter := 0; ; iter++ {
+				healIters = iter
+				if iter > P {
+					return fmt.Errorf("gb: radii phase heal did not converge")
+				}
+				if ft {
+					if err := c.Tick(); err != nil {
+						return err
+					}
+				}
+				sp := rec.StartSpan(rank, phaseName(spanPush, iter))
+				alo, ahi := share(s.NumAtoms())
+				s.forRange(pool, ahi-alo, func(worker int, i0, i1 int) {
+					perCoreOps[coreBase+worker] += s.PushIntegralsToAtoms(acc, alo+i0, alo+i1, radii)
+				})
+				if !ft {
+					// Seed protocol: positional concatenation in octree item
+					// order (every rank present by construction).
+					seg := make([]float64, 0, ahi-alo)
+					for pos := alo; pos < ahi; pos++ {
+						seg = append(seg, radii[s.TA.Items[pos]])
+					}
+					all, err := c.Allgatherv(seg)
+					if err != nil {
+						return err
+					}
+					for pos, r := range all {
+						radii[s.TA.Items[pos]] = r
+					}
+					sp.End()
+					break
+				}
+				// Fault-tolerant protocol: (atom index, radius) pairs, so a
+				// missing rank cannot silently shift the concatenation.
+				seg := make([]float64, 0, 2*(ahi-alo))
+				for pos := alo; pos < ahi; pos++ {
+					ai := s.TA.Items[pos]
+					seg = append(seg, float64(ai), radii[ai])
+				}
+				all, err := c.Allgatherv(seg)
+				if err != nil {
+					return err
+				}
 				newLost, err := agreeLost(c)
 				if err != nil {
 					return err
@@ -447,89 +607,49 @@ func (s *System) runDistributed(P, p int, cfg *FaultConfig, rec *obs.Recorder) (
 					sp.End()
 					continue
 				}
-			}
-			decodeAcc(acc, merged)
-			sp.End()
-			break
-		}
-		rec.Observe("redo.iterations", int64(healIters))
-
-		// ---- Phase 4+5: Born radii + gather (Fig. 4 Steps 4-5), healed
-		// by redo ------------------------------------------------------
-		radii := make([]float64, s.NumAtoms())
-		healIters = 0
-		for iter := 0; ; iter++ {
-			healIters = iter
-			if iter > P {
-				return fmt.Errorf("gb: radii phase heal did not converge")
-			}
-			if ft {
-				if err := c.Tick(); err != nil {
-					return err
-				}
-			}
-			sp := rec.StartSpan(rank, phaseName(spanPush, iter))
-			alo, ahi := share(s.NumAtoms())
-			s.forRange(pool, ahi-alo, func(worker int, i0, i1 int) {
-				perCoreOps[coreBase+worker] += s.PushIntegralsToAtoms(acc, alo+i0, alo+i1, radii)
-			})
-			if !ft {
-				// Seed protocol: positional concatenation in octree item
-				// order (every rank present by construction).
-				seg := make([]float64, 0, ahi-alo)
-				for pos := alo; pos < ahi; pos++ {
-					seg = append(seg, radii[s.TA.Items[pos]])
-				}
-				all, err := c.Allgatherv(seg)
-				if err != nil {
-					return err
-				}
-				for pos, r := range all {
-					radii[s.TA.Items[pos]] = r
+				for i := 0; i+1 < len(all); i += 2 {
+					radii[int(all[i])] = all[i+1]
 				}
 				sp.End()
 				break
 			}
-			// Fault-tolerant protocol: (atom index, radius) pairs, so a
-			// missing rank cannot silently shift the concatenation.
-			seg := make([]float64, 0, 2*(ahi-alo))
-			for pos := alo; pos < ahi; pos++ {
-				ai := s.TA.Items[pos]
-				seg = append(seg, float64(ai), radii[ai])
-			}
-			all, err := c.Allgatherv(seg)
-			if err != nil {
-				return err
-			}
-			newLost, err := agreeLost(c)
-			if err != nil {
-				return err
-			}
-			if !equalInts(newLost, lost) {
-				lost, live = newLost, liveRanksOf(P, newLost)
-				recovered = true
-				sp.End()
-				continue
-			}
-			for i := 0; i+1 < len(all); i += 2 {
-				radii[int(all[i])] = all[i+1]
-			}
-			sp.End()
-			break
+			rec.Observe("redo.iterations", int64(healIters))
+			return nil
 		}
-		rec.Observe("redo.iterations", int64(healIters))
+		if startPhase < PhaseRadii {
+			if err := runRadii(); err != nil {
+				return err
+			}
+			if err := saveCheckpoint(PhaseRadii, func() []float64 { return radii }); err != nil {
+				return err
+			}
+		} else {
+			copy(radii, resume.Payload[:s.NumAtoms()])
+		}
 
 		// ---- Phase 6+7: partial energies + reduction (Fig. 4 Steps 6-7),
 		// healed by redo or degraded with a bound ------------------------
-		osp := rec.StartSpan(rank, spanOctree)
-		agg := s.buildEpolAggregates(radii)
-		osp.End()
+		var agg *epolAggregates
+		if startPhase < PhaseAggregates {
+			osp := rec.StartSpan(rank, spanOctree)
+			agg = s.buildEpolAggregates(radii)
+			osp.End()
+			if err := saveCheckpoint(PhaseAggregates, func() []float64 { return radii }); err != nil {
+				return err
+			}
+		} else {
+			// The aggregates are a cheap deterministic function of the radii:
+			// rebuild them rather than resurrect them from bytes, but without
+			// opening a span — the restored snapshot already counted the
+			// original octree-build spans.
+			agg = s.buildEpolAggregates(radii)
+		}
 		kernel := pairEnergyKernel(s.Params.Math)
 		factor := epolFarFactor(s.Params.EpsEpol, s.Params.OpeningScale)
 		energy := 0.0
 		degraded := false
 		bound := 0.0
-		healIters = 0
+		healIters := 0
 		for iter := 0; ; iter++ {
 			healIters = iter
 			if iter > P {
@@ -633,6 +753,17 @@ func (s *System) runDistributed(P, p int, cfg *FaultConfig, rec *obs.Recorder) (
 			break
 		}
 		rec.Observe("redo.iterations", int64(healIters))
+		if err := saveCheckpoint(PhaseEpol, func() []float64 {
+			pl := make([]float64, 0, s.NumAtoms()+3)
+			pl = append(pl, radii...)
+			deg := 0.0
+			if degraded {
+				deg = 1
+			}
+			return append(pl, energy, deg, bound)
+		}); err != nil {
+			return err
+		}
 
 		out := &outs[rank]
 		out.energy = energy

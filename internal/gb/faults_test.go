@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gbpolar/internal/fault"
+	"gbpolar/internal/obs"
 )
 
 // Op-count map of runDistributed's fault-tolerant path (P ranks, no
@@ -333,5 +334,46 @@ func TestDistDataChaosNeverDeadlocks(t *testing.T) {
 			t.Errorf("seed %d: Epol %v vs serial %v (rel %v, lost %v)",
 				seed, r.Epol, serial.Epol, rel, r.LostRanks)
 		}
+	}
+}
+
+func TestChaosCorruptionNeverSilent(t *testing.T) {
+	// The corruption acceptance matrix: seeded chaos schedules mixing
+	// crashes, stragglers, drops, and payload corruption, across two world
+	// widths. Every run must terminate. A run that completes cleanly (no
+	// error, not degraded) must be full accuracy: an injected corruption is
+	// always detected and either healed by retransmit or escalated as a
+	// typed error — never absorbed into the answer.
+	s := buildSys(t, 300, DefaultParams())
+	serial := s.RunSerial()
+	var injected, detected int64
+	for _, P := range []int{3, 5} {
+		for seed := int64(1); seed <= 6; seed++ {
+			plan := fault.ChaosWithCorruption(seed, P, 10)
+			rec := obs.NewRecorder(nil)
+			r, err := s.Run(RunSpec{Processes: P, Faults: &FaultConfig{Plan: plan, Policy: Recover}, Obs: rec})
+			c := rec.Counters()
+			injected += c["fault.corruptions"]
+			detected += c["fault.corruptions.detected"]
+			if err != nil {
+				// An escalated failure is acceptable: the run refused to
+				// answer rather than answering wrong.
+				continue
+			}
+			if r.Degraded {
+				t.Errorf("P=%d seed %d: Recover policy produced a degraded result", P, seed)
+				continue
+			}
+			if rel := relDiff(r.Epol, serial.Epol); rel > 1e-10 {
+				t.Errorf("P=%d seed %d: silently wrong Epol %v vs serial %v (rel %v, lost %v)",
+					P, seed, r.Epol, serial.Epol, rel, r.LostRanks)
+			}
+		}
+	}
+	if injected == 0 {
+		t.Error("matrix injected no corruption — the chaos schedules are too small to exercise the checksums")
+	}
+	if detected == 0 {
+		t.Error("corruption was injected but never detected")
 	}
 }

@@ -84,10 +84,18 @@ type FaultConfig struct {
 	// BaseBackoff is the first retry's modeled backoff, doubled per
 	// attempt (default 50µs).
 	BaseBackoff time.Duration
+	// ForceProtocol runs the fault-tolerance protocol (the agreement
+	// rounds and ft collectives) even with an empty Plan. A run resumed
+	// from a checkpoint executes the ft protocol, so an uninterrupted
+	// reference run must too for its op sequence and counter-side Summary
+	// to be comparable — the resume-identity tests set this on both sides.
+	ForceProtocol bool
 }
 
 // active reports whether the fault-tolerance protocol should run.
-func (cfg *FaultConfig) active() bool { return cfg != nil && !cfg.Plan.Empty() }
+func (cfg *FaultConfig) active() bool {
+	return cfg != nil && (!cfg.Plan.Empty() || cfg.ForceProtocol)
+}
 
 func (cfg *FaultConfig) plan() *fault.Plan {
 	if cfg == nil {

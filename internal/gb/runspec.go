@@ -44,6 +44,17 @@ type RunSpec struct {
 	// came back Degraded, so post-mortems don't require re-running with
 	// tracing on. Nil (or a nil Obs) disables the dump.
 	Flight io.Writer
+	// Checkpoint receives an encoded phase snapshot after each completed
+	// algorithm phase (see checkpoint.go). Distributed layouts only.
+	// Saving is communication- and counter-neutral: a run with a sink
+	// produces bitwise-identical numbers and summaries to one without.
+	Checkpoint CheckpointSink
+	// Resume re-enters the pipeline at the snapshot's phase instead of
+	// starting from scratch. The snapshot must come from a system with the
+	// same configuration tag (ε may differ — see WithRelaxedEps); the
+	// process count may differ from the saving run's. Distributed layouts
+	// only.
+	Resume *Checkpoint
 }
 
 // Run executes the computation the spec describes. It is the single
@@ -68,6 +79,14 @@ func (s *System) dispatch(spec RunSpec) (*Result, error) {
 	}
 	if spec.ThreadsPerProcess < 0 {
 		return nil, fmt.Errorf("gb: invalid spec: ThreadsPerProcess=%d must be non-negative", spec.ThreadsPerProcess)
+	}
+	if spec.Processes == 0 && (spec.Checkpoint != nil || spec.Resume != nil) {
+		return nil, fmt.Errorf("gb: invalid spec: checkpointing needs the distributed driver (set Processes >= 1)")
+	}
+	if spec.Resume != nil {
+		if err := s.validateResume(spec.Resume); err != nil {
+			return nil, err
+		}
 	}
 	if spec.Pool != nil {
 		if spec.Processes > 0 {
@@ -94,7 +113,7 @@ func (s *System) dispatch(spec RunSpec) (*Result, error) {
 	if p == 0 {
 		p = 1
 	}
-	return s.runDistributed(spec.Processes, p, spec.Faults, spec.Obs)
+	return s.runDistributed(spec.Processes, p, spec)
 }
 
 // RunSerial computes Born radii and Epol with the serial octree algorithm

@@ -40,7 +40,13 @@ func (r *Recorder) Summary() string {
 		counters[k] = v
 	}
 	hists := snapshotHists(r.hists)
-	spanCounts := make(map[string]int64)
+	// Span counts start from the restored checkpoint base (snapshot.go):
+	// a resumed run's Summary then covers the whole logical run, not just
+	// the re-executed phases.
+	spanCounts := make(map[string]int64, len(r.baseSpans))
+	for k, v := range r.baseSpans {
+		spanCounts[k] = v
+	}
 	for _, sd := range r.spans {
 		spanCounts[sd.name]++
 	}

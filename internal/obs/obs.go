@@ -60,6 +60,7 @@ type Recorder struct {
 	gaugeHists map[string]*histogram // observational side
 	flight     map[int]*flightRing   // per-rank recent-event rings (flight.go)
 	health     func() HealthView     // live-rank source for Serve's /healthz
+	baseSpans  map[string]int64      // restored span counts (snapshot.go)
 }
 
 // spanData is the internal mutable span record.

@@ -1,0 +1,103 @@
+package obs
+
+// Counter-side state capture for checkpoint/resume. A phase checkpoint
+// must carry not just the numeric payload but the deterministic
+// observability state accumulated so far: a run resumed from the
+// checkpoint then produces the same counter-side Summary as an
+// uninterrupted run — counters and counter-side histograms sum, and
+// closed-span name counts add to the spans the resumed run creates
+// itself. Gauges, gauge-side histograms, span timings, and the flight
+// recorder are deliberately NOT captured: they are observational (host-
+// scheduling dependent) and excluded from Summary anyway.
+
+// HistState is one counter-side histogram's full mutable state inside a
+// CounterSnapshot: total count, sum, and the fixed log₂ bucket counts
+// (len histBuckets; shorter slices restore into the low buckets).
+type HistState struct {
+	Count   int64
+	Sum     int64
+	Buckets []int64
+}
+
+// CounterSnapshot is the deterministic counter-side state of a Recorder
+// at a phase boundary.
+type CounterSnapshot struct {
+	// Counters are the scalar deterministic counters.
+	Counters map[string]int64
+	// Hists are the counter-side histograms keyed by name.
+	Hists map[string]HistState
+	// SpanCounts are per-name counts of the CLOSED spans. Open spans (the
+	// per-rank roots, while a snapshot is taken mid-run) are excluded on
+	// purpose: the resumed run opens its own roots, and counting both
+	// would double the rank spans relative to an uninterrupted run.
+	SpanCounts map[string]int64
+}
+
+// CounterSnapshot captures the recorder's counter-side state. Nil
+// recorders snapshot to nil.
+func (r *Recorder) CounterSnapshot() *CounterSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &CounterSnapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Hists:      make(map[string]HistState, len(r.hists)),
+		SpanCounts: make(map[string]int64),
+	}
+	for k, v := range r.counters {
+		s.Counters[k] = v
+	}
+	for k, h := range r.hists {
+		hs := HistState{Count: h.count, Sum: h.sum, Buckets: make([]int64, histBuckets)}
+		copy(hs.Buckets, h.buckets[:])
+		s.Hists[k] = hs
+	}
+	for k, v := range r.baseSpans {
+		s.SpanCounts[k] += v
+	}
+	for _, sd := range r.spans {
+		if !sd.open {
+			s.SpanCounts[sd.name]++
+		}
+	}
+	return s
+}
+
+// RestoreCounterSnapshot merges a snapshot into the recorder: counters
+// and histograms add, and the snapshot's span counts accumulate into a
+// base that Summary folds into its span section. Call it on the fresh
+// recorder of a resumed run, before the run starts. A nil snapshot or
+// nil recorder is a no-op.
+func (r *Recorder) RestoreCounterSnapshot(s *CounterSnapshot) {
+	if r == nil || s == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, v := range s.Counters {
+		r.counters[k] += v
+	}
+	for k, hs := range s.Hists {
+		h := r.hists[k]
+		if h == nil {
+			h = &histogram{}
+			r.hists[k] = h
+		}
+		h.count += hs.Count
+		h.sum += hs.Sum
+		for i, b := range hs.Buckets {
+			if i >= histBuckets {
+				break
+			}
+			h.buckets[i] += b
+		}
+	}
+	if r.baseSpans == nil {
+		r.baseSpans = make(map[string]int64, len(s.SpanCounts))
+	}
+	for k, v := range s.SpanCounts {
+		r.baseSpans[k] += v
+	}
+}

@@ -1,0 +1,69 @@
+package obs
+
+import "testing"
+
+// TestCounterSnapshotRoundTrip checks the resume identity the checkpoint
+// layer depends on: doing the first half of the work, snapshotting, and
+// replaying the snapshot plus the second half on a fresh recorder must
+// produce the same Summary as one uninterrupted recorder.
+func TestCounterSnapshotRoundTrip(t *testing.T) {
+	firstHalf := func(r *Recorder) {
+		r.Count("pairs", 10)
+		r.Observe("redo.iterations", 0)
+		r.Observe("redo.iterations", 3)
+		sp := r.StartSpan(0, "phase-1")
+		sp.End()
+	}
+	secondHalf := func(r *Recorder) {
+		r.Count("pairs", 7)
+		r.Count("drops", 1)
+		r.Observe("redo.iterations", 1)
+		sp := r.StartSpan(0, "phase-2")
+		sp.End()
+	}
+
+	full := NewRecorder(nil)
+	rootF := full.StartSpan(0, "rank")
+	firstHalf(full)
+	secondHalf(full)
+	rootF.End()
+
+	interrupted := NewRecorder(nil)
+	rootI := interrupted.StartSpan(0, "rank")
+	firstHalf(interrupted)
+	snap := interrupted.CounterSnapshot()
+	rootI.End()
+
+	// The open rank root must NOT be in the snapshot: the resumed run
+	// opens its own.
+	if n := snap.SpanCounts["rank"]; n != 0 {
+		t.Fatalf("snapshot counted %d open rank spans, want 0", n)
+	}
+	if n := snap.SpanCounts["phase-1"]; n != 1 {
+		t.Fatalf("snapshot phase-1 spans = %d, want 1", n)
+	}
+
+	resumed := NewRecorder(nil)
+	resumed.RestoreCounterSnapshot(snap)
+	rootR := resumed.StartSpan(0, "rank")
+	secondHalf(resumed)
+	rootR.End()
+
+	if got, want := resumed.Summary(), full.Summary(); got != want {
+		t.Errorf("resumed summary differs from uninterrupted:\n--- resumed\n%s--- full\n%s", got, want)
+	}
+}
+
+// TestCounterSnapshotNilSafety pins the nil contracts.
+func TestCounterSnapshotNilSafety(t *testing.T) {
+	var nilRec *Recorder
+	if nilRec.CounterSnapshot() != nil {
+		t.Error("nil recorder snapshot should be nil")
+	}
+	nilRec.RestoreCounterSnapshot(&CounterSnapshot{})
+	r := NewRecorder(nil)
+	r.RestoreCounterSnapshot(nil)
+	if s := r.Summary(); s != "" {
+		t.Errorf("restore(nil) dirtied the recorder: %q", s)
+	}
+}

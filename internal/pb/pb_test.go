@@ -19,6 +19,9 @@ func ion(q, r float64) *molecule.Molecule {
 // The Born ion has the analytic solution Epol = −(τ/2)·κ·q²/a: the
 // fundamental validation anchor shared with the GB pipeline.
 func TestBornIonAnalytic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dense PB grid solve")
+	}
 	const a, q = 2.0, 1.0
 	res, err := Solve(ion(q, a), Config{Dim: 81, DielectricProbeÅ: -1})
 	if err != nil {
@@ -36,6 +39,9 @@ func TestBornIonAnalytic(t *testing.T) {
 
 // Energy scales with q² (linearity of the Poisson operator).
 func TestChargeSquaredScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dense PB grid solve")
+	}
 	r1, err := Solve(ion(1, 2), Config{Dim: 49, DielectricProbeÅ: -1})
 	if err != nil {
 		t.Fatal(err)
@@ -51,6 +57,9 @@ func TestChargeSquaredScaling(t *testing.T) {
 
 // A larger ion is less strongly solvated (|E| ∝ 1/a).
 func TestRadiusDependence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dense PB grid solve")
+	}
 	small, err := Solve(ion(1, 1.5), Config{Dim: 65, DielectricProbeÅ: -1})
 	if err != nil {
 		t.Fatal(err)
@@ -70,6 +79,9 @@ func TestRadiusDependence(t *testing.T) {
 
 // Grid refinement converges toward the analytic value.
 func TestGridConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dense PB grid solve")
+	}
 	const a, q = 2.0, 1.0
 	want := -0.5 * gb.Tau(gb.DefaultSolventDielectric) * gb.CoulombKcal * q * q / a
 	prevErr := math.Inf(1)
@@ -90,6 +102,9 @@ func TestGridConvergence(t *testing.T) {
 // point of the whole GB enterprise (§I). Loose band: GB is an
 // approximation and our PB is a coarse oracle.
 func TestGBTracksPB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dense PB grid solve")
+	}
 	mol := molecule.Exactly(molecule.Globule("pbgb", 120, 77), 120, 77)
 	pbRes, err := Solve(mol, Config{Dim: 81})
 	if err != nil {

@@ -51,6 +51,14 @@ type Machine struct {
 	// CoresPerSocket bounds a single process's threads before its memory
 	// traffic crosses sockets (the §V-A NUMA effect).
 	CoresPerSocket int
+	// DiskLatencySeconds and DiskBytesPerSecond model the stable-storage
+	// target of phase checkpoints: a fixed per-snapshot commit latency
+	// (metadata + fsync on the shared filesystem) plus a streaming write
+	// rate. Zero values disable the respective term, so Machine literals
+	// predating the checkpoint model price checkpointed runs as free
+	// rather than dividing by zero.
+	DiskLatencySeconds float64
+	DiskBytesPerSecond float64
 }
 
 // Lonestar4 returns the paper's Table I machine: 12-core 3.33 GHz Westmere
@@ -68,6 +76,10 @@ func Lonestar4() Machine {
 		Tw:              1.0 / (40e9 / 8 * 0.7), // 70% of 40 Gb/s
 		IntraNodeFactor: 0.25,
 		CoresPerSocket:  6, // dual-socket hexa-core Westmere
+		// Lustre-class shared scratch: ~5 ms commit latency per snapshot,
+		// ~300 MB/s sustained from one writer.
+		DiskLatencySeconds: 5e-3,
+		DiskBytesPerSecond: 300e6,
 	}
 }
 
@@ -150,12 +162,16 @@ type Breakdown struct {
 	// retry backoff waits, injected message delays, and straggler stalls.
 	// The wire cost of retried/dropped messages is already in CommSeconds
 	// (every send attempt is logged), so this is purely the waiting time.
-	FaultSeconds    float64
-	TotalSeconds    float64
-	CacheFactor     float64
-	ThrashFactor    float64
-	MemPerNodeBytes int64
-	NodesUsed       int
+	FaultSeconds float64
+	// CheckpointSeconds is the modeled stable-storage cost of phase
+	// snapshots: per-save disk latency plus streamed bytes, from the
+	// machine's disk parameters. Zero for runs that never checkpoint.
+	CheckpointSeconds float64
+	TotalSeconds      float64
+	CacheFactor       float64
+	ThrashFactor      float64
+	MemPerNodeBytes   int64
+	NodesUsed         int
 }
 
 // Record publishes the priced breakdown into the recorder as gauges
@@ -169,6 +185,7 @@ func (b Breakdown) Record(rec *obs.Recorder) {
 	rec.Gauge("perf.comm_us", int64(b.CommSeconds*1e6))
 	rec.Gauge("perf.overhead_us", int64(b.OverheadSeconds*1e6))
 	rec.Gauge("perf.fault_us", int64(b.FaultSeconds*1e6))
+	rec.Gauge("perf.checkpoint_us", int64(b.CheckpointSeconds*1e6))
 	rec.Gauge("perf.total_us", int64(b.TotalSeconds*1e6))
 	rec.ObserveGauge("perf.layout.total_us", int64(b.TotalSeconds*1e6))
 }
@@ -242,7 +259,18 @@ func (m Machine) Price(cal Calibration, shape RunShape, perCoreOps []int64, traf
 	// --- fault recovery --------------------------------------------------
 	b.FaultSeconds = float64(traffic.BackoffNanos+traffic.DelayNanos+traffic.StragglerNanos) / 1e9
 
-	b.TotalSeconds = b.CompSeconds + b.CommSeconds + b.OverheadSeconds + b.FaultSeconds
+	// --- checkpoints ------------------------------------------------------
+	// Only the saver rank writes (one stream per snapshot), so the cost is
+	// latency per save plus the bytes at the streaming rate — the other
+	// ranks' wait is already covered by the collectives bracketing the save.
+	if traffic.Checkpoints > 0 {
+		b.CheckpointSeconds = float64(traffic.Checkpoints) * m.DiskLatencySeconds
+		if m.DiskBytesPerSecond > 0 {
+			b.CheckpointSeconds += float64(traffic.CheckpointBytes) / m.DiskBytesPerSecond
+		}
+	}
+
+	b.TotalSeconds = b.CompSeconds + b.CommSeconds + b.OverheadSeconds + b.FaultSeconds + b.CheckpointSeconds
 	return b, nil
 }
 
@@ -324,7 +352,7 @@ func (m Machine) PriceNoisy(cal Calibration, shape RunShape, perCoreOps []int64,
 				worst = j
 			}
 		}
-		t := base.CompSeconds*(1+worst) + base.CommSeconds + base.OverheadSeconds + base.FaultSeconds
+		t := base.CompSeconds*(1+worst) + base.CommSeconds + base.OverheadSeconds + base.FaultSeconds + base.CheckpointSeconds
 		if t < minSec {
 			minSec = t
 		}

@@ -226,3 +226,42 @@ func TestFaultRecoveryCostPriced(t *testing.T) {
 		t.Errorf("recovery cost not in the total: %v vs %v", faulty.TotalSeconds, clean.TotalSeconds)
 	}
 }
+
+func TestCheckpointPricing(t *testing.T) {
+	m := Lonestar4()
+	cal := DefaultCalibration()
+	shape := RunShape{Processes: 4, ThreadsPerProcess: 1, DataBytes: 1 << 20}
+
+	clean, err := m.Price(cal, shape, ops(4, 1e6), simmpi.Stats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.CheckpointSeconds != 0 {
+		t.Errorf("un-checkpointed run priced CheckpointSeconds = %v", clean.CheckpointSeconds)
+	}
+
+	traffic := simmpi.Stats{Checkpoints: 4, CheckpointBytes: 3_000_000}
+	ck, err := m.Price(cal, shape, ops(4, 1e6), traffic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4*m.DiskLatencySeconds + 3_000_000/m.DiskBytesPerSecond
+	if ck.CheckpointSeconds != want {
+		t.Errorf("CheckpointSeconds = %v, want %v", ck.CheckpointSeconds, want)
+	}
+	if ck.TotalSeconds != clean.TotalSeconds+want {
+		t.Errorf("checkpoint cost not folded into the total: %v vs %v + %v",
+			ck.TotalSeconds, clean.TotalSeconds, want)
+	}
+
+	// A Machine literal without disk parameters prices the latency and
+	// bytes terms as free instead of dividing by zero.
+	m.DiskLatencySeconds, m.DiskBytesPerSecond = 0, 0
+	free, err := m.Price(cal, shape, ops(4, 1e6), traffic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.CheckpointSeconds != 0 {
+		t.Errorf("disk-less machine priced checkpoints at %v", free.CheckpointSeconds)
+	}
+}

@@ -1,0 +1,251 @@
+package simmpi
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gbpolar/internal/fault"
+	"gbpolar/internal/obs"
+)
+
+// TestCollectiveCorruptionRetransmits: one corrupted contribution to an
+// Allreduce must be detected by every rank, retransmitted, and the final
+// value must be exactly the clean sum — detection plus bounded recovery,
+// never silent damage.
+func TestCollectiveCorruptionRetransmits(t *testing.T) {
+	plan := &fault.Plan{Events: []fault.Event{
+		{Kind: fault.Corrupt, Rank: 1, AtOp: 0, Count: 1},
+	}}
+	rec := obs.NewRecorder(nil)
+	stats, err := RunPlanObs(3, plan, rec, func(c *Comm) error {
+		got, err := c.Allreduce([]float64{float64(c.Rank() + 1)}, Sum)
+		if err != nil {
+			return err
+		}
+		if got[0] != 6 {
+			t.Errorf("rank %d: corrupted allreduce = %v, want 6", c.Rank(), got[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Corruptions < 1 {
+		t.Errorf("Corruptions = %d, want at least 1", stats.Corruptions)
+	}
+	if stats.Retransmits < 1 {
+		t.Errorf("Retransmits = %d, want at least 1", stats.Retransmits)
+	}
+	counters := rec.Counters()
+	if counters["fault.corruptions.detected"] < 1 {
+		t.Errorf("no detection counted: %v", counters)
+	}
+	if counters["comm.retransmits"] < 1 {
+		t.Errorf("no retransmit counted: %v", counters)
+	}
+}
+
+// TestPersistentCorruptionEscalates: when every retransmit round is
+// corrupted too, the collective must give up with ErrCorrupt on every
+// rank — in lockstep, not by deadlock or by delivering damaged floats.
+func TestPersistentCorruptionEscalates(t *testing.T) {
+	plan := &fault.Plan{Events: []fault.Event{
+		{Kind: fault.Corrupt, Rank: 1, AtOp: 0, Count: 64},
+	}}
+	_, err := RunPlan(3, plan, func(c *Comm) error {
+		_, err := c.Allreduce([]float64{1}, Sum)
+		if err == nil {
+			t.Errorf("rank %d: persistently corrupted allreduce succeeded", c.Rank())
+			return nil
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("rank %d: err = %v, want ErrCorrupt", c.Rank(), err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPointToPointCorruptionDetected: a corrupted Send is consumed by the
+// receiver as ErrCorrupt, and the sender's checksum always covers the
+// authentic data.
+func TestPointToPointCorruptionDetected(t *testing.T) {
+	plan := &fault.Plan{Events: []fault.Event{
+		{Kind: fault.Corrupt, Rank: 0, AtOp: 0, Count: 1},
+	}}
+	stats, err := RunPlan(2, plan, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, []float64{1, 2, 3})
+		}
+		_, err := c.Recv(0)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("Recv err = %v, want ErrCorrupt", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Corruptions != 1 {
+		t.Errorf("Corruptions = %d, want 1", stats.Corruptions)
+	}
+}
+
+// TestTryRecvDiscardsCorrupt: the polling primitive reports a damaged
+// message as absent rather than delivering it.
+func TestTryRecvDiscardsCorrupt(t *testing.T) {
+	plan := &fault.Plan{Events: []fault.Event{
+		{Kind: fault.Corrupt, Rank: 0, AtOp: 0, Count: 1},
+	}}
+	_, err := RunPlan(2, plan, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, []float64{9}); err != nil {
+				return err
+			}
+			return c.Barrier()
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if data, ok := c.TryRecv(0); ok {
+			t.Errorf("TryRecv delivered corrupted data %v", data)
+		}
+		// The damaged message was consumed, not left to poison later polls.
+		if _, ok := c.TryRecv(0); ok {
+			t.Error("corrupt message still queued")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCleanPlanChecksumNeutral: an injector with no corrupt events pays
+// the checksum cost but must behave identically — no corruption, no
+// retransmit, values exact.
+func TestCleanPlanChecksumNeutral(t *testing.T) {
+	plan := &fault.Plan{Events: []fault.Event{
+		{Kind: fault.Delay, Rank: 0, To: -1, AtOp: 50, Count: 1, Dur: time.Millisecond},
+	}}
+	stats, err := RunPlan(4, plan, func(c *Comm) error {
+		got, err := c.Allreduce([]float64{float64(c.Rank())}, Sum)
+		if err != nil {
+			return err
+		}
+		if got[0] != 6 {
+			t.Errorf("allreduce = %v", got[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Corruptions != 0 || stats.Retransmits != 0 {
+		t.Errorf("clean plan counted corruption: %+v", stats)
+	}
+}
+
+// TestRecvTimeoutBackoffUnderDropStraggleChaos is the satellite scenario:
+// a sender whose messages are dropped AND who straggles, a receiver
+// polling with RecvTimeout, and a bounded retry loop with modeled
+// exponential backoff between attempts. The message must get through,
+// the retries and backoff must land in Stats, and the straggler must be
+// visible in the health view.
+func TestRecvTimeoutBackoffUnderDropStraggleChaos(t *testing.T) {
+	plan := &fault.Plan{Events: []fault.Event{
+		{Kind: fault.Drop, Rank: 1, To: 0, AtOp: 0, Count: 2},
+		{Kind: fault.Straggle, Rank: 1, AtOp: 0, Count: 4, Dur: 200 * time.Microsecond},
+	}}
+	const base = 50 * time.Microsecond
+	wantBackoff := time.Duration(0)
+	for i := 0; i < 2; i++ {
+		wantBackoff += base << uint(i)
+	}
+	stats, err := RunPlan(2, plan, func(c *Comm) error {
+		if c.Rank() == 1 {
+			for attempt := 0; ; attempt++ {
+				if attempt > 5 {
+					t.Error("sender exhausted its retry budget")
+					return nil
+				}
+				err := c.Send(0, []float64{42})
+				if err == nil {
+					return nil
+				}
+				if !errors.Is(err, ErrDropped) {
+					return err
+				}
+				c.RecordRetry(base << uint(attempt))
+			}
+		}
+		// Receiver: each short deadline may expire while the sender's
+		// attempts are being dropped; keep polling a bounded number of
+		// times.
+		for poll := 0; poll < 200; poll++ {
+			data, err := c.RecvTimeout(1, 2*time.Millisecond)
+			if errors.Is(err, ErrTimeout) {
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			if len(data) != 1 || data[0] != 42 {
+				t.Errorf("received %v, want [42]", data)
+			}
+			if h := c.Health(); len(h.Straggling) != 1 || h.Straggling[0] != 1 {
+				t.Errorf("Straggling = %v, want [1]", h.Straggling)
+			}
+			return nil
+		}
+		t.Error("receiver never got the message")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Retries != 2 {
+		t.Errorf("Retries = %d, want 2 (the two dropped attempts)", stats.Retries)
+	}
+	if stats.BackoffNanos != int64(wantBackoff) {
+		t.Errorf("BackoffNanos = %d, want %d", stats.BackoffNanos, int64(wantBackoff))
+	}
+	if stats.Drops != 2 {
+		t.Errorf("Drops = %d, want 2", stats.Drops)
+	}
+}
+
+// TestRecvTimeoutExhaustionUnderPersistentDrop: when every send attempt
+// is dropped and the sender's budget runs out, the receiver's RecvTimeout
+// must surface ErrTimeout — a clean, typed failure, not a hang.
+func TestRecvTimeoutExhaustionUnderPersistentDrop(t *testing.T) {
+	plan := &fault.Plan{Events: []fault.Event{
+		{Kind: fault.Drop, Rank: 1, To: 0, AtOp: 0, Count: 1000},
+		{Kind: fault.Straggle, Rank: 1, AtOp: 0, Count: 8, Dur: 100 * time.Microsecond},
+	}}
+	_, err := RunPlan(2, plan, func(c *Comm) error {
+		if c.Rank() == 1 {
+			for attempt := 0; attempt < 4; attempt++ {
+				if err := c.Send(0, []float64{1}); err == nil {
+					t.Error("send succeeded under a persistent drop window")
+					return nil
+				} else if !errors.Is(err, ErrDropped) {
+					return err
+				}
+				c.RecordRetry(50 * time.Microsecond << uint(attempt))
+			}
+			return c.Barrier() // give up; meet the receiver at the barrier
+		}
+		_, err := c.RecvTimeout(1, 5*time.Millisecond)
+		if !errors.Is(err, ErrTimeout) {
+			t.Errorf("RecvTimeout err = %v, want ErrTimeout", err)
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

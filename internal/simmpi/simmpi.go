@@ -37,8 +37,11 @@ package simmpi
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"math"
 	"runtime/pprof"
 	"sort"
 	"strconv"
@@ -121,6 +124,18 @@ type Stats struct {
 	BackoffNanos   int64
 	DelayNanos     int64
 	StragglerNanos int64
+	// Corruptions counts payloads bit-flipped in transit by injected
+	// Corrupt events; Retransmits the extra collective rounds spent
+	// re-sending after a detected corruption. Every injected corruption is
+	// detected by the payload checksums (asserted by the chaos matrix) —
+	// these count the recovery work, not silent damage.
+	Corruptions int64
+	Retransmits int64
+	// Checkpoints and CheckpointBytes count the phase snapshots recorded
+	// via RecordCheckpoint and their encoded volume; internal/perf prices
+	// them as stable-storage writes.
+	Checkpoints     int64
+	CheckpointBytes int64
 	// LostRanks are the ranks killed by injected crashes, sorted.
 	LostRanks []int
 }
@@ -131,6 +146,12 @@ var ErrDropped = errors.New("simmpi: message dropped in transit")
 
 // ErrTimeout is returned by RecvTimeout when the deadline expires first.
 var ErrTimeout = errors.New("simmpi: receive timed out")
+
+// ErrCorrupt reports a payload whose checksum no longer matches — an
+// injected corruption that was detected. Collectives retransmit a bounded
+// number of times before returning it; for point-to-point receives the
+// caller decides (retry, rebuild locally, or escalate to the supervisor).
+var ErrCorrupt = errors.New("simmpi: payload corrupted in transit")
 
 // RankLostError reports that an operation could not complete because the
 // named peer ranks crashed.
@@ -152,12 +173,20 @@ type Health struct {
 	Straggling []int
 }
 
+// envelope is one payload in transit plus its checksum. The checksum is
+// computed only under fault injection (sum stays zero otherwise): clean
+// runs pay nothing for the integrity machinery.
+type envelope struct {
+	data []float64
+	sum  uint32
+}
+
 // World is one communicator instance shared by all ranks of a Run.
 type World struct {
 	size int
 
 	// point-to-point mailboxes: mail[to][from].
-	mail [][]chan []float64
+	mail [][]chan envelope
 
 	// generation barrier + collective scratch, all guarded by mu. live is
 	// the number of ranks still executing: the barrier releases when every
@@ -171,6 +200,7 @@ type World struct {
 	gone     []bool // retired (crashed or returned), by rank
 	slotOK   []bool // slot contributed to the collective round in flight
 	slots    [][]float64
+	slotSum  []uint32 // per-slot payload checksums (under injection only)
 	abortErr error
 	lost     []int // injected-crash ranks
 
@@ -193,15 +223,19 @@ type World struct {
 	// nil-safe, so a nil rec costs nothing.
 	rec *obs.Recorder
 
-	p2pMessages    atomic.Int64
-	p2pBytes       atomic.Int64
-	drops          atomic.Int64
-	retries        atomic.Int64
-	backoffNanos   atomic.Int64
-	delayNanos     atomic.Int64
-	stragglerNanos atomic.Int64
-	collMu         sync.Mutex
-	collectives    map[CollectiveKind]CollectiveStat
+	p2pMessages     atomic.Int64
+	p2pBytes        atomic.Int64
+	drops           atomic.Int64
+	retries         atomic.Int64
+	backoffNanos    atomic.Int64
+	delayNanos      atomic.Int64
+	stragglerNanos  atomic.Int64
+	corruptions     atomic.Int64
+	retransmits     atomic.Int64
+	checkpoints     atomic.Int64
+	checkpointBytes atomic.Int64
+	collMu          sync.Mutex
+	collectives     map[CollectiveKind]CollectiveStat
 }
 
 // Comm is one rank's handle on the world.
@@ -253,6 +287,7 @@ func RunPlanObs(size int, plan *fault.Plan, rec *obs.Recorder, fn func(c *Comm) 
 		gone:        make([]bool, size),
 		slotOK:      make([]bool, size),
 		slots:       make([][]float64, size),
+		slotSum:     make([]uint32, size),
 		deadCh:      make([]chan struct{}, size),
 		abortCh:     make(chan struct{}),
 		phase:       make([]atomic.Int64, size),
@@ -276,11 +311,11 @@ func RunPlanObs(size int, plan *fault.Plan, rec *obs.Recorder, fn func(c *Comm) 
 	for r := range w.deadCh {
 		w.deadCh[r] = make(chan struct{})
 	}
-	w.mail = make([][]chan []float64, size)
+	w.mail = make([][]chan envelope, size)
 	for to := range w.mail {
-		w.mail[to] = make([]chan []float64, size)
+		w.mail[to] = make([]chan envelope, size)
 		for from := range w.mail[to] {
-			w.mail[to][from] = make(chan []float64, 64)
+			w.mail[to][from] = make(chan envelope, 64)
 		}
 	}
 	var wg sync.WaitGroup
@@ -403,15 +438,19 @@ func (w *World) stats() Stats {
 	w.mu.Unlock()
 	sort.Ints(lost)
 	return Stats{
-		P2PMessages:    w.p2pMessages.Load(),
-		P2PBytes:       w.p2pBytes.Load(),
-		Collectives:    coll,
-		Drops:          w.drops.Load(),
-		Retries:        w.retries.Load(),
-		BackoffNanos:   w.backoffNanos.Load(),
-		DelayNanos:     w.delayNanos.Load(),
-		StragglerNanos: w.stragglerNanos.Load(),
-		LostRanks:      lost,
+		P2PMessages:     w.p2pMessages.Load(),
+		P2PBytes:        w.p2pBytes.Load(),
+		Collectives:     coll,
+		Drops:           w.drops.Load(),
+		Retries:         w.retries.Load(),
+		BackoffNanos:    w.backoffNanos.Load(),
+		DelayNanos:      w.delayNanos.Load(),
+		StragglerNanos:  w.stragglerNanos.Load(),
+		Corruptions:     w.corruptions.Load(),
+		Retransmits:     w.retransmits.Load(),
+		Checkpoints:     w.checkpoints.Load(),
+		CheckpointBytes: w.checkpointBytes.Load(),
+		LostRanks:       lost,
 	}
 }
 
@@ -440,14 +479,16 @@ func (c *Comm) span(kind CollectiveKind) obs.Span {
 // faultPoint is consulted at every communication operation: it applies
 // the injected faults for this op and returns ErrDropped for a dropped
 // send, the abort cause if the world is canceled, or nil. An injected
-// crash does not return — it retires the rank and unwinds via panic.
-func (c *Comm) faultPoint(send bool, to int) error {
+// crash does not return — it retires the rank and unwinds via panic. The
+// returned Action carries the verdicts the *caller* must apply (today
+// only Corrupt: the payload, if any, is bit-flipped in transit).
+func (c *Comm) faultPoint(send bool, to int) (fault.Action, error) {
 	w := c.world
 	if err := w.aborted(); err != nil {
-		return err
+		return fault.Action{}, err
 	}
 	if w.inj == nil {
-		return nil
+		return fault.Action{}, nil
 	}
 	act := w.inj.Advance(c.rank, send, to)
 	if act.Straggle > 0 {
@@ -472,9 +513,49 @@ func (c *Comm) faultPoint(send bool, to int) error {
 		w.rec.Count("fault.drops", 1)
 		w.rec.Event(c.rank, "fault", "drop")
 		w.drops.Add(1)
-		return ErrDropped
+		return act, ErrDropped
 	}
-	return nil
+	return act, nil
+}
+
+// payloadChecksum is the CRC32 (IEEE) of the payload's float bit
+// patterns. Bitwise — two NaNs with different payloads differ — because
+// the integrity check must detect any transit bit-flip, not semantic
+// inequality.
+func payloadChecksum(data []float64) uint32 {
+	crc := crc32.NewIEEE()
+	var b [8]byte
+	for _, v := range data {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		crc.Write(b[:]) // hash.Hash.Write is documented to never fail
+	}
+	return crc.Sum32()
+}
+
+// corruptPayload returns a copy of data with one high bit of the first
+// element flipped — the smallest injected damage that any honest
+// checksum must catch. An empty payload has no bits to flip and is
+// returned as-is (corruption of a zero-length message is vacuous).
+func corruptPayload(data []float64) []float64 {
+	out := make([]float64, len(data))
+	copy(out, data)
+	if len(out) > 0 {
+		out[0] = math.Float64frombits(math.Float64bits(out[0]) ^ (1 << 62))
+	}
+	return out
+}
+
+// applyCorrupt implements an Action.Corrupt verdict on a payload: it
+// records the injection and returns the damaged copy. Callers gate on
+// w.inj != nil (the verdict can only be true under injection).
+func (w *World) applyCorrupt(rank int, data []float64) []float64 {
+	if len(data) == 0 {
+		return data
+	}
+	w.rec.Count("fault.corruptions", 1)
+	w.rec.Event(rank, "fault", "corrupt")
+	w.corruptions.Add(1)
+	return corruptPayload(data)
 }
 
 func sleepCapped(d time.Duration) {
@@ -548,8 +629,11 @@ func (c *Comm) PhaseOf(rank int) int64 { return c.world.phase[rank].Load() }
 // this rank's operation counter so crash and straggler events can strike
 // mid-phase, and returns the abort cause if the world is canceled. Safe
 // to call only from the rank's own goroutine (a crash unwinds the calling
-// stack).
-func (c *Comm) Tick() error { return c.faultPoint(false, -1) }
+// stack). There is no payload, so a Corrupt verdict here is inert.
+func (c *Comm) Tick() error {
+	_, err := c.faultPoint(false, -1)
+	return err
+}
 
 // RecordRetry accounts one driver-level re-send after a drop plus the
 // backoff the driver would have waited; internal/perf prices it.
@@ -568,7 +652,7 @@ func (c *Comm) Send(to int, data []float64) error {
 	if to < 0 || to >= w.size {
 		return fmt.Errorf("simmpi: Send to invalid rank %d (world size %d)", to, w.size)
 	}
-	err := c.faultPoint(true, to)
+	act, err := c.faultPoint(true, to)
 	if err != nil && !errors.Is(err, ErrDropped) {
 		return err
 	}
@@ -584,8 +668,18 @@ func (c *Comm) Send(to int, data []float64) error {
 	}
 	buf := make([]float64, len(data))
 	copy(buf, data)
+	env := envelope{data: buf}
+	if w.inj != nil {
+		// Checksum the authentic payload, then apply any corruption verdict
+		// to the copy in flight: the receiver's verification sees exactly
+		// what a damaged wire would deliver.
+		env.sum = payloadChecksum(data)
+		if act.Corrupt {
+			env.data = w.applyCorrupt(c.rank, buf)
+		}
+	}
 	select {
-	case w.mail[to][c.rank] <- buf:
+	case w.mail[to][c.rank] <- env:
 		return nil
 	case <-w.deadCh[to]:
 		return &RankLostError{Ranks: []int{to}}
@@ -615,13 +709,13 @@ func (c *Comm) recvDeadline(from int, d time.Duration) ([]float64, error) {
 	if from < 0 || from >= w.size {
 		return nil, fmt.Errorf("simmpi: Recv from invalid rank %d (world size %d)", from, w.size)
 	}
-	if err := c.faultPoint(false, -1); err != nil {
+	if _, err := c.faultPoint(false, -1); err != nil {
 		return nil, err
 	}
 	box := w.mail[c.rank][from]
 	select {
 	case m := <-box:
-		return m, nil
+		return c.openEnvelope(from, m)
 	default:
 	}
 	var timeout <-chan time.Time
@@ -632,12 +726,12 @@ func (c *Comm) recvDeadline(from int, d time.Duration) ([]float64, error) {
 	}
 	select {
 	case m := <-box:
-		return m, nil
+		return c.openEnvelope(from, m)
 	case <-w.deadCh[from]:
 		// The peer died — but a message may already be in flight.
 		select {
 		case m := <-box:
-			return m, nil
+			return c.openEnvelope(from, m)
 		default:
 			return nil, &RankLostError{Ranks: []int{from}}
 		}
@@ -648,15 +742,35 @@ func (c *Comm) recvDeadline(from int, d time.Duration) ([]float64, error) {
 	}
 }
 
+// openEnvelope verifies a received payload against its transit checksum.
+// The message is consumed either way: a corrupt delivery returns
+// ErrCorrupt (never silent data), and the caller decides whether to ask
+// for a retransmit, rebuild locally, or escalate.
+func (c *Comm) openEnvelope(from int, env envelope) ([]float64, error) {
+	w := c.world
+	if w.inj != nil && payloadChecksum(env.data) != env.sum {
+		w.rec.Count("fault.corruptions.detected", 1)
+		return nil, fmt.Errorf("simmpi: message from rank %d to rank %d: %w", from, c.rank, ErrCorrupt)
+	}
+	return env.data, nil
+}
+
 // TryRecv returns a pending message from rank `from` without blocking;
 // ok is false when the mailbox is empty. This is the polling primitive
 // the dynamic load-balancing coordinator uses to serve many workers. It
 // is not a fault point: polling frequency is scheduler-dependent, and
 // charging it to the op counter would make fault replay nondeterministic.
+// A message whose transit checksum fails verification is consumed,
+// counted, and reported as absent (ok = false) — detected and discarded,
+// never delivered silently damaged.
 func (c *Comm) TryRecv(from int) (data []float64, ok bool) {
 	select {
 	case m := <-c.world.mail[c.rank][from]:
-		return m, true
+		out, err := c.openEnvelope(from, m)
+		if err != nil {
+			return nil, false
+		}
+		return out, true
 	default:
 		return nil, false
 	}
@@ -669,13 +783,35 @@ func (c *Comm) Barrier() error {
 	w := c.world
 	sp := c.span(KindBarrier)
 	defer sp.End()
-	if err := c.faultPoint(false, -1); err != nil {
+	if _, err := c.faultPoint(false, -1); err != nil {
 		return err
 	}
 	if c.rank == 0 {
 		w.recordCollective(KindBarrier, 0)
 	}
 	return c.barrierNoRecord()
+}
+
+// Sync blocks until every live rank arrives, like Barrier, but is NOT a
+// fault point, opens no span, and records no traffic. It exists for
+// checkpoint coordination: bracketing a snapshot with Syncs must not
+// shift the per-rank operation counters a fault plan replays against,
+// and must not add counters that would break the Summary identity
+// between a resumed and an uninterrupted run.
+func (c *Comm) Sync() error { return c.barrierNoRecord() }
+
+// RecordCheckpoint accounts one phase snapshot of the given encoded size
+// on the traffic statistics (priced by internal/perf as a
+// stable-storage write) and on the observational gauges. Deliberately
+// NOT a deterministic counter: an uninterrupted run saves every phase
+// while a resumed run saves only the remaining ones, and the checkpoint
+// ledger must not break the counter-side Summary identity between them.
+func (c *Comm) RecordCheckpoint(bytes int64) {
+	w := c.world
+	w.checkpoints.Add(1)
+	w.checkpointBytes.Add(bytes)
+	w.rec.GaugeAdd("ckpt.saves", 1)
+	w.rec.GaugeAdd("ckpt.bytes", bytes)
 }
 
 // barrierNoRecord is Barrier without a traffic-log entry, used internally
@@ -703,11 +839,20 @@ func (c *Comm) barrierNoRecord() error {
 }
 
 // contribute publishes this rank's slice for the collective round in
-// flight. Writes are per-rank-indexed and ordered by the barrier mutex,
-// so no extra locking is needed.
-func (c *Comm) contribute(data []float64) {
-	c.world.slots[c.rank] = data
-	c.world.slotOK[c.rank] = true
+// flight, applying an injected corruption verdict to the copy in flight
+// (the checksum always covers the authentic data, so the damage is
+// detectable). Writes are per-rank-indexed and ordered by the barrier
+// mutex, so no extra locking is needed.
+func (c *Comm) contribute(data []float64, corrupt bool) {
+	w := c.world
+	if w.inj != nil {
+		w.slotSum[c.rank] = payloadChecksum(data)
+		if corrupt {
+			data = w.applyCorrupt(c.rank, data)
+		}
+	}
+	w.slots[c.rank] = data
+	w.slotOK[c.rank] = true
 }
 
 // contributors returns the ranks whose slots belong to this round — the
@@ -723,6 +868,90 @@ func (w *World) contributors() []int {
 	return out
 }
 
+// corruptContributors returns the contributing ranks whose slot fails
+// checksum verification, in rank order. Slots are shared memory, so
+// every live rank computes the identical verdict and takes the same
+// retransmit-or-escalate branch — no divergence, no deadlock. Call only
+// between the two barriers of a collective, under injection.
+func (w *World) corruptContributors() []int {
+	var bad []int
+	for r := 0; r < w.size; r++ {
+		if w.slotOK[r] && payloadChecksum(w.slots[r]) != w.slotSum[r] {
+			bad = append(bad, r)
+		}
+	}
+	return bad
+}
+
+// maxRetransmits bounds the re-contribution rounds a collective spends
+// on detected corruption before escalating ErrCorrupt to the caller
+// (and, through the drivers, to the run supervisor).
+const maxRetransmits = 3
+
+// contributeVerified is the integrity-checked head of every collective:
+// contribute (when this rank has a payload in the round), synchronize,
+// verify every contribution, and retransmit a bounded number of times if
+// any slot arrived corrupted. On success the slots hold authentic data.
+// Each retransmit round consumes one fault-plan op per rank (a real
+// re-attempt, like a driver's send retry) and re-synchronizes before
+// re-contributing so slot writes never race verification reads.
+func (c *Comm) contributeVerified(kind CollectiveKind, data []float64, contributing bool, act fault.Action) error {
+	w := c.world
+	for attempt := 0; ; attempt++ {
+		if contributing {
+			c.contribute(data, act.Corrupt)
+		}
+		if err := c.barrierNoRecord(); err != nil {
+			return err
+		}
+		if w.inj == nil {
+			// Clean runs: no checksums were computed, nothing to verify —
+			// and no extra barriers, so op alignment matches the seed.
+			return nil
+		}
+		bad := w.corruptContributors()
+		if len(bad) == 0 {
+			return nil
+		}
+		// Detection and retransmit are counted once per round by the lowest
+		// contributor, while the slots are still race-free to read.
+		leader := false
+		if ranks := w.contributors(); len(ranks) > 0 && c.rank == ranks[0] {
+			leader = true
+		}
+		if leader {
+			w.rec.Count("fault.corruptions.detected", 1)
+		}
+		if attempt >= maxRetransmits {
+			// Every rank takes this branch on the shared verdict, but a fast
+			// rank returning here exits fn and retires, which clears its slot
+			// state — so re-sync first, or a slower peer still verifying would
+			// read an emptied slot table and conclude the round was clean.
+			if err := c.barrierNoRecord(); err != nil {
+				return err
+			}
+			return fmt.Errorf("simmpi: %s payload from rank(s) %v still corrupt after %d retransmits: %w",
+				kind, bad, maxRetransmits, ErrCorrupt)
+		}
+		if leader {
+			w.retransmits.Add(1)
+			w.rec.Count("comm.retransmits", 1)
+			w.rec.Event(c.rank, "comm", "retransmit")
+		}
+		// Resync so nobody re-contributes while a peer is still verifying,
+		// then consume a fresh op: the retransmit is a real re-attempt and
+		// may itself be corrupted (or crash the rank).
+		if err := c.barrierNoRecord(); err != nil {
+			return err
+		}
+		var err error
+		act, err = c.faultPoint(false, -1)
+		if err != nil {
+			return err
+		}
+	}
+}
+
 // Bcast distributes root's data to every rank: on the root, data is
 // returned unchanged; on other ranks a copy of root's slice is returned
 // (data may be nil there). If the root is dead, every rank receives a
@@ -731,14 +960,14 @@ func (c *Comm) Bcast(root int, data []float64) ([]float64, error) {
 	w := c.world
 	sp := c.span(KindBcast)
 	defer sp.End()
-	if err := c.faultPoint(false, -1); err != nil {
+	act, err := c.faultPoint(false, -1)
+	if err != nil {
 		return nil, err
 	}
 	if c.rank == root {
-		c.contribute(data)
 		w.recordCollective(KindBcast, int64(len(data))*float64Bytes)
 	}
-	if err := c.barrierNoRecord(); err != nil {
+	if err := c.contributeVerified(KindBcast, data, c.rank == root, act); err != nil {
 		return nil, err
 	}
 	if !w.slotOK[root] {
@@ -767,11 +996,11 @@ func (c *Comm) Allreduce(data []float64, op Op) ([]float64, error) {
 	w := c.world
 	sp := c.span(KindAllreduce)
 	defer sp.End()
-	if err := c.faultPoint(false, -1); err != nil {
+	act, err := c.faultPoint(false, -1)
+	if err != nil {
 		return nil, err
 	}
-	c.contribute(data)
-	if err := c.barrierNoRecord(); err != nil {
+	if err := c.contributeVerified(KindAllreduce, data, true, act); err != nil {
 		return nil, err
 	}
 	ranks := w.contributors()
@@ -804,11 +1033,11 @@ func (c *Comm) Reduce(root int, data []float64, op Op) ([]float64, error) {
 	w := c.world
 	sp := c.span(KindReduce)
 	defer sp.End()
-	if err := c.faultPoint(false, -1); err != nil {
+	act, err := c.faultPoint(false, -1)
+	if err != nil {
 		return nil, err
 	}
-	c.contribute(data)
-	if err := c.barrierNoRecord(); err != nil {
+	if err := c.contributeVerified(KindReduce, data, true, act); err != nil {
 		return nil, err
 	}
 	if !w.slotOK[root] {
@@ -819,13 +1048,13 @@ func (c *Comm) Reduce(root int, data []float64, op Op) ([]float64, error) {
 		w.recordCollective(KindReduce, int64(len(data))*float64Bytes)
 	}
 	var out []float64
-	var err error
+	var redErr error
 	if c.rank == root {
 		out = make([]float64, len(data))
 		copy(out, w.slots[ranks[0]])
 		for _, r := range ranks[1:] {
 			if len(w.slots[r]) != len(out) {
-				err = fmt.Errorf("simmpi: Reduce length mismatch: rank %d has %d elements, want %d",
+				redErr = fmt.Errorf("simmpi: Reduce length mismatch: rank %d has %d elements, want %d",
 					r, len(w.slots[r]), len(out))
 				break
 			}
@@ -835,8 +1064,8 @@ func (c *Comm) Reduce(root int, data []float64, op Op) ([]float64, error) {
 	if berr := c.barrierNoRecord(); berr != nil {
 		return nil, berr
 	}
-	if err != nil {
-		return nil, err
+	if redErr != nil {
+		return nil, redErr
 	}
 	return out, nil
 }
@@ -850,11 +1079,11 @@ func (c *Comm) Allgatherv(data []float64) ([]float64, error) {
 	w := c.world
 	sp := c.span(KindAllgatherv)
 	defer sp.End()
-	if err := c.faultPoint(false, -1); err != nil {
+	act, err := c.faultPoint(false, -1)
+	if err != nil {
 		return nil, err
 	}
-	c.contribute(data)
-	if err := c.barrierNoRecord(); err != nil {
+	if err := c.contributeVerified(KindAllgatherv, data, true, act); err != nil {
 		return nil, err
 	}
 	ranks := w.contributors()
@@ -884,11 +1113,11 @@ func (c *Comm) Gather(root int, data []float64) ([]float64, error) {
 	w := c.world
 	sp := c.span(KindGather)
 	defer sp.End()
-	if err := c.faultPoint(false, -1); err != nil {
+	act, err := c.faultPoint(false, -1)
+	if err != nil {
 		return nil, err
 	}
-	c.contribute(data)
-	if err := c.barrierNoRecord(); err != nil {
+	if err := c.contributeVerified(KindGather, data, true, act); err != nil {
 		return nil, err
 	}
 	if !w.slotOK[root] {

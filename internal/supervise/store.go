@@ -1,0 +1,107 @@
+package supervise
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"gbpolar/internal/gb"
+)
+
+// MemStore is an in-process Store: it keeps the highest-phase snapshot
+// seen. It is the default store, so a supervised retry resumes from the
+// crashed attempt's progress even when nothing is persisted to disk.
+type MemStore struct {
+	mu    sync.Mutex
+	phase gb.CheckpointPhase
+	data  []byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Save implements gb.CheckpointSink, keeping the newest (highest-phase)
+// snapshot. A later attempt re-saving an earlier phase (a resumed run
+// re-entering mid-pipeline) does not regress the stored snapshot.
+func (m *MemStore) Save(phase gb.CheckpointPhase, encoded []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if phase < m.phase {
+		return nil
+	}
+	m.phase = phase
+	m.data = append(m.data[:0], encoded...)
+	return nil
+}
+
+// Latest implements Store.
+func (m *MemStore) Latest() (*gb.Checkpoint, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.data == nil {
+		return nil, nil
+	}
+	return gb.DecodeCheckpoint(m.data)
+}
+
+// DirStore persists snapshots under a directory, one file per phase
+// ("phase-<N>-<name>.gbcp"), written atomically (temp file + rename) so
+// a crash mid-write can never leave a truncated checkpoint where a
+// valid one should be — and the CRC in the encoding catches anything
+// that slips past.
+type DirStore struct {
+	// Dir is the checkpoint directory. It is created on first Save.
+	Dir string
+}
+
+func (d *DirStore) path(phase gb.CheckpointPhase) string {
+	return filepath.Join(d.Dir, fmt.Sprintf("phase-%d-%s.gbcp", int(phase), phase))
+}
+
+// Save implements gb.CheckpointSink.
+func (d *DirStore) Save(phase gb.CheckpointPhase, encoded []byte) error {
+	if err := os.MkdirAll(d.Dir, 0o755); err != nil {
+		return fmt.Errorf("supervise: creating checkpoint dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(d.Dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("supervise: creating checkpoint temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(encoded); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("supervise: writing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("supervise: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, d.path(phase)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("supervise: publishing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Latest implements Store: the highest-phase valid checkpoint file in
+// the directory. Unreadable or corrupt files are skipped (a damaged
+// late checkpoint degrades resume to the previous phase instead of
+// failing it); a missing directory means no checkpoint yet.
+func (d *DirStore) Latest() (*gb.Checkpoint, error) {
+	var best *gb.Checkpoint
+	for phase := gb.PhaseEpol; phase >= gb.PhaseIntegrals; phase-- {
+		data, err := os.ReadFile(d.path(phase))
+		if err != nil {
+			continue
+		}
+		ck, err := gb.DecodeCheckpoint(data)
+		if err != nil {
+			continue
+		}
+		best = ck
+		break
+	}
+	return best, nil
+}

@@ -1,0 +1,372 @@
+// Package supervise is the run-level robustness layer above the gb
+// drivers: it owns a wall-clock deadline, a retry budget with seeded
+// exponential backoff and jitter, phase-checkpoint persistence, and an
+// accuracy-shedding escalation ladder. Where internal/gb heals WITHIN a
+// run (heal-by-redo over the live set), the supervisor decides what to
+// do when a whole run attempt fails — crashed quorum, exhausted
+// retransmits, persistent corruption — and trades accuracy for
+// completion one deliberate notch at a time:
+//
+//	retry     same configuration, resumed from the newest checkpoint
+//	shrink    resume with membership shrunk to the checkpoint's live set
+//	relax     relax the ε tolerances one ladder notch (priced into
+//	          the returned ErrorBound) and resume
+//	degrade   accept a partial energy with the rigorous missing-mass
+//	          bound (gb's Degrade policy)
+//	fallback  serial single-rank run, no injection, resumed from the
+//	          newest checkpoint — always completes, always Degraded
+//
+// Every attempt and escalation is recorded as supervise.* counters and
+// rank-0 flight events on the supervisor's recorder, so a post-mortem
+// shows not just that a run finished but what it cost to finish.
+package supervise
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gbpolar/internal/fault"
+	"gbpolar/internal/gb"
+	"gbpolar/internal/obs"
+)
+
+// Rung identifies a level of the escalation ladder.
+type Rung int
+
+const (
+	// RungInitial is the first attempt at the requested configuration.
+	RungInitial Rung = iota
+	// RungRetry re-runs the same configuration, resumed from the newest
+	// checkpoint, after a modeled backoff.
+	RungRetry
+	// RungShrink resumes with the process count shrunk to the
+	// checkpoint's agreed live membership.
+	RungShrink
+	// RungRelax relaxes the ε tolerances one notch (gb.WithRelaxedEps)
+	// and prices the shed accuracy into ErrorBound.
+	RungRelax
+	// RungDegrade switches to gb's Degrade policy: accept a partial
+	// energy with its rigorous missing-mass bound.
+	RungDegrade
+	// RungFallback is the terminal rung: a serial single-rank run with no
+	// injection, resumed from the newest checkpoint. It cannot fail and
+	// its result is always marked Degraded.
+	RungFallback
+)
+
+// String implements fmt.Stringer.
+func (r Rung) String() string {
+	switch r {
+	case RungInitial:
+		return "initial"
+	case RungRetry:
+		return "retry"
+	case RungShrink:
+		return "shrink"
+	case RungRelax:
+		return "relax"
+	case RungDegrade:
+		return "degrade"
+	case RungFallback:
+		return "fallback"
+	}
+	return fmt.Sprintf("Rung(%d)", int(r))
+}
+
+// Store persists checkpoints across attempts: a gb.CheckpointSink the
+// runs save into plus retrieval of the newest (highest-phase) snapshot.
+// Latest returns (nil, nil) when nothing has been saved.
+type Store interface {
+	gb.CheckpointSink
+	Latest() (*gb.Checkpoint, error)
+}
+
+// Spec configures one supervised computation.
+type Spec struct {
+	// Processes and ThreadsPerProcess are the requested layout.
+	Processes         int
+	ThreadsPerProcess int
+	// Policy is the in-run fault policy of the early rungs (the degrade
+	// rung forces gb.Degrade regardless).
+	Policy gb.FaultPolicy
+	// Plan supplies the fault-injection plan for each attempt (attempt
+	// numbers are global across rungs, starting at 0). Nil means no
+	// injection. The fallback rung never injects.
+	Plan func(attempt int) *fault.Plan
+	// Deadline bounds the supervised computation's wall time. When it
+	// expires, remaining rungs are skipped and the supervisor jumps
+	// straight to the fallback. Zero means no deadline.
+	Deadline time.Duration
+	// Retries is the retry-rung budget (default 2).
+	Retries int
+	// BackoffBase is the first retry's modeled backoff, doubled per retry
+	// with seeded jitter in [1,2) (default 2ms). The backoff is modeled
+	// (accumulated in Outcome.BackoffModeled), not slept: like gb's
+	// sendRetry backoff it prices the protocol without making the test
+	// suite wait for it.
+	BackoffBase time.Duration
+	// Seed seeds the jitter generator — same seed, same ladder walk.
+	Seed int64
+	// EpsLadder are the relax-rung tolerance factors, tried in order
+	// (default {1.5, 2.25}).
+	EpsLadder []float64
+	// Store persists checkpoints across attempts (default: an in-memory
+	// MemStore, so even without explicit storage a retry resumes rather
+	// than recomputes).
+	Store Store
+	// Obs is the supervisor-level recorder: supervise.* counters,
+	// escalation flight events. Per-attempt run recorders are created
+	// fresh internally (the winner's is returned in Outcome.Recorder).
+	Obs *obs.Recorder
+	// Clock reads wall time for the deadline (default time.Now;
+	// injectable for tests).
+	Clock func() time.Time
+}
+
+// AttemptRecord describes one attempt of the ladder walk.
+type AttemptRecord struct {
+	// Attempt is the global attempt number, starting at 0.
+	Attempt int
+	// Rung is the ladder rung the attempt ran at.
+	Rung Rung
+	// Processes is the attempt's process count.
+	Processes int
+	// EpsFactor is the ε relaxation in effect (1 = unrelaxed).
+	EpsFactor float64
+	// ResumedFrom is the checkpoint phase the attempt resumed from
+	// (gb.PhaseNone = from scratch).
+	ResumedFrom gb.CheckpointPhase
+	// Err is the attempt's failure, "" on success.
+	Err string
+}
+
+// Outcome is the supervised result.
+type Outcome struct {
+	// Result is the final run's result. Never nil: the fallback rung
+	// cannot fail.
+	Result *gb.Result
+	// Rung is the ladder rung that produced Result.
+	Rung Rung
+	// EpsFactor is the final ε relaxation (1 = unrelaxed).
+	EpsFactor float64
+	// Degraded reports a best-effort result: either the run itself
+	// degraded (partial energy) or accuracy was shed on the way
+	// (relaxed ε, fallback). Result.ErrorBound then bounds the damage.
+	Degraded bool
+	// Attempts is the full ladder walk, in order.
+	Attempts []AttemptRecord
+	// BackoffModeled is the total modeled (not slept) retry backoff.
+	BackoffModeled time.Duration
+	// DeadlineExceeded reports that the deadline forced the jump to the
+	// fallback rung.
+	DeadlineExceeded bool
+	// Recorder is the successful attempt's run recorder: restored
+	// snapshot plus the final attempt's work — approximately the whole
+	// logical run. Use it for metrics/trace export.
+	Recorder *obs.Recorder
+}
+
+// epsPenalty prices a relaxed far-field tolerance into the error bound:
+// the octree truncation error of both phases is first-order in ε, so
+// relaxing by factor adds at most about |Epol|·ε_epol·(factor−1),
+// widened by the same 1.25 slack gb.degradedBound uses. This is a
+// first-order accuracy model (the same one the ε parameters themselves
+// express), not a worst-case theorem like the degraded bound.
+func epsPenalty(epol, baseEps, factor float64) float64 {
+	if factor <= 1 {
+		return 0
+	}
+	mag := epol
+	if mag < 0 {
+		mag = -mag
+	}
+	return mag * baseEps * (factor - 1) * 1.25
+}
+
+// Run executes one supervised computation of s.
+func Run(s *gb.System, spec Spec) (*Outcome, error) {
+	if spec.Processes < 1 {
+		return nil, fmt.Errorf("supervise: Processes=%d must be at least 1", spec.Processes)
+	}
+	retries := spec.Retries
+	if retries <= 0 {
+		retries = 2
+	}
+	backoffBase := spec.BackoffBase
+	if backoffBase <= 0 {
+		backoffBase = 2 * time.Millisecond
+	}
+	ladder := spec.EpsLadder
+	if len(ladder) == 0 {
+		ladder = []float64{1.5, 2.25}
+	}
+	store := spec.Store
+	if store == nil {
+		store = NewMemStore()
+	}
+	clock := spec.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	var deadline time.Time
+	if spec.Deadline > 0 {
+		deadline = clock().Add(spec.Deadline)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	rec := spec.Obs
+
+	out := &Outcome{EpsFactor: 1}
+	curSys := s
+	curP := spec.Processes
+	curFactor := 1.0
+	baseEps := s.Params.EpsEpol
+
+	expired := func() bool {
+		return !deadline.IsZero() && clock().After(deadline)
+	}
+
+	// attempt runs one rung. On success it finalizes out and returns true.
+	attemptNo := 0
+	attempt := func(rung Rung, policy gb.FaultPolicy, inject bool) (bool, error) {
+		n := attemptNo
+		attemptNo++
+		rec.Count("supervise.attempts", 1)
+		rec.Event(0, "supervise", fmt.Sprintf("attempt %d rung=%s P=%d eps=%.3g", n, rung, curP, curFactor))
+
+		var cfg *gb.FaultConfig
+		if inject && spec.Plan != nil {
+			cfg = &gb.FaultConfig{Plan: spec.Plan(n), Policy: policy, ForceProtocol: true}
+		} else {
+			cfg = &gb.FaultConfig{Policy: policy, ForceProtocol: true}
+		}
+		resume, err := store.Latest()
+		if err != nil {
+			return false, fmt.Errorf("supervise: reading checkpoint store: %w", err)
+		}
+		runRec := obs.NewRecorder(nil)
+		res, err := curSys.Run(gb.RunSpec{
+			Processes:         curP,
+			ThreadsPerProcess: spec.ThreadsPerProcess,
+			Faults:            cfg,
+			Obs:               runRec,
+			Checkpoint:        store,
+			Resume:            resume,
+		})
+		ar := AttemptRecord{
+			Attempt: n, Rung: rung, Processes: curP, EpsFactor: curFactor,
+		}
+		if resume != nil {
+			ar.ResumedFrom = resume.Phase
+		}
+		if err != nil {
+			ar.Err = err.Error()
+			out.Attempts = append(out.Attempts, ar)
+			rec.Count("supervise.failures", 1)
+			rec.Event(0, "supervise", fmt.Sprintf("attempt %d failed: %v", n, err))
+			return false, nil
+		}
+		out.Attempts = append(out.Attempts, ar)
+		res.ErrorBound += epsPenalty(res.Epol, baseEps, curFactor)
+		out.Result = res
+		out.Rung = rung
+		out.EpsFactor = curFactor
+		out.Degraded = res.Degraded || curFactor > 1 || rung == RungFallback
+		out.Result.Degraded = out.Degraded
+		out.Recorder = runRec
+		rec.Count("supervise.successes", 1)
+		return true, nil
+	}
+
+	escalate := func(to Rung) {
+		rec.Count("supervise.escalations", 1)
+		rec.Event(0, "supervise", "escalate to "+to.String())
+	}
+
+	fallback := func() (*Outcome, error) {
+		escalate(RungFallback)
+		curP = 1
+		// The fallback keeps the current (possibly relaxed) system: its
+		// checkpoints — saved under relaxed ε — stay internally
+		// consistent, and the ε penalty already accrued stays priced in.
+		ok, err := attempt(RungFallback, gb.Recover, false)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			// A serial run with no injection cannot crash or time out; a
+			// failure here means the environment itself is broken.
+			return nil, fmt.Errorf("supervise: fallback attempt failed: %s", out.Attempts[len(out.Attempts)-1].Err)
+		}
+		return out, nil
+	}
+
+	// Rung: initial.
+	ok, err := attempt(RungInitial, spec.Policy, true)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		return out, nil
+	}
+
+	// Rung: retry (budgeted, backoff modeled).
+	for r := 0; r < retries; r++ {
+		if expired() {
+			out.DeadlineExceeded = true
+			rec.Count("supervise.deadline_exceeded", 1)
+			return fallback()
+		}
+		backoff := backoffBase << uint(r)
+		backoff += time.Duration(rng.Int63n(int64(backoff))) // jitter in [1,2)·base
+		out.BackoffModeled += backoff
+		if r == 0 {
+			escalate(RungRetry)
+		}
+		if ok, err := attempt(RungRetry, spec.Policy, true); err != nil || ok {
+			return out, err
+		}
+	}
+
+	// Rung: shrink to the checkpoint's live membership.
+	if expired() {
+		out.DeadlineExceeded = true
+		rec.Count("supervise.deadline_exceeded", 1)
+		return fallback()
+	}
+	if ck, err := store.Latest(); err == nil && ck != nil && len(ck.Live) > 0 && len(ck.Live) < curP {
+		escalate(RungShrink)
+		curP = len(ck.Live)
+		if ok, err := attempt(RungShrink, spec.Policy, true); err != nil || ok {
+			return out, err
+		}
+	}
+
+	// Rung: relax ε, one notch per attempt.
+	for _, f := range ladder {
+		if expired() {
+			out.DeadlineExceeded = true
+			rec.Count("supervise.deadline_exceeded", 1)
+			return fallback()
+		}
+		escalate(RungRelax)
+		curFactor = f
+		curSys = s.WithRelaxedEps(f)
+		if ok, err := attempt(RungRelax, spec.Policy, true); err != nil || ok {
+			return out, err
+		}
+	}
+
+	// Rung: degrade — accept a partial energy with its rigorous bound.
+	if !expired() {
+		escalate(RungDegrade)
+		if ok, err := attempt(RungDegrade, gb.Degrade, true); err != nil || ok {
+			return out, err
+		}
+	} else {
+		out.DeadlineExceeded = true
+		rec.Count("supervise.deadline_exceeded", 1)
+	}
+
+	return fallback()
+}

@@ -1,0 +1,326 @@
+package supervise
+
+import (
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"gbpolar/internal/fault"
+	"gbpolar/internal/gb"
+	"gbpolar/internal/molecule"
+	"gbpolar/internal/obs"
+	"gbpolar/internal/surface"
+)
+
+func buildSys(t *testing.T, n int) *gb.System {
+	t.Helper()
+	m := molecule.Globule("supervised", n, 7)
+	surf, err := surface.Build(m, surface.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := gb.NewSystem(m, surf, gb.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// crashAll returns a plan killing every rank of a P-rank world at op.
+func crashAll(P int, op int64) *fault.Plan {
+	pl := &fault.Plan{}
+	for r := 0; r < P; r++ {
+		pl.Events = append(pl.Events, fault.Event{Kind: fault.Crash, Rank: r, AtOp: op})
+	}
+	return pl
+}
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if m := math.Max(math.Abs(a), math.Abs(b)); m > 0 {
+		return d / m
+	}
+	return d
+}
+
+func TestCleanRunStaysOnInitialRung(t *testing.T) {
+	s := buildSys(t, 300)
+	out, err := Run(s, Spec{Processes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rung != RungInitial || out.Degraded || len(out.Attempts) != 1 {
+		t.Fatalf("clean run escalated: rung=%s degraded=%v attempts=%d", out.Rung, out.Degraded, len(out.Attempts))
+	}
+	serial := s.RunSerial()
+	if rel := relDiff(out.Result.Epol, serial.Epol); rel > 1e-10 {
+		t.Errorf("supervised Epol off serial by %v", rel)
+	}
+	if out.Recorder == nil || out.Recorder.Summary() == "" {
+		t.Error("no run recorder returned")
+	}
+}
+
+func TestRetryResumesFromCheckpoint(t *testing.T) {
+	// The first attempt's quorum dies entering the energy phase — after
+	// the aggregates checkpoint. The retry must resume there, complete,
+	// and be bitwise the uninterrupted forced-protocol run.
+	const P = 4
+	s := buildSys(t, 300)
+
+	ref, err := s.Run(gb.RunSpec{Processes: P, Faults: &gb.FaultConfig{ForceProtocol: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := Run(s, Spec{
+		Processes: P,
+		Plan: func(attempt int) *fault.Plan {
+			if attempt == 0 {
+				return crashAll(P, 7)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rung != RungRetry {
+		t.Fatalf("rung = %s, want retry", out.Rung)
+	}
+	if out.Degraded || out.Result.Degraded {
+		t.Error("successful resumed retry marked Degraded")
+	}
+	if out.Result.Epol != ref.Epol {
+		t.Errorf("resumed retry Epol %v != uninterrupted %v", out.Result.Epol, ref.Epol)
+	}
+	if len(out.Attempts) != 2 {
+		t.Fatalf("attempts = %+v, want 2", out.Attempts)
+	}
+	if out.Attempts[1].ResumedFrom != gb.PhaseAggregates {
+		t.Errorf("retry resumed from %s, want aggregates", out.Attempts[1].ResumedFrom)
+	}
+	if out.BackoffModeled <= 0 {
+		t.Error("no backoff modeled for the retry")
+	}
+}
+
+func TestShrinkRungUsesCheckpointMembership(t *testing.T) {
+	// The store holds an aggregates checkpoint whose agreed live set is
+	// {0, 1}; every full-width attempt dies instantly. The shrink rung
+	// must resume at P = 2 and complete.
+	const P = 4
+	s := buildSys(t, 300)
+
+	// Capture the run's aggregates snapshot, then shrink its membership.
+	store := NewMemStore()
+	full, err := s.Run(gb.RunSpec{Processes: P, Faults: &gb.FaultConfig{ForceProtocol: true}, Checkpoint: rewindSink{store, gb.PhaseAggregates}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := store.Latest()
+	if err != nil || ck == nil || ck.Phase != gb.PhaseAggregates {
+		t.Fatalf("rewound store latest = %+v, %v", ck, err)
+	}
+	ck.Live = []int{0, 1}
+	ck.Lost = []int{2, 3}
+	if err := store.Save(ck.Phase, ck.Encode()); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := Run(s, Spec{
+		Processes: P,
+		Retries:   1,
+		Store:     store,
+		Plan: func(attempt int) *fault.Plan {
+			if attempt <= 1 { // initial + the single retry
+				return crashAll(P, 0)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rung != RungShrink {
+		t.Fatalf("rung = %s, want shrink (attempts %+v)", out.Rung, out.Attempts)
+	}
+	last := out.Attempts[len(out.Attempts)-1]
+	if last.Processes != 2 || last.ResumedFrom != gb.PhaseAggregates {
+		t.Errorf("shrink attempt = %+v, want P=2 resumed from aggregates", last)
+	}
+	if rel := relDiff(out.Result.Epol, full.Epol); rel > 1e-9 {
+		t.Errorf("shrunk resume Epol off by %v", rel)
+	}
+}
+
+// rewindSink forwards saves up to and including maxPhase, so a store can
+// be left holding a mid-run snapshot of a completed run.
+type rewindSink struct {
+	dst      Store
+	maxPhase gb.CheckpointPhase
+}
+
+func (r rewindSink) Save(phase gb.CheckpointPhase, encoded []byte) error {
+	if phase > r.maxPhase {
+		return nil
+	}
+	return r.dst.Save(phase, encoded)
+}
+
+func TestQuorumLossDescendsToDegradedFallback(t *testing.T) {
+	// Every injected attempt dies at op 0, before any checkpoint exists:
+	// retries, relaxed-ε attempts, and the degrade attempt all fail. The
+	// fallback must still return a finite, Degraded result instead of an
+	// error — the tentpole acceptance scenario.
+	const P = 4
+	s := buildSys(t, 300)
+	rec := obs.NewRecorder(nil)
+	out, err := Run(s, Spec{
+		Processes: P,
+		Obs:       rec,
+		Plan:      func(int) *fault.Plan { return crashAll(P, 0) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rung != RungFallback {
+		t.Fatalf("rung = %s, want fallback (attempts %+v)", out.Rung, out.Attempts)
+	}
+	if !out.Degraded || !out.Result.Degraded {
+		t.Error("fallback result not marked Degraded")
+	}
+	if !(out.Result.ErrorBound > 0) || math.IsInf(out.Result.ErrorBound, 0) || math.IsNaN(out.Result.ErrorBound) {
+		t.Errorf("ErrorBound = %v, want finite and positive (ε was relaxed on the way down)", out.Result.ErrorBound)
+	}
+	serial := s.RunSerial()
+	if math.Abs(out.Result.Epol-serial.Epol) > out.Result.ErrorBound+1e-9*math.Abs(serial.Epol) {
+		t.Errorf("|Epol−serial| = %v exceeds bound %v", math.Abs(out.Result.Epol-serial.Epol), out.Result.ErrorBound)
+	}
+	if out.EpsFactor <= 1 {
+		t.Errorf("EpsFactor = %v, want relaxed", out.EpsFactor)
+	}
+	counters := rec.Counters()
+	if counters["supervise.attempts"] < 5 {
+		t.Errorf("supervise.attempts = %d, want the whole ladder walked", counters["supervise.attempts"])
+	}
+	if counters["supervise.escalations"] < 3 {
+		t.Errorf("supervise.escalations = %d, want at least retry→relax→fallback", counters["supervise.escalations"])
+	}
+}
+
+func TestSupervisorIsDeterministic(t *testing.T) {
+	const P = 3
+	s := buildSys(t, 300)
+	run := func() *Outcome {
+		out, err := Run(s, Spec{
+			Processes: P,
+			Seed:      42,
+			Plan:      func(int) *fault.Plan { return crashAll(P, 0) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if a.BackoffModeled != b.BackoffModeled {
+		t.Errorf("backoff differs across same-seed walks: %v vs %v", a.BackoffModeled, b.BackoffModeled)
+	}
+	if len(a.Attempts) != len(b.Attempts) || a.Rung != b.Rung {
+		t.Errorf("ladder walk differs: %d/%s vs %d/%s", len(a.Attempts), a.Rung, len(b.Attempts), b.Rung)
+	}
+	if a.Result.Epol != b.Result.Epol {
+		t.Errorf("same-seed supervised Epol differs: %v vs %v", a.Result.Epol, b.Result.Epol)
+	}
+}
+
+func TestDeadlineJumpsToFallback(t *testing.T) {
+	const P = 3
+	s := buildSys(t, 300)
+	// A clock that leaps an hour per reading: the deadline is already
+	// history when the first retry would start.
+	now := time.Unix(0, 0)
+	clock := func() time.Time {
+		now = now.Add(time.Hour)
+		return now
+	}
+	out, err := Run(s, Spec{
+		Processes: P,
+		Deadline:  time.Minute,
+		Clock:     clock,
+		Plan:      func(int) *fault.Plan { return crashAll(P, 0) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.DeadlineExceeded {
+		t.Error("DeadlineExceeded not set")
+	}
+	if out.Rung != RungFallback {
+		t.Errorf("rung = %s, want fallback", out.Rung)
+	}
+	if len(out.Attempts) != 2 {
+		t.Errorf("attempts = %+v, want initial + fallback only", out.Attempts)
+	}
+	if !out.Degraded {
+		t.Error("deadline fallback not marked Degraded")
+	}
+}
+
+func TestDirStore(t *testing.T) {
+	s := buildSys(t, 300)
+	dir := t.TempDir()
+	store := &DirStore{Dir: dir}
+	if ck, err := store.Latest(); err != nil || ck != nil {
+		t.Fatalf("empty store Latest = %+v, %v", ck, err)
+	}
+	if _, err := s.Run(gb.RunSpec{Processes: 2, Checkpoint: store}); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := store.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck == nil || ck.Phase != gb.PhaseEpol {
+		t.Fatalf("Latest phase = %v, want epol", ck)
+	}
+	// Damage the newest file: Latest must fall back to the previous phase
+	// instead of failing or trusting the bytes.
+	if err := writeFileGarbage(store.path(gb.PhaseEpol)); err != nil {
+		t.Fatal(err)
+	}
+	ck, err = store.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck == nil || ck.Phase != gb.PhaseAggregates {
+		t.Fatalf("Latest after damage = %+v, want aggregates", ck)
+	}
+}
+
+func writeFileGarbage(path string) error {
+	return os.WriteFile(path, []byte("truncated or corrupt checkpoint bytes"), 0o644)
+}
+
+func TestMemStoreKeepsNewestPhase(t *testing.T) {
+	s := buildSys(t, 300)
+	store := NewMemStore()
+	if _, err := s.Run(gb.RunSpec{Processes: 2, Checkpoint: store}); err != nil {
+		t.Fatal(err)
+	}
+	ck, _ := store.Latest()
+	if ck.Phase != gb.PhaseEpol {
+		t.Fatalf("phase = %s", ck.Phase)
+	}
+	// An earlier-phase save (a resumed run re-entering mid-pipeline) must
+	// not regress the stored snapshot.
+	if err := store.Save(gb.PhaseIntegrals, []byte("ignored")); err != nil {
+		t.Fatal(err)
+	}
+	ck, _ = store.Latest()
+	if ck == nil || ck.Phase != gb.PhaseEpol {
+		t.Fatal("MemStore regressed to an earlier phase")
+	}
+}
