@@ -6,7 +6,7 @@ GO ?= go
 BENCH_MAX_ATOMS ?= 2000
 BENCH_REPEATS ?= 3
 
-.PHONY: build test lint check check-race chaos-smoke trace-smoke bench-json bench-gate
+.PHONY: build test lint check check-race chaos-smoke trace-smoke serve-smoke bench-json bench-gate
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,13 @@ trace-smoke:
 		-metrics /tmp/gbpolar-metrics.json \
 		/tmp/gbpolar-trace.json
 
+# serve-smoke drives the real gbd binary end to end: good / malformed /
+# over-quota requests, then SIGTERM with a job in flight, restart, and
+# a byte-for-byte comparison of the resumed result against the
+# uninterrupted run (the drain-checkpoint contract, at process level).
+serve-smoke:
+	$(GO) test -timeout 300s -count=1 -run TestServeSmoke ./cmd/gbd/
+
 # bench-json collects the head bench trajectory (roster × driver
 # layouts) as schema-versioned JSON. BENCH_seed.json was produced the
 # same way; see EXPERIMENTS.md for regenerating it after an intended
@@ -66,6 +73,6 @@ check-race:
 # The race detector multiplies the bench suite's runtime ~14x (past go
 # test's 600s default package timeout on modest hardware), so the race
 # pass carries an explicit generous timeout.
-check: chaos-smoke lint trace-smoke
+check: chaos-smoke lint trace-smoke serve-smoke
 	$(GO) vet ./...
 	$(GO) test -race -timeout 3600s ./...

@@ -200,6 +200,13 @@ func main() {
 					fatal(err)
 				}
 				res = supOut.Result
+				if ds, ok := store.(*supervise.DirStore); ok {
+					// Layout done: retain only the newest snapshot so sweeping
+					// many layouts doesn't accumulate every phase's file.
+					if _, perr := ds.Prune(1); perr != nil {
+						fmt.Fprintf(os.Stderr, "clustersim: checkpoint prune: %v\n", perr)
+					}
+				}
 				if observing {
 					// The layout recorder keeps the supervisor's counters and
 					// escalation events; the winning attempt's run recorder

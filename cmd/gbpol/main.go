@@ -25,6 +25,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -261,7 +262,7 @@ func runSupervised(sys *gb.System, P, p int, dir string, resume bool, deadline t
 		}
 		store = ds
 	}
-	return supervise.Run(sys, supervise.Spec{
+	out, err := supervise.Run(sys, supervise.Spec{
 		Processes:         P,
 		ThreadsPerProcess: p,
 		Deadline:          deadline,
@@ -269,6 +270,17 @@ func runSupervised(sys *gb.System, P, p int, dir string, resume bool, deadline t
 		Store:             store,
 		Obs:               rec,
 	})
+	if err == nil && dir != "" {
+		// The run is done; keep only the newest snapshot per config so a
+		// repeatedly-checkpointed directory doesn't grow without bound. A
+		// prune failure costs disk, not the result.
+		if removed, perr := store.(*supervise.DirStore).Prune(1); perr != nil {
+			fmt.Fprintf(os.Stderr, "gbpol: checkpoint prune: %v\n", perr)
+		} else if removed > 0 {
+			fmt.Fprintf(os.Stderr, "gbpol: pruned %d checkpoint file(s) from %s\n", removed, dir)
+		}
+	}
+	return out, err
 }
 
 func loadMolecule(in, synth string, atoms int, seed int64) (*molecule.Molecule, error) {
@@ -293,7 +305,14 @@ func loadMolecule(in, synth string, atoms int, seed int64) (*molecule.Molecule, 
 	return nil, fmt.Errorf("one of -in or -synthetic is required")
 }
 
+// fatal prints err and exits. Malformed molecules (NaN coordinates,
+// non-positive radii, duplicate atom serials) exit with status 2 so
+// scripts can tell "your input is wrong" from a run failure's status 1.
 func fatal(err error) {
+	if errors.Is(err, molecule.ErrInvalidInput) {
+		fmt.Fprintln(os.Stderr, "gbpol: input error:", err)
+		os.Exit(2)
+	}
 	fmt.Fprintln(os.Stderr, "gbpol:", err)
 	os.Exit(1)
 }

@@ -1,0 +1,101 @@
+package gb
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"gbpolar/internal/obs"
+)
+
+// cancelSink saves like memSink and cancels the context once the target
+// phase's snapshot is durable — modeling a drain signal arriving while
+// the run is mid-pipeline.
+type cancelSink struct {
+	memSink
+	at     CheckpointPhase
+	cancel context.CancelFunc
+}
+
+func (k *cancelSink) Save(phase CheckpointPhase, encoded []byte) error {
+	if err := k.memSink.Save(phase, encoded); err != nil {
+		return err
+	}
+	if phase == k.at {
+		k.cancel()
+	}
+	return nil
+}
+
+func TestRunCanceledBeforeStart(t *testing.T) {
+	s := buildSys(t, 200, DefaultParams())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.Run(RunSpec{Processes: 2, Ctx: ctx})
+	if err == nil {
+		t.Fatal("canceled run returned nil error")
+	}
+	if !errors.Is(err, ErrRunCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap ErrRunCanceled and context.Canceled", err)
+	}
+}
+
+func TestNilContextNeverCancels(t *testing.T) {
+	s := buildSys(t, 200, DefaultParams())
+	if _, err := s.Run(RunSpec{Processes: 2}); err != nil {
+		t.Fatalf("nil-Ctx run failed: %v", err)
+	}
+}
+
+// TestCancelAtPhaseBoundaryResumesBitwise is the drain contract: a run
+// canceled at a phase boundary keeps its last completed phase's
+// checkpoint, and resuming from it reproduces the uninterrupted run's
+// Epol and Born radii bitwise.
+func TestCancelAtPhaseBoundaryResumesBitwise(t *testing.T) {
+	const P = 4
+	s := buildSys(t, 300, DefaultParams())
+
+	ref, err := s.Run(RunSpec{Processes: P, Faults: &FaultConfig{ForceProtocol: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, at := range []CheckpointPhase{PhaseIntegrals, PhaseRadii, PhaseAggregates} {
+		ctx, cancel := context.WithCancel(context.Background())
+		sink := &cancelSink{at: at, cancel: cancel}
+		_, err := s.Run(RunSpec{
+			Processes:  P,
+			Faults:     &FaultConfig{ForceProtocol: true},
+			Checkpoint: sink,
+			Ctx:        ctx,
+		})
+		cancel()
+		if !errors.Is(err, ErrRunCanceled) {
+			t.Fatalf("cancel at %s: got error %v, want ErrRunCanceled", at, err)
+		}
+		ck := sink.latest(t)
+		if ck.Phase != at {
+			t.Fatalf("cancel at %s: last durable checkpoint is %s", at, ck.Phase)
+		}
+
+		rec := obs.NewRecorder(nil)
+		res, err := s.Run(RunSpec{
+			Processes: P,
+			Faults:    &FaultConfig{ForceProtocol: true},
+			Obs:       rec,
+			Resume:    ck,
+		})
+		if err != nil {
+			t.Fatalf("resume after cancel at %s: %v", at, err)
+		}
+		if res.Epol != ref.Epol {
+			t.Errorf("cancel at %s: resumed Epol %v != uninterrupted %v", at, res.Epol, ref.Epol)
+		}
+		for i := range ref.Born {
+			if res.Born[i] != ref.Born[i] {
+				t.Errorf("cancel at %s: Born[%d] differs", at, i)
+				break
+			}
+		}
+	}
+}

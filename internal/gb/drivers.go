@@ -541,6 +541,14 @@ func (s *System) runDistributed(P, p int, spec RunSpec) (*Result, error) {
 			if err := saveCheckpoint(PhaseIntegrals, func() []float64 { return encodeAcc(acc) }); err != nil {
 				return err
 			}
+			// Phase boundary: the integrals checkpoint is durable, so a
+			// cancellation here (and at the boundaries below) loses no
+			// completed work. Every rank evaluates the same check at the
+			// same program point; any rank returning the error aborts the
+			// world, so no rank can block in the next phase's collective.
+			if err := spec.canceled(); err != nil {
+				return err
+			}
 		} else if startPhase == PhaseIntegrals {
 			// Resume: the merged integrals come from the snapshot; nothing to
 			// recompute or communicate. (Resuming past this phase, the
@@ -623,6 +631,9 @@ func (s *System) runDistributed(P, p int, spec RunSpec) (*Result, error) {
 			if err := saveCheckpoint(PhaseRadii, func() []float64 { return radii }); err != nil {
 				return err
 			}
+			if err := spec.canceled(); err != nil {
+				return err
+			}
 		} else {
 			copy(radii, resume.Payload[:s.NumAtoms()])
 		}
@@ -635,6 +646,9 @@ func (s *System) runDistributed(P, p int, spec RunSpec) (*Result, error) {
 			agg = s.buildEpolAggregates(radii)
 			osp.End()
 			if err := saveCheckpoint(PhaseAggregates, func() []float64 { return radii }); err != nil {
+				return err
+			}
+			if err := spec.canceled(); err != nil {
 				return err
 			}
 		} else {

@@ -1,6 +1,7 @@
 package gb
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -55,6 +56,32 @@ type RunSpec struct {
 	// process count may differ from the saving run's. Distributed layouts
 	// only.
 	Resume *Checkpoint
+	// Ctx cancels the run cooperatively. The distributed driver checks it
+	// at phase boundaries: a completed phase still saves its checkpoint,
+	// then every rank returns ErrRunCanceled (wrapping ctx.Err()) before
+	// starting the next phase — so a canceled run loses at most one
+	// phase of work and its store resumes bitwise-identically later.
+	// This is the graceful-drain hook of the serving layer. Nil means
+	// never canceled. Non-distributed drivers only check it up front:
+	// they have no checkpoints to protect mid-run.
+	Ctx context.Context
+}
+
+// ErrRunCanceled marks a run stopped by RunSpec.Ctx at a phase boundary.
+// The last completed phase's checkpoint (if a sink was attached) is
+// durable; errors.Is(err, ErrRunCanceled) and errors.Is(err, ctx.Err())
+// both hold on the returned error.
+var ErrRunCanceled = fmt.Errorf("gb: run canceled")
+
+// canceled returns the wrapped cancellation error if spec.Ctx is done.
+func (spec *RunSpec) canceled() error {
+	if spec.Ctx == nil {
+		return nil
+	}
+	if err := spec.Ctx.Err(); err != nil {
+		return fmt.Errorf("%w at phase boundary: %w", ErrRunCanceled, err)
+	}
+	return nil
 }
 
 // Run executes the computation the spec describes. It is the single
@@ -74,6 +101,9 @@ func (s *System) Run(spec RunSpec) (*Result, error) {
 }
 
 func (s *System) dispatch(spec RunSpec) (*Result, error) {
+	if err := spec.canceled(); err != nil {
+		return nil, err
+	}
 	if spec.Processes < 0 {
 		return nil, fmt.Errorf("gb: invalid spec: Processes=%d must be non-negative", spec.Processes)
 	}

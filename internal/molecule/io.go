@@ -93,9 +93,12 @@ func WritePQR(w io.Writer, m *Molecule) error {
 	for i, a := range m.Atoms {
 		serial := i + 1
 		resSeq := i/10 + 1
+		// Serials are NOT wrapped at the PDB column limit: this is the
+		// whitespace dialect, and wrapped serials would collide — which
+		// ReadPQR now rejects as duplicate atom indices.
 		if _, err := fmt.Fprintf(bw,
 			"ATOM  %5d  C   GLY A%4d    %8.3f%8.3f%8.3f %7.4f %6.4f\n",
-			serial%100000, resSeq%10000, a.Pos.X, a.Pos.Y, a.Pos.Z, a.Charge, a.Radius); err != nil {
+			serial, resSeq%10000, a.Pos.X, a.Pos.Y, a.Pos.Z, a.Charge, a.Radius); err != nil {
 			return err
 		}
 	}
@@ -113,6 +116,7 @@ func ReadPQR(r io.Reader) (*Molecule, error) {
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	m := &Molecule{Name: "pqr"}
 	line := 0
+	seen := make(map[int64]int) // atom serial → atom position, for duplicate detection
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
@@ -129,6 +133,16 @@ func ReadPQR(r io.Reader) (*Molecule, error) {
 		f := strings.Fields(text)
 		if len(f) < 6 {
 			return nil, fmt.Errorf("molecule: pqr line %d: too few fields", line)
+		}
+		// A duplicate atom serial is a malformed roster (a concatenation
+		// or truncation artifact): rejected as a typed input error
+		// rather than silently double-counting the atom's charge.
+		if serial, err := strconv.ParseInt(f[1], 10, 64); err == nil {
+			if prev, dup := seen[serial]; dup {
+				return nil, &InputError{Molecule: m.Name, Atom: len(m.Atoms), Field: "index",
+					Msg: fmt.Sprintf("pqr line %d: duplicate atom serial %d (first used by atom %d)", line, serial, prev)}
+			}
+			seen[serial] = len(m.Atoms)
 		}
 		nums := make([]float64, 0, 5)
 		// The trailing five numeric fields are x y z q r.

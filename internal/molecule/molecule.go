@@ -5,11 +5,48 @@
 package molecule
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"gbpolar/internal/geom"
 )
+
+// ErrInvalidInput is the sentinel every molecule validation failure
+// wraps: errors.Is(err, ErrInvalidInput) distinguishes a bad input (a
+// caller/client mistake — the serving layer's 400, gbpol's exit 2) from
+// a run failure, without matching message strings.
+var ErrInvalidInput = errors.New("molecule: invalid input")
+
+// InputError is a typed validation failure: which molecule, which atom
+// (-1 when not atom-specific), which field, and why. NaN/Inf
+// coordinates, non-positive radii, and duplicate atom indices used to
+// flow into the kernels and surface as garbage Epol; they now stop
+// here, where the caller can still say "your input is wrong" instead
+// of "the run failed".
+type InputError struct {
+	// Molecule is the molecule's name ("" when unnamed).
+	Molecule string
+	// Atom is the offending atom's index, -1 when the error is not
+	// atom-specific (e.g. a duplicate-index pair names the second atom).
+	Atom int
+	// Field names what was invalid: "position", "radius", "charge",
+	// "index", or "atoms".
+	Field string
+	// Msg is the human-readable detail.
+	Msg string
+}
+
+// Error implements error.
+func (e *InputError) Error() string {
+	if e.Atom < 0 {
+		return fmt.Sprintf("molecule %q: invalid %s: %s", e.Molecule, e.Field, e.Msg)
+	}
+	return fmt.Sprintf("molecule %q: atom %d: invalid %s: %s", e.Molecule, e.Atom, e.Field, e.Msg)
+}
+
+// Unwrap makes errors.Is(err, ErrInvalidInput) hold.
+func (e *InputError) Unwrap() error { return ErrInvalidInput }
 
 // Atom is a single atom: position (Å), intrinsic van der Waals radius (Å)
 // and partial charge (elementary charges).
@@ -95,17 +132,21 @@ func Merge(name string, a, b *Molecule) *Molecule {
 }
 
 // Validate checks structural invariants: finite coordinates, positive
-// radii, finite charges. It returns the first violation found.
+// radii, finite charges. It returns the first violation found as a
+// typed *InputError wrapping ErrInvalidInput.
 func (m *Molecule) Validate() error {
 	for i, a := range m.Atoms {
 		if !a.Pos.IsFinite() {
-			return fmt.Errorf("molecule %q: atom %d has non-finite position %v", m.Name, i, a.Pos)
+			return &InputError{Molecule: m.Name, Atom: i, Field: "position",
+				Msg: fmt.Sprintf("non-finite coordinates %v", a.Pos)}
 		}
 		if a.Radius <= 0 || math.IsNaN(a.Radius) || math.IsInf(a.Radius, 0) {
-			return fmt.Errorf("molecule %q: atom %d has invalid radius %v", m.Name, i, a.Radius)
+			return &InputError{Molecule: m.Name, Atom: i, Field: "radius",
+				Msg: fmt.Sprintf("%v is not a positive finite radius", a.Radius)}
 		}
 		if math.IsNaN(a.Charge) || math.IsInf(a.Charge, 0) {
-			return fmt.Errorf("molecule %q: atom %d has invalid charge %v", m.Name, i, a.Charge)
+			return &InputError{Molecule: m.Name, Atom: i, Field: "charge",
+				Msg: fmt.Sprintf("%v is not a finite charge", a.Charge)}
 		}
 	}
 	return nil

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLivezAlwaysOK(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	if code, body := get(t, base+"/livez"); code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/livez = %d %q", code, body)
+	}
+	// Liveness ignores readiness: a draining server still answers 200.
+	srv.SetReadySource(func() (bool, string) { return false, "draining" })
+	if code, _ := get(t, base+"/livez"); code != http.StatusOK {
+		t.Errorf("/livez while not ready = %d", code)
+	}
+}
+
+func TestReadyzFollowsSource(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// Without a source, readiness mirrors liveness.
+	if code, _ := get(t, base+"/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz without source = %d", code)
+	}
+
+	var draining atomic.Bool
+	srv.SetReadySource(func() (bool, string) {
+		if draining.Load() {
+			return false, "draining: 2 jobs checkpointing"
+		}
+		return true, ""
+	})
+	if code, _ := get(t, base+"/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz while ready = %d", code)
+	}
+	draining.Store(true)
+	code, body := get(t, base+"/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz while draining = %d", code)
+	}
+	if !strings.Contains(body, "draining: 2 jobs checkpointing") {
+		t.Errorf("/readyz body %q lacks the source's detail", body)
+	}
+	draining.Store(false)
+	if code, _ := get(t, base+"/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz after drain canceled = %d", code)
+	}
+}
+
+func TestRecorderHealthAccessor(t *testing.T) {
+	r, _ := newTestRecorder()
+	if _, ok := r.Health(); ok {
+		t.Error("recorder without a source reported a health view")
+	}
+	r.SetHealthSource(func() HealthView {
+		return HealthView{Live: []int{0, 1}, Lost: []int{2}}
+	})
+	hv, ok := r.Health()
+	if !ok || len(hv.Live) != 2 || len(hv.Lost) != 1 {
+		t.Errorf("Health() = %+v, %v", hv, ok)
+	}
+	var nilRec *Recorder
+	if _, ok := nilRec.Health(); ok {
+		t.Error("nil recorder reported a health view")
+	}
+}

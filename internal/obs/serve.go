@@ -57,14 +57,28 @@ func (r *Recorder) healthSource() func() HealthView {
 	return r.health
 }
 
+// Health returns the recorder's live-rank view when a source is
+// registered (simmpi's observed runs register one), and ok=false when
+// none is. It is how the serving layer consults the last run's rank
+// health without reaching into simmpi: lost or straggling ranks are an
+// overload signal worth pre-shedding on.
+func (r *Recorder) Health() (HealthView, bool) {
+	src := r.healthSource()
+	if src == nil {
+		return HealthView{}, false
+	}
+	return src(), true
+}
+
 // Server is a running obs endpoint. Close it when the run ends.
 type Server struct {
 	ln      net.Listener
 	srv     *http.Server
 	started time.Time
 
-	mu   sync.Mutex
-	recs []*Recorder
+	mu    sync.Mutex
+	recs  []*Recorder
+	ready func() (bool, string)
 }
 
 // Serve starts the endpoint on addr (host:port; ":0" picks a free port —
@@ -80,6 +94,8 @@ func Serve(addr string, recs ...*Recorder) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/livez", s.handleLivez)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -127,6 +143,29 @@ func (s *Server) Close() error {
 	return s.srv.Close()
 }
 
+// SetReadySource registers fn as the server's readiness probe: /readyz
+// reports 200 while fn returns true and 503 (with fn's detail string in
+// the body) once it returns false. Liveness and readiness are split on
+// purpose — a draining daemon is alive (don't kill it, it is
+// checkpointing its in-flight jobs) but not ready (don't route new work
+// to it). Without a source, /readyz mirrors /livez. fn must be safe for
+// concurrent use.
+func (s *Server) SetReadySource(fn func() (bool, string)) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.ready = fn
+	s.mu.Unlock()
+}
+
+// readySource returns the registered readiness probe, or nil.
+func (s *Server) readySource() func() (bool, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ready
+}
+
 // snapshot returns the attached recorders.
 func (s *Server) snapshot() []*Recorder {
 	s.mu.Lock()
@@ -139,6 +178,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if err := WritePrometheus(w, s.snapshot()...); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// handleLivez is the liveness probe: the process is up and its HTTP
+// loop is turning. It never consults readiness — a draining server
+// still answers 200 here.
+func (s *Server) handleLivez(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness probe; see SetReadySource.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if fn := s.readySource(); fn != nil {
+		if ok, detail := fn(); !ok {
+			http.Error(w, "not ready: "+detail, http.StatusServiceUnavailable)
+			return
+		}
+	}
+	fmt.Fprintln(w, "ok")
 }
 
 // healthzDoc is the /healthz response body.

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// On-disk layout, one directory per job under Config.DataDir:
+//
+//	<id>/job.json     the admitted JobRequest — written before the job
+//	                  is queued, so an admitted job survives a crash
+//	<id>/ckpt/        the job's supervise.DirStore phase checkpoints
+//	<id>/result.json  the terminal JobView — written once, atomically,
+//	                  when the job finishes
+//
+// The pair (job.json present, result.json absent) IS the daemon's
+// work-in-progress set: startup re-queues exactly those directories,
+// and each resumes from its newest checkpoint. No separate queue file
+// exists to get out of sync.
+
+// jobRecord is the job.json schema.
+type jobRecord struct {
+	ID  string     `json:"id"`
+	Req JobRequest `json:"request"`
+}
+
+// newJobID returns a fresh random job ID ("j-" + 8 random bytes hex).
+func newJobID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("serve: generating job id: %w", err)
+	}
+	return "j-" + hex.EncodeToString(b[:]), nil
+}
+
+func (s *Server) jobDir(id string) string  { return filepath.Join(s.cfg.DataDir, id) }
+func (s *Server) ckptDir(id string) string { return filepath.Join(s.jobDir(id), "ckpt") }
+
+// writeFileAtomic writes data via a temp file + rename so a crash can
+// never leave a truncated file where a complete one should be.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// persistJob durably records an admitted job before it is queued.
+func (s *Server) persistJob(id string, req *JobRequest) error {
+	dir := s.jobDir(id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("serve: creating job dir: %w", err)
+	}
+	data, err := json.MarshalIndent(jobRecord{ID: id, Req: *req}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: encoding job: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(dir, "job.json"), data); err != nil {
+		return fmt.Errorf("serve: persisting job: %w", err)
+	}
+	return nil
+}
+
+// persistResult durably records a job's terminal view. After this the
+// job's checkpoints are only a disk-footprint concern, not a
+// correctness one.
+func (s *Server) persistResult(id string, view *JobView) error {
+	data, err := json.MarshalIndent(view, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: encoding result: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(s.jobDir(id), "result.json"), data); err != nil {
+		return fmt.Errorf("serve: persisting result: %w", err)
+	}
+	return nil
+}
+
+// scanJobs reads DataDir and splits past jobs into finished (terminal
+// JobViews to re-register for GET) and unfinished (jobRecords to
+// re-queue for resume). Unreadable directories are skipped — a damaged
+// job must not stop the daemon from serving new ones. Unfinished jobs
+// come back sorted by ID so the re-queue order is stable.
+func (s *Server) scanJobs() (finished []*JobView, unfinished []*jobRecord, err error) {
+	entries, err := os.ReadDir(s.cfg.DataDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, nil
+		}
+		return nil, nil, fmt.Errorf("serve: scanning data dir: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "j-") {
+			continue
+		}
+		dir := filepath.Join(s.cfg.DataDir, e.Name())
+		if data, err := os.ReadFile(filepath.Join(dir, "result.json")); err == nil {
+			var view JobView
+			if json.Unmarshal(data, &view) == nil && view.ID != "" {
+				finished = append(finished, &view)
+				continue
+			}
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "job.json"))
+		if err != nil {
+			continue
+		}
+		var recd jobRecord
+		if json.Unmarshal(data, &recd) != nil || recd.ID == "" {
+			continue
+		}
+		unfinished = append(unfinished, &recd)
+	}
+	sort.Slice(unfinished, func(i, j int) bool { return unfinished[i].ID < unfinished[j].ID })
+	return finished, unfinished, nil
+}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// QuotaConfig is a per-tenant token bucket: each admitted job takes one
+// token, tokens refill at RatePerSec up to Burst. The zero value
+// disables quotas.
+type QuotaConfig struct {
+	// RatePerSec is the sustained admission rate per tenant.
+	RatePerSec float64
+	// Burst is the bucket capacity (defaults to max(1, RatePerSec)).
+	Burst float64
+}
+
+func (q QuotaConfig) enabled() bool { return q.RatePerSec > 0 }
+
+func (q QuotaConfig) burst() float64 {
+	if q.Burst > 0 {
+		return q.Burst
+	}
+	return math.Max(1, q.RatePerSec)
+}
+
+// quotas tracks one token bucket per tenant name. Buckets are created
+// full on first use; refill happens lazily on take, from the injected
+// clock so tests never sleep.
+type quotas struct {
+	cfg   QuotaConfig
+	clock func() time.Time
+
+	mu sync.Mutex
+	m  map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotas(cfg QuotaConfig, clock func() time.Time) *quotas {
+	return &quotas{cfg: cfg, clock: clock, m: make(map[string]*bucket)}
+}
+
+// take spends one token from tenant's bucket. When the bucket is empty
+// it reports ok=false and how long until the next token accrues.
+func (q *quotas) take(tenant string) (ok bool, retryAfter time.Duration) {
+	if q == nil || !q.cfg.enabled() {
+		return true, 0
+	}
+	now := q.clock()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.m[tenant]
+	if b == nil {
+		b = &bucket{tokens: q.cfg.burst(), last: now}
+		q.m[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(q.cfg.burst(), b.tokens+dt*q.cfg.RatePerSec)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / q.cfg.RatePerSec
+	return false, time.Duration(need * float64(time.Second))
+}

@@ -1,0 +1,603 @@
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gbpolar/internal/fault"
+	"gbpolar/internal/gb"
+	"gbpolar/internal/molecule"
+	"gbpolar/internal/obs"
+	"gbpolar/internal/perf"
+	"gbpolar/internal/supervise"
+	"gbpolar/internal/surface"
+)
+
+// Config configures a Server. The zero value plus DataDir is usable.
+type Config struct {
+	// DataDir is the job persistence root. Empty disables persistence
+	// (jobs cannot survive a restart — fine for tests, wrong for gbd).
+	DataDir string
+	// QueueDepth bounds the admission queue (default 16). A full queue
+	// rejects with 429 + Retry-After; it never grows.
+	QueueDepth int
+	// Workers is the number of concurrent supervised runs (default 1:
+	// the simulated cluster is itself parallel, and one run at a time
+	// keeps the checkpoint/IO story simple to reason about).
+	Workers int
+	// MaxAtoms caps the roster size of a request (default 20000).
+	MaxAtoms int
+	// MaxBodyBytes caps the request body (default 16 MiB).
+	MaxBodyBytes int64
+	// DefaultProcesses / DefaultThreads are the layout used when a
+	// request does not pick one (defaults 4 and 1).
+	DefaultProcesses int
+	DefaultThreads   int
+	// Retries is the supervised retry budget per job (default 2).
+	Retries int
+	// Machine is the perf model used to turn queued work into the
+	// Retry-After seconds of a 429 (default Lonestar4, the paper's
+	// Table I machine).
+	Machine perf.Machine
+	// Quota is the per-tenant admission quota (zero disables it).
+	Quota QuotaConfig
+	// ShedQueueDepth is the queue depth at which newly started jobs are
+	// pre-shed onto the relax rung (ShedEpsFactor). 0 defaults to
+	// QueueDepth/2; negative disables depth-based shedding. Jobs are
+	// also shed when the previous run's health view reports lost or
+	// straggling ranks — the cluster is struggling, so buy slack.
+	ShedQueueDepth int
+	// ShedEpsFactor is the pre-relaxation used when shedding (default
+	// 1.5). The shed accuracy is priced into the response's ErrorBound
+	// and the result is marked Degraded — shedding is visible, never
+	// silent.
+	ShedEpsFactor float64
+	// KeepCheckpoints is the per-config snapshot retention passed to
+	// DirStore.Prune after a job completes (default 1).
+	KeepCheckpoints int
+	// Obs receives request-level counters and histograms. Nil is inert.
+	Obs *obs.Recorder
+	// Clock is the time source (default time.Now; injectable so quota
+	// and deadline tests never sleep).
+	Clock func() time.Time
+	// PlanFor injects a fault plan per (job, attempt) — the chaos
+	// tests' hook. Nil means no injection.
+	PlanFor func(jobID string, attempt int) *fault.Plan
+	// CheckpointDelay slows every checkpoint save (test hook: it widens
+	// the phase-boundary window so a drain signal reliably lands while
+	// a job is mid-run).
+	CheckpointDelay time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.MaxAtoms <= 0 {
+		c.MaxAtoms = 20000
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.DefaultProcesses <= 0 {
+		c.DefaultProcesses = 4
+	}
+	if c.DefaultThreads <= 0 {
+		c.DefaultThreads = 1
+	}
+	if c.Retries <= 0 {
+		c.Retries = 2
+	}
+	if c.Machine.OpsPerSecond <= 0 {
+		c.Machine = perf.Lonestar4()
+	}
+	if c.ShedQueueDepth == 0 {
+		c.ShedQueueDepth = c.QueueDepth / 2
+		if c.ShedQueueDepth < 1 {
+			c.ShedQueueDepth = 1
+		}
+	}
+	if c.ShedEpsFactor <= 1 {
+		c.ShedEpsFactor = 1.5
+	}
+	if c.KeepCheckpoints <= 0 {
+		c.KeepCheckpoints = 1
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+}
+
+// job is the in-memory state of one admitted job.
+type job struct {
+	id      string
+	req     JobRequest
+	mol     *molecule.Molecule
+	resumed bool
+	// estOps is the modeled interaction count charged to the queue at
+	// admission and released at dequeue.
+	estOps int64
+	// enqueued is when the job entered the queue (deadline accounting).
+	enqueued time.Time
+
+	mu   sync.Mutex
+	view JobView
+}
+
+func (j *job) setView(mutate func(v *JobView)) JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	mutate(&j.view)
+	return j.view
+}
+
+func (j *job) snapshot() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.view
+}
+
+// Server is the daemon core. Create with New, serve its Handler, stop
+// with Drain.
+type Server struct {
+	cfg Config
+	rec *obs.Recorder
+
+	queue     chan *job
+	queuedOps atomic.Int64 // modeled ops waiting in the queue
+	opsPerAtom atomic.Uint64 // EWMA of measured ops/atom, as float bits
+
+	draining atomic.Bool
+	runCtx   context.Context
+	stop     context.CancelFunc
+	wg       sync.WaitGroup
+
+	quotas *quotas
+
+	// unhealthy is set when the last run's health view reported lost or
+	// straggling ranks; the next job then starts pre-shed.
+	unhealthy atomic.Bool
+
+	mu   sync.Mutex
+	jobs map[string]*job
+	done map[string]*JobView // terminal views reloaded from disk
+}
+
+// New builds a Server: it scans DataDir, registers finished jobs'
+// terminal views, and re-queues unfinished ones (each will resume from
+// its newest checkpoint). Start launches the workers.
+func New(cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	s := &Server{
+		cfg:  cfg,
+		rec:  cfg.Obs,
+		jobs: make(map[string]*job),
+		done: make(map[string]*JobView),
+	}
+	s.runCtx, s.stop = context.WithCancel(context.Background())
+	s.quotas = newQuotas(cfg.Quota, cfg.Clock)
+	// Seed the cost model with a generic octree workload density; real
+	// measurements take over after the first completed job.
+	s.opsPerAtom.Store(math.Float64bits(2000))
+
+	var finished []*JobView
+	var unfinished []*jobRecord
+	if cfg.DataDir != "" {
+		var err error
+		finished, unfinished, err = s.scanJobs()
+		if err != nil {
+			return nil, err
+		}
+	}
+	// The queue must hold every resumed job plus the configured depth.
+	s.queue = make(chan *job, cfg.QueueDepth+len(unfinished))
+	for _, v := range finished {
+		s.done[v.ID] = v
+	}
+	for _, recd := range unfinished {
+		mol, err := buildMolecule(recd.Req.Molecule, s.cfg.MaxAtoms)
+		if err != nil {
+			// The persisted request no longer validates (limits may have
+			// changed): finish it as a typed input error instead of
+			// resurrecting it forever.
+			s.finishInvalid(recd.ID, err)
+			continue
+		}
+		j := &job{id: recd.ID, req: recd.Req, mol: mol, resumed: true,
+			estOps: s.estimateOps(mol.NumAtoms()), enqueued: cfg.Clock(),
+			view: JobView{ID: recd.ID, State: StateQueued}}
+		s.mu.Lock()
+		s.jobs[j.id] = j
+		s.mu.Unlock()
+		s.queuedOps.Add(j.estOps)
+		s.queue <- j
+		s.count("serve.jobs.resumed", 1)
+	}
+	return s, nil
+}
+
+// Start launches the worker goroutines. It is separate from New so
+// tests can stage the queue before anything runs.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.worker()
+		}()
+	}
+}
+
+// Drain gracefully stops the server: admission closes (new POSTs get a
+// typed 503), the run context is canceled — each in-flight job stops at
+// its next phase boundary with its checkpoint durable — and Drain
+// returns when every worker has exited. Jobs still queued or
+// interrupted keep their job.json and no result.json, so the next New
+// re-queues them.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.stop()
+	s.wg.Wait()
+}
+
+// Draining reports whether drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Ready is the readiness probe for obs.Server.SetReadySource: false
+// once draining (liveness stays true — the process is still
+// checkpointing, don't kill it).
+func (s *Server) Ready() (bool, string) {
+	if s.draining.Load() {
+		return false, "draining: admission closed, in-flight jobs checkpointing"
+	}
+	return true, ""
+}
+
+func (s *Server) count(name string, delta int64) {
+	s.rec.Count(name, delta)
+}
+
+// worker pulls jobs until drain. A canceled context wins over more
+// queued work: queued jobs are durable and belong to the next process.
+func (s *Server) worker() {
+	for {
+		select {
+		case <-s.runCtx.Done():
+			return
+		default:
+		}
+		select {
+		case <-s.runCtx.Done():
+			return
+		case j := <-s.queue:
+			s.queuedOps.Add(-j.estOps)
+			s.runJob(j)
+		}
+	}
+}
+
+// estimateOps models a job's interaction count from the measured
+// ops-per-atom EWMA. It deliberately overestimates small molecules
+// rather than underestimating large ones: Retry-After built on it errs
+// toward clients backing off slightly long.
+func (s *Server) estimateOps(atoms int) int64 {
+	perAtom := math.Float64frombits(s.opsPerAtom.Load())
+	return int64(perAtom * float64(atoms))
+}
+
+// learnOps folds a completed job's measured ops into the EWMA.
+func (s *Server) learnOps(atoms int, perCore []int64) {
+	if atoms <= 0 {
+		return
+	}
+	total := int64(0)
+	for _, o := range perCore {
+		total += o
+	}
+	if total <= 0 {
+		return
+	}
+	measured := float64(total) / float64(atoms)
+	for {
+		oldBits := s.opsPerAtom.Load()
+		old := math.Float64frombits(oldBits)
+		next := 0.7*old + 0.3*measured
+		if s.opsPerAtom.CompareAndSwap(oldBits, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// retryAfter turns the modeled cost of the queued work into whole
+// seconds for a 429's Retry-After: queued ops divided by the machine's
+// compute rate across the default layout's cores, floored at 1 s.
+func (s *Server) retryAfter() int64 {
+	cores := float64(s.cfg.DefaultProcesses * s.cfg.DefaultThreads)
+	secs := float64(s.queuedOps.Load()) / (s.cfg.Machine.OpsPerSecond * cores)
+	if secs < 1 {
+		return 1
+	}
+	return int64(math.Ceil(secs))
+}
+
+// Admission errors, distinguished by sentinel so the HTTP layer can map
+// them without string matching.
+var (
+	errDraining   = errors.New("serve: draining")
+	errQueueFull  = errors.New("serve: queue full")
+	errOverQuota  = errors.New("serve: over quota")
+	errPersistJob = errors.New("serve: persisting job")
+)
+
+// admit validates, persists, and enqueues a request. It returns the
+// job, or one of the sentinel admission errors (with retryAfter
+// seconds for the 429s), or a molecule.ErrInvalidInput-wrapping error.
+func (s *Server) admit(req *JobRequest) (j *job, retryAfterSec int64, err error) {
+	s.count("serve.requests", 1)
+	if s.draining.Load() {
+		s.count("serve.rejected.draining", 1)
+		return nil, 0, errDraining
+	}
+	if ok, wait := s.quotas.take(req.Tenant); !ok {
+		s.count("serve.rejected.quota", 1)
+		return nil, int64(math.Ceil(wait.Seconds())), errOverQuota
+	}
+	mol, err := buildMolecule(req.Molecule, s.cfg.MaxAtoms)
+	if err != nil {
+		s.count("serve.rejected.invalid", 1)
+		return nil, 0, err
+	}
+	// Bound the queue BEFORE persisting: a rejected request leaves no
+	// trace on disk.
+	if len(s.queue) >= s.cfg.QueueDepth {
+		s.count("serve.rejected.overload", 1)
+		return nil, s.retryAfter(), errQueueFull
+	}
+	id, err := newJobID()
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %w", errPersistJob, err)
+	}
+	if s.cfg.DataDir != "" {
+		if err := s.persistJob(id, req); err != nil {
+			return nil, 0, fmt.Errorf("%w: %w", errPersistJob, err)
+		}
+	}
+	j = &job{id: id, req: *req, mol: mol,
+		estOps: s.estimateOps(mol.NumAtoms()), enqueued: s.cfg.Clock(),
+		view: JobView{ID: id, State: StateQueued}}
+	s.mu.Lock()
+	s.jobs[id] = j
+	s.mu.Unlock()
+	select {
+	case s.queue <- j:
+	default:
+		// Lost the race for the last slot; withdraw the job.
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		s.count("serve.rejected.overload", 1)
+		return nil, s.retryAfter(), errQueueFull
+	}
+	s.queuedOps.Add(j.estOps)
+	s.rec.Gauge("serve.queue.depth", int64(len(s.queue)))
+	s.count("serve.admitted", 1)
+	return j, 0, nil
+}
+
+// lookup returns a job's current view.
+func (s *Server) lookup(id string) (JobView, bool) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	v, done := s.done[id]
+	s.mu.Unlock()
+	if j != nil {
+		return j.snapshot(), true
+	}
+	if done {
+		return *v, true
+	}
+	return JobView{}, false
+}
+
+// finishInvalid records a terminal typed-input-error view for a job
+// that never got to run (used for resumed jobs that no longer
+// validate).
+func (s *Server) finishInvalid(id string, err error) {
+	view := &JobView{ID: id, State: StateFailed,
+		Error: &ErrorDoc{Code: CodeInvalidInput, Message: err.Error()}}
+	if s.cfg.DataDir != "" {
+		if perr := s.persistResult(id, view); perr != nil {
+			s.count("serve.persist_errors", 1)
+		}
+	}
+	s.mu.Lock()
+	s.done[id] = view
+	s.mu.Unlock()
+}
+
+// delaySink widens the checkpoint window (see Config.CheckpointDelay).
+type delaySink struct {
+	supervise.Store
+	d time.Duration
+}
+
+func (d delaySink) Save(phase gb.CheckpointPhase, encoded []byte) error {
+	time.Sleep(d.d)
+	return d.Store.Save(phase, encoded)
+}
+
+// runJob executes one job through the supervised ladder and records its
+// terminal view. Every exit is one of: done (possibly Degraded with a
+// bound), failed with a typed error, or interrupted by drain with a
+// durable checkpoint.
+func (s *Server) runJob(j *job) {
+	j.setView(func(v *JobView) { v.State = StateRunning })
+	start := s.cfg.Clock()
+
+	deadline := time.Duration(j.req.DeadlineMS) * time.Millisecond
+	if deadline > 0 {
+		waited := start.Sub(j.enqueued)
+		if waited >= deadline {
+			s.finishJob(j, nil, &ErrorDoc{Code: CodeDeadlineExceeded,
+				Message: fmt.Sprintf("deadline of %v expired after %v in queue", deadline, waited.Round(time.Millisecond))})
+			return
+		}
+		deadline -= waited
+	}
+
+	// Overload-aware shedding: under queue pressure, or when the last
+	// run's health view says ranks were lost or straggling, start on
+	// the relax rung. The job completes sooner at priced accuracy
+	// instead of competing at full cost.
+	shed := false
+	startEps := 0.0
+	if (s.cfg.ShedQueueDepth > 0 && len(s.queue) >= s.cfg.ShedQueueDepth) || s.unhealthy.Load() {
+		shed = true
+		startEps = s.cfg.ShedEpsFactor
+		s.count("serve.jobs.shed", 1)
+	}
+
+	out, runErr := s.superviseJob(j, deadline, startEps)
+
+	if runErr != nil {
+		if errors.Is(runErr, supervise.ErrCanceled) {
+			// Drain won: the newest checkpoint is durable, job.json is
+			// still there, result.json is not — the restarted daemon
+			// re-queues this job and resumes bitwise-identically.
+			j.setView(func(v *JobView) { v.State = StateInterrupted })
+			s.count("serve.jobs.interrupted", 1)
+			return
+		}
+		s.finishJob(j, nil, &ErrorDoc{Code: CodeInternal, Message: runErr.Error()})
+		return
+	}
+
+	res := out.Result
+	doc := &ResultDoc{
+		Epol:       res.Epol,
+		EpolBits:   epolBits(res.Epol),
+		BornCRC32:  bornCRCHex(res.Born),
+		Atoms:      j.mol.NumAtoms(),
+		Degraded:   out.Degraded,
+		ErrorBound: res.ErrorBound,
+		Rung:       out.Rung.String(),
+		EpsFactor:  out.EpsFactor,
+		Attempts:   len(out.Attempts),
+		Shed:       shed,
+		Resumed:    j.resumed,
+	}
+	s.learnOps(doc.Atoms, res.PerCoreOps)
+	if hv, ok := out.Recorder.Health(); ok {
+		s.unhealthy.Store(len(hv.Lost) > 0 || len(hv.Straggling) > 0)
+	}
+	s.finishJob(j, doc, nil)
+	if out.Degraded {
+		s.count("serve.jobs.degraded", 1)
+	}
+	s.rec.ObserveGauge("serve.job.wall_us", s.cfg.Clock().Sub(start).Microseconds())
+}
+
+// superviseJob builds the system and runs the ladder.
+func (s *Server) superviseJob(j *job, deadline time.Duration, startEps float64) (*supervise.Outcome, error) {
+	surf, err := surface.Build(j.mol, surface.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("building surface: %w", err)
+	}
+	sys, err := gb.NewSystem(j.mol, surf, gb.DefaultParams())
+	if err != nil {
+		return nil, fmt.Errorf("building system: %w", err)
+	}
+	P := j.req.Processes
+	if P <= 0 {
+		P = s.cfg.DefaultProcesses
+	}
+	threads := j.req.Threads
+	if threads <= 0 {
+		threads = s.cfg.DefaultThreads
+	}
+	var store supervise.Store
+	if s.cfg.DataDir != "" {
+		store = &supervise.DirStore{Dir: s.ckptDir(j.id)}
+	} else {
+		store = supervise.NewMemStore()
+	}
+	if s.cfg.CheckpointDelay > 0 {
+		store = delaySink{Store: store, d: s.cfg.CheckpointDelay}
+	}
+	var planFn func(int) *fault.Plan
+	if s.cfg.PlanFor != nil {
+		id := j.id
+		planFn = func(attempt int) *fault.Plan { return s.cfg.PlanFor(id, attempt) }
+	}
+	return supervise.Run(sys, supervise.Spec{
+		Processes:         P,
+		ThreadsPerProcess: threads,
+		Plan:              planFn,
+		Deadline:          deadline,
+		Retries:           s.cfg.Retries,
+		Seed:              j.req.Seed,
+		Store:             store,
+		Obs:               s.rec,
+		Clock:             s.cfg.Clock,
+		Context:           s.runCtx,
+		StartEpsFactor:    startEps,
+	})
+}
+
+// finishJob records a terminal view (exactly one of doc/errDoc is
+// non-nil), persists it, prunes the job's checkpoints, and moves the
+// job to the done set.
+func (s *Server) finishJob(j *job, doc *ResultDoc, errDoc *ErrorDoc) {
+	var view JobView
+	if errDoc != nil {
+		view = j.setView(func(v *JobView) {
+			v.State = StateFailed
+			v.Error = errDoc
+		})
+		s.count("serve.jobs.failed", 1)
+	} else {
+		view = j.setView(func(v *JobView) {
+			v.State = StateDone
+			v.Result = doc
+		})
+		s.count("serve.jobs.done", 1)
+	}
+	if s.cfg.DataDir != "" {
+		if err := s.persistResult(j.id, &view); err != nil {
+			s.count("serve.persist_errors", 1)
+		}
+		ds := &supervise.DirStore{Dir: s.ckptDir(j.id)}
+		if _, err := ds.Prune(s.cfg.KeepCheckpoints); err != nil {
+			s.count("serve.prune_errors", 1)
+		}
+	}
+	s.mu.Lock()
+	s.done[j.id] = &view
+	delete(s.jobs, j.id)
+	s.mu.Unlock()
+}
+
+// bornCRC fingerprints the Born radii bit-exactly: IEEE CRC-32 over the
+// little-endian bytes of each float64 in atom order.
+func bornCRC(born []float64) uint32 {
+	h := crc32.NewIEEE()
+	var buf [8]byte
+	for _, b := range born {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(b))
+		h.Write(buf[:])
+	}
+	return h.Sum32()
+}
+
+// bornCRCHex is bornCRC rendered the way ResultDoc carries it.
+func bornCRCHex(born []float64) string { return fmt.Sprintf("%08x", bornCRC(born)) }

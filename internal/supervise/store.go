@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 
 	"gbpolar/internal/gb"
@@ -83,6 +85,84 @@ func (d *DirStore) Save(phase gb.CheckpointPhase, encoded []byte) error {
 		return fmt.Errorf("supervise: publishing checkpoint: %w", err)
 	}
 	return nil
+}
+
+// Prune bounds the store's disk footprint: without it a long-lived
+// daemon checkpointing every job grows the directory without limit. It
+// removes, in order: stale ".ckpt-*" temp files (a crash between
+// CreateTemp and Rename orphans them), corrupt or truncated ".gbcp"
+// files (they can never be resumed, so they are evicted before any
+// valid snapshot is considered), and then, per config tag, every valid
+// snapshot but the newest keep (newest = highest phase: a later phase
+// strictly supersedes an earlier one for resume). Each removal is a
+// single atomic unlink and Latest tolerates missing files, so a Prune
+// racing a reader degrades resume at worst to a newer snapshot, never
+// to a torn one. keep below 1 keeps 1. Returns the number of files
+// removed; a missing directory is an empty store, not an error.
+func (d *DirStore) Prune(keep int) (int, error) {
+	if keep < 1 {
+		keep = 1
+	}
+	entries, err := os.ReadDir(d.Dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("supervise: reading checkpoint dir: %w", err)
+	}
+	removed := 0
+	remove := func(name string) error {
+		if err := os.Remove(filepath.Join(d.Dir, name)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("supervise: pruning %s: %w", name, err)
+		}
+		removed++
+		return nil
+	}
+	type snap struct {
+		name  string
+		phase gb.CheckpointPhase
+	}
+	byTag := make(map[uint32][]snap)
+	var tags []uint32
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case e.IsDir():
+			continue
+		case strings.HasPrefix(name, ".ckpt-"):
+			if err := remove(name); err != nil {
+				return removed, err
+			}
+		case strings.HasSuffix(name, ".gbcp"):
+			data, err := os.ReadFile(filepath.Join(d.Dir, name))
+			var ck *gb.Checkpoint
+			if err == nil {
+				ck, err = gb.DecodeCheckpoint(data)
+			}
+			if err != nil {
+				// Corrupt-first eviction: an undecodable snapshot never
+				// counts against the keep budget of a valid one.
+				if err := remove(name); err != nil {
+					return removed, err
+				}
+				continue
+			}
+			if len(byTag[ck.ConfigTag]) == 0 {
+				tags = append(tags, ck.ConfigTag)
+			}
+			byTag[ck.ConfigTag] = append(byTag[ck.ConfigTag], snap{name, ck.Phase})
+		}
+	}
+	for _, tag := range tags {
+		snaps := byTag[tag]
+		sort.Slice(snaps, func(i, j int) bool { return snaps[i].phase > snaps[j].phase })
+		for _, s := range snaps[min(keep, len(snaps)):] {
+			if err := remove(s.name); err != nil {
+				return removed, err
+			}
+		}
+	}
+	return removed, nil
 }
 
 // Latest implements Store: the highest-phase valid checkpoint file in

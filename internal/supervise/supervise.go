@@ -22,6 +22,8 @@
 package supervise
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -30,6 +32,13 @@ import (
 	"gbpolar/internal/gb"
 	"gbpolar/internal/obs"
 )
+
+// ErrCanceled marks a supervised computation stopped by Spec.Context —
+// the ladder is abandoned immediately (no fallback: a draining caller
+// wants the checkpoint kept for resume, not a best-effort completion).
+// errors.Is(err, ErrCanceled) and errors.Is(err, context.Canceled) both
+// hold on the returned error.
+var ErrCanceled = errors.New("supervise: canceled")
 
 // Rung identifies a level of the escalation ladder.
 type Rung int
@@ -122,6 +131,22 @@ type Spec struct {
 	// Clock reads wall time for the deadline (default time.Now;
 	// injectable for tests).
 	Clock func() time.Time
+	// Context cancels the supervised computation cooperatively: it is
+	// checked before every attempt and passed into each run (gb checks
+	// it at phase boundaries, after the completed phase's checkpoint is
+	// durable). On cancellation Run returns ErrCanceled instead of
+	// escalating — the store keeps the newest snapshot, so a later
+	// supervised run over the same store resumes bitwise-identically.
+	// Nil means never canceled.
+	Context context.Context
+	// StartEpsFactor pre-relaxes the ε tolerances before the first
+	// attempt (1 or 0 = unrelaxed). This is the serving layer's
+	// overload-shedding knob: under queue pressure a request starts on
+	// the relax rung directly, trading priced accuracy (the factor's
+	// epsPenalty lands in ErrorBound and the Outcome is Degraded) for
+	// admission capacity. Ladder entries at or below the factor are
+	// skipped — escalation only ever relaxes further.
+	StartEpsFactor float64
 }
 
 // AttemptRecord describes one attempt of the ladder walk.
@@ -221,14 +246,33 @@ func Run(s *gb.System, spec Spec) (*Outcome, error) {
 	curP := spec.Processes
 	curFactor := 1.0
 	baseEps := s.Params.EpsEpol
+	if spec.StartEpsFactor > 1 {
+		curFactor = spec.StartEpsFactor
+		curSys = s.WithRelaxedEps(curFactor)
+		rec.Count("supervise.preshed", 1)
+		rec.Event(0, "supervise", fmt.Sprintf("pre-shed: start at eps factor %.3g", curFactor))
+	}
 
 	expired := func() bool {
 		return !deadline.IsZero() && clock().After(deadline)
+	}
+	canceled := func() error {
+		if spec.Context == nil {
+			return nil
+		}
+		if err := spec.Context.Err(); err != nil {
+			rec.Count("supervise.canceled", 1)
+			return fmt.Errorf("%w: %w", ErrCanceled, err)
+		}
+		return nil
 	}
 
 	// attempt runs one rung. On success it finalizes out and returns true.
 	attemptNo := 0
 	attempt := func(rung Rung, policy gb.FaultPolicy, inject bool) (bool, error) {
+		if err := canceled(); err != nil {
+			return false, err
+		}
 		n := attemptNo
 		attemptNo++
 		rec.Count("supervise.attempts", 1)
@@ -252,6 +296,7 @@ func Run(s *gb.System, spec Spec) (*Outcome, error) {
 			Obs:               runRec,
 			Checkpoint:        store,
 			Resume:            resume,
+			Ctx:               spec.Context,
 		})
 		ar := AttemptRecord{
 			Attempt: n, Rung: rung, Processes: curP, EpsFactor: curFactor,
@@ -264,6 +309,15 @@ func Run(s *gb.System, spec Spec) (*Outcome, error) {
 			out.Attempts = append(out.Attempts, ar)
 			rec.Count("supervise.failures", 1)
 			rec.Event(0, "supervise", fmt.Sprintf("attempt %d failed: %v", n, err))
+			// A cancellation abandons the ladder: the run already saved
+			// its newest phase snapshot, and the caller (a draining
+			// daemon) will resume it in a later process.
+			if errors.Is(err, gb.ErrRunCanceled) {
+				return false, fmt.Errorf("%w: %w", ErrCanceled, err)
+			}
+			if cerr := canceled(); cerr != nil {
+				return false, cerr
+			}
 			return false, nil
 		}
 		out.Attempts = append(out.Attempts, ar)
@@ -342,8 +396,12 @@ func Run(s *gb.System, spec Spec) (*Outcome, error) {
 		}
 	}
 
-	// Rung: relax ε, one notch per attempt.
+	// Rung: relax ε, one notch per attempt. Notches at or below a
+	// pre-shed StartEpsFactor are already in effect and are skipped.
 	for _, f := range ladder {
+		if f <= curFactor {
+			continue
+		}
 		if expired() {
 			out.DeadlineExceeded = true
 			rec.Count("supervise.deadline_exceeded", 1)
