@@ -6,7 +6,7 @@ GO ?= go
 BENCH_MAX_ATOMS ?= 2000
 BENCH_REPEATS ?= 3
 
-.PHONY: build test lint check check-race chaos-smoke trace-smoke serve-smoke bench-json bench-gate
+.PHONY: build test lint lint-json lint-self check check-race chaos-smoke trace-smoke serve-smoke bench-json bench-gate
 
 build:
 	$(GO) build ./...
@@ -14,11 +14,26 @@ build:
 test:
 	$(GO) test ./...
 
-# lint runs the project static-analysis suite (internal/analysis): SPMD
-# collective symmetry, simmpi/fault error handling, kernel determinism,
-# panic-freedom in libraries, float equality. Nonzero exit on findings.
+# lint runs the project static-analysis suite (internal/analysis), eight
+# analyzers: per-function SPMD collective symmetry, simmpi/fault error
+# handling, kernel determinism, panic-freedom in libraries, float
+# equality, plus the interprocedural trio — collectivesym (cross-function
+# collective divergence over the call graph), ctxflow (cancellation
+# propagation), and hotalloc (per-iteration allocation in hot loops).
+# Nonzero exit on findings. `make lint-json` emits the same findings as
+# deterministic JSON for tooling.
 lint:
 	$(GO) run ./cmd/gblint ./...
+
+lint-json:
+	$(GO) run ./cmd/gblint -json ./...
+
+# lint-self runs the analyzers over their own golden corpora in both
+# polarities (must-find positives, must-not-find negative twins) plus
+# the call-graph and loader unit tests: a silently broken analyzer
+# fails here instead of passing vacuously over a clean module.
+lint-self:
+	$(GO) test -count=1 -run 'TestGolden|TestMalformedIgnore|TestCallGraph|TestLoad' ./internal/analysis/
 
 # chaos-smoke replays seeded chaos schedules against the runtime and the
 # self-healing drivers under a short deadline: any deadlock fails fast.
@@ -73,6 +88,6 @@ check-race:
 # The race detector multiplies the bench suite's runtime ~14x (past go
 # test's 600s default package timeout on modest hardware), so the race
 # pass carries an explicit generous timeout.
-check: chaos-smoke lint trace-smoke serve-smoke
+check: chaos-smoke lint lint-self trace-smoke serve-smoke
 	$(GO) vet ./...
 	$(GO) test -race -timeout 3600s ./...

@@ -3,25 +3,50 @@
 //
 // Usage:
 //
-//	gblint [./...]
+//	gblint [-json] [-github] [./...]
 //
-// The argument is accepted for familiarity but the whole module is
+// The path argument is accepted for familiarity but the whole module is
 // always analyzed — the invariants (SPMD symmetry, determinism,
-// panic-freedom) are module-wide properties.
+// panic-freedom, cancellation propagation, hot-loop allocation) are
+// module-wide properties.
+//
+// Output modes:
+//
+//	(default)  one "file:line:col: analyzer: message" line per finding
+//	-json      a deterministic JSON array of findings (sorted by file,
+//	           line, column, analyzer — the order Analyze returns)
+//	-github    GitHub Actions workflow commands (::error file=...) so
+//	           findings surface as inline PR annotations; the plain
+//	           lines are still printed for the job log
 //
 // Exit status: 0 when clean, 1 when findings are reported, 2 when the
 // module fails to load or type-check.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"gbpolar/internal/analysis"
 )
 
+// jsonFinding is the stable wire shape of one finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
-	for _, arg := range os.Args[1:] {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of plain lines")
+	githubOut := flag.Bool("github", false, "also emit GitHub Actions ::error annotations")
+	flag.Parse()
+	for _, arg := range flag.Args() {
 		if arg != "./..." && arg != "." {
 			fmt.Fprintf(os.Stderr, "gblint: unsupported argument %q (the whole module is always analyzed)\n", arg)
 			os.Exit(2)
@@ -39,11 +64,46 @@ func main() {
 		os.Exit(2)
 	}
 	findings := analysis.Analyze(loader.Fset, pkgs, analysis.All)
-	for _, f := range findings {
-		fmt.Println(f.String())
+
+	switch {
+	case *jsonOut:
+		out := make([]jsonFinding, 0, len(findings)) // [] not null when clean
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "gblint: %v\n", err)
+			os.Exit(2)
+		}
+	default:
+		for _, f := range findings {
+			fmt.Println(f.String())
+			if *githubOut {
+				fmt.Printf("::error file=%s,line=%d,col=%d,title=gblint/%s::%s\n",
+					f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer,
+					escapeWorkflowData(f.Message))
+			}
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "gblint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// escapeWorkflowData escapes a workflow-command data value per the
+// GitHub Actions command syntax (%, CR, LF).
+func escapeWorkflowData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }

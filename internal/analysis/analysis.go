@@ -2,12 +2,21 @@
 // enforces the invariants the compiler cannot see but the paper's
 // correctness story rests on:
 //
-//   - every rank executes the same sequence of collectives (spmdsym);
+//   - every rank executes the same sequence of collectives, within one
+//     function body (spmdsym) and across the whole call tree
+//     (collectivesym);
 //   - simmpi/fault error returns are never silently dropped (erretcheck);
 //   - numeric kernels are bitwise deterministic — no map-order float
 //     accumulation, no unseeded RNGs, no clock reads (determinism);
 //   - library packages never panic or exit the process (panicfree);
-//   - float64 values are never compared with == / != (floateq).
+//   - float64 values are never compared with == / != (floateq);
+//   - functions that receive a context never block unguarded and never
+//     drop the context for a fresh root (ctxflow);
+//   - the hot kernel loops never allocate per iteration (hotalloc).
+//
+// The interprocedural analyzers (collectivesym, ctxflow) share a
+// module-local call graph (see callgraph.go) built once per Analyze call
+// and exposed to passes via Pass.Prog.
 //
 // The suite is built on the standard library only (go/ast, go/parser,
 // go/types): go.mod stays dependency-free. Findings carry file:line
@@ -21,8 +30,10 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Finding is one diagnostic.
@@ -38,10 +49,38 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 }
 
+// Program is the whole-module view shared by every pass of one Analyze
+// call: the loaded package set plus lazily-built interprocedural
+// infrastructure. Analyzers that only need their own package ignore it.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	cgOnce sync.Once
+	cg     *CallGraph
+
+	collOnce  sync.Once
+	collSums  map[*CGNode]*collSummary
+	collTaint map[*types.Var]bool
+
+	ctxOnce sync.Once
+	ctxSums map[*CGNode]*ctxSummary
+}
+
+// CallGraph returns the module-local call graph, built on first use.
+func (p *Program) CallGraph() *CallGraph {
+	p.cgOnce.Do(func() { p.cg = buildCallGraph(p.Fset, p.Pkgs) })
+	return p.cg
+}
+
 // Pass is one analyzer's view of one package.
 type Pass struct {
 	Fset *token.FileSet
 	Pkg  *Package
+	// Prog is the whole-module view for interprocedural analyzers. A
+	// pass must still report only positions inside Pkg, so //lint:ignore
+	// suppression and finding attribution stay per-package.
+	Prog *Program
 
 	analyzer *Analyzer
 	report   func(Finding)
@@ -63,8 +102,10 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// All holds the five project analyzers in reporting order.
-var All = []*Analyzer{SPMDSym, ErrRetCheck, Determinism, PanicFree, FloatEq}
+// All holds the eight project analyzers in reporting order: the five
+// per-function checks, then the interprocedural suite.
+var All = []*Analyzer{SPMDSym, ErrRetCheck, Determinism, PanicFree, FloatEq,
+	CollectiveSym, CtxFlow, HotAlloc}
 
 // byName maps analyzer names for directive scoping.
 var byName = func() map[string]*Analyzer {
@@ -78,6 +119,7 @@ var byName = func() map[string]*Analyzer {
 // Analyze runs the analyzers over the packages, applies `//lint:ignore`
 // directives, and returns the surviving findings sorted by position.
 func Analyze(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Finding {
+	prog := &Program{Fset: fset, Pkgs: pkgs}
 	var all []Finding
 	for _, pkg := range pkgs {
 		dirs, bad := collectDirectives(fset, pkg)
@@ -86,6 +128,7 @@ func Analyze(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Find
 			pass := &Pass{
 				Fset:     fset,
 				Pkg:      pkg,
+				Prog:     prog,
 				analyzer: a,
 				report:   func(f Finding) { found = append(found, f) },
 			}

@@ -1,0 +1,439 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file is the interprocedural substrate of the suite: a module-local
+// call graph built on go/types, shared by the analyzers that must see
+// across function boundaries (collectivesym, ctxflow). The graph is
+// deliberately conservative rather than clever:
+//
+//   - static calls to package-level functions resolve to their nodes;
+//   - method calls resolve when the receiver's static type is concrete
+//     (go/types already gives us the *types.Func); interface-method
+//     calls do NOT resolve — the edge is recorded as unknown;
+//   - function values resolve through one level of local assignment:
+//     a local variable assigned exactly once from a function literal, a
+//     package function, or a concrete method value (f := helper,
+//     f := c.Barrier, f := func() {...}) routes calls of f to that
+//     target. Reassigned or escaping variables are unknown;
+//   - calls into packages outside the loaded set (the standard library)
+//     have no bodies here and resolve to nil callees; analyzers decide
+//     what that means (collectivesym: stdlib cannot call simmpi, so the
+//     effect is empty; the Unknown flag still records the blind spot).
+//
+// Every unresolved call marks the calling node Unknown, so analyzers can
+// surface (or at least account for) their blind spots instead of
+// silently treating them as no-ops.
+
+// CGNode is one function in the call graph: a declared function or
+// method (Decl != nil) or a function literal (Lit != nil).
+type CGNode struct {
+	// Func is the types object for declared functions; nil for literals.
+	Func *types.Func
+	// Decl / Lit hold the syntax (exactly one is non-nil).
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+	// Pkg is the package the function's body lives in.
+	Pkg *Package
+	// Calls are the node's call sites in source order.
+	Calls []CGEdge
+	// Unknown records that the node makes at least one call the graph
+	// could not resolve to a module-local body (interface dispatch,
+	// escaping function value, or a callee outside the loaded set).
+	Unknown bool
+	// scc is the node's strongly-connected-component index; components
+	// are numbered in reverse topological order (callees before callers)
+	// by condense.
+	scc int
+}
+
+// Name returns a human-readable name: "pkg.Func", "(pkg.T).Method", or
+// "func literal" for anonymous functions.
+func (n *CGNode) Name() string {
+	if n.Func == nil {
+		return "func literal"
+	}
+	sig := n.Func.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + n.Func.Name()
+		}
+	}
+	return n.Func.Name()
+}
+
+// Body returns the function's block statement.
+func (n *CGNode) Body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return n.Lit.Body
+}
+
+// CGEdge is one call site.
+type CGEdge struct {
+	// Call is the call expression.
+	Call *ast.CallExpr
+	// Callee is the resolved target, nil when unresolved.
+	Callee *CGNode
+}
+
+// CallGraph is the module-local call graph over a set of loaded packages.
+type CallGraph struct {
+	// Nodes maps declared functions and methods to their nodes.
+	Nodes map[*types.Func]*CGNode
+	// Lits maps function literals to their (synthetic) nodes.
+	Lits map[*ast.FuncLit]*CGNode
+	// ordered holds every node in a deterministic order (file position).
+	ordered []*CGNode
+	// sccs holds the strongly connected components in reverse topological
+	// order: every call from sccs[i] lands in sccs[j] with j <= i.
+	sccs [][]*CGNode
+}
+
+// All returns every node in deterministic (position) order.
+func (g *CallGraph) All() []*CGNode { return g.ordered }
+
+// SCCs returns the strongly connected components in bottom-up order
+// (callees before callers); mutually recursive functions share a
+// component. Analyzers compute summaries by iterating components in
+// this order, fixpointing within each component.
+func (g *CallGraph) SCCs() [][]*CGNode { return g.sccs }
+
+// SameSCC reports whether two nodes are mutually recursive.
+func (g *CallGraph) SameSCC(a, b *CGNode) bool { return a.scc == b.scc }
+
+// buildCallGraph constructs the graph for a package set.
+func buildCallGraph(fset *token.FileSet, pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		Nodes: make(map[*types.Func]*CGNode),
+		Lits:  make(map[*ast.FuncLit]*CGNode),
+	}
+	// Pass 1: create nodes for every declared function/method and every
+	// function literal, so edges can resolve forward references.
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				g.Nodes[fn] = &CGNode{Func: fn, Decl: fd, Pkg: pkg}
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					g.Lits[lit] = &CGNode{Lit: lit, Pkg: pkg}
+				}
+				return true
+			})
+		}
+	}
+	// Pass 2: resolve call edges within each body.
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					if fn, _ := pkg.Info.Defs[fd.Name].(*types.Func); fn != nil {
+						g.addEdges(g.Nodes[fn], pkg, fd.Body)
+					}
+				}
+			}
+		}
+	}
+	for lit, node := range g.Lits {
+		g.addEdges(node, node.Pkg, lit.Body)
+	}
+	// Deterministic order, then condense.
+	for _, n := range g.Nodes {
+		g.ordered = append(g.ordered, n)
+	}
+	for _, n := range g.Lits {
+		g.ordered = append(g.ordered, n)
+	}
+	sort.Slice(g.ordered, func(i, j int) bool {
+		return g.ordered[i].posKey(fset) < g.ordered[j].posKey(fset)
+	})
+	g.condense()
+	return g
+}
+
+// posKey orders nodes by file then offset.
+func (n *CGNode) posKey(fset *token.FileSet) string {
+	var pos token.Position
+	if n.Decl != nil {
+		pos = fset.Position(n.Decl.Pos())
+	} else {
+		pos = fset.Position(n.Lit.Pos())
+	}
+	return pos.Filename + "\x00" + fixedWidth(pos.Offset)
+}
+
+// fixedWidth renders an offset sortable as a string.
+func fixedWidth(off int) string {
+	buf := [12]byte{'0', '0', '0', '0', '0', '0', '0', '0', '0', '0', '0', '0'}
+	for i := len(buf) - 1; off > 0 && i >= 0; i-- {
+		buf[i] = byte('0' + off%10)
+		off /= 10
+	}
+	return string(buf[:])
+}
+
+// addEdges walks one body, skipping nested literals (they are their own
+// nodes; the enclosing function gets an edge only where the literal is
+// actually called or locally bound and called).
+func (g *CallGraph) addEdges(node *CGNode, pkg *Package, body *ast.BlockStmt) {
+	info := pkg.Info
+	binds := localFuncBindings(info, body, g)
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch c := c.(type) {
+			case *ast.FuncLit:
+				if c != n {
+					return false // nested literal: its calls belong to its own node
+				}
+			case *ast.CallExpr:
+				g.addCall(node, pkg, c, binds)
+			}
+			return true
+		})
+	}
+	walk(body)
+}
+
+// addCall resolves one call expression to an edge.
+func (g *CallGraph) addCall(node *CGNode, pkg *Package, call *ast.CallExpr, binds map[*types.Var]*CGNode) {
+	info := pkg.Info
+	fun := ast.Unparen(call.Fun)
+
+	// Conversions and builtins are not calls for the graph's purposes.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		return
+	}
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			return
+		}
+	}
+
+	// Immediately-invoked literal: func(){...}().
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		node.Calls = append(node.Calls, CGEdge{Call: call, Callee: g.Lits[lit]})
+		return
+	}
+
+	// Static function or concrete-receiver method call.
+	if f := calleeFunc(info, call); f != nil {
+		if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if types.IsInterface(sig.Recv().Type()) {
+				// Interface dispatch: target unknowable.
+				node.Unknown = true
+				node.Calls = append(node.Calls, CGEdge{Call: call})
+				return
+			}
+		}
+		if target, ok := g.Nodes[f]; ok {
+			node.Calls = append(node.Calls, CGEdge{Call: call, Callee: target})
+		} else {
+			// Outside the loaded set (standard library): no body here.
+			node.Calls = append(node.Calls, CGEdge{Call: call})
+			node.Unknown = true
+		}
+		return
+	}
+
+	// Call through a variable: resolve single-assignment local bindings.
+	if id, ok := fun.(*ast.Ident); ok {
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			if target, ok := binds[v]; ok && target != nil {
+				node.Calls = append(node.Calls, CGEdge{Call: call, Callee: target})
+				return
+			}
+		}
+	}
+	node.Calls = append(node.Calls, CGEdge{Call: call})
+	node.Unknown = true
+}
+
+// localFuncBindings maps local variables bound exactly once to a
+// resolvable function value — a literal (f := func(){...}), a package
+// function (f := helper), or a concrete method value (f := c.Barrier).
+// A variable assigned more than once, or assigned anything else, maps to
+// nil (explicitly unknown).
+func localFuncBindings(info *types.Info, body *ast.BlockStmt, g *CallGraph) map[*types.Var]*CGNode {
+	binds := make(map[*types.Var]*CGNode)
+	seen := make(map[*types.Var]int)
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		v, _ := info.Defs[id].(*types.Var)
+		if v == nil {
+			v, _ = info.Uses[id].(*types.Var)
+		}
+		if v == nil {
+			return
+		}
+		seen[v]++
+		if seen[v] > 1 {
+			binds[v] = nil // reassigned: unknown
+			return
+		}
+		binds[v] = resolveFuncValue(info, rhs, g)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					if isFuncValued(info, n.Rhs[i]) {
+						record(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Names) == len(vs.Values) {
+					for i := range vs.Names {
+						if isFuncValued(info, vs.Values[i]) {
+							record(vs.Names[i], vs.Values[i])
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return binds
+}
+
+// isFuncValued reports whether an expression has function type.
+func isFuncValued(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Signature)
+	return ok
+}
+
+// resolveFuncValue resolves a function-valued expression to a node:
+// literals, package-function references, and concrete method values.
+// Anything else (parameters, results of calls, interface method values)
+// returns nil.
+func resolveFuncValue(info *types.Info, e ast.Expr, g *CallGraph) *CGNode {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		return g.Lits[e]
+	case *ast.Ident:
+		if f, ok := info.Uses[e].(*types.Func); ok {
+			return g.Nodes[f]
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.MethodVal {
+			if types.IsInterface(sel.Recv()) {
+				return nil
+			}
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return g.Nodes[f]
+			}
+		}
+		// Qualified package function: pkg.Func.
+		if f, ok := info.Uses[e.Sel].(*types.Func); ok {
+			if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() == nil {
+				return g.Nodes[f]
+			}
+		}
+	}
+	return nil
+}
+
+// condense computes strongly connected components with Tarjan's
+// algorithm (iterative, so deep module call chains cannot overflow the
+// goroutine stack) and stores them in reverse topological order.
+func (g *CallGraph) condense() {
+	index := make(map[*CGNode]int)
+	low := make(map[*CGNode]int)
+	onStack := make(map[*CGNode]bool)
+	var stack []*CGNode
+	next := 0
+
+	type frame struct {
+		node *CGNode
+		edge int
+	}
+	for _, root := range g.ordered {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		work := []frame{{node: root}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			advanced := false
+			for f.edge < len(f.node.Calls) {
+				e := f.node.Calls[f.edge]
+				f.edge++
+				w := e.Callee
+				if w == nil {
+					continue
+				}
+				if _, seen := index[w]; !seen {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					work = append(work, frame{node: w})
+					advanced = true
+					break
+				} else if onStack[w] && low[f.node] > index[w] {
+					low[f.node] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			v := f.node
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].node
+				if low[parent] > low[v] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []*CGNode
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				for _, m := range comp {
+					m.scc = len(g.sccs)
+				}
+				g.sccs = append(g.sccs, comp)
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import "testing"
+
+// callgraphProgram builds a Program over the callgraph corpus plus the
+// simmpi stub it calls into, sharing the corpus loader's cache.
+func callgraphProgram(t *testing.T) *Program {
+	t.Helper()
+	fset, pkgs := loadCorpus(t)
+	cg := pkgs["corpus/callgraph"]
+	mpi := pkgs["gbpolar/internal/simmpi"]
+	if cg == nil || mpi == nil {
+		t.Fatal("callgraph corpus or simmpi stub not loaded")
+	}
+	return &Program{Fset: fset, Pkgs: []*Package{cg, mpi}}
+}
+
+// findNode locates a declared function/method by its display name.
+func findNode(t *testing.T, g *CallGraph, name string) *CGNode {
+	t.Helper()
+	var found *CGNode
+	for _, n := range g.All() {
+		if n.Decl != nil && n.Name() == name {
+			if found != nil {
+				t.Fatalf("duplicate node %q", name)
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatalf("no node %q in the graph", name)
+	}
+	return found
+}
+
+// TestCallGraphMutualRecursion: pingA and pingB call each other, so
+// they must share an SCC, and the collective-summary fixpoint over
+// that component must converge — to the mixed lattice point that still
+// remembers Barrier is involved — rather than growing forever.
+func TestCallGraphMutualRecursion(t *testing.T) {
+	prog := callgraphProgram(t)
+	g := prog.CallGraph()
+	a := findNode(t, g, "pingA")
+	b := findNode(t, g, "pingB")
+	if !g.SameSCC(a, b) {
+		t.Fatal("pingA and pingB are mutually recursive but not in the same SCC")
+	}
+	if g.SameSCC(a, findNode(t, g, "callsLit")) {
+		t.Fatal("callsLit wrongly merged into the pingA/pingB component")
+	}
+	sums := prog.collectiveSummaries()
+	for _, n := range []*CGNode{a, b} {
+		eff := sums[n].eff
+		if !eff.mixed {
+			t.Errorf("%s: recursive summary did not converge to mixed: %+v", n.Name(), eff)
+		}
+		if !eff.kindSet()["Barrier"] {
+			t.Errorf("%s: converged summary lost the Barrier kind: %+v", n.Name(), eff)
+		}
+	}
+}
+
+// TestCallGraphResolvedEdges: a locally-bound literal and a concrete
+// method value both resolve to real callee nodes, leaving no recorded
+// blind spot.
+func TestCallGraphResolvedEdges(t *testing.T) {
+	g := callgraphProgram(t).CallGraph()
+
+	lit := findNode(t, g, "callsLit")
+	var litEdge bool
+	for _, e := range lit.Calls {
+		if e.Callee != nil && e.Callee.Lit != nil {
+			litEdge = true
+		}
+	}
+	if !litEdge {
+		t.Error("callsLit: call through the local binding did not resolve to the literal's node")
+	}
+	if lit.Unknown {
+		t.Error("callsLit: fully resolved node wrongly marked Unknown")
+	}
+
+	mv := findNode(t, g, "callsMethodValue")
+	var mvEdge bool
+	for _, e := range mv.Calls {
+		if e.Callee != nil && e.Callee.Name() == "Comm.Barrier" {
+			mvEdge = true
+		}
+	}
+	if !mvEdge {
+		t.Error("callsMethodValue: method-value call did not resolve to Comm.Barrier")
+	}
+	if mv.Unknown {
+		t.Error("callsMethodValue: fully resolved node wrongly marked Unknown")
+	}
+}
+
+// TestCallGraphUnknownConservatism: interface dispatch, stdlib calls,
+// and reassigned function variables must be recorded as blind spots —
+// an unresolved edge plus the node's Unknown flag — never silently
+// resolved.
+func TestCallGraphUnknownConservatism(t *testing.T) {
+	g := callgraphProgram(t).CallGraph()
+	for _, name := range []string{"callsInterface", "callsStdlib", "reassigned"} {
+		n := findNode(t, g, name)
+		if !n.Unknown {
+			t.Errorf("%s: unresolvable call did not mark the node Unknown", name)
+		}
+		var nilEdge bool
+		for _, e := range n.Calls {
+			if e.Callee == nil {
+				nilEdge = true
+			}
+		}
+		if !nilEdge {
+			t.Errorf("%s: expected at least one unresolved (nil-callee) edge", name)
+		}
+	}
+	// And a reassigned binding must not resolve to either literal.
+	re := findNode(t, g, "reassigned")
+	for _, e := range re.Calls {
+		if e.Callee != nil && e.Callee.Lit != nil {
+			t.Error("reassigned: call through a twice-assigned variable wrongly resolved to a literal")
+		}
+	}
+}

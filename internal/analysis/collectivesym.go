@@ -1,0 +1,659 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// CollectiveSym is the interprocedural extension of spmdsym: it computes
+// a per-function *collective-effect summary* — the ordered sequence of
+// simmpi collective kinds a call of the function may execute, including
+// via its callees — propagates summaries bottom-up over the call graph's
+// strongly connected components, and reports rank-dependent branch
+// points whose paths have divergent effects anywhere in the transitive
+// call tree. This is the deadlock class a cross-function refactor (the
+// sharded-octree plan) is most likely to introduce: the collective moves
+// two calls down, the branch stays where it was, and the per-function
+// spmdsym can no longer see the pair.
+//
+// The summary lattice, bottom to top:
+//
+//	known sequence  — the function executes exactly this ordered list of
+//	                  collective kinds (each element carries the call
+//	                  path it was inlined through, for reporting);
+//	mixed           — the effect depends on data or iteration count
+//	                  (diverging non-rank branches, loops with
+//	                  collective bodies, capped or non-converging
+//	                  recursion). Mixed is uniform across ranks — every
+//	                  rank takes the same data-dependent path — so it
+//	                  compares equal to anything in the divergence
+//	                  check: precision is sacrificed, soundness of the
+//	                  "no false positives on uniform control flow" rule
+//	                  is kept.
+//
+// Conservatism rules (all recorded on the summary's Unknown flag rather
+// than silently dropped): interface-method calls and calls through
+// escaping function values resolve to no body and contribute no effect;
+// calls into the standard library likewise (the library cannot call
+// back into simmpi except through a function value, and escaping
+// function literals are inlined at their creation point to cover
+// exactly that case). Within an SCC, summaries are iterated to a
+// fixpoint with the sequence length capped (maxCollSeq); recursion that
+// keeps growing its sequence converges to mixed.
+var CollectiveSym = &Analyzer{
+	Name: "collectivesym",
+	Doc:  "rank-dependent branches with divergent collective effects anywhere in the call tree",
+	Run:  runCollectiveSym,
+}
+
+// maxCollSeq caps summary sequences; longer effects degrade to mixed.
+const maxCollSeq = 16
+
+// maxSCCIters bounds the within-component fixpoint iteration.
+const maxSCCIters = 8
+
+// collEvent is one collective in a summary sequence.
+type collEvent struct {
+	kind string // Barrier, Allreduce, ...
+	path string // call chain the event was inlined through; "" = direct
+}
+
+func (e collEvent) describe() string {
+	if e.path == "" {
+		return e.kind
+	}
+	return e.kind + " (via " + e.path + ")"
+}
+
+// collEffect is a point in the summary lattice.
+type collEffect struct {
+	seq     []collEvent
+	mixed   bool
+	kinds   map[string]bool // union of kinds possibly executed (mixed)
+	unknown bool
+}
+
+func (e collEffect) empty() bool { return !e.mixed && len(e.seq) == 0 }
+
+func (e collEffect) kindSet() map[string]bool {
+	out := make(map[string]bool, len(e.kinds)+len(e.seq))
+	for k := range e.kinds {
+		out[k] = true
+	}
+	for _, ev := range e.seq {
+		out[ev.kind] = true
+	}
+	return out
+}
+
+// mixedEffect collapses an effect to the mixed lattice point.
+func mixedEffect(parts ...collEffect) collEffect {
+	out := collEffect{mixed: true, kinds: map[string]bool{}}
+	for _, p := range parts {
+		for k := range p.kindSet() {
+			out.kinds[k] = true
+		}
+		out.unknown = out.unknown || p.unknown
+	}
+	return out
+}
+
+// concatEffect sequences two effects.
+func concatEffect(a, b collEffect) collEffect {
+	if a.mixed || b.mixed {
+		return mixedEffect(a, b)
+	}
+	out := collEffect{unknown: a.unknown || b.unknown}
+	out.seq = append(append([]collEvent{}, a.seq...), b.seq...)
+	if len(out.seq) > maxCollSeq {
+		return mixedEffect(a, b)
+	}
+	return out
+}
+
+// mergeEffect joins two branch arms: equal known sequences stay known,
+// anything else degrades to mixed.
+func mergeEffect(a, b collEffect) collEffect {
+	if !a.mixed && !b.mixed && collSeqEqual(a.seq, b.seq) {
+		return collEffect{seq: a.seq, unknown: a.unknown || b.unknown}
+	}
+	return mixedEffect(a, b)
+}
+
+// collSeqEqual compares the kinds of two sequences (paths are
+// provenance, not identity: Barrier-via-f equals Barrier-via-g).
+func collSeqEqual(a, b []collEvent) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].kind != b[i].kind {
+			return false
+		}
+	}
+	return true
+}
+
+func effectEqual(a, b collEffect) bool {
+	if a.mixed != b.mixed || a.unknown != b.unknown {
+		return false
+	}
+	if a.mixed {
+		if len(a.kinds) != len(b.kinds) {
+			return false
+		}
+		for k := range a.kinds {
+			if !b.kinds[k] {
+				return false
+			}
+		}
+		return true
+	}
+	return collSeqEqual(a.seq, b.seq)
+}
+
+// collSummary is a node's computed summary.
+type collSummary struct {
+	eff collEffect
+}
+
+// collectiveSummaries computes (once per Program) every node's summary,
+// bottom-up over SCCs with within-component fixpointing.
+func (p *Program) collectiveSummaries() map[*CGNode]*collSummary {
+	p.collOnce.Do(func() {
+		g := p.CallGraph()
+		sums := make(map[*CGNode]*collSummary, len(g.All()))
+		for _, n := range g.All() {
+			sums[n] = &collSummary{}
+		}
+		taint := p.rankParamTaint(g)
+		p.collTaint = taint
+		for _, comp := range g.SCCs() {
+			for iter := 0; ; iter++ {
+				changed := false
+				for _, n := range comp {
+					c := &collComputer{prog: p, node: n, sums: sums, taint: taint}
+					eff := c.summarize()
+					if !effectEqual(sums[n].eff, eff) {
+						sums[n].eff = eff
+						changed = true
+					}
+				}
+				if !changed {
+					break
+				}
+				if iter >= maxSCCIters {
+					// Force convergence: the component's effect is mixed.
+					parts := make([]collEffect, 0, len(comp))
+					for _, n := range comp {
+						parts = append(parts, sums[n].eff)
+					}
+					m := mixedEffect(parts...)
+					for _, n := range comp {
+						sums[n].eff = m
+					}
+					break
+				}
+			}
+		}
+		p.collSums = sums
+	})
+	return p.collSums
+}
+
+// rankParamTaint propagates rank taint interprocedurally: a parameter is
+// rank-tainted when any call site passes it a rank-derived argument, and
+// taint seeds the callee's local analysis in turn. Fixpoint over the
+// whole graph, bounded by the total parameter count.
+func (p *Program) rankParamTaint(g *CallGraph) map[*types.Var]bool {
+	taint := make(map[*types.Var]bool)
+	for iter := 0; iter < 16; iter++ {
+		changed := false
+		for _, n := range g.All() {
+			info := n.Pkg.Info
+			local := localRankTaint(info, n, taint)
+			for _, e := range n.Calls {
+				if e.Callee == nil || e.Callee.Func == nil {
+					continue
+				}
+				sig, ok := e.Callee.Func.Type().(*types.Signature)
+				if !ok || sig.Variadic() || sig.Params().Len() != len(e.Call.Args) {
+					continue
+				}
+				for i, arg := range e.Call.Args {
+					if rankTaintedExpr(info, arg, local) {
+						pv := sig.Params().At(i)
+						if !taint[pv] {
+							taint[pv] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return taint
+}
+
+// localRankTaint computes a node's rank-tainted local variables, seeded
+// with interprocedurally tainted parameters.
+func localRankTaint(info *types.Info, n *CGNode, paramTaint map[*types.Var]bool) map[*types.Var]bool {
+	tainted := rankTaintedVars(info, n.Body())
+	sig := nodeSignature(info, n)
+	if sig != nil {
+		for i := 0; i < sig.Params().Len(); i++ {
+			if pv := sig.Params().At(i); paramTaint[pv] {
+				tainted[pv] = true
+			}
+		}
+	}
+	return tainted
+}
+
+// nodeSignature returns a node's *types.Signature.
+func nodeSignature(info *types.Info, n *CGNode) *types.Signature {
+	if n.Func != nil {
+		sig, _ := n.Func.Type().(*types.Signature)
+		return sig
+	}
+	if t := info.TypeOf(n.Lit); t != nil {
+		sig, _ := t.(*types.Signature)
+		return sig
+	}
+	return nil
+}
+
+// rankTaintedExpr reports whether an expression derives from the rank:
+// it mentions a tainted variable or calls (*simmpi.Comm).Rank.
+// Error-typed values are never rank taint: simmpi's world aborts on any
+// rank's error (all blocked and future communication fails everywhere),
+// so `if err != nil { return err }` after a collective is rank-uniform
+// by the library's own semantics — the sanctioned error idiom must not
+// read as a divergent branch.
+func rankTaintedExpr(info *types.Info, e ast.Expr, tainted map[*types.Var]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if v, ok := info.Uses[n].(*types.Var); ok && tainted[v] && !isErrorType(v.Type()) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if isMethodOn(info, n, "internal/simmpi", "Comm", map[string]bool{"Rank": true}) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// collComputer evaluates one node's effect with continuation semantics:
+// the effect of a statement list is computed right-to-left, so an early
+// return in one branch arm naturally drops the collectives the other
+// arm still executes — the divergence the analyzer exists to catch.
+type collComputer struct {
+	prog  *Program
+	node  *CGNode
+	sums  map[*CGNode]*collSummary
+	taint map[*types.Var]bool
+
+	// report, when non-nil, receives divergence findings (reporting
+	// pass); nil during summary fixpointing.
+	report func(pos ast.Node, format string, args ...any)
+
+	edges     map[*ast.CallExpr]*CGNode
+	boundLits map[*ast.FuncLit]bool
+	local     map[*types.Var]bool
+}
+
+func (c *collComputer) init() {
+	c.edges = make(map[*ast.CallExpr]*CGNode, len(c.node.Calls))
+	for _, e := range c.node.Calls {
+		if e.Callee != nil {
+			c.edges[e.Call] = e.Callee
+		}
+	}
+	c.boundLits = make(map[*ast.FuncLit]bool)
+	for _, t := range localFuncBindings(c.node.Pkg.Info, c.node.Body(), c.prog.CallGraph()) {
+		if t != nil && t.Lit != nil {
+			c.boundLits[t.Lit] = true
+		}
+	}
+	c.local = localRankTaint(c.node.Pkg.Info, c.node, c.taint)
+}
+
+func (c *collComputer) summarize() collEffect {
+	c.init()
+	return c.stmts(c.node.Body().List, collEffect{})
+}
+
+// check re-runs the interpreter with reporting enabled, using the final
+// summaries.
+func (c *collComputer) check(report func(pos ast.Node, format string, args ...any)) {
+	c.report = report
+	c.init()
+	c.stmts(c.node.Body().List, collEffect{})
+}
+
+// stmts computes the effect of executing a statement list followed by
+// the continuation effect rest.
+func (c *collComputer) stmts(list []ast.Stmt, rest collEffect) collEffect {
+	eff := rest
+	for i := len(list) - 1; i >= 0; i-- {
+		eff = c.stmt(list[i], eff)
+	}
+	return eff
+}
+
+// stmt computes the effect of one statement followed by rest.
+func (c *collComputer) stmt(s ast.Stmt, rest collEffect) collEffect {
+	switch s := s.(type) {
+	case nil:
+		return rest
+	case *ast.BlockStmt:
+		return c.stmts(s.List, rest)
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, rest)
+	case *ast.ReturnStmt:
+		eff := collEffect{}
+		for _, r := range s.Results {
+			eff = concatEffect(eff, c.expr(r))
+		}
+		return eff // the continuation is dropped
+	case *ast.BranchStmt:
+		// break/continue/goto end this list's straight-line execution;
+		// the loop level already degrades non-empty bodies to mixed.
+		return collEffect{}
+	case *ast.IfStmt:
+		pre := c.initEff(s.Init)
+		pre = concatEffect(pre, c.expr(s.Cond))
+		contThen := c.stmts(s.Body.List, rest)
+		contElse := rest
+		if s.Else != nil {
+			contElse = c.stmt(s.Else, rest)
+		}
+		c.checkDivergence(s, s.Cond, contThen, contElse)
+		return concatEffect(pre, mergeEffect(contThen, contElse))
+	case *ast.SwitchStmt:
+		pre := c.initEff(s.Init)
+		if s.Tag != nil {
+			pre = concatEffect(pre, c.expr(s.Tag))
+		}
+		return concatEffect(pre, c.switchArms(s, s.Tag, s.Body, rest))
+	case *ast.TypeSwitchStmt:
+		pre := c.initEff(s.Init)
+		return concatEffect(pre, c.switchArms(s, nil, s.Body, rest))
+	case *ast.SelectStmt:
+		arms := collEffect{}
+		first := true
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			arm := c.stmts(cc.Body, rest)
+			if cc.Comm != nil {
+				arm = concatEffect(c.stmt(cc.Comm, collEffect{}), arm)
+			}
+			if first {
+				arms, first = arm, false
+			} else {
+				arms = mergeEffect(arms, arm)
+			}
+		}
+		if first {
+			return rest
+		}
+		return arms
+	case *ast.ForStmt:
+		pre := c.initEff(s.Init)
+		condEff := collEffect{}
+		if s.Cond != nil {
+			condEff = c.expr(s.Cond)
+		}
+		body := c.stmts(s.Body.List, collEffect{})
+		body = concatEffect(body, c.initEff(s.Post))
+		loop := c.loopEffect(s, s.Cond, concatEffect(condEff, body))
+		return concatEffect(pre, concatEffect(loop, rest))
+	case *ast.RangeStmt:
+		pre := c.expr(s.X)
+		body := c.stmts(s.Body.List, collEffect{})
+		loop := c.loopEffect(s, nil, body)
+		return concatEffect(pre, concatEffect(loop, rest))
+	case *ast.DeferStmt:
+		// Approximation: deferred effects are inlined at the defer site
+		// rather than reordered to function exit.
+		return concatEffect(c.expr(s.Call), rest)
+	case *ast.GoStmt:
+		// A spawned goroutine's effect is counted where it is spawned:
+		// rank workers execute their bodies in lockstep with the phase
+		// that spawned them.
+		return concatEffect(c.expr(s.Call), rest)
+	default:
+		// Expression statements, assignments, declarations: the effect
+		// of the contained expressions in source order.
+		eff := collEffect{}
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				eff = concatEffect(eff, c.call(n))
+				return false
+			case *ast.FuncLit:
+				eff = concatEffect(eff, c.funcLit(n))
+				return false
+			}
+			return true
+		})
+		return concatEffect(eff, rest)
+	}
+}
+
+// switchArms merges the continuations of a switch's cases; a missing
+// default contributes the bare continuation (the fall-past path).
+func (c *collComputer) switchArms(stmt ast.Stmt, tag ast.Expr, body *ast.BlockStmt, rest collEffect) collEffect {
+	if body == nil || len(body.List) == 0 {
+		return rest
+	}
+	info := c.node.Pkg.Info
+	tainted := tag != nil && rankTaintedExpr(info, tag, c.local)
+	arms := make([]collEffect, 0, len(body.List)+1)
+	hasDefault := false
+	for _, cl := range body.List {
+		cc := cl.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			if rankTaintedExpr(info, e, c.local) {
+				tainted = true
+			}
+		}
+		arms = append(arms, c.stmts(cc.Body, rest))
+	}
+	if !hasDefault {
+		arms = append(arms, rest)
+	}
+	out := arms[0]
+	diverged := false
+	for _, a := range arms[1:] {
+		if !out.mixed && !a.mixed && !collSeqEqual(out.seq, a.seq) {
+			diverged = true
+		}
+		out = mergeEffect(out, a)
+	}
+	if tainted && diverged && c.report != nil {
+		c.reportDivergence(stmt, arms)
+	}
+	return out
+}
+
+// loopEffect models iteration: an effect-free body contributes nothing;
+// anything else is mixed (the trip count is data — and possibly rank —
+// dependent). A rank-dependent trip count over a collective-bearing
+// body is itself a divergence.
+func (c *collComputer) loopEffect(stmt ast.Stmt, cond ast.Expr, body collEffect) collEffect {
+	if body.empty() {
+		return collEffect{unknown: body.unknown}
+	}
+	if cond != nil && rankTaintedExpr(c.node.Pkg.Info, cond, c.local) && c.report != nil {
+		kinds := sortedKindList(body.kindSet())
+		c.report(stmt,
+			"loop with a rank-dependent trip count executes collectives %v: ranks fall out of step after the first divergent iteration", kinds)
+	}
+	return mixedEffect(body)
+}
+
+// initEff evaluates an init/post simple statement.
+func (c *collComputer) initEff(s ast.Stmt) collEffect {
+	if s == nil {
+		return collEffect{}
+	}
+	return c.stmt(s, collEffect{})
+}
+
+// expr computes an expression's effect (calls and literals, in source
+// order).
+func (c *collComputer) expr(e ast.Expr) collEffect {
+	eff := collEffect{}
+	if e == nil {
+		return eff
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			eff = concatEffect(eff, c.call(n))
+			return false
+		case *ast.FuncLit:
+			eff = concatEffect(eff, c.funcLit(n))
+			return false
+		}
+		return true
+	})
+	return eff
+}
+
+// call computes a call's effect: argument effects, then the callee's.
+func (c *collComputer) call(call *ast.CallExpr) collEffect {
+	info := c.node.Pkg.Info
+	eff := collEffect{}
+	// The function expression itself may contain calls (a().b()).
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		eff = concatEffect(eff, c.expr(sel.X))
+	}
+	for _, a := range call.Args {
+		eff = concatEffect(eff, c.expr(a))
+	}
+	if isMethodOn(info, call, "internal/simmpi", "Comm", collectiveNames) {
+		return concatEffect(eff, collEffect{seq: []collEvent{{kind: calleeFunc(info, call).Name()}}})
+	}
+	if callee, ok := c.edges[call]; ok {
+		sum := c.sums[callee]
+		callEff := sum.eff
+		if !callEff.mixed && callee.Func != nil {
+			prefixed := make([]collEvent, len(callEff.seq))
+			for i, ev := range callEff.seq {
+				p := callee.Name()
+				if ev.path != "" {
+					p += " > " + ev.path
+				}
+				prefixed[i] = collEvent{kind: ev.kind, path: p}
+			}
+			callEff = collEffect{seq: prefixed, unknown: callEff.unknown}
+		}
+		return concatEffect(eff, callEff)
+	}
+	// Unresolved: interface dispatch, escaping function value, or a
+	// callee outside the loaded set. No effect, but the blind spot is
+	// recorded.
+	eff.unknown = true
+	return eff
+}
+
+// funcLit computes a literal's contribution at its creation point:
+// locally-bound literals contribute at their call sites instead;
+// escaping literals are inlined here (the sort.Slice(less) case).
+func (c *collComputer) funcLit(lit *ast.FuncLit) collEffect {
+	if c.boundLits[lit] {
+		return collEffect{}
+	}
+	if n, ok := c.prog.CallGraph().Lits[lit]; ok {
+		return c.sums[n].eff
+	}
+	return collEffect{unknown: true}
+}
+
+// checkDivergence reports a rank-dependent if whose continuations have
+// provably different collective effects.
+func (c *collComputer) checkDivergence(stmt *ast.IfStmt, cond ast.Expr, contThen, contElse collEffect) {
+	if c.report == nil {
+		return
+	}
+	if !rankTaintedExpr(c.node.Pkg.Info, cond, c.local) {
+		return
+	}
+	if contThen.mixed || contElse.mixed || collSeqEqual(contThen.seq, contElse.seq) {
+		return
+	}
+	c.reportDivergence(stmt, []collEffect{contThen, contElse})
+}
+
+// reportDivergence renders the first differing collective of the arms.
+func (c *collComputer) reportDivergence(stmt ast.Stmt, arms []collEffect) {
+	// Find two known arms that differ, preferring the earliest pair.
+	for i := 0; i < len(arms); i++ {
+		for j := i + 1; j < len(arms); j++ {
+			a, b := arms[i], arms[j]
+			if a.mixed || b.mixed || collSeqEqual(a.seq, b.seq) {
+				continue
+			}
+			k := 0
+			for k < len(a.seq) && k < len(b.seq) && a.seq[k].kind == b.seq[k].kind {
+				k++
+			}
+			left, right := "no further collective", "no further collective"
+			if k < len(a.seq) {
+				left = a.seq[k].describe()
+			}
+			if k < len(b.seq) {
+				right = b.seq[k].describe()
+			}
+			c.report(stmt,
+				"rank-dependent branch has divergent collective effects: one path executes %s where another executes %s; every rank must execute the same collective sequence or the world deadlocks",
+				left, right)
+			return
+		}
+	}
+}
+
+// sortedKindList renders a kind set deterministically.
+func sortedKindList(kinds map[string]bool) []string {
+	out := make([]string, 0, len(kinds))
+	for k := range kinds {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func runCollectiveSym(pass *Pass) {
+	sums := pass.Prog.collectiveSummaries()
+	taint := pass.Prog.collParamTaint()
+	for _, n := range pass.Prog.CallGraph().All() {
+		if n.Pkg != pass.Pkg {
+			continue
+		}
+		c := &collComputer{prog: pass.Prog, node: n, sums: sums, taint: taint}
+		c.check(func(at ast.Node, format string, args ...any) {
+			pass.Reportf(at.Pos(), format, args...)
+		})
+	}
+}
+
+// collParamTaint exposes the interprocedural taint computed alongside
+// the summaries (cached on the Program via the same once).
+func (p *Program) collParamTaint() map[*types.Var]bool {
+	p.collectiveSummaries()
+	return p.collTaint
+}

@@ -28,6 +28,11 @@ var corpusDirs = map[string]string{
 	"corpus/floateq":            "floateq",
 	"corpus/ignore":             "ignore",
 	"corpus/badignore":          "badignore",
+	"corpus/collectivesym":      "collectivesym",
+	"corpus/ctxflow":            "ctxflow",
+	"hotcorp/internal/gb":       "hotalloc",
+	"corpus/hotskip":            "hotskip",
+	"corpus/callgraph":          "callgraph",
 }
 
 var (
@@ -115,6 +120,13 @@ func TestGolden(t *testing.T) {
 		{"panicfree-cmd", "corpus/toplevelok", []*Analyzer{PanicFree}},
 		{"floateq", "corpus/floateq", []*Analyzer{FloatEq}},
 		{"ignore", "corpus/ignore", []*Analyzer{FloatEq}},
+		// The interprocedural suite: each corpus holds its positives and
+		// their clean negative twins; the hotalloc corpus additionally has
+		// a whole-package twin under a non-hot import path.
+		{"collectivesym", "corpus/collectivesym", []*Analyzer{CollectiveSym}},
+		{"ctxflow", "corpus/ctxflow", []*Analyzer{CtxFlow}},
+		{"hotalloc", "hotcorp/internal/gb", []*Analyzer{HotAlloc}},
+		{"hotalloc-nonhot", "corpus/hotskip", []*Analyzer{HotAlloc}},
 		// The stubs model real packages and must be clean under the full
 		// suite — in particular simmpi's rankCrashed panic (the panicfree
 		// allowlist) and its error-returning collectives.

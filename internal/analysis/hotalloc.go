@@ -1,0 +1,430 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc polices per-iteration heap allocation in the hot numeric
+// packages — the ns/op floor the bench trajectory gates (ROADMAP item 5)
+// is lost one `make` at a time, and benchdiff only catches the
+// regression after it ships. Inside every loop body in a hot package it
+// reports:
+//
+//   - make calls (slice, map, or channel built fresh each iteration);
+//   - append calls whose destination was not preallocated with a
+//     capacity (`make(T, n)` / `make(T, 0, c)`) in the enclosing
+//     function — append into a preallocated buffer is the idiom the
+//     kernels are supposed to use. Preallocation is recognized through
+//     plain variables, struct fields (`s.buf = make(...)` and
+//     `&T{buf: make(...)}` construction), and the caller-owns-buffer
+//     idiom: appending to a slice-typed *parameter* is the callee
+//     honoring the caller's allocation decision, so the caller is where
+//     a finding belongs;
+//   - slice and map composite literals, and &T{...} pointer literals
+//     (value struct literals are free: they live in registers or on the
+//     stack);
+//   - implicit interface conversions at call sites: a concrete
+//     non-pointer value passed to an interface parameter boxes on the
+//     heap. Pointer-shaped values (pointers, chans, maps, funcs) fit
+//     the interface word and are exempt, as are variadic ...any sinks
+//     (log/error formatting is policed by perf budgets, not here);
+//   - function literals that capture outer variables (the closure cell
+//     allocates each iteration; capture-free literals are hoisted by
+//     the compiler and exempt). The literal's own body is then analyzed
+//     as a function in its own right — the work-stealing worker bodies
+//     hold the innermost kernel loops;
+//   - string concatenation (+ or += on strings builds a fresh backing
+//     array every iteration).
+//
+// One structural exemption: an allocation stored straight into a
+// field, map entry, or slice element (`s.Hists[name] = make(...)`,
+// `p.workers[i] = &Worker{...}`) is *construction* — the loop's product
+// is N live objects, not N pieces of garbage — and is not reported.
+// Intentional per-iteration allocation that remains — wire-message
+// literals, spawn closures, growth whose bound is genuinely unknown —
+// is documented in place with //lint:ignore hotalloc <reason>.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "per-iteration heap allocation in hot-package loop bodies",
+	Run:  runHotAlloc,
+}
+
+// hotPkgSuffixes are the packages hotalloc polices: the inner-loop
+// compute kernels plus the scheduler that drives them. This is
+// deliberately narrower than kernelPkgSuffixes — bench, molecule, perf,
+// and obs allocate by design (setup, parsing, rendering) and gating
+// them would bury the signal (see DESIGN.md §"Static invariants").
+var hotPkgSuffixes = []string{
+	"internal/gb",
+	"internal/octree",
+	"internal/quadrature",
+	"internal/surface",
+	"internal/sched",
+}
+
+func isHotPkg(path string) bool {
+	for _, s := range hotPkgSuffixes {
+		if hasPathSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotAlloc(pass *Pass) {
+	if !isHotPkg(pass.Pkg.Path) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					hotFunc(pass, info, funcDeclParams(info, d), d.Body)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, v := range vs.Values {
+						ast.Inspect(v, func(n ast.Node) bool {
+							if fl, ok := n.(*ast.FuncLit); ok {
+								hotFunc(pass, info, funcLitParams(info, fl), fl.Body)
+								return false
+							}
+							return true
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// hotFunc analyzes one function body: it computes the preallocation set
+// (capacity-carrying makes plus the function's own slice parameters),
+// then finds the outermost loops and hands them to checkHotLoop, which
+// covers everything nested inside.
+func hotFunc(pass *Pass, info *types.Info, params map[*types.Var]bool, body *ast.BlockStmt) {
+	prealloc := preallocatedSlices(info, body)
+	for v := range params {
+		prealloc[v] = true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			checkHotLoop(pass, info, l.Body, prealloc)
+			return false
+		case *ast.RangeStmt:
+			checkHotLoop(pass, info, l.Body, prealloc)
+			return false
+		case *ast.FuncLit:
+			if l.Body != body {
+				// A literal outside any loop runs once per call of the
+				// enclosing function; its loops are hot in their own
+				// right.
+				hotFunc(pass, info, funcLitParams(info, l), l.Body)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// funcDeclParams returns the slice-typed parameters of a declaration —
+// append targets the caller chose to (or not to) preallocate.
+func funcDeclParams(info *types.Info, d *ast.FuncDecl) map[*types.Var]bool {
+	return fieldListParams(info, d.Type)
+}
+
+func funcLitParams(info *types.Info, l *ast.FuncLit) map[*types.Var]bool {
+	return fieldListParams(info, l.Type)
+}
+
+func fieldListParams(info *types.Info, ft *ast.FuncType) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	if ft == nil || ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if v, ok := info.Defs[name].(*types.Var); ok {
+				if _, isSlice := v.Type().Underlying().(*types.Slice); isSlice {
+					out[v] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// preallocatedSlices returns the set of variables and struct fields
+// bound (anywhere in the function) to a make call that states a length
+// or capacity — the "allocate once, append into it" idiom the kernels
+// use. Field preallocation is recognized both by assignment
+// (`s.buf = make(...)`) and by composite-literal construction
+// (`&T{buf: make(...)}`).
+func preallocatedSlices(info *types.Info, body *ast.BlockStmt) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		if !isCapMake(info, rhs) {
+			return
+		}
+		if v := sliceDestVar(info, lhs); v != nil {
+			out[v] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) == len(s.Rhs) {
+				for i := range s.Lhs {
+					record(s.Lhs[i], s.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(s.Names) == len(s.Values) {
+				for i := range s.Names {
+					record(s.Names[i], s.Values[i])
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range s.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok || !isCapMake(info, kv.Value) {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					if v, ok := info.ObjectOf(key).(*types.Var); ok {
+						out[v] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isCapMake reports whether e is a make call stating a length/capacity.
+func isCapMake(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "make"
+}
+
+// sliceDestVar resolves an assignment destination to the variable or
+// struct field it names: `x`, `s.buf`, or `(s.buf)`.
+func sliceDestVar(info *types.Info, lhs ast.Expr) *types.Var {
+	switch d := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if v, ok := info.ObjectOf(d).(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := info.ObjectOf(d.Sel).(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// constructionSink reports whether an assignment stores into a field,
+// map entry, or slice element — building a persistent structure rather
+// than producing per-iteration scratch.
+func constructionSink(lhs ast.Expr) bool {
+	switch ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+// checkHotLoop reports every per-iteration allocation in a loop body.
+// Nested loops are per-iteration too, so the walk descends into them;
+// function literals are flagged as closures (when they capture), then
+// analyzed as functions in their own right.
+func checkHotLoop(pass *Pass, info *types.Info, body *ast.BlockStmt, prealloc map[*types.Var]bool) {
+	// Allocations whose assignment destination is a construction sink.
+	exempt := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok || a.Tok != token.ASSIGN || len(a.Lhs) != len(a.Rhs) {
+			return true
+		}
+		for i := range a.Lhs {
+			if constructionSink(a.Lhs[i]) {
+				exempt[ast.Unparen(a.Rhs[i])] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		if exempt[n] {
+			return true // the sink absolves only the node itself
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if capturesOuter(info, x) {
+				pass.Reportf(x.Pos(), "closure capturing outer variables allocates every iteration; hoist it out of the loop")
+			}
+			hotFunc(pass, info, funcLitParams(info, x), x.Body)
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if lit, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					pass.Reportf(x.Pos(), "&composite literal allocates every iteration; hoist it or reuse a buffer")
+					// The literal's elements may allocate too, but don't
+					// double-report the literal itself.
+					for _, el := range lit.Elts {
+						checkHotExpr(pass, info, el, prealloc)
+					}
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			if t := info.TypeOf(x); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					pass.Reportf(x.Pos(), "slice literal allocates every iteration; hoist it out of the loop")
+				case *types.Map:
+					pass.Reportf(x.Pos(), "map literal allocates every iteration; hoist it out of the loop")
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringType(info.TypeOf(x)) {
+				pass.Reportf(x.Pos(), "string concatenation allocates every iteration; use a strings.Builder outside the loop")
+				return false // one report per concat chain
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isStringType(info.TypeOf(x.Lhs[0])) {
+				pass.Reportf(x.Pos(), "string += allocates every iteration; use a strings.Builder outside the loop")
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, info, x, prealloc)
+		}
+		return true
+	})
+}
+
+// checkHotExpr runs the loop-body walk over one expression.
+func checkHotExpr(pass *Pass, info *types.Info, e ast.Expr, prealloc map[*types.Var]bool) {
+	checkHotLoop(pass, info, &ast.BlockStmt{List: []ast.Stmt{&ast.ExprStmt{X: e}}}, prealloc)
+}
+
+// checkHotCall handles the call-shaped allocation rules: make, append
+// without preallocation, and interface-boxing arguments.
+func checkHotCall(pass *Pass, info *types.Info, call *ast.CallExpr, prealloc map[*types.Var]bool) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates every iteration; hoist it out of the loop and reuse the buffer")
+				return
+			case "append":
+				if len(call.Args) > 0 {
+					if v := sliceDestVar(info, call.Args[0]); v != nil && prealloc[v] {
+						return // append into a preallocated buffer
+					}
+				}
+				pass.Reportf(call.Pos(), "append without preallocated capacity may reallocate every iteration; make the slice with a capacity before the loop")
+				return
+			}
+		}
+	}
+	// Interface boxing: a concrete non-pointer-shaped argument passed to
+	// an interface parameter.
+	sigT := info.TypeOf(call.Fun)
+	if sigT == nil {
+		return
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		if i >= params.Len() {
+			break
+		}
+		if sig.Variadic() && i >= params.Len()-1 {
+			break // ...any sinks exempt
+		}
+		pt := params.At(i).Type()
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || boxingFree(at) {
+			continue
+		}
+		if tv, ok := info.Types[arg]; ok && tv.IsNil() {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "concrete value boxed into interface parameter allocates every iteration; pass a pointer or restructure the call")
+	}
+}
+
+// boxingFree reports whether storing a value of type t in an interface
+// avoids a heap allocation: interfaces themselves, and pointer-shaped
+// types whose value fits the interface data word.
+func boxingFree(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map,
+		*types.Signature:
+		return true
+	}
+	return false
+}
+
+// isStringType reports whether t's underlying type is string.
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// capturesOuter reports whether a function literal references a variable
+// declared outside its own body (a closure capture).
+func capturesOuter(info *types.Info, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// A variable used inside the literal but declared outside it
+		// (and not package-scoped — globals are not captured).
+		if v.Parent() != nil && v.Pkg() != nil && v.Parent() != v.Pkg().Scope() &&
+			!posWithin(v.Pos(), lit.Pos(), lit.End()) {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}
+
+func posWithin(p, lo, hi token.Pos) bool {
+	return p >= lo && p <= hi
+}

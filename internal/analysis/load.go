@@ -73,9 +73,7 @@ func (l *Loader) LoadModule(dir string) ([]*Package, error) {
 		if !d.IsDir() {
 			return nil
 		}
-		name := d.Name()
-		if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
-			name == "testdata" || name == "vendor") {
+		if p != root && skipDirName(d.Name()) {
 			return filepath.SkipDir
 		}
 		files, err := goSources(p)
@@ -105,9 +103,22 @@ func (l *Loader) LoadModule(dir string) ([]*Package, error) {
 	return l.checkAll(paths)
 }
 
+// skipDirName reports whether a directory subtree is never part of a
+// package set: hidden and underscore-prefixed trees, vendor, and —
+// at ANY nesting depth — testdata. Golden corpora under testdata
+// compile only against their own corpus import paths (see
+// golden_test.go); loading them as module packages would both fail
+// type-checking and leak corpus findings into module runs.
+func skipDirName(name string) bool {
+	return strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+		name == "testdata" || name == "vendor"
+}
+
 // LoadDirs loads an explicit importPath → directory set (the golden-test
 // corpora): every listed package is parsed and type-checked, with imports
-// among the set resolved internally.
+// among the set resolved internally. Only each listed directory's own
+// files become the package — nested trees (testdata especially) are
+// never picked up; TestLoadDirsSkipsNestedTestdata pins this.
 func (l *Loader) LoadDirs(dirs map[string]string) ([]*Package, error) {
 	var paths []string
 	for imp := range dirs {

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTree writes a file under root, creating parents.
+func writeTree(t *testing.T, root, rel, src string) {
+	t.Helper()
+	p := filepath.Join(root, rel)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// brokenTestdataSrc would fail type-checking (and, were it ever
+// loaded, carry findings) — reaching it at all is the regression.
+const brokenTestdataSrc = "package broken\n\nfunc Bad() int { return undefinedSymbol }\n"
+
+// TestLoadModuleSkipsNestedTestdata: testdata trees at any depth never
+// become module packages — the module walk must neither fail on their
+// (corpus-import-path) sources nor surface findings from them.
+func TestLoadModuleSkipsNestedTestdata(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root, "go.mod", "module tdmod\n\ngo 1.24\n")
+	writeTree(t, root, "kern/kern.go", "package kern\n\n// Double doubles.\nfunc Double(x int) int { return 2 * x }\n")
+	writeTree(t, root, "kern/testdata/src/broken/broken.go", brokenTestdataSrc)
+	writeTree(t, root, "testdata/top.go", brokenTestdataSrc)
+
+	l := NewLoader()
+	pkgs, err := l.LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule walked into a testdata tree: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "tdmod/kern" {
+		var paths []string
+		for _, p := range pkgs {
+			paths = append(paths, p.Path)
+		}
+		t.Fatalf("loaded %v, want exactly [tdmod/kern]", paths)
+	}
+	if findings := Analyze(l.Fset, pkgs, All); len(findings) != 0 {
+		t.Fatalf("testdata sources leaked findings into the module run: %v", findings)
+	}
+}
+
+// TestLoadDirsSkipsNestedTestdata: a directory loaded directly (the
+// gblint corpus path) contributes only its own files; a nested
+// testdata tree below it stays invisible.
+func TestLoadDirsSkipsNestedTestdata(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, "ok.go", "package ok\n\n// Id is the identity.\nfunc Id(x int) int { return x }\n")
+	writeTree(t, dir, "testdata/broken.go", brokenTestdataSrc)
+
+	l := NewLoader()
+	pkgs, err := l.LoadDirs(map[string]string{"corpus/ok": dir})
+	if err != nil {
+		t.Fatalf("LoadDirs reached into the nested testdata tree: %v", err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 1 {
+		t.Fatalf("loaded %d packages / %d files, want exactly 1 package with 1 file",
+			len(pkgs), len(pkgs[0].Files))
+	}
+	if findings := Analyze(l.Fset, pkgs, All); len(findings) != 0 {
+		t.Fatalf("nested testdata leaked findings: %v", findings)
+	}
+}

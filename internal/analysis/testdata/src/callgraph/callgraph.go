@@ -1,0 +1,65 @@
+// Package callgraph exercises the call-graph substrate directly (see
+// callgraph_test.go): mutual-recursion summary convergence, literal
+// and method-value edge resolution, and unknown-callee conservatism.
+// It is deliberately not a golden corpus — the unit tests assert graph
+// structure, not findings.
+package callgraph
+
+import (
+	"sort"
+
+	"gbpolar/internal/simmpi"
+)
+
+// pingA / pingB are mutually recursive and each execute a collective:
+// their SCC's summary fixpoint must converge (to the mixed lattice
+// point carrying Barrier) instead of growing a sequence forever.
+func pingA(c *simmpi.Comm, depth int) {
+	_ = c.Barrier()
+	if depth > 0 {
+		pingB(c, depth-1)
+	}
+}
+
+func pingB(c *simmpi.Comm, depth int) {
+	_ = c.Barrier()
+	if depth > 0 {
+		pingA(c, depth-1)
+	}
+}
+
+// callsLit binds a literal to a local and calls it through the
+// binding: the edge must resolve to the literal's node.
+func callsLit() int {
+	f := func() int { return 1 }
+	return f()
+}
+
+// callsMethodValue binds a concrete method value and calls it: the
+// edge must resolve to (Comm).Barrier.
+func callsMethodValue(c *simmpi.Comm) error {
+	barrier := c.Barrier
+	return barrier()
+}
+
+// callsInterface dispatches through an interface: unresolvable, and
+// the node must record the blind spot.
+func callsInterface(s sort.Interface) int {
+	return s.Len()
+}
+
+// callsStdlib calls outside the loaded set: no body here, also a
+// recorded blind spot.
+func callsStdlib(xs []int) {
+	sort.Ints(xs)
+}
+
+// reassigned binds a function variable twice: the binding must resolve
+// to nothing (explicitly unknown), not to either target.
+func reassigned(flip bool) int {
+	f := func() int { return 1 }
+	if flip {
+		f = func() int { return 2 }
+	}
+	return f()
+}

@@ -1,0 +1,106 @@
+// Package ctxflow is the golden corpus for the cancellation-propagation
+// analyzer. The positives block (or drop the context) inside functions
+// that receive a context — directly, through a ctx-carrying spec
+// struct, and one call away through a blocking helper. The negatives
+// are the guarded twins: ctx.Done() selects, try-selects with a
+// default, the Done receive itself, and functions with no context to
+// observe in the first place.
+package ctxflow
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"gbpolar/internal/simmpi"
+)
+
+// Spec carries its context the way gb.RunSpec and supervise.Spec do;
+// the receives-a-context rule is structural, so this corpus struct
+// must match too.
+type Spec struct {
+	Ctx context.Context
+	N   int
+}
+
+// --- positives ---
+
+func sleeps(ctx context.Context, d time.Duration) {
+	time.Sleep(d) // want "time.Sleep in a context-receiving function is not guarded by a ctx.Done() select"
+}
+
+func recvBare(ctx context.Context, ch chan int) int {
+	return <-ch // want "channel receive in a context-receiving function is not guarded"
+}
+
+func sendBare(ctx context.Context, ch chan<- int) {
+	ch <- 1 // want "channel send in a context-receiving function is not guarded"
+}
+
+func rangesOverChannel(ctx context.Context, ch chan int) int {
+	total := 0
+	for v := range ch { // want "range over channel in a context-receiving function is not guarded"
+		total += v
+	}
+	return total
+}
+
+func runSpec(s Spec, c *simmpi.Comm) error {
+	_, err := c.Recv(0) // want "simmpi blocking Recv in a context-receiving function is not guarded"
+	return err
+}
+
+func waitsOnGroup(ctx context.Context, wg *sync.WaitGroup) {
+	wg.Wait() // want "sync.WaitGroup.Wait in a context-receiving function is not guarded"
+}
+
+func dropsCtx(ctx context.Context, ch chan int) {
+	_ = guarded(context.Background(), ch) // want "context.Background passed while a context is in scope"
+}
+
+func callsBlockingHelper(ctx context.Context, ch chan int) {
+	drainOne(ch) // want "call blocks (channel receive inside drainOne) with no way to observe the context in scope"
+}
+
+// drainOne blocks but receives no context — clean on its own (it has
+// nothing to select on); the finding belongs at context-bearing call
+// sites like callsBlockingHelper's.
+func drainOne(ch chan int) int {
+	return <-ch
+}
+
+// --- negatives ---
+
+// guarded is recvBare's clean twin: the receive is a case of a select
+// that also observes ctx.Done().
+func guarded(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// trySend is sendBare's clean twin: the default clause means the
+// select can always proceed.
+func trySend(ctx context.Context, ch chan int) bool {
+	select {
+	case ch <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+// observesDone blocks on the Done channel itself: that receive IS the
+// cancellation observation.
+func observesDone(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// rootAtTheRoot passes a fresh root context from a function with no
+// context in scope — the only place Background belongs.
+func rootAtTheRoot(ch chan int) int {
+	return guarded(context.Background(), ch)
+}

@@ -1,0 +1,168 @@
+// Package gb is the hotalloc golden corpus. Its import path ends in
+// internal/gb, so the analyzer treats it as a hot kernel package; the
+// same allocation shapes under a non-hot path live in corpus/hotskip
+// and must stay silent. Each positive has a clean twin below showing
+// the idiom the kernels are supposed to use instead.
+package gb
+
+type vec struct{ x, y float64 }
+
+type accum struct{ buf []float64 }
+
+// consume is an interface sink for the boxing cases.
+func consume(v any) {}
+
+// --- positives ---
+
+func makesPerIteration(n int) float64 {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		scratch := make([]float64, 8) // want "make allocates every iteration"
+		scratch[0] = float64(i)
+		total += scratch[0]
+	}
+	return total
+}
+
+func growsUnbounded(n int) []float64 {
+	var out []float64
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i)) // want "append without preallocated capacity"
+	}
+	return out
+}
+
+func pointerLiteral(n int) float64 {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		p := &vec{x: float64(i)} // want "&composite literal allocates every iteration"
+		total += p.x
+	}
+	return total
+}
+
+func sliceLiteral(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		row := []int{i, i + 1} // want "slice literal allocates every iteration"
+		total += row[0]
+	}
+	return total
+}
+
+func mapLiteral(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		m := map[int]int{i: i} // want "map literal allocates every iteration"
+		total += m[i]
+	}
+	return total
+}
+
+func capturingClosure(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		add := func() int { return i } // want "closure capturing outer variables allocates every iteration"
+		total += add()
+	}
+	return total
+}
+
+func boxesArgument(n int) {
+	for i := 0; i < n; i++ {
+		consume(vec{x: float64(i)}) // want "concrete value boxed into interface parameter"
+	}
+}
+
+func concatenates(parts []string) string {
+	s := ""
+	for _, p := range parts {
+		s += p // want "string += allocates every iteration"
+	}
+	return s
+}
+
+// --- negatives ---
+
+// appendsPreallocated is growsUnbounded's clean twin: the capacity is
+// stated before the loop, so append never reallocates.
+func appendsPreallocated(n int) []float64 {
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i))
+	}
+	return out
+}
+
+// fieldPreallocated recognizes preallocation through composite-literal
+// construction of a struct field.
+func fieldPreallocated(n int) *accum {
+	a := &accum{buf: make([]float64, 0, n)}
+	for i := 0; i < n; i++ {
+		a.buf = append(a.buf, float64(i))
+	}
+	return a
+}
+
+// callerOwnsBuffer appends into a slice parameter: the caller made the
+// allocation decision; a finding here would blame the wrong function.
+func callerOwnsBuffer(dst []float64, n int) []float64 {
+	for i := 0; i < n; i++ {
+		dst = append(dst, float64(i))
+	}
+	return dst
+}
+
+// constructsTable stores each allocation straight into the structure
+// being built: N live objects is the product, not garbage.
+func constructsTable(n int) [][]float64 {
+	t := make([][]float64, n)
+	for i := range t {
+		t[i] = make([]float64, 4)
+	}
+	return t
+}
+
+// hoistableClosureIsFree captures nothing: the compiler hoists it, so
+// no closure cell allocates.
+func hoistableClosureIsFree(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		double := func(x int) int { return 2 * x }
+		total += double(i)
+	}
+	return total
+}
+
+// valueLiteralIsFree: a value struct literal lives in registers or on
+// the stack.
+func valueLiteralIsFree(n int) float64 {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		v := vec{x: float64(i), y: 1}
+		total += v.x + v.y
+	}
+	return total
+}
+
+// passesPointerShaped: pointer-shaped values fit the interface word
+// without boxing.
+func passesPointerShaped(n int) {
+	v := &vec{}
+	for i := 0; i < n; i++ {
+		consume(v)
+	}
+}
+
+// documentedAllocation shows the escape hatch: intentional
+// per-iteration allocation carries its reason in place.
+func documentedAllocation(n int) float64 {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		//lint:ignore hotalloc corpus case: the fresh payload each iteration is the point
+		fresh := make([]float64, 4)
+		fresh[0] = float64(i)
+		total += fresh[0]
+	}
+	return total
+}

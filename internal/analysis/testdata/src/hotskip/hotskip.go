@@ -1,0 +1,32 @@
+// Package hotskip is the hot-package gate's negative twin: the same
+// per-iteration allocation shapes as the hotalloc corpus, under an
+// import path outside the hot list. Setup, parsing, and rendering code
+// allocates by design — the analyzer must not look here at all.
+package hotskip
+
+func makesFreely(n int) float64 {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		scratch := make([]float64, 8)
+		scratch[0] = float64(i)
+		total += scratch[0]
+	}
+	return total
+}
+
+func growsFreely(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func closesFreely(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		add := func() int { return i }
+		total += add()
+	}
+	return total
+}

@@ -356,6 +356,7 @@ func (s *System) runDistributed(P, p int, spec RunSpec) (*Result, error) {
 	outs := make([]rankOutcome, P)
 	ft := cfg.active()
 
+	//lint:ignore ctxflow the world's run IS this call; RunSpec.Ctx is observed cooperatively at phase boundaries (spec.canceled), not by interrupting ranks
 	traffic, err := simmpi.RunPlanObs(P, cfg.plan(), rec, func(c *simmpi.Comm) error {
 		rank := c.Rank()
 		// The rank root span. Its deferred End force-closes any phase span
@@ -484,6 +485,7 @@ func (s *System) runDistributed(P, p int, spec RunSpec) (*Result, error) {
 				case NodeNode:
 					lo, hi := share(len(s.qLeaves))
 					acc = reduceRange(pool, hi-lo, s.newBornAccum,
+						//lint:ignore hotalloc per-phase worker body; allocated once per Born iteration and amortized over its whole range
 						func(worker, i0, i1 int, acc *bornAccum) {
 							ops := int64(0)
 							for _, q := range s.qLeaves[lo+i0 : lo+i1] {
@@ -495,6 +497,7 @@ func (s *System) runDistributed(P, p int, spec RunSpec) (*Result, error) {
 				case AtomNode:
 					alo, ahi := share(s.NumAtoms())
 					acc = reduceRange(pool, len(s.qLeaves), s.newBornAccum,
+						//lint:ignore hotalloc per-phase worker body; allocated once per Born iteration and amortized over its whole range
 						func(worker, i0, i1 int, acc *bornAccum) {
 							ops := int64(0)
 							for _, q := range s.qLeaves[i0:i1] {
@@ -574,12 +577,14 @@ func (s *System) runDistributed(P, p int, spec RunSpec) (*Result, error) {
 				}
 				sp := rec.StartSpan(rank, phaseName(spanPush, iter))
 				alo, ahi := share(s.NumAtoms())
+				//lint:ignore hotalloc per-phase worker body; allocated once per Born iteration and amortized over its whole range
 				s.forRange(pool, ahi-alo, func(worker int, i0, i1 int) {
 					perCoreOps[coreBase+worker] += s.PushIntegralsToAtoms(acc, alo+i0, alo+i1, radii)
 				})
 				if !ft {
 					// Seed protocol: positional concatenation in octree item
 					// order (every rank present by construction).
+					//lint:ignore hotalloc collective payload: simmpi slots retain the contributed slice, so each round needs a fresh buffer
 					seg := make([]float64, 0, ahi-alo)
 					for pos := alo; pos < ahi; pos++ {
 						seg = append(seg, radii[s.TA.Items[pos]])
@@ -596,6 +601,7 @@ func (s *System) runDistributed(P, p int, spec RunSpec) (*Result, error) {
 				}
 				// Fault-tolerant protocol: (atom index, radius) pairs, so a
 				// missing rank cannot silently shift the concatenation.
+				//lint:ignore hotalloc collective payload: simmpi slots retain the contributed slice, so each round needs a fresh buffer
 				seg := make([]float64, 0, 2*(ahi-alo))
 				for pos := alo; pos < ahi; pos++ {
 					ai := s.TA.Items[pos]
@@ -680,6 +686,7 @@ func (s *System) runDistributed(P, p int, spec RunSpec) (*Result, error) {
 			case NodeNode:
 				lo, hi := share(len(s.aLeaves))
 				partialP = reduceRange(pool, hi-lo, newEpolPart,
+					//lint:ignore hotalloc per-phase worker body; allocated once per energy round and amortized over its whole range
 					func(worker, i0, i1 int, part *epolPart) {
 						sum := 0.0
 						ops := int64(0)
@@ -695,6 +702,7 @@ func (s *System) runDistributed(P, p int, spec RunSpec) (*Result, error) {
 			case AtomNode:
 				alo, ahi := share(s.NumAtoms())
 				partialP = reduceRange(pool, ahi-alo, newEpolPart,
+					//lint:ignore hotalloc per-phase worker body; allocated once per energy round and amortized over its whole range
 					func(worker, i0, i1 int, part *epolPart) {
 						sum := 0.0
 						ops := int64(0)
@@ -714,6 +722,7 @@ func (s *System) runDistributed(P, p int, spec RunSpec) (*Result, error) {
 			rec.Count("pairs.epol.far", partialP.tally.far)
 			rec.Observe("pairs.epol.near.rank", partialP.tally.near)
 			rec.Observe("pairs.epol.far.rank", partialP.tally.far)
+			//lint:ignore hotalloc single-element reduce operand; simmpi slots retain it, so each round contributes a fresh slice
 			sum, err := c.Allreduce([]float64{partial}, simmpi.Sum)
 			if err != nil {
 				return err
@@ -754,9 +763,11 @@ func (s *System) runDistributed(P, p int, spec RunSpec) (*Result, error) {
 				}
 				if s.Params.Division == NodeNode {
 					lo, hi := liveShare(len(s.aLeaves), prevLive, stragglers, d)
+					//lint:ignore hotalloc cold degrade path; the dead share's atom count is unknown until the walk completes
 					deadAtoms = append(deadAtoms, s.shareAtomsNodeNode(lo, hi)...)
 				} else {
 					lo, hi := liveShare(s.NumAtoms(), prevLive, stragglers, d)
+					//lint:ignore hotalloc cold degrade path; the dead share's atom count is unknown until the walk completes
 					deadAtoms = append(deadAtoms, s.shareAtomsAtomNode(lo, hi)...)
 				}
 			}

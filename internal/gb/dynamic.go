@@ -48,6 +48,7 @@ func coordinate(c *simmpi.Comm, total int) error {
 			}
 			served = true
 			if next >= total {
+				//lint:ignore hotalloc two-word control message per protocol turn; Send copies it immediately
 				if err := c.Send(from, []float64{0, 0}); err != nil { // drained
 					return err
 				}
@@ -61,6 +62,7 @@ func coordinate(c *simmpi.Comm, total int) error {
 			}
 			lo, hi := next, min(next+grant, total)
 			next = hi
+			//lint:ignore hotalloc two-word control message per protocol turn; Send copies it immediately
 			if err := c.Send(from, []float64{float64(lo), float64(hi)}); err != nil {
 				return err
 			}
@@ -76,6 +78,7 @@ func coordinate(c *simmpi.Comm, total int) error {
 // until the phase is drained.
 func drainChunks(c *simmpi.Comm, fn func(lo, hi int)) error {
 	for {
+		//lint:ignore hotalloc one-word control message per protocol turn; Send copies it immediately
 		if err := c.Send(0, []float64{float64(c.Rank())}); err != nil {
 			return err
 		}

@@ -156,7 +156,7 @@ func agreeLost(c *simmpi.Comm) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	var lost []int
+	lost := make([]int, 0, len(out))
 	for r, v := range out {
 		if v > 0 {
 			lost = append(lost, r)
@@ -258,7 +258,7 @@ func (s *System) degradedBound(atoms []int32) float64 {
 // shareAtomsNodeNode lists the atoms inside the atom-leaf range
 // [lo, hi) of s.aLeaves — the V-side atoms of a NodeNode energy share.
 func (s *System) shareAtomsNodeNode(lo, hi int) []int32 {
-	var out []int32
+	out := make([]int32, 0, (hi-lo)*s.Params.LeafAtoms)
 	for _, v := range s.aLeaves[lo:hi] {
 		out = append(out, s.TA.ItemsOf(v)...)
 	}

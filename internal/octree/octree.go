@@ -165,7 +165,7 @@ func (t *Tree) ItemsOf(n int32) []int32 {
 // Leaves returns the leaf node indices in deterministic (item-range)
 // order — the segments the paper's node-based work division slices.
 func (t *Tree) Leaves() []int32 {
-	var out []int32
+	out := make([]int32, 0, len(t.Nodes))
 	for i := range t.Nodes {
 		if t.Nodes[i].Leaf {
 			out = append(out, int32(i))

@@ -1,8 +1,6 @@
 package octree
 
 import (
-	"container/heap"
-
 	"gbpolar/internal/geom"
 )
 
@@ -57,7 +55,8 @@ func (t *Tree) CountWithin(p geom.Vec3, radius float64) int {
 }
 
 // neighborHeap is a max-heap on distance (the current worst of the k
-// best).
+// best), hand-rolled on the concrete element type: container/heap's
+// interface API would box every Neighbor pushed in the kNN inner loop.
 type neighborHeap []Neighbor
 
 // Neighbor is one k-nearest result.
@@ -66,15 +65,41 @@ type Neighbor struct {
 	Dist2 float64
 }
 
-func (h neighborHeap) Len() int            { return len(h) }
-func (h neighborHeap) Less(i, j int) bool  { return h[i].Dist2 > h[j].Dist2 }
-func (h neighborHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *neighborHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
-func (h *neighborHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	out := old[n-1]
-	*h = old[:n-1]
+func (h *neighborHeap) push(x Neighbor) {
+	*h = append(*h, x)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].Dist2 >= s[i].Dist2 {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *neighborHeap) pop() Neighbor {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	out := s[n]
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		big := i
+		if l := 2*i + 1; l < n && s[l].Dist2 > s[big].Dist2 {
+			big = l
+		}
+		if r := 2*i + 2; r < n && s[r].Dist2 > s[big].Dist2 {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		s[i], s[big] = s[big], s[i]
+		i = big
+	}
 	return out
 }
 
@@ -103,9 +128,9 @@ func (t *Tree) KNearest(p geom.Vec3, k int) []Neighbor {
 			for _, it := range t.ItemsOf(n) {
 				d2 := t.points[it].Dist2(p)
 				if d2 < worst() || len(h) < k {
-					heap.Push(&h, Neighbor{Index: it, Dist2: d2})
+					h.push(Neighbor{Index: it, Dist2: d2})
 					if len(h) > k {
-						heap.Pop(&h)
+						h.pop()
 					}
 				}
 			}
@@ -136,7 +161,7 @@ func (t *Tree) KNearest(p geom.Vec3, k int) []Neighbor {
 	visit(t.Root())
 	out := make([]Neighbor, len(h))
 	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&h).(Neighbor)
+		out[i] = h.pop()
 	}
 	return out
 }

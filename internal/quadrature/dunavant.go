@@ -79,7 +79,11 @@ var dunavantRules = map[int]TriangleRule{
 }
 
 func concat(groups ...[]TrianglePoint) []TrianglePoint {
-	var out []TrianglePoint
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	out := make([]TrianglePoint, 0, total)
 	for _, g := range groups {
 		out = append(out, g...)
 	}

@@ -248,6 +248,7 @@ func (p *Pool) ParallelRange(n, grain int, fn func(w *Worker, lo, hi int)) {
 			for hi-lo > grain {
 				mid := lo + (hi-lo)/2
 				rlo, rhi := mid, hi // capture by value: hi mutates below
+				//lint:ignore hotalloc the spawn closure IS the task; grain bounds live tasks to O(n/grain)
 				w.Spawn(&g, func(inner *Worker) { split(inner, rlo, rhi) })
 				hi = mid
 			}
@@ -274,6 +275,7 @@ func (p *Pool) StaticRange(n int, fn func(w *Worker, lo, hi int)) {
 			if lo == hi {
 				continue
 			}
+			//lint:ignore hotalloc the spawn closure IS the task; one per worker per call
 			w.Spawn(&g, func(inner *Worker) { fn(inner, lo, hi) })
 		}
 		w.Wait(&g)

@@ -1,5 +1,7 @@
 package sched
 
+import "math/bits"
+
 // ParallelReduce runs fn over [0, n) with the same recursive binary
 // splitting (and therefore the same stealing behavior) as ParallelRange,
 // but gives every subrange its own accumulator and combines them with
@@ -34,13 +36,15 @@ func ParallelReduce[T any](p *Pool, n, grain int, mk func() T, fn func(w *Worker
 		rec = func(w *Worker, lo, hi int, acc T) {
 			var g Group
 			// children[i] accumulates the i-th spawned right half; spawn
-			// order walks downward, so children hold DESCENDING ranges.
-			var children []T
+			// order walks downward, so children hold DESCENDING ranges —
+			// at most one per halving, so ⌈log2((hi−lo)/grain)⌉+1 caps it.
+			children := make([]T, 0, bits.Len(uint((hi-lo)/grain))+1)
 			for hi-lo > grain {
 				mid := lo + (hi-lo)/2
 				child := mk()
 				children = append(children, child)
 				rlo, rhi := mid, hi // capture by value: hi mutates below
+				//lint:ignore hotalloc the spawn closure IS the task; one per split, O(log(n/grain)) per branch
 				w.Spawn(&g, func(inner *Worker) { rec(inner, rlo, rhi, child) })
 				hi = mid
 			}

@@ -247,6 +247,7 @@ func (s *Server) Start() {
 func (s *Server) Drain() {
 	s.draining.Store(true)
 	s.stop()
+	//lint:ignore ctxflow blocking until workers exit is Drain's contract; stop() just canceled runCtx, so every worker unblocks and Wait terminates
 	s.wg.Wait()
 }
 

@@ -79,20 +79,26 @@ func BuildParallel(m *molecule.Molecule, cfg Config, pool *sched.Pool) (*Surface
 		scaled := make([]geom.Vec3, len(mesh.Vertices))
 		var neighbors []int
 		var qbuf []quadrature.QuadPoint
+		// One grid visitor per chunk, not per atom (see Build).
+		var curI int
+		var curPos geom.Vec3
+		var curRAcc float64
+		collectNeighbors := func(j int) bool {
+			if j != curI {
+				rj := m.Atoms[j].Radius + cfg.ProbeRadius
+				if positions[j].Dist(curPos) < curRAcc+rj {
+					neighbors = append(neighbors, j)
+				}
+			}
+			return true
+		}
 		for i := lo; i < hi; i++ {
 			a := m.Atoms[i]
 			rAcc := a.Radius + cfg.ProbeRadius
 			rVdW := a.Radius
 			neighbors = neighbors[:0]
-			grid.ForEachWithin(a.Pos, rAcc+maxR, func(j int) bool {
-				if j != i {
-					rj := m.Atoms[j].Radius + cfg.ProbeRadius
-					if positions[j].Dist(a.Pos) < rAcc+rj {
-						neighbors = append(neighbors, j)
-					}
-				}
-				return true
-			})
+			curI, curPos, curRAcc = i, a.Pos, rAcc
+			grid.ForEachWithin(a.Pos, rAcc+maxR, collectNeighbors)
 			for vi, v := range mesh.Vertices {
 				scaled[vi] = a.Pos.Add(v.Scale(rVdW))
 			}
@@ -106,6 +112,7 @@ func BuildParallel(m *molecule.Molecule, cfg Config, pool *sched.Pool) (*Surface
 				qbuf = rule.ForTriangle(qbuf[:0], scaled[tr.A], scaled[tr.B], scaled[tr.C])
 				for _, qp := range qbuf {
 					dir := qp.P.Sub(a.Pos).Unit()
+					//lint:ignore hotalloc exposed-patch count is data-dependent; worst-case preallocation would pin len(tris)*len(rule) points per atom
 					pts = append(pts, QPoint{
 						Pos:    a.Pos.Add(dir.Scale(rVdW)),
 						Normal: dir,

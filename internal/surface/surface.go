@@ -103,20 +103,28 @@ func Build(m *molecule.Molecule, cfg Config) (*Surface, error) {
 	scaled = make([]geom.Vec3, len(mesh.Vertices))
 	var neighbors []int
 	var qbuf []quadrature.QuadPoint
+	// The grid visitor is hoisted out of the atom loop (one closure for
+	// the whole build, not one per atom); the per-atom state it needs is
+	// threaded through these locals.
+	var curI int
+	var curPos geom.Vec3
+	var curRAcc float64
+	collectNeighbors := func(j int) bool {
+		if j != curI {
+			rj := m.Atoms[j].Radius + cfg.ProbeRadius
+			if positions[j].Dist(curPos) < curRAcc+rj {
+				neighbors = append(neighbors, j)
+			}
+		}
+		return true
+	}
 	for i, a := range m.Atoms {
 		rAcc := a.Radius + cfg.ProbeRadius // accessibility (culling) radius
 		rVdW := a.Radius                   // integration radius
 		// Gather neighbors that could bury part of this sphere.
 		neighbors = neighbors[:0]
-		grid.ForEachWithin(a.Pos, rAcc+maxR, func(j int) bool {
-			if j != i {
-				rj := m.Atoms[j].Radius + cfg.ProbeRadius
-				if positions[j].Dist(a.Pos) < rAcc+rj {
-					neighbors = append(neighbors, j)
-				}
-			}
-			return true
-		})
+		curI, curPos, curRAcc = i, a.Pos, rAcc
+		grid.ForEachWithin(a.Pos, rAcc+maxR, collectNeighbors)
 		for vi, v := range mesh.Vertices {
 			scaled[vi] = a.Pos.Add(v.Scale(rVdW))
 		}
