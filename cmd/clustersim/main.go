@@ -60,6 +60,8 @@ func main() {
 		resumeF    = flag.Bool("resume", false, "resume layouts from their checkpoints in -checkpoint-dir")
 		deadlineF  = flag.Duration("deadline", 0, "per-layout supervised deadline: on expiry a layout sheds accuracy instead of overshooting (0 = none)")
 		retriesF   = flag.Int("retries", 0, "per-layout supervised retry budget (0 = default 2)")
+		epsF       = flag.Float64("eps", 0.9, "octree approximation parameter (both far-field criteria)")
+		orderF     = flag.Int("order", 1, "far-field expansion order p: 0 monopole, 1 dipole, 2 quadrupole")
 	)
 	flag.Parse()
 	if *metrics != "" && *metrics != "text" && *metrics != "json" {
@@ -111,7 +113,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	sys, err := gb.NewSystem(mol, surf, gb.DefaultParams())
+	params := gb.DefaultParams()
+	params.Accuracy = gb.Accuracy{EpsBorn: *epsF, EpsEpol: *epsF, QuadOrder: 1, Order: *orderF}
+	sys, err := gb.NewSystem(mol, surf, params)
 	if err != nil {
 		fatal(err)
 	}

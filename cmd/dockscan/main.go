@@ -33,7 +33,8 @@ func main() {
 		clearance = flag.Float64("clearance", 2.0, "surface clearance of the approach shell, Å")
 		threads   = flag.Int("threads", 8, "scoring workers")
 		topN      = flag.Int("top", 10, "poses to print")
-		eps       = flag.Float64("eps", 0.9, "octree approximation parameter")
+		eps       = flag.Float64("eps", 0.9, "octree approximation parameter (both far-field criteria)")
+		orderF    = flag.Int("order", 1, "far-field expansion order p: 0 monopole, 1 dipole, 2 quadrupole")
 		fast      = flag.Bool("fast", false, "octree-reuse scoring (§IV-C: no per-pose rebuilds)")
 	)
 	flag.Parse()
@@ -56,8 +57,7 @@ func main() {
 	}
 
 	params := gb.DefaultParams()
-	params.EpsBorn = *eps
-	params.EpsEpol = *eps
+	params.Accuracy = gb.Accuracy{EpsBorn: *eps, EpsEpol: *eps, QuadOrder: 1, Order: *orderF}
 	scorer, err := dock.NewScorer(receptor, ligand, params, surface.DefaultConfig())
 	if err != nil {
 		fatal(err)

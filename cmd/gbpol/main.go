@@ -40,6 +40,7 @@ import (
 	"gbpolar/internal/sched"
 	"gbpolar/internal/supervise"
 	"gbpolar/internal/surface"
+	"gbpolar/internal/tune"
 )
 
 func main() {
@@ -53,6 +54,10 @@ func main() {
 		smallP     = flag.Int("p", 6, "threads per process (cilk/hybrid)")
 		epsBorn    = flag.Float64("eps-born", 0.9, "Born-radii approximation parameter")
 		epsEpol    = flag.Float64("eps-epol", 0.9, "energy approximation parameter")
+		epsBin     = flag.Float64("eps-bin", 0, "Born-class histogram bin width (0 = derived from -eps-epol)")
+		orderF     = flag.Int("order", 1, "far-field expansion order p: 0 monopole, 1 dipole, 2 quadrupole")
+		quadOrder  = flag.Int("quad-order", 1, "Dunavant surface-quadrature degree (1..8)")
+		targetErr  = flag.Float64("target-error", 0, "auto-tune the accuracy point to this |Epol| error budget in kcal/mol (overrides the accuracy flags above)")
 		approx     = flag.Bool("approx-math", false, "use fast inverse-sqrt/exp kernels")
 		icoLevel   = flag.Int("surface-level", 0, "icosphere level for the surface sampler (default 1)")
 		radiiOut   = flag.String("radii", "", "write Born radii to this file")
@@ -86,22 +91,55 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	surf, err := surface.Build(mol, surface.Config{
-		IcoLevel:    *icoLevel,
-		ProbeRadius: 1.4,
-	})
-	if err != nil {
-		fatal(err)
-	}
-	params := gb.DefaultParams()
-	params.EpsBorn = *epsBorn
-	params.EpsEpol = *epsEpol
-	if *approx {
-		params.Math = gb.ApproxMath
-	}
-	sys, err := gb.NewSystem(mol, surf, params)
-	if err != nil {
-		fatal(err)
+	var (
+		surf   *surface.Surface
+		sys    *gb.System
+		sel    *tune.Selection
+		ladder []supervise.RelaxStep
+	)
+	if *targetErr > 0 {
+		// Auto-tune: search the accuracy space for the cheapest point that
+		// meets the error budget; the point (and the shed ladder the
+		// supervisor steps down) replaces the manual accuracy flags.
+		params := gb.DefaultParams()
+		if *approx {
+			params.Math = gb.ApproxMath
+		}
+		sel, err = tune.Select(mol, *targetErr, tune.Options{
+			Params:  params,
+			Surface: surface.Config{IcoLevel: *icoLevel, ProbeRadius: 1.4},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		surf, sys = sel.Surface, sel.System
+		for _, p := range sel.Ladder {
+			ladder = append(ladder, supervise.RelaxStep{Accuracy: p.Acc, RelError: p.PredictedRelError})
+		}
+	} else {
+		surf, err = surface.Build(mol, surface.Config{
+			IcoLevel:    *icoLevel,
+			RuleDegree:  *quadOrder,
+			ProbeRadius: 1.4,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		params := gb.DefaultParams()
+		params.Accuracy = gb.Accuracy{
+			EpsBorn:   *epsBorn,
+			EpsEpol:   *epsEpol,
+			BinWidth:  *epsBin,
+			QuadOrder: *quadOrder,
+			Order:     *orderF,
+		}
+		if *approx {
+			params.Math = gb.ApproxMath
+		}
+		sys, err = gb.NewSystem(mol, surf, params)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	var rec *obs.Recorder
@@ -130,13 +168,13 @@ func main() {
 		pool.Close()
 	case "mpi":
 		if supervised {
-			sup, err = runSupervised(sys, *bigP, 1, *ckptDir, *resumeF, *deadlineF, *retriesF, rec)
+			sup, err = runSupervised(sys, *bigP, 1, *ckptDir, *resumeF, *deadlineF, *retriesF, ladder, rec)
 		} else {
 			res, err = sys.Run(gb.RunSpec{Processes: *bigP, Obs: rec})
 		}
 	case "hybrid":
 		if supervised {
-			sup, err = runSupervised(sys, *bigP, *smallP, *ckptDir, *resumeF, *deadlineF, *retriesF, rec)
+			sup, err = runSupervised(sys, *bigP, *smallP, *ckptDir, *resumeF, *deadlineF, *retriesF, ladder, rec)
 		} else {
 			res, err = sys.Run(gb.RunSpec{Processes: *bigP, ThreadsPerProcess: *smallP, Obs: rec})
 		}
@@ -165,6 +203,12 @@ func main() {
 		mol.Name, mol.NumAtoms(), surf.NumPoints())
 	fmt.Printf("driver        %s (P=%d, p=%d)\n", *driver, res.Processes, res.ThreadsPerProcess)
 	fmt.Printf("Epol          %.4f kcal/mol\n", res.Epol)
+	if sel != nil {
+		a := sel.Point.Acc
+		fmt.Printf("accuracy      tuned for ±%g kcal/mol: eps-born=%g eps-epol=%g bin=%g quad-order=%d order=%d (measured %.3g, %d verify runs)\n",
+			*targetErr, a.EpsBorn, a.EpsEpol, a.BinWidth, a.QuadOrder, a.Order,
+			sel.Point.MeasuredError, sel.VerifyRuns)
+	}
 	if sup != nil {
 		fmt.Printf("supervision   rung=%s attempts=%d eps-factor=%.3g\n",
 			sup.Rung, len(sup.Attempts), sup.EpsFactor)
@@ -247,7 +291,7 @@ func main() {
 // retry budget bound the escalation ladder. Without -resume, a directory
 // already holding checkpoints is refused rather than silently resumed
 // from stale state.
-func runSupervised(sys *gb.System, P, p int, dir string, resume bool, deadline time.Duration, retries int, rec *obs.Recorder) (*supervise.Outcome, error) {
+func runSupervised(sys *gb.System, P, p int, dir string, resume bool, deadline time.Duration, retries int, ladder []supervise.RelaxStep, rec *obs.Recorder) (*supervise.Outcome, error) {
 	var store supervise.Store
 	if dir != "" {
 		ds := &supervise.DirStore{Dir: dir}
@@ -269,6 +313,7 @@ func runSupervised(sys *gb.System, P, p int, dir string, resume bool, deadline t
 		Retries:           retries,
 		Store:             store,
 		Obs:               rec,
+		AccuracyLadder:    ladder,
 	})
 	if err == nil && dir != "" {
 		// The run is done; keep only the newest snapshot per config so a

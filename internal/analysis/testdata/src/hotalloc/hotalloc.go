@@ -154,6 +154,83 @@ func passesPointerShaped(n int) {
 	}
 }
 
+// --- moment accumulation ---
+// The order-p far-field kernels accumulate per-node moment tensors in
+// one traversal: scalar, gradient, and 9-component second-moment
+// buffers sized by the node count up front, indexed writes in the
+// loop, value tensors on the stack, and &buf[i] handed to the
+// innermost accumulator. The positives are the shapes those kernels
+// must avoid; the negatives pin the idioms they do use as silent.
+
+type mat3 [9]float64
+
+type momentAcc struct {
+	nodeS []float64
+	nodeH []mat3
+}
+
+// makesMomentScratchPerNode builds a fresh tensor slice for every node
+// visited — the per-iteration garbage the preallocated nodeH buffer
+// exists to avoid.
+func makesMomentScratchPerNode(centers []float64) float64 {
+	total := 0.0
+	for _, c := range centers {
+		h := make([]float64, 9) // want "make allocates every iteration"
+		h[0] = c * c
+		total += h[0]
+	}
+	return total
+}
+
+// growsMomentList collects node moments by append without stating the
+// capacity, though the node count is known before the loop.
+func growsMomentList(centers []float64) []mat3 {
+	var out []mat3
+	for _, c := range centers {
+		var m mat3
+		m[0] = c
+		out = append(out, m) // want "append without preallocated capacity"
+	}
+	return out
+}
+
+// accumulatesIntoPreallocated is the kernels' shape: buffers sized by
+// the node count once, indexed += inside the traversal loop.
+func accumulatesIntoPreallocated(centers []float64) *momentAcc {
+	a := &momentAcc{
+		nodeS: make([]float64, len(centers)),
+		nodeH: make([]mat3, len(centers)),
+	}
+	for i, c := range centers {
+		a.nodeS[i] += c
+		a.nodeH[i][0] += c * c
+	}
+	return a
+}
+
+// valueTensorIsFree: a fixed-size array tensor is a value; one per
+// iteration lives in registers or on the stack, unlike a slice literal.
+func valueTensorIsFree(centers []float64) float64 {
+	total := 0.0
+	for _, c := range centers {
+		m := mat3{c, 0, 0, 0, c, 0, 0, 0, c}
+		total += m[0] + m[4] + m[8]
+	}
+	return total
+}
+
+// pointerIntoPreallocatedSlot: taking the address of a buffer element
+// for the innermost accumulator allocates nothing — &buf[i] must not be
+// confused with an &composite literal.
+func pointerIntoPreallocatedSlot(centers []float64) float64 {
+	a := momentAcc{nodeH: make([]mat3, len(centers))}
+	for i, c := range centers {
+		h := &a.nodeH[i]
+		h[0] += c
+	}
+	return a.nodeH[0][0]
+}
+
 // documentedAllocation shows the escape hatch: intentional
 // per-iteration allocation carries its reason in place.
 func documentedAllocation(n int) float64 {

@@ -26,6 +26,7 @@ var experiments = map[string]experimentFn{
 	"fig10":             fig10,
 	"fig11":             fig11,
 	"memory":            memoryExp,
+	"workprec":          workprec,
 	"ablation-division": ablationDivision,
 	"ablation-math":     ablationMath,
 	"ablation-leaf":     ablationLeaf,

@@ -75,16 +75,27 @@ type Trajectory struct {
 
 // trajectoryLayouts are the driver layouts every roster molecule runs
 // under: the serial baseline, the three paper programs at gate-friendly
-// widths.
+// widths, and the PR 8 multipole accuracy variants (serial runs at the
+// order-p endpoints of the work/precision grid). Accuracy-variant
+// kernels do NOT feed the shared recorder: the counter-side histogram
+// summaries are gated as deterministic workload invariants against
+// baselines that predate the variants.
 var trajectoryLayouts = []struct {
 	name string
-	pool int // shared-memory pool width (OCT_CILK)
-	P, p int // distributed layout (OCT_MPI / hybrid)
+	pool int          // shared-memory pool width (OCT_CILK)
+	P, p int          // distributed layout (OCT_MPI / hybrid)
+	acc  *gb.Accuracy // accuracy override (multipole kernels)
 }{
 	{name: "serial"},
 	{name: "cilk4", pool: 4},
 	{name: "mpi4", P: 4},
 	{name: "hybrid2x2", P: 2, p: 2},
+	// Monopole at the default ε: the paper's literal Fig. 2/3 scheme.
+	{name: "serial-p0", acc: &gb.Accuracy{EpsBorn: 0.9, EpsEpol: 0.9, QuadOrder: 1, Order: gb.OrderMonopole}},
+	// Quadrupole at loosened ε: the far end of the tuner's frontier —
+	// the acceptance point that must beat serial-p0 on wall time for the
+	// large molecules (see EXPERIMENTS.md, work/precision grid).
+	{name: "serial-p2loose", acc: &gb.Accuracy{EpsBorn: 2.0, EpsEpol: 2.0, BinWidth: 0.2, QuadOrder: 1, Order: gb.OrderQuadrupole}},
 }
 
 // CollectTrajectory runs the roster × layout grid and assembles the
@@ -115,10 +126,20 @@ func CollectTrajectory(o Options, label string, repeats int) (*Trajectory, error
 			return nil, err
 		}
 		for _, lay := range trajectoryLayouts {
+			// Accuracy-variant kernels run on a prepared system at the
+			// variant point: moments are geometry, built once per molecule
+			// like the octrees, not per repeat.
+			sys := entry.sys
+			if lay.acc != nil {
+				var err error
+				if sys, err = sys.WithAccuracy(*lay.acc); err != nil {
+					return nil, fmt.Errorf("bench: trajectory kernel %s/%s: %w", lay.name, e.Name, err)
+				}
+			}
 			var best *gb.Result
 			for rep := 0; rep < repeats; rep++ {
 				spec := gb.RunSpec{Processes: lay.P, ThreadsPerProcess: lay.p}
-				if rep == 0 {
+				if rep == 0 && lay.acc == nil {
 					spec.Obs = rec
 				}
 				var pool *sched.Pool
@@ -126,7 +147,7 @@ func CollectTrajectory(o Options, label string, repeats int) (*Trajectory, error
 					pool = sched.New(lay.pool)
 					spec.Pool = pool
 				}
-				res, err := entry.sys.Run(spec)
+				res, err := sys.Run(spec)
 				if pool != nil {
 					pool.Close()
 				}
@@ -137,7 +158,7 @@ func CollectTrajectory(o Options, label string, repeats int) (*Trajectory, error
 					best = res
 				}
 			}
-			b, err := priceOct(o, entry.sys, best)
+			b, err := priceOct(o, sys, best)
 			if err != nil {
 				return nil, err
 			}

@@ -3,6 +3,7 @@ package gb
 import (
 	"math"
 
+	"gbpolar/internal/geom"
 	"gbpolar/internal/octree"
 )
 
@@ -25,7 +26,7 @@ func (s *System) approxIntegralsAtomRange(a, q int32, lo, hi int32, acc *bornAcc
 	}
 	if an.Start >= lo && an.End <= hi {
 		qn := &s.TQ.Nodes[q]
-		return s.approxIntegrals(a, q, qn, s.nodeNormal[q], farBeta(s.Params.EpsBorn), acc)
+		return s.approxIntegrals(a, q, qn, s.nodeNormal[q], s.bornBeta(), s.order(), acc)
 	}
 	// Partially owned: cannot approximate here.
 	if an.Leaf {
@@ -72,18 +73,24 @@ func (s *System) approxEpolAtom(ai int32, u int32, radii []float64, agg *epolAgg
 	ri := radii[ai]
 	d := un.Center.Dist(pi)
 	if !un.Leaf && epolFar(d, un.Radius, 0, factor) {
-		// Far: classes of U against the atom's exact radius, with the
-		// dipole correction of farClassSum specialized to a point target.
+		// Far: classes of U against the atom's exact radius — the order-p
+		// expansion of farClassSum specialized to a point target (δ = m_a,
+		// the source offset; the target side contributes no moments).
 		r2 := d * d
 		dhat := un.Center.Sub(pi).Scale(1 / d)
+		ord := agg.order
 		sum := 0.0
 		ops := int64(0)
 		base := int(u) * agg.M
 		approx := s.Params.Math == ApproxMath
 		for j := 0; j < agg.M; j++ {
 			qu := agg.hist[base+j]
-			du := dhat.Dot(agg.dip[base+j])
-			if qu == 0 && du == 0 {
+			var du float64
+			if ord >= OrderDipole {
+				du = dhat.Dot(agg.dip[base+j])
+			}
+			if qu == 0 && du == 0 &&
+				(ord != OrderQuadrupole || agg.quad[base+j] == (geom.Mat3{})) {
 				continue
 			}
 			// Class product representative: exact atom radius × class-mid
@@ -98,8 +105,23 @@ func (s *System) approxEpolAtom(ai int32, u int32, radii []float64, agg *epolAgg
 				e = math.Exp(-r2 / (4 * t))
 				invF = 1 / math.Sqrt(r2+t*e)
 			}
+			if ord == OrderMonopole {
+				sum += qi * qu * invF
+				ops++
+				continue
+			}
 			gp := -d * (1 - e/4) * invF * invF * invF
 			sum += qi*qu*invF + qi*gp*du
+			if ord == OrderQuadrupole {
+				up := 2 * d * (1 - e/4)
+				upp := 2*(1-e/4) + (r2/(4*t))*e
+				invF3 := invF * invF * invF
+				gpp := 0.75*up*up*invF3*invF*invF - 0.5*upp*invF3
+				ku := &agg.quad[base+j]
+				a2 := dhat.Dot(ku.MulVec(dhat))
+				b2 := ku[0] + ku[4] + ku[8]
+				sum += qi * (0.5*gpp*a2 + (0.5*gp/d)*(b2-a2))
+			}
 			ops++
 		}
 		if ops == 0 {

@@ -345,6 +345,19 @@ func (s *System) configTag() uint32 {
 // validateResume rejects a snapshot that cannot resume this system: a
 // different configuration, an invalid phase, or a payload whose shape
 // does not match the phase.
+// CanResume reports whether the snapshot can resume this system: nil
+// means yes, otherwise the same typed error a Run with Resume set would
+// return. The supervisor uses it when an escalation changes the
+// expansion order — the integral-phase payload shape depends on the
+// order, so a stale snapshot must be dropped (recompute from scratch)
+// rather than failing the attempt.
+func (s *System) CanResume(ck *Checkpoint) error {
+	if ck == nil {
+		return fmt.Errorf("gb: nil checkpoint")
+	}
+	return s.validateResume(ck)
+}
+
 func (s *System) validateResume(ck *Checkpoint) error {
 	if ck.Phase < PhaseIntegrals || ck.Phase > PhaseEpol {
 		return fmt.Errorf("gb: cannot resume from phase %q", ck.Phase)
@@ -355,7 +368,14 @@ func (s *System) validateResume(ck *Checkpoint) error {
 	want := 0
 	switch ck.Phase {
 	case PhaseIntegrals:
+		// The integral payload shape depends on the expansion order (the
+		// Hessian block exists only at OrderQuadrupole), so an order
+		// mismatch — the config tag deliberately excludes accuracy knobs so
+		// relaxed retries can reuse snapshots — is caught here.
 		want = 4*s.TA.NumNodes() + s.NumAtoms()
+		if s.order() == OrderQuadrupole {
+			want += 9 * s.TA.NumNodes()
+		}
 	case PhaseRadii, PhaseAggregates:
 		want = s.NumAtoms()
 	case PhaseEpol:
@@ -375,6 +395,9 @@ func (s *System) validateResume(ck *Checkpoint) error {
 // a relaxed ε trades bounded accuracy for completion (the work/precision
 // trade Knepley & Bardhan analyze), and the relaxation is priced into
 // the returned ErrorBound by the supervisor.
+//
+// Deprecated: use WithAccuracy(s.Params.Accuracy.Relaxed(factor)); this
+// wrapper remains for the legacy supervisor rung and behaves identically.
 func (s *System) WithRelaxedEps(factor float64) *System {
 	if factor <= 1 {
 		return s
@@ -382,5 +405,11 @@ func (s *System) WithRelaxedEps(factor float64) *System {
 	c := *s
 	c.Params.EpsBorn *= factor
 	c.Params.EpsEpol *= factor
+	if !c.Params.Accuracy.IsZero() {
+		// Keep the normalized mirror in sync (NewSystem always populates
+		// it) so order() and the Accuracy readers see the relaxed point.
+		c.Params.Accuracy.EpsBorn = c.Params.EpsBorn
+		c.Params.Accuracy.EpsEpol = c.Params.EpsEpol
+	}
 	return &c
 }

@@ -89,6 +89,23 @@ func (c *Complex) Epol(tr geom.Transform) (*PoseResult, error) {
 		// T' = R T Rᵀ (both the normal and the offset rotate).
 		ligMoments[i] = tr.R.Mul(lig.nodeMoment[i]).Mul(tr.R.Transpose())
 	}
+	var ligMoments2 []bornMom2
+	if lig.nodeMoment2 != nil {
+		// S'[i] = Σ_a R[i][a]·(R S[a] Rᵀ): the normal component mixes
+		// through R while each offset pair rotates like a Mat3.
+		ligMoments2 = make([]bornMom2, len(lig.nodeMoment2))
+		for n := range lig.nodeMoment2 {
+			var w bornMom2
+			for a := 0; a < 3; a++ {
+				w[a] = tr.R.Mul(lig.nodeMoment2[n][a]).Mul(tr.R.Transpose())
+			}
+			for i := 0; i < 3; i++ {
+				for t := 0; t < 9; t++ {
+					ligMoments2[n][i][t] = tr.R[3*i]*w[0][t] + tr.R[3*i+1]*w[1][t] + tr.R[3*i+2]*w[2][t]
+				}
+			}
+		}
+	}
 
 	// ---- Born radii: cached self + cross-surface passes -----------------
 	recAcc := rec.newBornAccum()
@@ -96,8 +113,8 @@ func (c *Complex) Epol(tr geom.Transform) (*PoseResult, error) {
 	cross := &bornPass{
 		ta: rec.TA, atomPos: rec.atomPos,
 		tq: ligTQ, qpts: ligSurf.Points,
-		normals: ligNormals, moments: ligMoments,
-		beta: farBeta(rec.Params.EpsBorn), r4: rec.Params.Integral == IntegralR4,
+		normals: ligNormals, moments: ligMoments, moments2: ligMoments2,
+		beta: rec.bornBeta(), ord: rec.order(), r4: rec.Params.Integral == IntegralR4,
 	}
 	for _, q := range lig.qLeaves {
 		res.Ops += cross.run(rec.TA.Root(), q, recAcc)
@@ -114,11 +131,17 @@ func (c *Complex) Epol(tr geom.Transform) (*PoseResult, error) {
 	for i := range ligAcc.nodeG {
 		ligAcc.nodeG[i] = tr.ApplyVector(c.ligSelf.nodeG[i])
 	}
+	if ligAcc.nodeH != nil {
+		// The collected Hessians are rank-2 tensors: H' = R H Rᵀ.
+		for i := range ligAcc.nodeH {
+			ligAcc.nodeH[i] = tr.R.Mul(c.ligSelf.nodeH[i]).Mul(tr.R.Transpose())
+		}
+	}
 	crossBack := &bornPass{
 		ta: ligTA, atomPos: ligPos,
 		tq: rec.TQ, qpts: rec.Surf.Points,
-		normals: rec.nodeNormal, moments: rec.nodeMoment,
-		beta: farBeta(rec.Params.EpsBorn), r4: rec.Params.Integral == IntegralR4,
+		normals: rec.nodeNormal, moments: rec.nodeMoment, moments2: rec.nodeMoment2,
+		beta: rec.bornBeta(), ord: rec.order(), r4: rec.Params.Integral == IntegralR4,
 	}
 	for _, q := range rec.qLeaves {
 		res.Ops += crossBack.run(ligTA.Root(), q, ligAcc)
@@ -143,7 +166,7 @@ func (c *Complex) Epol(tr geom.Transform) (*PoseResult, error) {
 	ligAgg := ligView.buildEpolAggregatesRange(res.LigBorn, rmin, rmax)
 
 	kernel := pairEnergyKernel(rec.Params.Math)
-	factor := epolFarFactor(rec.Params.EpsEpol, rec.Params.OpeningScale)
+	factor := rec.epolFactor()
 	sum := 0.0
 	// rec–rec and lig–lig (ordered pairs within each molecule).
 	for _, v := range rec.aLeaves {
@@ -174,20 +197,23 @@ func (c *Complex) Epol(tr geom.Transform) (*PoseResult, error) {
 func copyAccum(dst, src *bornAccum) {
 	copy(dst.nodeS, src.nodeS)
 	copy(dst.nodeG, src.nodeG)
+	copy(dst.nodeH, src.nodeH)
 	copy(dst.atomS, src.atomS)
 }
 
 // bornPass is APPROX-INTEGRALS across two systems: atom tree ta (with
 // atomPos) against quadrature tree tq (with its points and aggregates).
 type bornPass struct {
-	ta      *octree.Tree
-	atomPos []geom.Vec3
-	tq      *octree.Tree
-	qpts    []surface.QPoint
-	normals []geom.Vec3
-	moments []geom.Mat3
-	beta    float64
-	r4      bool
+	ta       *octree.Tree
+	atomPos  []geom.Vec3
+	tq       *octree.Tree
+	qpts     []surface.QPoint
+	normals  []geom.Vec3
+	moments  []geom.Mat3
+	moments2 []bornMom2 // second-order moments, nil below OrderQuadrupole
+	beta     float64
+	ord      int
+	r4       bool
 }
 
 // run accumulates quadrature leaf q's contribution into acc (the same
@@ -207,14 +233,14 @@ func (bp *bornPass) run(a, q int32, acc *bornAccum) int64 {
 		if !bp.r4 {
 			rp *= r2
 		}
-		dhat := diff.Scale(1 / d)
-		mom := &bp.moments[q]
-		trT := mom[0] + mom[4] + mom[8]
-		dTd := dhat.Dot(mom.MulVec(dhat))
-		qNormal := bp.normals[q]
-		acc.nodeS[a] += (diff.Dot(qNormal) + trT - pow*dTd) / rp
-		grad := qNormal.Scale(-1 / rp).Add(dhat.Scale(pow * diff.Dot(qNormal) / (rp * d)))
-		acc.nodeG[a] = acc.nodeG[a].Add(grad)
+		var m2 *bornMom2
+		var hslot *geom.Mat3
+		if bp.ord == OrderQuadrupole {
+			m2 = &bp.moments2[q]
+			hslot = &acc.nodeH[a]
+		}
+		bornFarNode(bp.ord, diff, d, rp, pow, bp.normals[q], &bp.moments[q], m2,
+			&acc.nodeS[a], &acc.nodeG[a], hslot)
 		return 1
 	}
 	if an.Leaf {
@@ -307,16 +333,29 @@ func crossFarClassSum(us *System, uAgg *epolAggregates, u int32,
 	if vAgg.M < m {
 		m = vAgg.M
 	}
+	ord := uAgg.order
 	for i := 0; i < uAgg.M; i++ {
 		qu := uAgg.hist[ubase+i]
-		du := dhat.Dot(uAgg.dip[ubase+i])
-		if qu == 0 && du == 0 {
+		var du float64
+		var dipU geom.Vec3
+		if ord >= OrderDipole {
+			dipU = uAgg.dip[ubase+i]
+			du = dhat.Dot(dipU)
+		}
+		if qu == 0 && du == 0 &&
+			(ord != OrderQuadrupole || uAgg.quad[ubase+i] == (geom.Mat3{})) {
 			continue
 		}
 		for j := 0; j < vAgg.M; j++ {
 			qv := vAgg.hist[vbase+j]
-			dv := dhat.Dot(vAgg.dip[vbase+j])
-			if qv == 0 && dv == 0 {
+			var dv float64
+			var dipV geom.Vec3
+			if ord >= OrderDipole {
+				dipV = vAgg.dip[vbase+j]
+				dv = dhat.Dot(dipV)
+			}
+			if qv == 0 && dv == 0 &&
+				(ord != OrderQuadrupole || vAgg.quad[vbase+j] == (geom.Mat3{})) {
 				continue
 			}
 			// Both aggregate sets are built over the same [Rmin, Rmax]
@@ -330,8 +369,23 @@ func crossFarClassSum(us *System, uAgg *epolAggregates, u int32,
 				e = math.Exp(-r2 / (4 * t))
 				invF = 1 / math.Sqrt(r2+t*e)
 			}
+			if ord == OrderMonopole {
+				sum += qu * qv * invF
+				ops++
+				continue
+			}
 			gp := -d * (1 - e/4) * invF * invF * invF
 			sum += qu*qv*invF + gp*(qu*dv-du*qv)
+			if ord == OrderQuadrupole {
+				up := 2 * d * (1 - e/4)
+				upp := 2*(1-e/4) + (r2/(4*t))*e
+				invF3 := invF * invF * invF
+				gpp := 0.75*up*up*invF3*invF*invF - 0.5*upp*invF3
+				ku, kv := &uAgg.quad[ubase+i], &vAgg.quad[vbase+j]
+				a2 := qu*dhat.Dot(kv.MulVec(dhat)) - 2*du*dv + dhat.Dot(ku.MulVec(dhat))*qv
+				b2 := qu*(kv[0]+kv[4]+kv[8]) - 2*dipU.Dot(dipV) + (ku[0]+ku[4]+ku[8])*qv
+				sum += 0.5*gpp*a2 + (0.5*gp/d)*(b2-a2)
+			}
 			ops++
 		}
 	}

@@ -32,10 +32,11 @@ import (
 // qBundle is a serializable quadrature segment: its octree plus point
 // data and far-field aggregates.
 type qBundle struct {
-	tree    *octree.Tree
-	pts     []surface.QPoint
-	normals []geom.Vec3
-	moments []geom.Mat3
+	tree     *octree.Tree
+	pts      []surface.QPoint
+	normals  []geom.Vec3
+	moments  []geom.Mat3
+	moments2 []bornMom2 // nil below OrderQuadrupole
 }
 
 // aBundle is a serializable atom segment: its octree plus atom data,
@@ -47,8 +48,9 @@ type aBundle struct {
 	radii  []float64
 }
 
-// buildQBundle constructs the quadrature bundle for a point subset.
-func buildQBundle(pts []surface.QPoint, leafSize int) *qBundle {
+// buildQBundle constructs the quadrature bundle for a point subset at
+// far-field expansion order ord.
+func buildQBundle(pts []surface.QPoint, leafSize, ord int) *qBundle {
 	pos := make([]geom.Vec3, len(pts))
 	for i, q := range pts {
 		pos[i] = q.Pos
@@ -87,6 +89,9 @@ func buildQBundle(pts []surface.QPoint, leafSize int) *qBundle {
 		b.normals[i] = sum
 		b.moments[i] = mom
 	}
+	if ord == OrderQuadrupole {
+		b.moments2 = buildQuadMoments(b.tree, pts, b.normals, b.moments)
+	}
 	return b
 }
 
@@ -107,7 +112,7 @@ func (b *qBundle) encode() []float64 {
 	return out
 }
 
-func decodeQ(data []float64, leafSize int) *qBundle {
+func decodeQ(data []float64, leafSize, ord int) *qBundle {
 	n := int(data[0])
 	pts := make([]surface.QPoint, n)
 	for i := 0; i < n; i++ {
@@ -118,7 +123,7 @@ func decodeQ(data []float64, leafSize int) *qBundle {
 			Weight: f[6],
 		}
 	}
-	return buildQBundle(pts, leafSize)
+	return buildQBundle(pts, leafSize, ord)
 }
 
 // buildABundle constructs the atom bundle for an atom subset.
@@ -191,7 +196,7 @@ func (s *System) distQSeg(P, rank int) *qBundle {
 	for p := qlo; p < qhi; p++ {
 		pts = append(pts, s.Surf.Points[s.TQ.Items[p]])
 	}
-	return buildQBundle(pts, s.Params.LeafQPoints)
+	return buildQBundle(pts, s.Params.LeafQPoints, s.order())
 }
 
 // distABundle reconstructs a segment's atom bundle from the full radii
@@ -212,7 +217,8 @@ func (s *System) distABundle(P, segRank int, radiiFull []float64) *aBundle {
 // segment. Returns (atom index, radius) pairs; ops are charged to the
 // adopter.
 func (s *System) distSegRadii(P, segRank int, ops *int64) []float64 {
-	beta := farBeta(s.Params.EpsBorn)
+	beta := s.bornBeta()
+	ord := s.order()
 	r4 := s.Params.Integral == IntegralR4
 	seg := s.distAtomSeg(P, segRank)
 	atomTree := octree.Build(seg.pos, s.Params.LeafAtoms)
@@ -221,14 +227,17 @@ func (s *System) distSegRadii(P, segRank int, ops *int64) []float64 {
 		nodeG: make([]geom.Vec3, atomTree.NumNodes()),
 		atomS: make([]float64, len(seg.pos)),
 	}
+	if ord == OrderQuadrupole {
+		acc.nodeH = make([]geom.Mat3, atomTree.NumNodes())
+	}
 	for q := 0; q < P; q++ {
 		qb := s.distQSeg(P, q)
 		//lint:ignore hotalloc one pass descriptor per remote segment, amortized over a full tree sweep
 		bp := &bornPass{
 			ta: atomTree, atomPos: seg.pos,
 			tq: qb.tree, qpts: qb.pts,
-			normals: qb.normals, moments: qb.moments,
-			beta: beta, r4: r4,
+			normals: qb.normals, moments: qb.moments, moments2: qb.moments2,
+			beta: beta, ord: ord, r4: r4,
 		}
 		for _, ql := range qb.tree.Leaves() {
 			*ops += bp.run(atomTree.Root(), ql, acc)
@@ -249,7 +258,7 @@ func (s *System) distSegRadii(P, segRank int, ops *int64) []float64 {
 // produced exactly once as long as every segment has exactly one owner.
 func (s *System) distSegEnergy(P, vSeg int, radiiFull []float64, rmin, rmax float64, ops *int64) float64 {
 	kernel := pairEnergyKernel(s.Params.Math)
-	factor := epolFarFactor(s.Params.EpsEpol, s.Params.OpeningScale)
+	factor := s.epolFactor()
 	vb := s.distABundle(P, vSeg, radiiFull)
 	vView, vAgg := bundleView(s.Params, vb, rmin, rmax)
 	partial := 0.0
@@ -325,7 +334,8 @@ func (s *System) runDistData(P int, cfg *FaultConfig) (*Result, error) {
 	}
 	sw := perf.StartTimer()
 	perCoreOps := make([]int64, P)
-	beta := farBeta(s.Params.EpsBorn)
+	beta := s.bornBeta()
+	ord := s.order()
 	r4 := s.Params.Integral == IntegralR4
 	ft := cfg.active()
 
@@ -364,12 +374,15 @@ func (s *System) runDistData(P int, cfg *FaultConfig) (*Result, error) {
 			nodeG: make([]geom.Vec3, atomTree.NumNodes()),
 			atomS: make([]float64, len(aseg.pos)),
 		}
+		if ord == OrderQuadrupole {
+			acc.nodeH = make([]geom.Mat3, atomTree.NumNodes())
+		}
 		process := func(b *qBundle) {
 			bp := &bornPass{
 				ta: atomTree, atomPos: aseg.pos,
 				tq: b.tree, qpts: b.pts,
-				normals: b.normals, moments: b.moments,
-				beta: beta, r4: r4,
+				normals: b.normals, moments: b.moments, moments2: b.moments2,
+				beta: beta, ord: ord, r4: r4,
 			}
 			for _, q := range b.tree.Leaves() {
 				perCoreOps[rank] += bp.run(atomTree.Root(), q, acc)
@@ -387,7 +400,7 @@ func (s *System) runDistData(P int, cfg *FaultConfig) (*Result, error) {
 				if err != nil {
 					return err
 				}
-				process(decodeQ(data, s.Params.LeafQPoints)) // transient
+				process(decodeQ(data, s.Params.LeafQPoints, ord)) // transient
 				continue
 			}
 			// Fault-tolerant ring round: retry dropped sends with backoff;
@@ -414,7 +427,7 @@ func (s *System) runDistData(P int, cfg *FaultConfig) (*Result, error) {
 				recovered = true
 				continue
 			}
-			process(decodeQ(data, s.Params.LeafQPoints))
+			process(decodeQ(data, s.Params.LeafQPoints, ord))
 		}
 
 		// Push integrals over the LOCAL tree.
@@ -517,7 +530,7 @@ func (s *System) runDistData(P int, cfg *FaultConfig) (*Result, error) {
 			ownView, ownAgg := bundleView(s.Params, ab, rmin, rmax)
 
 			kernel := pairEnergyKernel(s.Params.Math)
-			factor := epolFarFactor(s.Params.EpsEpol, s.Params.OpeningScale)
+			factor := s.epolFactor()
 			partial := 0.0
 			// Own × own (ordered pairs within the segment).
 			for _, v := range ab.tree.Leaves() {
@@ -660,17 +673,28 @@ func (s *System) runDistData(P int, cfg *FaultConfig) (*Result, error) {
 	}, nil
 }
 
-// pushLocal is PUSH-INTEGRALS over a standalone segment tree.
+// pushLocal is PUSH-INTEGRALS over a standalone segment tree. The
+// quadratic carry mirrors System.pushIntegrals: the Hessian branches are
+// guarded on acc.nodeH so the p≤1 arithmetic is untouched.
 func pushLocal(tree *octree.Tree, pos []geom.Vec3, intrinsic []float64,
 	acc *bornAccum, radii []float64, r4 bool) int64 {
-	var walk func(a int32, carryS float64, carryG geom.Vec3) int64
-	walk = func(a int32, carryS float64, carryG geom.Vec3) int64 {
+	var walk func(a int32, carryS float64, carryG geom.Vec3, carryH geom.Mat3) int64
+	walk = func(a int32, carryS float64, carryG geom.Vec3, carryH geom.Mat3) int64 {
 		n := &tree.Nodes[a]
 		carryS += acc.nodeS[a]
 		carryG = carryG.Add(acc.nodeG[a])
+		if acc.nodeH != nil {
+			for t := 0; t < 9; t++ {
+				carryH[t] += acc.nodeH[a][t]
+			}
+		}
 		if n.Leaf {
 			for _, it := range tree.ItemsOf(a) {
-				v := acc.atomS[it] + carryS + carryG.Dot(pos[it].Sub(n.Center))
+				xi := pos[it].Sub(n.Center)
+				v := acc.atomS[it] + carryS + carryG.Dot(xi)
+				if acc.nodeH != nil {
+					v += 0.5 * xi.Dot(carryH.MulVec(xi))
+				}
 				if r4 {
 					radii[it] = bornRadiusFromIntegralR4(v, intrinsic[it])
 				} else {
@@ -683,12 +707,19 @@ func pushLocal(tree *octree.Tree, pos []geom.Vec3, intrinsic []float64,
 		for _, ch := range n.Children {
 			if ch != octree.NoChild {
 				shift := tree.Nodes[ch].Center.Sub(n.Center)
-				ops += walk(ch, carryS+carryG.Dot(shift), carryG)
+				cs := carryS + carryG.Dot(shift)
+				cg := carryG
+				if acc.nodeH != nil {
+					hs := carryH.MulVec(shift)
+					cs += 0.5 * shift.Dot(hs)
+					cg = cg.Add(hs)
+				}
+				ops += walk(ch, cs, cg, carryH)
 			}
 		}
 		return ops
 	}
-	return walk(tree.Root(), 0, geom.Vec3{})
+	return walk(tree.Root(), 0, geom.Vec3{}, geom.Mat3{})
 }
 
 // bundleView wraps an atom bundle as the minimal System view the energy

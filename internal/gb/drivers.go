@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"gbpolar/internal/geom"
 	"gbpolar/internal/obs"
 	"gbpolar/internal/perf"
 	"gbpolar/internal/sched"
@@ -124,7 +123,7 @@ func (s *System) runSerial(rec *obs.Recorder) *Result {
 
 	sp = rec.StartSpan(0, spanEpol)
 	kernel := pairEnergyKernel(s.Params.Math)
-	factor := epolFarFactor(s.Params.EpsEpol, s.Params.OpeningScale)
+	factor := s.epolFactor()
 	var tally pairTally
 	sum := 0.0
 	epolOps := int64(0)
@@ -210,7 +209,7 @@ func (s *System) runCilk(pool *sched.Pool, rec *obs.Recorder) *Result {
 	sp.End()
 	sp = rec.StartSpan(0, spanEpol)
 	kernel := pairEnergyKernel(s.Params.Math)
-	factor := epolFarFactor(s.Params.EpsEpol, s.Params.OpeningScale)
+	factor := s.epolFactor()
 	grain = len(s.aLeaves)/(8*p) + 1
 	totalP := sched.ParallelReduce(pool, len(s.aLeaves), grain,
 		newEpolPart,
@@ -437,24 +436,10 @@ func (s *System) runDistributed(P, p int, spec RunSpec) (*Result, error) {
 			return liveShare(n, live, stragglers, rank)
 		}
 
-		// Flattened integral payload of Fig. 4 Step 3.
-		encodeAcc := func(acc *bornAccum) []float64 {
-			flat := make([]float64, 0, 4*len(acc.nodeS)+len(acc.atomS))
-			flat = append(flat, acc.nodeS...)
-			for _, g := range acc.nodeG {
-				flat = append(flat, g.X, g.Y, g.Z)
-			}
-			flat = append(flat, acc.atomS...)
-			return flat
-		}
-		decodeAcc := func(acc *bornAccum, merged []float64) {
-			copy(acc.nodeS, merged[:len(acc.nodeS)])
-			gs := merged[len(acc.nodeS) : 4*len(acc.nodeS)]
-			for i := range acc.nodeG {
-				acc.nodeG[i] = geom.V(gs[3*i], gs[3*i+1], gs[3*i+2])
-			}
-			copy(acc.atomS, merged[4*len(acc.nodeS):])
-		}
+		// Flattened integral payload of Fig. 4 Step 3 (order-aware: the
+		// Hessian block rides along only at OrderQuadrupole).
+		encodeAcc := func(acc *bornAccum) []float64 { return acc.encode() }
+		decodeAcc := func(acc *bornAccum, merged []float64) { acc.decode(merged) }
 
 		// ---- Phase 1+2+3: Born integrals + Allreduce (Fig. 4 Steps 1-3),
 		// healed by redo on membership change --------------------------
@@ -665,7 +650,7 @@ func (s *System) runDistributed(P, p int, spec RunSpec) (*Result, error) {
 			agg = s.buildEpolAggregates(radii)
 		}
 		kernel := pairEnergyKernel(s.Params.Math)
-		factor := epolFarFactor(s.Params.EpsEpol, s.Params.OpeningScale)
+		factor := s.epolFactor()
 		energy := 0.0
 		degraded := false
 		bound := 0.0

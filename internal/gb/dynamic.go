@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"runtime"
 
-	"gbpolar/internal/geom"
 	"gbpolar/internal/perf"
 	"gbpolar/internal/simmpi"
 )
@@ -136,22 +135,11 @@ func (s *System) RunMPIDynamic(P int) (*Result, error) {
 		}
 
 		// ---- Phase 3: merge partial integrals --------------------------
-		flat := make([]float64, 0, 4*len(acc.nodeS)+len(acc.atomS))
-		flat = append(flat, acc.nodeS...)
-		for _, g := range acc.nodeG {
-			flat = append(flat, g.X, g.Y, g.Z)
-		}
-		flat = append(flat, acc.atomS...)
-		merged, err := c.Allreduce(flat, simmpi.Sum)
+		merged, err := c.Allreduce(acc.encode(), simmpi.Sum)
 		if err != nil {
 			return err
 		}
-		copy(acc.nodeS, merged[:len(acc.nodeS)])
-		gs := merged[len(acc.nodeS) : 4*len(acc.nodeS)]
-		for i := range acc.nodeG {
-			acc.nodeG[i] = geom.V(gs[3*i], gs[3*i+1], gs[3*i+2])
-		}
-		copy(acc.atomS, merged[4*len(acc.nodeS):])
+		acc.decode(merged)
 
 		// ---- Phase 4+5: Born radii (static atom segments over the P−1
 		// compute ranks — this pass is cheap and uniform) ----------------

@@ -45,6 +45,15 @@ type epolAggregates struct {
 	// protein charge distributions are locally dipolar and a pure
 	// monopole histogram drops their leading far-field term.
 	dip []geom.Vec3
+	// order is the expansion order the far-field evaluation runs at
+	// (always built from the owning system's accuracy spec). The dip
+	// slice is populated regardless — it is cheap and Complex shares
+	// aggregates across passes — but OrderMonopole evaluation ignores it.
+	order int
+	// quad[node*M + k] is the class-k charge quadrupole Σ q_a·m_a m_aᵀ
+	// (m_a = p_a − center): the second-order moment of the p=2 far
+	// field. Nil below OrderQuadrupole.
+	quad []geom.Mat3
 }
 
 // maxEpolClasses caps the histogram width: below the corresponding bin
@@ -76,7 +85,7 @@ func (s *System) buildEpolAggregatesRange(radii []float64, rmin, rmax float64) *
 	if s.Params.EpsBin > 0 {
 		eps = s.Params.EpsBin
 	}
-	agg := &epolAggregates{Rmin: rmin}
+	agg := &epolAggregates{Rmin: rmin, order: s.order()}
 	epsBin := eps
 	if rmax > rmin {
 		if need := math.Log(rmax/rmin) / math.Log1p(eps); need+1 > maxEpolClasses {
@@ -115,6 +124,9 @@ func (s *System) buildEpolAggregatesRange(radii []float64, rmin, rmax float64) *
 	// so iterating in reverse has every child ready before its parent.
 	agg.hist = make([]float64, s.TA.NumNodes()*agg.M)
 	agg.dip = make([]geom.Vec3, s.TA.NumNodes()*agg.M)
+	if agg.order == OrderQuadrupole {
+		agg.quad = make([]geom.Mat3, s.TA.NumNodes()*agg.M)
+	}
 	for i := s.TA.NumNodes() - 1; i >= 0; i-- {
 		n := &s.TA.Nodes[i]
 		base := i * agg.M
@@ -124,6 +136,10 @@ func (s *System) buildEpolAggregatesRange(radii []float64, rmin, rmax float64) *
 				q := s.Mol.Atoms[ai].Charge
 				agg.hist[base+k] += q
 				agg.dip[base+k] = agg.dip[base+k].Add(s.atomPos[ai].Sub(n.Center).Scale(q))
+				if agg.quad != nil {
+					m := s.atomPos[ai].Sub(n.Center)
+					addOuter(&agg.quad[base+k], m.Scale(q), m)
+				}
 			}
 			continue
 		}
@@ -137,6 +153,20 @@ func (s *System) buildEpolAggregatesRange(radii []float64, rmin, rmax float64) *
 			for k := 0; k < agg.M; k++ {
 				q := agg.hist[cbase+k]
 				agg.hist[base+k] += q
+				if agg.quad != nil {
+					// Re-center the child quadrupole about the parent:
+					// K' = K + s⊗D + D⊗s + q·s⊗s, with the child dipole D
+					// taken BEFORE its own re-centering.
+					cd := agg.dip[cbase+k]
+					kq := &agg.quad[base+k]
+					cq := &agg.quad[cbase+k]
+					for t := 0; t < 9; t++ {
+						kq[t] += cq[t]
+					}
+					addOuter(kq, shift, cd)
+					addOuter(kq, cd, shift)
+					addOuter(kq, shift.Scale(q), shift)
+				}
 				// Re-center the child dipole about the parent center.
 				agg.dip[base+k] = agg.dip[base+k].Add(agg.dip[cbase+k]).Add(shift.Scale(q))
 			}
@@ -165,6 +195,21 @@ func epolFarFactor(eps, scale float64) float64 {
 		scale = epolOpeningScale
 	}
 	return (1 + 2/eps) * scale
+}
+
+// epolFarFactorOrder generalizes epolFarFactor to the expansion order p:
+// the clustering error of an order-p class field scales like
+// ((r_U+r_V)/d)^(p+1) ≤ (1/factor)^(p+1), so holding the bound at the
+// calibrated p=1 value (1/factor)² gives factor_p = factor^(2/(p+1)) —
+// tighter (larger) for the monopole field, looser for the quadrupole
+// field at the same target error. The p=1 branch returns the legacy
+// factor literally so the default stays bitwise identical.
+func epolFarFactorOrder(eps, scale float64, order int) float64 {
+	f := epolFarFactor(eps, scale)
+	if order == OrderDipole {
+		return f
+	}
+	return math.Pow(f, 2/float64(order+1))
 }
 
 // epolFar reports whether node balls (separation d, radii ru, rv) satisfy
@@ -197,7 +242,7 @@ func (t *pairTally) addFar(n int64) {
 // Returns (sum, interaction evaluations).
 func (s *System) ApproxEpol(u, v int32, radii []float64, agg *epolAggregates) (float64, int64) {
 	kernel := pairEnergyKernel(s.Params.Math)
-	factor := epolFarFactor(s.Params.EpsEpol, s.Params.OpeningScale)
+	factor := s.epolFactor()
 	return s.approxEpol(u, v, radii, agg, kernel, factor, nil)
 }
 
@@ -252,30 +297,48 @@ func (s *System) approxEpol(u, v int32, radii []float64, agg *epolAggregates,
 
 // farClassSum evaluates the far-field interaction of node pair (U, V) at
 // center distance d (direction vector dvec = c_V − c_U): for every
-// non-empty Born-radius class pair (i, j),
+// non-empty Born-radius class pair (i, j), the order-p expansion of
+// g(|d·d̂ + δ|) about δ = 0, with δ = m_v − m_u the pair offset and
+// g(r) = 1/f_GB(r; R_iR_j ≈ Rmin²(1+ε)^(i+j+1)):
 //
-//	Q_U[i]·Q_V[j]·g(d) + g'(d)·[Q_U[i]·(d̂·D_V[j]) − (d̂·D_U[i])·Q_V[j]]
+//	p ≥ 0:  Q_U[i]·Q_V[j]·g(d)
+//	p ≥ 1:  + g'(d)·[Q_U[i]·(d̂·D_V[j]) − (d̂·D_U[i])·Q_V[j]]
+//	p = 2:  + ½g″(d)·⟨(d̂·δ)²⟩ + ½(g'(d)/d)·⟨|δ|² − (d̂·δ)²⟩
 //
-// with g(r) = 1/f_GB(r; R_iR_j ≈ Rmin²(1+ε)^(i+j+1)). The derivative term
-// is the first-order dipole correction (see epolAggregates.dip). Returns
-// (raw sum, evaluations).
+// where the second-moment contractions come from the class quadrupoles:
+// ⟨(d̂·δ)²⟩ = Q_U·d̂ᵀK_Vd̂ − 2(d̂·D_U)(d̂·D_V) + d̂ᵀK_Ud̂·Q_V and
+// ⟨|δ|²⟩ = Q_U·tr K_V − 2 D_U·D_V + tr K_U·Q_V. The p=1 branch is the
+// pre-Accuracy arithmetic verbatim. Returns (raw sum, evaluations).
 func (s *System) farClassSum(u, v int32, d float64, dvec geom.Vec3, agg *epolAggregates, tally *pairTally) (float64, int64) {
 	r2 := d * d
 	dhat := dvec.Scale(1 / d)
 	approx := s.Params.Math == ApproxMath
+	ord := agg.order
 	sum := 0.0
 	ops := int64(0)
 	ubase, vbase := int(u)*agg.M, int(v)*agg.M
 	for i := 0; i < agg.M; i++ {
 		qu := agg.hist[ubase+i]
-		du := dhat.Dot(agg.dip[ubase+i])
-		if qu == 0 && du == 0 {
+		var du float64
+		var dipU geom.Vec3
+		if ord >= OrderDipole {
+			dipU = agg.dip[ubase+i]
+			du = dhat.Dot(dipU)
+		}
+		if qu == 0 && du == 0 &&
+			(ord != OrderQuadrupole || agg.quad[ubase+i] == (geom.Mat3{})) {
 			continue
 		}
 		for j := 0; j < agg.M; j++ {
 			qv := agg.hist[vbase+j]
-			dv := dhat.Dot(agg.dip[vbase+j])
-			if qv == 0 && dv == 0 {
+			var dv float64
+			var dipV geom.Vec3
+			if ord >= OrderDipole {
+				dipV = agg.dip[vbase+j]
+				dv = dhat.Dot(dipV)
+			}
+			if qv == 0 && dv == 0 &&
+				(ord != OrderQuadrupole || agg.quad[vbase+j] == (geom.Mat3{})) {
 				continue
 			}
 			t := agg.powR[i+j]
@@ -292,9 +355,26 @@ func (s *System) farClassSum(u, v int32, d float64, dvec geom.Vec3, agg *epolAgg
 			} else {
 				invF = 1 / math.Sqrt(f2)
 			}
+			if ord == OrderMonopole {
+				sum += qu * qv * invF
+				ops++
+				continue
+			}
 			// g'(d) = −d·(1 − e/4)/f³.
 			gp := -d * (1 - e/4) * invF * invF * invF
 			sum += qu*qv*invF + gp*(qu*dv-du*qv)
+			if ord == OrderQuadrupole {
+				// g″(d) = ¾u'²/f⁵ − ½u″/f³ with u = f², u' = 2d(1−e/4),
+				// u″ = 2(1−e/4) + (r²/4t)e.
+				up := 2 * d * (1 - e/4)
+				upp := 2*(1-e/4) + (r2/(4*t))*e
+				invF3 := invF * invF * invF
+				gpp := 0.75*up*up*invF3*invF*invF - 0.5*upp*invF3
+				ku, kv := &agg.quad[ubase+i], &agg.quad[vbase+j]
+				a2 := qu*dhat.Dot(kv.MulVec(dhat)) - 2*du*dv + dhat.Dot(ku.MulVec(dhat))*qv
+				b2 := qu*(kv[0]+kv[4]+kv[8]) - 2*dipU.Dot(dipV) + (ku[0]+ku[4]+ku[8])*qv
+				sum += 0.5*gpp*a2 + (0.5*gp/d)*(b2-a2)
+			}
 			ops++
 		}
 	}

@@ -56,6 +56,13 @@ type RunSpec struct {
 	// process count may differ from the saving run's. Distributed layouts
 	// only.
 	Resume *Checkpoint
+	// Accuracy overrides the system's accuracy point for this run only:
+	// the run executes on a shallow WithAccuracy copy, so one prepared
+	// System serves many (target error, accuracy point) jobs without
+	// rebuilding octrees. Nil (or the zero Accuracy) keeps the system's
+	// own point. QuadOrder cannot be changed here — the surface is
+	// prebuilt; use tune.Select/NewSystem to search over it.
+	Accuracy *Accuracy
 	// Ctx cancels the run cooperatively. The distributed driver checks it
 	// at phase boundaries: a completed phase still saves its checkpoint,
 	// then every rank returns ErrRunCanceled (wrapping ctx.Err()) before
@@ -112,6 +119,13 @@ func (s *System) dispatch(spec RunSpec) (*Result, error) {
 	}
 	if spec.Processes == 0 && (spec.Checkpoint != nil || spec.Resume != nil) {
 		return nil, fmt.Errorf("gb: invalid spec: checkpointing needs the distributed driver (set Processes >= 1)")
+	}
+	if spec.Accuracy != nil {
+		ws, err := s.WithAccuracy(*spec.Accuracy)
+		if err != nil {
+			return nil, fmt.Errorf("gb: invalid spec: %w", err)
+		}
+		s = ws
 	}
 	if spec.Resume != nil {
 		if err := s.validateResume(spec.Resume); err != nil {

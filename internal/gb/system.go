@@ -61,9 +61,15 @@ type Params struct {
 	EpsSolvent float64
 	// EpsBorn is the ε of the Born-radii far-field criterion (Fig. 2);
 	// larger is faster and less accurate. The paper's default is 0.9.
+	//
+	// Deprecated: set Accuracy.EpsBorn. Kept as a thin wrapper with a
+	// bitwise-identical default; ignored when Accuracy is non-zero.
 	EpsBorn float64
 	// EpsEpol is the ε of the energy far-field criterion and the
 	// Born-radius class width of Fig. 3. The paper's default is 0.9.
+	//
+	// Deprecated: set Accuracy.EpsEpol. Kept as a thin wrapper with a
+	// bitwise-identical default; ignored when Accuracy is non-zero.
 	EpsEpol float64
 	// LeafAtoms / LeafQPoints are the octree leaf capacities.
 	LeafAtoms   int
@@ -76,12 +82,23 @@ type Params struct {
 	Integral Integral
 	// EpsBin overrides the Born-radius class width of the Fig. 3
 	// histograms (0: use EpsEpol). Exposed for the binning-resolution
-	// ablation (DESIGN.md §6.5).
+	// ablation (DESIGN.md §6.5). Must not exceed EpsEpol.
+	//
+	// Deprecated: set Accuracy.BinWidth. Kept as a thin wrapper with a
+	// bitwise-identical default; ignored when Accuracy is non-zero.
 	EpsBin float64
 	// OpeningScale overrides the far-criterion threshold multiplier of
 	// the energy phase (0: the calibrated default). Exposed for the
 	// opening-criterion ablation.
 	OpeningScale float64
+	// Accuracy is the unified work/precision spec (eps pair, bin width,
+	// quadrature order, expansion order). The zero value falls back to
+	// the deprecated EpsBorn/EpsEpol/EpsBin fields above at the
+	// calibrated OrderDipole default; a non-zero Accuracy wins over
+	// them. NewSystem normalizes: after construction the Accuracy field
+	// is always populated and the deprecated fields mirror it, so both
+	// read sides stay consistent.
+	Accuracy Accuracy
 }
 
 // DefaultParams returns the paper's benchmark configuration: ε = 0.9 for
@@ -103,8 +120,18 @@ func (p Params) Validate() error {
 	if p.EpsSolvent <= 1 {
 		return fmt.Errorf("gb: solvent dielectric %v must exceed 1", p.EpsSolvent)
 	}
-	if p.EpsBorn <= 0 || p.EpsEpol <= 0 {
-		return fmt.Errorf("gb: approximation parameters must be positive (got %v, %v)", p.EpsBorn, p.EpsEpol)
+	if p.Accuracy.IsZero() {
+		if p.EpsBorn <= 0 || p.EpsEpol <= 0 {
+			return fmt.Errorf("gb: approximation parameters must be positive (got %v, %v)", p.EpsBorn, p.EpsEpol)
+		}
+		if !(p.EpsBin >= 0) {
+			return fmt.Errorf("gb: bin width %v must be non-negative", p.EpsBin)
+		}
+		if p.EpsBin > p.EpsEpol {
+			return fmt.Errorf("gb: bin width %v exceeds EpsEpol %v: bins wider than the energy criterion degrade the Fig. 3 histogram bound", p.EpsBin, p.EpsEpol)
+		}
+	} else if err := p.Accuracy.Validate(); err != nil {
+		return err
 	}
 	if p.LeafAtoms < 1 || p.LeafQPoints < 1 {
 		return fmt.Errorf("gb: leaf capacities must be ≥ 1")
@@ -138,6 +165,11 @@ type System struct {
 	// leading term of the r⁶ flux integral.
 	nodeNormal []geom.Vec3
 	nodeMoment []geom.Mat3
+	// nodeMoment2 is the second-order (p=2) moment per T_Q node: the
+	// rank-3 tensor S[i][jk] = Σ w_q n_i m_j m_k (m = p_q − q̄, symmetric
+	// in jk), stored as three matrices indexed by the normal component.
+	// Built only when the effective expansion order is OrderQuadrupole.
+	nodeMoment2 []bornMom2
 
 	// Leaf lists (deterministic order) for node-based work division.
 	qLeaves []int32
@@ -159,6 +191,15 @@ func NewSystem(mol *molecule.Molecule, surf *surface.Surface, params Params) (*S
 	if surf.NumPoints() == 0 {
 		return nil, fmt.Errorf("gb: surface of %q has no quadrature points", mol.Name)
 	}
+	// Normalize the accuracy spec: after construction Params.Accuracy is
+	// always populated and the deprecated eps fields mirror it, so the
+	// traversals (which read the mirrors) and the tuner/serving layers
+	// (which read the spec) agree by construction.
+	acc := params.EffectiveAccuracy()
+	params.Accuracy = acc
+	params.EpsBorn = acc.EpsBorn
+	params.EpsEpol = acc.EpsEpol
+	params.EpsBin = acc.BinWidth
 	s := &System{
 		Params:  params,
 		Mol:     mol,
@@ -209,7 +250,64 @@ func NewSystem(mol *molecule.Molecule, surf *surface.Surface, params Params) (*S
 		s.nodeNormal[i] = sum
 		s.nodeMoment[i] = mom
 	}
+	if acc.Order == OrderQuadrupole {
+		s.nodeMoment2 = buildQuadMoments(s.TQ, surf.Points, s.nodeNormal, s.nodeMoment)
+	}
 	return s, nil
+}
+
+// buildQuadMoments aggregates the second-order surface moments
+// S[i][jk] = Σ w_q n_i m_j m_k per node of a quadrature octree, bottom-up
+// like the normal and first-moment passes. The translation of a child
+// tensor to the parent centroid (m → m + s) follows from expanding the
+// shifted product:
+//
+//	S'[i][jk] = S[i][jk] + s_j T[i][k] + s_k T[i][j] + s_j s_k ñ_i
+//
+// which needs the child's already-aggregated ñ and T, so the pass runs
+// after (or alongside) those.
+func buildQuadMoments(tree *octree.Tree, pts []surface.QPoint, normals []geom.Vec3, moments []geom.Mat3) []bornMom2 {
+	m2 := make([]bornMom2, tree.NumNodes())
+	for i := tree.NumNodes() - 1; i >= 0; i-- {
+		n := &tree.Nodes[i]
+		if n.Leaf {
+			var s2 bornMom2
+			for _, it := range tree.ItemsOf(int32(i)) {
+				q := &pts[it]
+				m := q.Pos.Sub(n.Center)
+				wn := q.Normal.Scale(q.Weight)
+				addOuter(&s2[0], m.Scale(wn.X), m)
+				addOuter(&s2[1], m.Scale(wn.Y), m)
+				addOuter(&s2[2], m.Scale(wn.Z), m)
+			}
+			m2[i] = s2
+			continue
+		}
+		var s2 bornMom2
+		for _, c := range n.Children {
+			if c == octree.NoChild {
+				continue
+			}
+			shift := tree.Nodes[c].Center.Sub(n.Center)
+			cn := normals[c]
+			cm := &moments[c]
+			nvec := [3]float64{cn.X, cn.Y, cn.Z}
+			for comp := 0; comp < 3; comp++ {
+				dst := &s2[comp]
+				src := &m2[c][comp]
+				for t := 0; t < 9; t++ {
+					dst[t] += src[t]
+				}
+				// Row comp of T is the (n_comp, m) first moment.
+				row := geom.V(cm[3*comp], cm[3*comp+1], cm[3*comp+2])
+				addOuter(dst, shift, row)
+				addOuter(dst, row, shift)
+				addOuter(dst, shift.Scale(nvec[comp]), shift)
+			}
+		}
+		m2[i] = s2
+	}
+	return m2
 }
 
 // addOuter accumulates the outer product a ⊗ bᵀ into m (row-major).

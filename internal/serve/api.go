@@ -96,6 +96,14 @@ type JobRequest struct {
 	// Seed seeds the supervisor's backoff jitter (deterministic audit
 	// trails for a fixed seed).
 	Seed int64 `json:"seed,omitempty"`
+	// TargetErrorKcal asks the server to auto-tune the accuracy point:
+	// the job runs at the cheapest point the internal/tune search admits
+	// for this |Epol| error budget (kcal/mol), and the chosen point
+	// comes back in the result's "accuracy" envelope. The supervisor's
+	// accuracy-shedding ladder then steps down the tuner's admissible
+	// frontier instead of scaling ε blindly. 0 keeps the calibrated
+	// default accuracy.
+	TargetErrorKcal float64 `json:"target_error_kcal,omitempty"`
 }
 
 // States of a job.
@@ -108,6 +116,22 @@ const (
 	// checkpoint is durable, and a restarted daemon re-queues it.
 	StateInterrupted = "interrupted"
 )
+
+// AccuracyDoc is the accuracy point a job ran at, reported whenever the
+// request asked for auto-tuning (target_error_kcal > 0). The fields
+// mirror gb.Accuracy; predicted_error_kcal is the tuner's bound for the
+// FINAL point — if the supervisor shed accuracy down the ladder, this
+// reflects the step actually run, and the shed error is also priced into
+// error_bound.
+type AccuracyDoc struct {
+	EpsBorn            float64 `json:"eps_born"`
+	EpsEpol            float64 `json:"eps_epol"`
+	BinWidth           float64 `json:"bin_width"`
+	QuadOrder          int     `json:"quad_order"`
+	Order              int     `json:"order"`
+	TargetErrorKcal    float64 `json:"target_error_kcal"`
+	PredictedErrorKcal float64 `json:"predicted_error_kcal"`
+}
 
 // ResultDoc is the terminal payload of a successful job.
 type ResultDoc struct {
@@ -130,6 +154,9 @@ type ResultDoc struct {
 	// Resumed reports the job picked its checkpoint back up after a
 	// daemon restart.
 	Resumed bool `json:"resumed,omitempty"`
+	// Accuracy is the tuned accuracy point the job ran at (requests
+	// with target_error_kcal only).
+	Accuracy *AccuracyDoc `json:"accuracy,omitempty"`
 }
 
 // JobView is the GET /v1/jobs/{id} body.

@@ -88,8 +88,8 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			RetryAfterSec: max(retryAfter, 1)})
 	case errors.Is(err, errQueueFull):
 		writeError(w, http.StatusTooManyRequests, ErrorDoc{
-			Code:    CodeOverloaded,
-			Message: fmt.Sprintf("admission queue is full (%d jobs); Retry-After models the queued work's cost", s.cfg.QueueDepth),
+			Code:          CodeOverloaded,
+			Message:       fmt.Sprintf("admission queue is full (%d jobs); Retry-After models the queued work's cost", s.cfg.QueueDepth),
 			RetryAfterSec: retryAfter})
 	case errors.Is(err, molecule.ErrInvalidInput):
 		writeError(w, http.StatusBadRequest, ErrorDoc{

@@ -18,6 +18,7 @@ import (
 	"gbpolar/internal/perf"
 	"gbpolar/internal/supervise"
 	"gbpolar/internal/surface"
+	"gbpolar/internal/tune"
 )
 
 // Config configures a Server. The zero value plus DataDir is usable.
@@ -57,7 +58,9 @@ type Config struct {
 	// ShedEpsFactor is the pre-relaxation used when shedding (default
 	// 1.5). The shed accuracy is priced into the response's ErrorBound
 	// and the result is marked Degraded — shedding is visible, never
-	// silent.
+	// silent. In Accuracy terms the factor maps onto
+	// gb.Accuracy.Relaxed(ShedEpsFactor) applied to the job's point
+	// (tuned or default) — see supervise.Spec.StartEpsFactor.
 	ShedEpsFactor float64
 	// KeepCheckpoints is the per-config snapshot retention passed to
 	// DirStore.Prune after a job completes (default 1).
@@ -153,8 +156,8 @@ type Server struct {
 	cfg Config
 	rec *obs.Recorder
 
-	queue     chan *job
-	queuedOps atomic.Int64 // modeled ops waiting in the queue
+	queue      chan *job
+	queuedOps  atomic.Int64  // modeled ops waiting in the queue
 	opsPerAtom atomic.Uint64 // EWMA of measured ops/atom, as float bits
 
 	draining atomic.Bool
@@ -468,7 +471,7 @@ func (s *Server) runJob(j *job) {
 		s.count("serve.jobs.shed", 1)
 	}
 
-	out, runErr := s.superviseJob(j, deadline, startEps)
+	out, sel, runErr := s.superviseJob(j, deadline, startEps)
 
 	if runErr != nil {
 		if errors.Is(runErr, supervise.ErrCanceled) {
@@ -497,6 +500,23 @@ func (s *Server) runJob(j *job) {
 		Shed:       shed,
 		Resumed:    j.resumed,
 	}
+	if sel != nil {
+		// The outcome's point reflects any supervisor shedding, so the
+		// envelope reports the accuracy the job actually ran at; predicted
+		// error follows the final point (a shed step's prediction is its
+		// ladder RelError, already priced into error_bound).
+		acc := out.Accuracy
+		pred := sel.Point.PredictedError
+		if out.RelError > 0 {
+			pred = out.RelError * math.Abs(res.Epol)
+		}
+		doc.Accuracy = &AccuracyDoc{
+			EpsBorn: acc.EpsBorn, EpsEpol: acc.EpsEpol, BinWidth: acc.BinWidth,
+			QuadOrder: acc.QuadOrder, Order: acc.Order,
+			TargetErrorKcal:    j.req.TargetErrorKcal,
+			PredictedErrorKcal: pred,
+		}
+	}
 	s.learnOps(doc.Atoms, res.PerCoreOps)
 	if hv, ok := out.Recorder.Health(); ok {
 		s.unhealthy.Store(len(hv.Lost) > 0 || len(hv.Straggling) > 0)
@@ -508,15 +528,35 @@ func (s *Server) runJob(j *job) {
 	s.rec.ObserveGauge("serve.job.wall_us", s.cfg.Clock().Sub(start).Microseconds())
 }
 
-// superviseJob builds the system and runs the ladder.
-func (s *Server) superviseJob(j *job, deadline time.Duration, startEps float64) (*supervise.Outcome, error) {
-	surf, err := surface.Build(j.mol, surface.DefaultConfig())
-	if err != nil {
-		return nil, fmt.Errorf("building surface: %w", err)
-	}
-	sys, err := gb.NewSystem(j.mol, surf, gb.DefaultParams())
-	if err != nil {
-		return nil, fmt.Errorf("building system: %w", err)
+// superviseJob builds the system and runs the ladder. Requests with a
+// target error first go through the tuner: the job runs at the cheapest
+// admitted accuracy point, and the supervisor's relax rung steps down
+// the tuner's frontier (selection returned for the result envelope).
+func (s *Server) superviseJob(j *job, deadline time.Duration, startEps float64) (*supervise.Outcome, *tune.Selection, error) {
+	var (
+		sys    *gb.System
+		sel    *tune.Selection
+		ladder []supervise.RelaxStep
+	)
+	if j.req.TargetErrorKcal > 0 {
+		var err error
+		sel, err = tune.Select(j.mol, j.req.TargetErrorKcal, tune.Options{Obs: s.rec})
+		if err != nil {
+			return nil, nil, fmt.Errorf("tuning accuracy: %w", err)
+		}
+		sys = sel.System
+		for _, p := range sel.Ladder {
+			ladder = append(ladder, supervise.RelaxStep{Accuracy: p.Acc, RelError: p.PredictedRelError})
+		}
+	} else {
+		surf, err := surface.Build(j.mol, surface.DefaultConfig())
+		if err != nil {
+			return nil, nil, fmt.Errorf("building surface: %w", err)
+		}
+		sys, err = gb.NewSystem(j.mol, surf, gb.DefaultParams())
+		if err != nil {
+			return nil, nil, fmt.Errorf("building system: %w", err)
+		}
 	}
 	P := j.req.Processes
 	if P <= 0 {
@@ -540,7 +580,7 @@ func (s *Server) superviseJob(j *job, deadline time.Duration, startEps float64) 
 		id := j.id
 		planFn = func(attempt int) *fault.Plan { return s.cfg.PlanFor(id, attempt) }
 	}
-	return supervise.Run(sys, supervise.Spec{
+	out, err := supervise.Run(sys, supervise.Spec{
 		Processes:         P,
 		ThreadsPerProcess: threads,
 		Plan:              planFn,
@@ -551,8 +591,10 @@ func (s *Server) superviseJob(j *job, deadline time.Duration, startEps float64) 
 		Obs:               s.rec,
 		Clock:             s.cfg.Clock,
 		Context:           s.runCtx,
+		AccuracyLadder:    ladder,
 		StartEpsFactor:    startEps,
 	})
+	return out, sel, err
 }
 
 // finishJob records a terminal view (exactly one of doc/errDoc is

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestTargetErrorReturnsAccuracyEnvelope pins the PR 8 serving contract:
+// a job carrying target_error_kcal runs at a tuner-selected point and the
+// result reports that point in its accuracy envelope; jobs without a
+// target keep the envelope absent.
+func TestTargetErrorReturnsAccuracyEnvelope(t *testing.T) {
+	_, ts := newTestServer(t, Config{DefaultProcesses: 2})
+	mol := testMol(150, 11)
+
+	code, data := postJob(t, ts.URL, JobRequest{Molecule: molSpec(mol), TargetErrorKcal: 1.0})
+	if code != 202 {
+		t.Fatalf("submit: status %d\n%s", code, data)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(data, &sub); err != nil {
+		t.Fatalf("submit body: %v\n%s", err, data)
+	}
+	view := awaitTerminal(t, ts.URL, sub.ID)
+	if view.State != StateDone || view.Result == nil {
+		t.Fatalf("tuned job ended %s (error %+v)", view.State, view.Error)
+	}
+	acc := view.Result.Accuracy
+	if acc == nil {
+		t.Fatal("tuned result carries no accuracy envelope")
+	}
+	if acc.TargetErrorKcal != 1.0 {
+		t.Errorf("envelope target %v, want 1.0", acc.TargetErrorKcal)
+	}
+	if !(acc.EpsBorn > 0) || !(acc.EpsEpol > 0) || !(acc.BinWidth > 0) {
+		t.Errorf("envelope knobs not resolved: %+v", acc)
+	}
+	if acc.QuadOrder < 1 || acc.QuadOrder > 8 || acc.Order < 0 || acc.Order > 2 {
+		t.Errorf("envelope orders out of range: %+v", acc)
+	}
+	if !(acc.PredictedErrorKcal > 0) {
+		t.Errorf("envelope predicted error %v, want positive", acc.PredictedErrorKcal)
+	}
+	if view.Result.Epol >= 0 {
+		t.Errorf("tuned Epol %v, must be negative", view.Result.Epol)
+	}
+
+	// Determinism across submissions: the tuner search is deterministic,
+	// so a second identical job lands on the same point and the same bits.
+	code, data = postJob(t, ts.URL, JobRequest{Molecule: molSpec(mol), TargetErrorKcal: 1.0})
+	if code != 202 {
+		t.Fatalf("resubmit: status %d\n%s", code, data)
+	}
+	if err := json.Unmarshal(data, &sub); err != nil {
+		t.Fatalf("submit body: %v\n%s", err, data)
+	}
+	again := awaitTerminal(t, ts.URL, sub.ID)
+	if again.State != StateDone || again.Result == nil || again.Result.Accuracy == nil {
+		t.Fatalf("second tuned job ended %s", again.State)
+	}
+	if *again.Result.Accuracy != *acc {
+		t.Errorf("tuned point not reproducible: %+v vs %+v", *again.Result.Accuracy, *acc)
+	}
+	if again.Result.EpolBits != view.Result.EpolBits {
+		t.Errorf("tuned Epol bits differ across identical jobs: %s vs %s",
+			again.Result.EpolBits, view.Result.EpolBits)
+	}
+
+	// No target: no envelope.
+	code, data = postJob(t, ts.URL, JobRequest{Molecule: molSpec(mol)})
+	if code != 202 {
+		t.Fatalf("untuned submit: status %d\n%s", code, data)
+	}
+	if err := json.Unmarshal(data, &sub); err != nil {
+		t.Fatalf("submit body: %v\n%s", err, data)
+	}
+	plain := awaitTerminal(t, ts.URL, sub.ID)
+	if plain.State != StateDone || plain.Result == nil {
+		t.Fatalf("untuned job ended %s", plain.State)
+	}
+	if plain.Result.Accuracy != nil {
+		t.Errorf("untuned result carries an accuracy envelope: %+v", plain.Result.Accuracy)
+	}
+}

@@ -83,6 +83,19 @@ func (r Rung) String() string {
 	return fmt.Sprintf("Rung(%d)", int(r))
 }
 
+// RelaxStep is one notch of an accuracy-shedding ladder expressed as a
+// full gb.Accuracy point rather than a scalar ε factor: the tuner
+// (internal/tune) hands the supervisor its admissible frontier, and the
+// relax rung steps DOWN that frontier — cheaper points, larger predicted
+// error — instead of blindly scaling ε. RelError is the step's predicted
+// relative Epol error; it prices the shed accuracy into the returned
+// ErrorBound as |Epol|·RelError·1.25 (the same slack the scalar
+// epsPenalty and gb's degraded bound use).
+type RelaxStep struct {
+	Accuracy gb.Accuracy
+	RelError float64
+}
+
 // Store persists checkpoints across attempts: a gb.CheckpointSink the
 // runs save into plus retrieval of the newest (highest-phase) snapshot.
 // Latest returns (nil, nil) when nothing has been saved.
@@ -118,8 +131,20 @@ type Spec struct {
 	// Seed seeds the jitter generator — same seed, same ladder walk.
 	Seed int64
 	// EpsLadder are the relax-rung tolerance factors, tried in order
-	// (default {1.5, 2.25}).
+	// (default {1.5, 2.25}). Ignored when AccuracyLadder is set.
+	//
+	// Deprecated: prefer AccuracyLadder, which sheds along the tuner's
+	// admissible frontier instead of scaling ε blindly.
 	EpsLadder []float64
+	// AccuracyLadder replaces the scalar relax rung with the tuner's
+	// admissible frontier: each step is a full accuracy point plus its
+	// predicted relative error (see RelaxStep). Steps are tried in
+	// order; steps that do not loosen the energy criterion beyond the
+	// current point are skipped (escalation only ever relaxes further).
+	// A step that changes the expansion order changes the checkpoint
+	// payload shape — the supervisor detects the mismatch and resumes
+	// from scratch instead of failing the attempt.
+	AccuracyLadder []RelaxStep
 	// Store persists checkpoints across attempts (default: an in-memory
 	// MemStore, so even without explicit storage a retry resumes rather
 	// than recomputes).
@@ -146,6 +171,11 @@ type Spec struct {
 	// epsPenalty lands in ErrorBound and the Outcome is Degraded) for
 	// admission capacity. Ladder entries at or below the factor are
 	// skipped — escalation only ever relaxes further.
+	//
+	// Deprecated: the factor now maps onto Accuracy scaling — the
+	// pre-shed system is gb.WithRelaxedEps(factor), whose accuracy
+	// point is exactly Params.Accuracy.Relaxed(factor). Callers with a
+	// tuned ladder should prefer starting on AccuracyLadder[0].
 	StartEpsFactor float64
 }
 
@@ -157,11 +187,20 @@ type AttemptRecord struct {
 	Rung Rung
 	// Processes is the attempt's process count.
 	Processes int
-	// EpsFactor is the ε relaxation in effect (1 = unrelaxed).
+	// EpsFactor is the ε relaxation in effect (1 = unrelaxed). On an
+	// AccuracyLadder step it is the step's EpsEpol over the base EpsEpol
+	// (informational).
 	EpsFactor float64
+	// Accuracy is the accuracy point of an AccuracyLadder step (zero on
+	// the scalar rungs).
+	Accuracy gb.Accuracy
 	// ResumedFrom is the checkpoint phase the attempt resumed from
 	// (gb.PhaseNone = from scratch).
 	ResumedFrom gb.CheckpointPhase
+	// DroppedCheckpoint reports that a stored snapshot could not resume
+	// this attempt's configuration (e.g. the expansion order changed its
+	// payload shape) and the attempt recomputed from scratch.
+	DroppedCheckpoint bool
 	// Err is the attempt's failure, "" on success.
 	Err string
 }
@@ -175,6 +214,13 @@ type Outcome struct {
 	Rung Rung
 	// EpsFactor is the final ε relaxation (1 = unrelaxed).
 	EpsFactor float64
+	// Accuracy is the final attempt's accuracy point (the system's own
+	// point, after any pre-shed or ladder step).
+	Accuracy gb.Accuracy
+	// RelError is the final AccuracyLadder step's predicted relative
+	// error (0 when no accuracy step was taken); it has already been
+	// priced into Result.ErrorBound.
+	RelError float64
 	// Degraded reports a best-effort result: either the run itself
 	// degraded (partial energy) or accuracy was shed on the way
 	// (relaxed ε, fallback). Result.ErrorBound then bounds the damage.
@@ -207,6 +253,21 @@ func epsPenalty(epol, baseEps, factor float64) float64 {
 		mag = -mag
 	}
 	return mag * baseEps * (factor - 1) * 1.25
+}
+
+// relErrPenalty prices an AccuracyLadder step's predicted relative error
+// into the bound with the same 1.25 slack as epsPenalty. The two agree
+// on the scalar ladder: a factor-f relaxation predicts a relative error
+// of about baseEps·(f−1), which is exactly epsPenalty's model.
+func relErrPenalty(epol, relErr float64) float64 {
+	if relErr <= 0 {
+		return 0
+	}
+	mag := epol
+	if mag < 0 {
+		mag = -mag
+	}
+	return mag * relErr * 1.25
 }
 
 // Run executes one supervised computation of s.
@@ -245,6 +306,8 @@ func Run(s *gb.System, spec Spec) (*Outcome, error) {
 	curSys := s
 	curP := spec.Processes
 	curFactor := 1.0
+	curRelErr := 0.0
+	var curAcc gb.Accuracy
 	baseEps := s.Params.EpsEpol
 	if spec.StartEpsFactor > 1 {
 		curFactor = spec.StartEpsFactor
@@ -288,6 +351,19 @@ func Run(s *gb.System, spec Spec) (*Outcome, error) {
 		if err != nil {
 			return false, fmt.Errorf("supervise: reading checkpoint store: %w", err)
 		}
+		dropped := false
+		if resume != nil {
+			if rerr := curSys.CanResume(resume); rerr != nil {
+				// The stored snapshot cannot resume this configuration —
+				// typically an AccuracyLadder step changed the expansion
+				// order and with it the integral payload shape. Recompute
+				// from scratch instead of failing the attempt.
+				resume = nil
+				dropped = true
+				rec.Count("supervise.checkpoint_dropped", 1)
+				rec.Event(0, "supervise", fmt.Sprintf("attempt %d drops stale checkpoint: %v", n, rerr))
+			}
+		}
 		runRec := obs.NewRecorder(nil)
 		res, err := curSys.Run(gb.RunSpec{
 			Processes:         curP,
@@ -300,6 +376,7 @@ func Run(s *gb.System, spec Spec) (*Outcome, error) {
 		})
 		ar := AttemptRecord{
 			Attempt: n, Rung: rung, Processes: curP, EpsFactor: curFactor,
+			Accuracy: curAcc, DroppedCheckpoint: dropped,
 		}
 		if resume != nil {
 			ar.ResumedFrom = resume.Phase
@@ -321,11 +398,17 @@ func Run(s *gb.System, spec Spec) (*Outcome, error) {
 			return false, nil
 		}
 		out.Attempts = append(out.Attempts, ar)
-		res.ErrorBound += epsPenalty(res.Epol, baseEps, curFactor)
+		if curRelErr > 0 {
+			res.ErrorBound += relErrPenalty(res.Epol, curRelErr)
+		} else {
+			res.ErrorBound += epsPenalty(res.Epol, baseEps, curFactor)
+		}
 		out.Result = res
 		out.Rung = rung
 		out.EpsFactor = curFactor
-		out.Degraded = res.Degraded || curFactor > 1 || rung == RungFallback
+		out.Accuracy = curSys.Params.EffectiveAccuracy()
+		out.RelError = curRelErr
+		out.Degraded = res.Degraded || curFactor > 1 || curRelErr > 0 || rung == RungFallback
 		out.Result.Degraded = out.Degraded
 		out.Recorder = runRec
 		rec.Count("supervise.successes", 1)
@@ -396,22 +479,53 @@ func Run(s *gb.System, spec Spec) (*Outcome, error) {
 		}
 	}
 
-	// Rung: relax ε, one notch per attempt. Notches at or below a
+	// Rung: relax, one notch per attempt. With an AccuracyLadder the
+	// notches are the tuner's admissible-frontier points (skipping any
+	// that do not loosen the energy criterion beyond the current point);
+	// otherwise the scalar ε factors. Scalar notches at or below a
 	// pre-shed StartEpsFactor are already in effect and are skipped.
-	for _, f := range ladder {
-		if f <= curFactor {
-			continue
+	if len(spec.AccuracyLadder) > 0 {
+		for _, step := range spec.AccuracyLadder {
+			cur := curSys.Params.EffectiveAccuracy()
+			if step.Accuracy.OpeningFactor(1) >= cur.OpeningFactor(1) {
+				continue // not looser than where we already are
+			}
+			if expired() {
+				out.DeadlineExceeded = true
+				rec.Count("supervise.deadline_exceeded", 1)
+				return fallback()
+			}
+			escalate(RungRelax)
+			ws, werr := s.WithAccuracy(step.Accuracy)
+			if werr != nil {
+				return nil, fmt.Errorf("supervise: accuracy ladder step: %w", werr)
+			}
+			curSys = ws
+			curAcc = step.Accuracy
+			curRelErr = step.RelError
+			if baseEps > 0 {
+				curFactor = curSys.Params.EpsEpol / baseEps
+			}
+			if ok, err := attempt(RungRelax, spec.Policy, true); err != nil || ok {
+				return out, err
+			}
 		}
-		if expired() {
-			out.DeadlineExceeded = true
-			rec.Count("supervise.deadline_exceeded", 1)
-			return fallback()
-		}
-		escalate(RungRelax)
-		curFactor = f
-		curSys = s.WithRelaxedEps(f)
-		if ok, err := attempt(RungRelax, spec.Policy, true); err != nil || ok {
-			return out, err
+	} else {
+		for _, f := range ladder {
+			if f <= curFactor {
+				continue
+			}
+			if expired() {
+				out.DeadlineExceeded = true
+				rec.Count("supervise.deadline_exceeded", 1)
+				return fallback()
+			}
+			escalate(RungRelax)
+			curFactor = f
+			curSys = s.WithRelaxedEps(f)
+			if ok, err := attempt(RungRelax, spec.Policy, true); err != nil || ok {
+				return out, err
+			}
 		}
 	}
 
