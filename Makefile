@@ -45,7 +45,10 @@ chaos-smoke:
 # trace-smoke runs a small fault-free layout sweep with -trace-out and
 # -metrics-out and asserts the Chrome trace parses with every rank
 # timeline carrying all four algorithm phases, and the metrics file's
-# histograms satisfy the exporter invariants.
+# histograms satisfy the exporter invariants. It then runs the
+# cross-rank critical-path analyzer (gbtrace -json) over the same trace
+# and validates the report schema: per-rank compute+comm+idle summing
+# exactly to the wall, sorted keys, a contiguous monotone path.
 trace-smoke:
 	$(GO) run ./cmd/clustersim -atoms 2000 -nodes 1,2 -rpn 2 \
 		-trace-out /tmp/gbpolar-trace.json \
@@ -54,6 +57,8 @@ trace-smoke:
 		-phases octree-build,approx-integrals,push-integrals-to-atoms,approx-epol \
 		-metrics /tmp/gbpolar-metrics.json \
 		/tmp/gbpolar-trace.json
+	$(GO) run ./cmd/gbtrace -json -out /tmp/gbpolar-critpath.json /tmp/gbpolar-trace.json
+	$(GO) run ./cmd/tracecheck -critpath /tmp/gbpolar-critpath.json
 
 # serve-smoke drives the real gbd binary end to end: good / malformed /
 # over-quota requests, then SIGTERM with a job in flight, restart, and

@@ -14,7 +14,9 @@
 //	POST /v1/jobs       submit {molecule:{name,atoms:[{x,y,z,radius,charge}]},
 //	                    processes?, threads?, deadline_ms?, tenant?, seed?}
 //	                    → 202 {id, state} | 400 | 429 (+Retry-After) | 503
-//	GET  /v1/jobs/{id}  → 200 {id, state, result?, error?}
+//	GET  /v1/jobs/{id}  → 200 {id, state, trace_id, result?, error?}
+//	GET  /v1/traces/{t} → 200 newest persisted attempt trace (Chrome
+//	                    trace-event JSON; analyze with gbtrace)
 //	GET  /readyz        200 while admitting; 503 once draining
 //	GET  /livez         200 while the process is up
 //
@@ -25,12 +27,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"syscall"
 	"time"
 
@@ -39,23 +43,48 @@ import (
 	"gbpolar/internal/serve"
 )
 
+// logJSON emits one structured single-line JSON event on stderr, next
+// to the human-readable lines (which stay — the smoke test and operator
+// muscle memory both parse them). encoding/json renders map keys
+// sorted, so the lines are stable enough to grep and diff.
+func logJSON(event string, fields map[string]any) {
+	doc := map[string]any{"event": event, "ts": time.Now().UTC().Format(time.RFC3339Nano)}
+	for k, v := range fields {
+		doc[k] = v
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, string(data))
+}
+
+// buildVersion reports the module version baked into the binary, or
+// "devel" for a plain `go build` of the working tree.
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "devel"
+}
+
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:8677", "job API listen address (\":0\" picks a free port)")
-		obsAddr   = flag.String("obs-addr", "", "optional obs endpoint address (/metrics, /healthz, /readyz, /livez, pprof)")
-		dataDir   = flag.String("data-dir", "", "job persistence root (required)")
-		queue     = flag.Int("queue-depth", 16, "admission queue bound")
-		workers   = flag.Int("workers", 1, "concurrent supervised runs")
-		maxAtoms  = flag.Int("max-atoms", 20000, "largest accepted roster")
-		bigP      = flag.Int("P", 4, "default processes per job")
-		smallP    = flag.Int("p", 1, "default threads per process")
-		retries   = flag.Int("retries", 2, "supervised retry budget per job")
-		quotaRate = flag.Float64("quota-rate", 0, "per-tenant admission rate (jobs/sec, 0 = no quotas)")
+		addr       = flag.String("addr", "127.0.0.1:8677", "job API listen address (\":0\" picks a free port)")
+		obsAddr    = flag.String("obs-addr", "", "optional obs endpoint address (/metrics, /healthz, /readyz, /livez, pprof)")
+		dataDir    = flag.String("data-dir", "", "job persistence root (required)")
+		queue      = flag.Int("queue-depth", 16, "admission queue bound")
+		workers    = flag.Int("workers", 1, "concurrent supervised runs")
+		maxAtoms   = flag.Int("max-atoms", 20000, "largest accepted roster")
+		bigP       = flag.Int("P", 4, "default processes per job")
+		smallP     = flag.Int("p", 1, "default threads per process")
+		retries    = flag.Int("retries", 2, "supervised retry budget per job")
+		quotaRate  = flag.Float64("quota-rate", 0, "per-tenant admission rate (jobs/sec, 0 = no quotas)")
 		quotaBurst = flag.Float64("quota-burst", 0, "per-tenant burst (default max(1, rate))")
-		shedDepth = flag.Int("shed-depth", 0, "queue depth that pre-sheds new jobs onto the relax rung (0 = queue-depth/2, negative = never)")
-		shedEps   = flag.Float64("shed-eps", 1.5, "ε relaxation factor used when shedding")
-		keep      = flag.Int("keep-checkpoints", 1, "checkpoint snapshots retained per job after completion")
-		ckptDelay = flag.Duration("checkpoint-delay", 0, "slow every checkpoint save (test knob: widens the drain window)")
+		shedDepth  = flag.Int("shed-depth", 0, "queue depth that pre-sheds new jobs onto the relax rung (0 = queue-depth/2, negative = never)")
+		shedEps    = flag.Float64("shed-eps", 1.5, "ε relaxation factor used when shedding")
+		keep       = flag.Int("keep-checkpoints", 1, "checkpoint snapshots retained per job after completion")
+		ckptDelay  = flag.Duration("checkpoint-delay", 0, "slow every checkpoint save (test knob: widens the drain window)")
 	)
 	flag.Parse()
 	if *dataDir == "" {
@@ -101,6 +130,19 @@ func main() {
 	}
 	httpSrv := &http.Server{Handler: daemon.Handler()}
 	fmt.Fprintf(os.Stderr, "gbd: serving jobs on http://%s\n", ln.Addr())
+	logJSON("start", map[string]any{
+		"version":           buildVersion(),
+		"addr":              ln.Addr().String(),
+		"obs_addr":          *obsAddr,
+		"data_dir":          *dataDir,
+		"queue_depth":       *queue,
+		"workers":           *workers,
+		"default_processes": *bigP,
+		"default_threads":   *smallP,
+		"retries":           *retries,
+		"jobs_requeued":     daemon.ResumedJobs(),
+		"queued":            daemon.QueueDepth(),
+	})
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
@@ -115,10 +157,17 @@ func main() {
 		// server keeps answering polls, in-flight jobs stop at their
 		// next phase boundary with durable checkpoints.
 		fmt.Fprintf(os.Stderr, "gbd: %v: draining (admission closed, checkpointing in-flight jobs)\n", s)
+		logJSON("drain", map[string]any{"signal": s.String(), "queued": daemon.QueueDepth()})
 		start := time.Now()
 		daemon.Drain()
 		_ = httpSrv.Close()
 		fmt.Fprintf(os.Stderr, "gbd: drained in %v\n", time.Since(start).Round(time.Millisecond))
+		// What's still queued after drain is exactly what the next start
+		// re-queues from disk.
+		logJSON("exit", map[string]any{
+			"drain_ms":            time.Since(start).Milliseconds(),
+			"jobs_for_next_start": daemon.QueueDepth(),
+		})
 	}
 }
 

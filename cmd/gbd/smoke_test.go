@@ -11,6 +11,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -86,6 +87,18 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatalf("drain exit: %v", err)
 	}
 
+	// The daemon logged structured one-line JSON events for startup and
+	// shutdown alongside the human lines.
+	for _, want := range []string{"start", "drain", "exit"} {
+		if !d1.sawEvent(want) {
+			t.Errorf("no structured %q log event on stderr", want)
+		}
+	}
+
+	// 4. The interrupted victim left a persisted per-attempt trace next
+	// to its checkpoints; gbtrace finds a nonempty critical path in it.
+	checkJobTrace(t, dataDir, victimID)
+
 	// Restart over the same data dir; the victim resumes.
 	d2 := startDaemon(t, bin, "-data-dir", dataDir, "-addr", "127.0.0.1:0", "-P", "3")
 	resumed := awaitDone(t, d2.base, victimID)
@@ -107,10 +120,88 @@ func TestServeSmoke(t *testing.T) {
 	}
 }
 
+// checkJobTrace builds gbtrace, points it at a job's trace directory,
+// and requires a well-formed report with a nonempty critical path. When
+// GBD_TRACE_ARTIFACT_DIR is set (the CI serve-smoke job), the job's
+// traces are copied there for upload.
+func checkJobTrace(t *testing.T, dataDir, jobID string) {
+	t.Helper()
+	traceDir := filepath.Join(dataDir, jobID, "trace")
+	entries, err := os.ReadDir(traceDir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("job %s has no persisted traces: %v", jobID, err)
+	}
+
+	gbtrace := filepath.Join(t.TempDir(), "gbtrace")
+	build := exec.Command("go", "build", "-o", gbtrace, "gbpolar/cmd/gbtrace")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building gbtrace: %v", err)
+	}
+	out, err := exec.Command(gbtrace, "-json", traceDir).Output()
+	if err != nil {
+		t.Fatalf("gbtrace over %s: %v", traceDir, err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	reports, nonempty := 0, 0
+	for dec.More() {
+		var rep struct {
+			Ranks int `json:"ranks"`
+			Path  []struct {
+				Kind string `json:"kind"`
+			} `json:"critical_path"`
+		}
+		if err := dec.Decode(&rep); err != nil {
+			t.Fatalf("gbtrace JSON: %v\n%s", err, out)
+		}
+		reports++
+		if len(rep.Path) > 0 && rep.Ranks == 3 {
+			nonempty++
+		}
+	}
+	if reports == 0 || nonempty == 0 {
+		t.Fatalf("gbtrace found %d reports, %d with a nonempty 3-rank critical path:\n%s",
+			reports, nonempty, out)
+	}
+
+	if artDir := os.Getenv("GBD_TRACE_ARTIFACT_DIR"); artDir != "" {
+		dst := filepath.Join(artDir, jobID)
+		if err := os.MkdirAll(dst, 0o755); err != nil {
+			t.Fatalf("artifact dir: %v", err)
+		}
+		for _, e := range entries {
+			data, err := os.ReadFile(filepath.Join(traceDir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
 type daemon struct {
 	cmd  *exec.Cmd
 	base string
 	done chan error
+
+	mu       sync.Mutex
+	events   map[string]bool
+	scanDone chan struct{}
+}
+
+// sawEvent reports whether the daemon emitted a structured JSON log
+// line with the given event name. It waits for the stderr scanner to
+// finish first, so it is only meaningful after the process exited.
+func (d *daemon) sawEvent(event string) bool {
+	select {
+	case <-d.scanDone:
+	case <-time.After(10 * time.Second):
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.events[event]
 }
 
 // startDaemon launches the gbd binary and parses its listen address
@@ -125,13 +216,25 @@ func startDaemon(t *testing.T, bin string, args ...string) *daemon {
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	d := &daemon{cmd: cmd, done: make(chan error, 1)}
+	d := &daemon{cmd: cmd, done: make(chan error, 1),
+		events: make(map[string]bool), scanDone: make(chan struct{})}
 	addrCh := make(chan string, 1)
 	go func() {
+		defer close(d.scanDone)
 		sc := bufio.NewScanner(stderr)
 		for sc.Scan() {
 			line := sc.Text()
 			fmt.Fprintln(os.Stderr, "  [gbd]", line)
+			if strings.HasPrefix(line, "{") {
+				var doc struct {
+					Event string `json:"event"`
+				}
+				if json.Unmarshal([]byte(line), &doc) == nil && doc.Event != "" {
+					d.mu.Lock()
+					d.events[doc.Event] = true
+					d.mu.Unlock()
+				}
+			}
 			if _, after, ok := strings.Cut(line, "serving jobs on http://"); ok {
 				select {
 				case addrCh <- strings.TrimSpace(after):

@@ -1,0 +1,142 @@
+// Command gbtrace analyzes trace exports of the gbpolar instrumented
+// runs: it ingests Chrome trace-event JSON (gbpol/clustersim -trace-out,
+// gbd's persisted per-attempt job traces) or obs.WriteJSON documents,
+// merges the per-rank span forests, stitches collective rounds into
+// happens-before edges, and prints the cross-rank critical path — where
+// the wall time actually went, split into {phase × rank × compute/comm/
+// idle} — plus the top-k slowest spans.
+//
+// Usage:
+//
+//	gbtrace trace.json                 # timing report per run
+//	gbtrace -k 10 trace.json           # widen the slowest-span list
+//	gbtrace -det trace.json            # deterministic structure view
+//	                                   # (byte-identical across same-seed runs)
+//	gbtrace -json trace.json           # one critpath.Report JSON doc per run
+//	gbtrace <job-dir>/trace            # every attempt-*.json in a directory
+//	gbtrace -out report.json -json t.json
+//
+// A directory argument analyzes every *.json inside it in name order —
+// pointing gbtrace at a gbd job's trace/ directory walks the attempts in
+// escalation order. The exit status is nonzero when nothing parsed or
+// any input was malformed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"gbpolar/internal/obs/critpath"
+)
+
+func main() {
+	var (
+		topK   = flag.Int("k", 5, "slowest spans listed per run")
+		asJSON = flag.Bool("json", false, "emit critpath.Report JSON documents instead of text")
+		det    = flag.Bool("det", false, "deterministic structure view only (phase order, comm rounds, span counts)")
+		outF   = flag.String("out", "", "write output to this file instead of stdout")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fatal(fmt.Errorf("usage: gbtrace [-k n] [-json] [-det] [-out file] <trace.json | dir>"))
+	}
+	paths, err := expand(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	var out io.Writer = os.Stdout
+	if *outF != "" {
+		f, err := os.Create(*outF)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	runs := 0
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		parsed, err := critpath.Parse(data)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		for _, run := range parsed {
+			rep := critpath.Analyze(run, *topK)
+			switch {
+			case *asJSON:
+				if err := critpath.WriteJSON(out, rep); err != nil {
+					fatal(err)
+				}
+			default:
+				if runs > 0 {
+					fmt.Fprintln(out)
+				}
+				if len(paths) > 1 || len(parsed) > 1 {
+					fmt.Fprintf(out, "== %s ==\n", displayName(path, flag.Arg(0)))
+				}
+				if err := critpath.WriteText(out, rep, *det); err != nil {
+					fatal(err)
+				}
+			}
+			runs++
+		}
+	}
+	if runs == 0 {
+		fatal(fmt.Errorf("%s: no runs found", flag.Arg(0)))
+	}
+}
+
+// expand resolves the single path argument: a file stands alone, a
+// directory contributes every *.json inside it in name order.
+func expand(arg string) ([]string, error) {
+	info, err := os.Stat(arg)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return []string{arg}, nil
+	}
+	entries, err := os.ReadDir(arg)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		paths = append(paths, filepath.Join(arg, e.Name()))
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("%s: no .json trace files", arg)
+	}
+	return paths, nil
+}
+
+// displayName shortens a path under the directory argument for headers;
+// a file argument (rel ".") shows its base name.
+func displayName(path, root string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		if rel == "." {
+			return filepath.Base(path)
+		}
+		return rel
+	}
+	return path
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gbtrace:", err)
+	os.Exit(1)
+}

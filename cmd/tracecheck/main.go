@@ -6,7 +6,14 @@
 // spans. Given -metrics (a -metrics-out file of concatenated JSON
 // metrics documents), every histogram must have strictly increasing
 // bucket bounds, bucket counts summing to the total, and ordered
-// quantiles. It is the assertion half of `make trace-smoke`.
+// quantiles. Given -critpath (a gbtrace -json output: one or more
+// concatenated critpath.Report documents), every report must satisfy
+// the analyzer's structural invariants — per-rank compute+comm+idle
+// summing exactly to the wall time, sorted rank and phase keys, a
+// contiguous monotone critical path whose segment durations sum to the
+// crit_compute/crit_comm split, comm fraction within [0, 1000]‰, and
+// top spans sorted slowest-first. It is the assertion half of
+// `make trace-smoke`.
 //
 // Usage:
 //
@@ -14,6 +21,7 @@
 //	tracecheck -phases octree-build,approx-integrals trace.json
 //	tracecheck -metrics metrics.json
 //	tracecheck -metrics metrics.json trace.json
+//	tracecheck -critpath critpath.json
 package main
 
 import (
@@ -60,13 +68,19 @@ type metricsHist struct {
 func main() {
 	phasesF := flag.String("phases", "", "comma-separated span names every span-emitting thread must contain")
 	metricsF := flag.String("metrics", "", "validate this -metrics-out file (concatenated JSON metrics documents)")
+	critpathF := flag.String("critpath", "", "validate this gbtrace -json output (concatenated critical-path reports)")
 	flag.Parse()
-	if flag.NArg() > 1 || (flag.NArg() == 0 && *metricsF == "") {
-		fatal(fmt.Errorf("usage: tracecheck [-phases a,b,c] [-metrics metrics.json] [trace.json]"))
+	if flag.NArg() > 1 || (flag.NArg() == 0 && *metricsF == "" && *critpathF == "") {
+		fatal(fmt.Errorf("usage: tracecheck [-phases a,b,c] [-metrics metrics.json] [-critpath critpath.json] [trace.json]"))
 	}
 
 	if *metricsF != "" {
 		if err := checkMetrics(*metricsF); err != nil {
+			fatal(err)
+		}
+	}
+	if *critpathF != "" {
+		if err := checkCritPath(*critpathF); err != nil {
 			fatal(err)
 		}
 	}
@@ -160,6 +174,154 @@ func checkMetrics(path string) error {
 		return fmt.Errorf("%s: no metrics documents", path)
 	}
 	fmt.Printf("%s: ok (%d documents, %d histograms)\n", path, docs, hists)
+	return nil
+}
+
+// critReport is the subset of the critpath.Report schema we assert on
+// (deliberately re-declared from the wire format, not imported: the
+// checker validates what is actually in the file).
+type critReport struct {
+	Ranks   int   `json:"ranks"`
+	WallUs  int64 `json:"wall_us"`
+	PerRank []struct {
+		Rank      int   `json:"rank"`
+		ComputeUs int64 `json:"compute_us"`
+		CommUs    int64 `json:"comm_us"`
+		IdleUs    int64 `json:"idle_us"`
+		SlackUs   int64 `json:"slack_us"`
+	} `json:"per_rank"`
+	Phases []struct {
+		Phase     string `json:"phase"`
+		Rank      int    `json:"rank"`
+		ComputeUs int64  `json:"compute_us"`
+		CommUs    int64  `json:"comm_us"`
+	} `json:"phases"`
+	Path []struct {
+		Kind    string `json:"kind"`
+		StartUs int64  `json:"start_us"`
+		EndUs   int64  `json:"end_us"`
+	} `json:"critical_path"`
+	CritComputeUs    int64 `json:"crit_compute_us"`
+	CritCommUs       int64 `json:"crit_comm_us"`
+	CommFracPermille int64 `json:"comm_frac_permille"`
+	TopSpans         []struct {
+		DurUs int64 `json:"dur_us"`
+	} `json:"top_spans"`
+	PhaseOrder []struct {
+		Rank int `json:"rank"`
+	} `json:"phase_order"`
+	CommRounds map[string]int64 `json:"comm_rounds"`
+	SpanCounts map[string]int64 `json:"span_counts"`
+}
+
+// checkCritPath validates a gbtrace -json file: one or more concatenated
+// critical-path reports, each satisfying the analyzer's invariants.
+func checkCritPath(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	docs := 0
+	for {
+		var rep critReport
+		if err := dec.Decode(&rep); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return fmt.Errorf("%s: document %d: not valid critical-path JSON: %w", path, docs+1, err)
+		}
+		docs++
+		if err := checkCritReport(rep); err != nil {
+			return fmt.Errorf("%s: document %d: %w", path, docs, err)
+		}
+	}
+	if docs == 0 {
+		return fmt.Errorf("%s: no critical-path reports", path)
+	}
+	fmt.Printf("%s: ok (%d critical-path reports)\n", path, docs)
+	return nil
+}
+
+func checkCritReport(rep critReport) error {
+	if rep.Ranks < 0 || rep.WallUs < 0 {
+		return fmt.Errorf("negative ranks (%d) or wall (%d)", rep.Ranks, rep.WallUs)
+	}
+	if len(rep.PerRank) != rep.Ranks {
+		return fmt.Errorf("%d per-rank lanes for %d ranks", len(rep.PerRank), rep.Ranks)
+	}
+	// Lanes: sorted by rank, non-negative, and compute+comm+idle must sum
+	// EXACTLY to the wall — the attribution identity that makes the lane
+	// table trustworthy.
+	for i, lane := range rep.PerRank {
+		if i > 0 && lane.Rank <= rep.PerRank[i-1].Rank {
+			return fmt.Errorf("per_rank not sorted: rank %d after %d", lane.Rank, rep.PerRank[i-1].Rank)
+		}
+		if lane.ComputeUs < 0 || lane.CommUs < 0 || lane.IdleUs < 0 || lane.SlackUs < 0 {
+			return fmt.Errorf("rank %d has a negative attribution", lane.Rank)
+		}
+		if sum := lane.ComputeUs + lane.CommUs + lane.IdleUs; sum != rep.WallUs {
+			return fmt.Errorf("rank %d attribution %d != wall %d", lane.Rank, sum, rep.WallUs)
+		}
+	}
+	for i, ph := range rep.Phases {
+		if ph.ComputeUs < 0 || ph.CommUs < 0 {
+			return fmt.Errorf("phase %q rank %d has a negative attribution", ph.Phase, ph.Rank)
+		}
+		if i > 0 {
+			prev := rep.Phases[i-1]
+			if ph.Phase < prev.Phase || (ph.Phase == prev.Phase && ph.Rank <= prev.Rank) {
+				return fmt.Errorf("phases not sorted at %q rank %d", ph.Phase, ph.Rank)
+			}
+		}
+	}
+	// The critical path: contiguous, monotone, segment kinds known, and
+	// its compute/comm split consistent with the step durations.
+	var pathCompute, pathComm int64
+	for i, st := range rep.Path {
+		if st.EndUs < st.StartUs {
+			return fmt.Errorf("path step %d runs backward: [%d, %d]", i, st.StartUs, st.EndUs)
+		}
+		if i > 0 && st.StartUs != rep.Path[i-1].EndUs {
+			return fmt.Errorf("path step %d starts at %d, previous ended at %d", i, st.StartUs, rep.Path[i-1].EndUs)
+		}
+		switch st.Kind {
+		case "compute":
+			pathCompute += st.EndUs - st.StartUs
+		case "comm":
+			pathComm += st.EndUs - st.StartUs
+		default:
+			return fmt.Errorf("path step %d has unknown kind %q", i, st.Kind)
+		}
+	}
+	if pathCompute != rep.CritComputeUs || pathComm != rep.CritCommUs {
+		return fmt.Errorf("path segments sum to compute=%d comm=%d, report says %d/%d",
+			pathCompute, pathComm, rep.CritComputeUs, rep.CritCommUs)
+	}
+	if total := rep.CritComputeUs + rep.CritCommUs; total > rep.WallUs {
+		return fmt.Errorf("critical path %d exceeds wall %d", total, rep.WallUs)
+	}
+	if rep.CommFracPermille < 0 || rep.CommFracPermille > 1000 {
+		return fmt.Errorf("comm fraction %d out of [0, 1000] permille", rep.CommFracPermille)
+	}
+	for i := 1; i < len(rep.TopSpans); i++ {
+		if rep.TopSpans[i].DurUs > rep.TopSpans[i-1].DurUs {
+			return fmt.Errorf("top_spans not sorted slowest-first at index %d", i)
+		}
+	}
+	for i, po := range rep.PhaseOrder {
+		if i > 0 && po.Rank <= rep.PhaseOrder[i-1].Rank {
+			return fmt.Errorf("phase_order not sorted at rank %d", po.Rank)
+		}
+	}
+	for _, counts := range []map[string]int64{rep.CommRounds, rep.SpanCounts} {
+		for name, n := range counts {
+			if n <= 0 {
+				return fmt.Errorf("count for %q is %d, want positive", name, n)
+			}
+		}
+	}
 	return nil
 }
 

@@ -63,6 +63,12 @@ type RunSpec struct {
 	// own point. QuadOrder cannot be changed here — the surface is
 	// prebuilt; use tune.Select/NewSystem to search over it.
 	Accuracy *Accuracy
+	// Trace is the request identity of the job this run serves (see
+	// obs.TraceContext): Run stamps it onto Obs before the drivers open
+	// their first span, so every span, flight event, and export of the
+	// run carries it. The zero value leaves Obs untouched. Stamping is
+	// write-only instrumentation — it never changes computed numbers.
+	Trace obs.TraceContext
 	// Ctx cancels the run cooperatively. The distributed driver checks it
 	// at phase boundaries: a completed phase still saves its checkpoint,
 	// then every rank returns ErrRunCanceled (wrapping ctx.Err()) before
@@ -94,6 +100,9 @@ func (spec *RunSpec) canceled() error {
 // Run executes the computation the spec describes. It is the single
 // driver entry point; the Run* methods below are deprecated wrappers.
 func (s *System) Run(spec RunSpec) (*Result, error) {
+	if !spec.Trace.IsZero() {
+		spec.Obs.SetTrace(spec.Trace)
+	}
 	res, err := s.dispatch(spec)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,532 @@
+// Package critpath is the cross-rank critical-path analyzer: it takes
+// the per-rank span forests of one run (straight off an obs.Recorder or
+// re-ingested from the Chrome-trace/JSON exports), stitches the comm
+// spans of each collective round into happens-before edges, and
+// attributes the run's end-to-end wall time to {phase × rank ×
+// compute/comm/idle}. The outputs are a text report, a JSON document
+// (validated by cmd/tracecheck), and obs gauges (critpath.comm_frac,
+// critpath.slack_us per rank).
+//
+// # Determinism rules
+//
+// The analyzer never reads a clock — every time it handles was measured
+// upstream, behind the perf boundary, and arrives as integer
+// microseconds. All map-derived output goes through sorted renders, and
+// every tie (equal timestamps, equal durations) breaks on (rank, name,
+// creation index), never on map order: the same input bytes always
+// produce the same output bytes. The structure-only view (Report's
+// phase order, comm rounds, span counts — what WriteText renders in det
+// mode) depends only on counter-side facts, so it is byte-identical
+// between two same-seed crash-free runs even though their timings
+// differ.
+//
+// Comm stitching matches the members of one logical collective across
+// ranks by (span name, seq) — simmpi tags each collective span with the
+// rank's 1-based round count for that kind (obs.StartSpanSeq). Traces
+// without seq tags (older exports) fall back to per-rank occurrence
+// order, which is equivalent for crash-free runs.
+package critpath
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+
+	"gbpolar/internal/obs"
+)
+
+// Span is one closed span, times in integer microseconds on the run's
+// shared stopwatch.
+type Span struct {
+	Rank    int    `json:"rank"`
+	Name    string `json:"name"`
+	StartUs int64  `json:"start_us"`
+	EndUs   int64  `json:"end_us"`
+	// Parent indexes the enclosing span in the run's slice, -1 for a
+	// rank root.
+	Parent int `json:"parent"`
+	// Seq is the collective round for sequenced comm spans, 0 otherwise.
+	Seq int64 `json:"seq,omitempty"`
+}
+
+func (s Span) durUs() int64 { return s.EndUs - s.StartUs }
+func (s Span) isComm() bool { return strings.HasPrefix(s.Name, "comm:") }
+
+// Run is the analyzer's input: one run's spans plus identity.
+type Run struct {
+	Label string
+	Trace obs.TraceContext
+	Spans []Span
+}
+
+// FromRecorder snapshots a recorder into an analyzable Run. Open spans
+// are dropped (drain force-closes spans before export, so a well-formed
+// trace has none).
+func FromRecorder(r *obs.Recorder) Run {
+	run := Run{Label: r.Label(), Trace: r.Trace()}
+	src := r.Spans()
+	remap := make([]int, len(src))
+	for i := range remap {
+		remap[i] = -1
+	}
+	for i, sp := range src {
+		if sp.Open {
+			continue
+		}
+		parent := -1
+		// Parents precede children in creation order, so the remap entry
+		// is already final; an open (dropped) parent orphans the child
+		// into a root, which keeps the forest well-shaped.
+		if sp.Parent >= 0 {
+			parent = remap[sp.Parent]
+		}
+		remap[i] = len(run.Spans)
+		run.Spans = append(run.Spans, Span{
+			Rank: sp.Rank, Name: sp.Name,
+			StartUs: sp.Start.Microseconds(), EndUs: sp.End.Microseconds(),
+			Parent: parent, Seq: sp.Seq,
+		})
+	}
+	return run
+}
+
+// RankLane is one rank's wall-time attribution. ComputeUs + CommUs +
+// IdleUs == the run's WallUs exactly, by construction: busy is the
+// union of the rank's root coverage, comm the union of its comm spans
+// (always inside the roots), compute their difference, and idle the
+// wall outside the roots (startup skew and early finish). SlackUs is
+// how long before the global end this rank's roots ended — the
+// headroom item-1 sharding can spend.
+type RankLane struct {
+	Rank      int   `json:"rank"`
+	ComputeUs int64 `json:"compute_us"`
+	CommUs    int64 `json:"comm_us"`
+	IdleUs    int64 `json:"idle_us"`
+	SlackUs   int64 `json:"slack_us"`
+}
+
+// PhaseCell is the attribution of one (phase, rank) cell: a depth-1
+// span under the rank root ("approx-epol", "redo:octree-build", ...),
+// its time split into comm (union of comm descendants) and compute
+// (the rest). Repeated instances of one phase name aggregate.
+type PhaseCell struct {
+	Phase     string `json:"phase"`
+	Rank      int    `json:"rank"`
+	ComputeUs int64  `json:"compute_us"`
+	CommUs    int64  `json:"comm_us"`
+}
+
+// PathStep is one segment of the critical path, rendered start→end.
+// Kind is "compute" (the rank was the sole constraint) or "comm" (the
+// rank was waiting in / crossing a collective; Name and Seq identify
+// the round, and the step starts when the round's last arriver entered
+// it).
+type PathStep struct {
+	Rank    int    `json:"rank"`
+	Kind    string `json:"kind"`
+	Name    string `json:"name"`
+	StartUs int64  `json:"start_us"`
+	EndUs   int64  `json:"end_us"`
+	Seq     int64  `json:"seq,omitempty"`
+}
+
+// TopSpan is one of the slowest spans of the run.
+type TopSpan struct {
+	Rank    int    `json:"rank"`
+	Name    string `json:"name"`
+	DurUs   int64  `json:"dur_us"`
+	StartUs int64  `json:"start_us"`
+}
+
+// RankPhases is one rank's phase sequence in program order — pure
+// structure, byte-identical between same-seed runs.
+type RankPhases struct {
+	Rank   int      `json:"rank"`
+	Phases []string `json:"phases"`
+}
+
+// Report is the analyzer's output. The timing fields (wall, lanes,
+// cells, path, top spans) are observational; PhaseOrder, CommRounds,
+// and SpanCounts are the deterministic structure view.
+type Report struct {
+	Label string            `json:"label,omitempty"`
+	Trace *obs.TraceContext `json:"trace,omitempty"`
+	Ranks int               `json:"ranks"`
+
+	WallUs  int64 `json:"wall_us"`
+	StartUs int64 `json:"start_us"`
+
+	PerRank []RankLane  `json:"per_rank"`
+	Phases  []PhaseCell `json:"phases"`
+
+	Path             []PathStep `json:"critical_path"`
+	CritComputeUs    int64      `json:"crit_compute_us"`
+	CritCommUs       int64      `json:"crit_comm_us"`
+	CommFracPermille int64      `json:"comm_frac_permille"`
+
+	TopSpans []TopSpan `json:"top_spans"`
+
+	PhaseOrder []RankPhases     `json:"phase_order"`
+	CommRounds map[string]int64 `json:"comm_rounds"`
+	SpanCounts map[string]int64 `json:"span_counts"`
+}
+
+// iv is a half-open-ish inclusive interval [lo, hi] in µs.
+type iv struct{ lo, hi int64 }
+
+// unionLen returns the total length covered by the intervals.
+func unionLen(ivs []iv) int64 {
+	if len(ivs) == 0 {
+		return 0
+	}
+	slices.SortFunc(ivs, func(a, b iv) int {
+		if a.lo != b.lo {
+			return int(a.lo - b.lo)
+		}
+		return int(a.hi - b.hi)
+	})
+	total := int64(0)
+	curLo, curHi := ivs[0].lo, ivs[0].hi
+	for _, x := range ivs[1:] {
+		if x.lo > curHi {
+			total += curHi - curLo
+			curLo, curHi = x.lo, x.hi
+			continue
+		}
+		if x.hi > curHi {
+			curHi = x.hi
+		}
+	}
+	return total + (curHi - curLo)
+}
+
+// groupKey identifies the comm spans of one logical collective round
+// across ranks: (name, seq) when sequenced, per-rank occurrence order
+// otherwise.
+func groupKey(sp Span, occ int64) string {
+	if sp.Seq > 0 {
+		return fmt.Sprintf("%s#%d", sp.Name, sp.Seq)
+	}
+	return fmt.Sprintf("%s@%d", sp.Name, occ)
+}
+
+// Analyze attributes run's wall time. topK bounds the slowest-span
+// list (≤ 0 means 10).
+func Analyze(run Run, topK int) Report {
+	if topK <= 0 {
+		topK = 10
+	}
+	rep := Report{
+		Label:      run.Label,
+		PerRank:    []RankLane{},
+		Phases:     []PhaseCell{},
+		Path:       []PathStep{},
+		TopSpans:   []TopSpan{},
+		PhaseOrder: []RankPhases{},
+		CommRounds: map[string]int64{},
+		SpanCounts: map[string]int64{},
+	}
+	if !run.Trace.IsZero() {
+		tc := run.Trace
+		rep.Trace = &tc
+	}
+	spans := run.Spans
+	if len(spans) == 0 {
+		return rep
+	}
+
+	// Roots and the global wall window.
+	rootsByRank := map[int][]int{}
+	for i, sp := range spans {
+		rep.SpanCounts[sp.Name]++
+		if sp.Parent < 0 {
+			rootsByRank[sp.Rank] = append(rootsByRank[sp.Rank], i)
+		}
+	}
+	ranks := obs.SortedKeys(rootsByRank)
+	rep.Ranks = len(ranks)
+	wallLo, wallHi := int64(0), int64(0)
+	first := true
+	for _, rk := range ranks {
+		for _, i := range rootsByRank[rk] {
+			if first || spans[i].StartUs < wallLo {
+				wallLo = spans[i].StartUs
+			}
+			if first || spans[i].EndUs > wallHi {
+				wallHi = spans[i].EndUs
+			}
+			first = false
+		}
+	}
+	rep.StartUs, rep.WallUs = wallLo, wallHi-wallLo
+
+	// topAncestor[i] is span i's depth-1 ancestor (a phase), or i itself
+	// when i is depth ≤ 1; -1 for roots.
+	topAncestor := make([]int, len(spans))
+	for i, sp := range spans {
+		switch {
+		case sp.Parent < 0:
+			topAncestor[i] = -1
+		case spans[sp.Parent].Parent < 0:
+			topAncestor[i] = i
+		default:
+			topAncestor[i] = topAncestor[sp.Parent]
+		}
+	}
+
+	// Per-rank lanes and per-(phase, rank) cells.
+	commIvs := map[int][]iv{}   // rank → comm intervals
+	rootIvs := map[int][]iv{}   // rank → root intervals
+	rankEnd := map[int]int64{}  // rank → latest root end
+	phaseComm := map[int][]iv{} // depth-1 span index → comm intervals inside it
+	type cellKey struct {
+		phase string
+		rank  int
+	}
+	cellDur := map[cellKey]int64{}
+	cellComm := map[cellKey]int64{}
+	phaseSeq := map[int][]string{} // rank → phase names in creation order
+	for i, sp := range spans {
+		if sp.Parent < 0 {
+			rootIvs[sp.Rank] = append(rootIvs[sp.Rank], iv{sp.StartUs, sp.EndUs})
+			if sp.EndUs > rankEnd[sp.Rank] {
+				rankEnd[sp.Rank] = sp.EndUs
+			}
+			continue
+		}
+		if topAncestor[i] == i { // depth-1: a phase (or a bare comm round)
+			phaseSeq[sp.Rank] = append(phaseSeq[sp.Rank], sp.Name)
+		}
+		if sp.isComm() {
+			commIvs[sp.Rank] = append(commIvs[sp.Rank], iv{sp.StartUs, sp.EndUs})
+			if ta := topAncestor[i]; ta >= 0 {
+				phaseComm[ta] = append(phaseComm[ta], iv{sp.StartUs, sp.EndUs})
+			}
+		}
+	}
+	for i, sp := range spans {
+		if topAncestor[i] != i {
+			continue
+		}
+		key := cellKey{sp.Name, sp.Rank}
+		cellDur[key] += sp.durUs()
+		cellComm[key] += unionLen(phaseComm[i])
+		if sp.isComm() { // a depth-1 comm round is all comm
+			cellComm[key] = cellDur[key]
+		}
+	}
+	for _, rk := range ranks {
+		busy := unionLen(rootIvs[rk])
+		comm := unionLen(commIvs[rk])
+		if comm > busy {
+			comm = busy // clamp: a malformed trace must not go negative
+		}
+		rep.PerRank = append(rep.PerRank, RankLane{
+			Rank:      rk,
+			ComputeUs: busy - comm,
+			CommUs:    comm,
+			IdleUs:    rep.WallUs - busy,
+			SlackUs:   wallHi - rankEnd[rk],
+		})
+		rep.PhaseOrder = append(rep.PhaseOrder, RankPhases{Rank: rk, Phases: append([]string{}, phaseSeq[rk]...)})
+	}
+	cells := make([]cellKey, 0, len(cellDur))
+	for k := range cellDur {
+		cells = append(cells, k)
+	}
+	slices.SortFunc(cells, func(a, b cellKey) int {
+		if a.phase != b.phase {
+			return strings.Compare(a.phase, b.phase)
+		}
+		return a.rank - b.rank
+	})
+	for _, k := range cells {
+		comm := cellComm[k]
+		if comm > cellDur[k] {
+			comm = cellDur[k]
+		}
+		rep.Phases = append(rep.Phases, PhaseCell{
+			Phase: k.phase, Rank: k.rank,
+			ComputeUs: cellDur[k] - comm, CommUs: comm,
+		})
+	}
+
+	// Comm groups for happens-before stitching, plus per-kind rounds.
+	groups := map[string][]int{}
+	occ := map[string]int64{} // "rank|name" → occurrence count
+	commByRank := map[int][]int{}
+	for i, sp := range spans {
+		if !sp.isComm() {
+			continue
+		}
+		okey := fmt.Sprintf("%d|%s", sp.Rank, sp.Name)
+		occ[okey]++
+		gk := groupKey(sp, occ[okey])
+		groups[gk] = append(groups[gk], i)
+		commByRank[sp.Rank] = append(commByRank[sp.Rank], i)
+	}
+	groupOf := map[int]string{}
+	for gk, members := range groups {
+		for _, i := range members {
+			groupOf[i] = gk
+		}
+	}
+	for _, name := range obs.SortedKeys(occ) {
+		kind := name[strings.Index(name, "|")+1:]
+		if occ[name] > rep.CommRounds[kind] {
+			rep.CommRounds[kind] = occ[name]
+		}
+	}
+	// Sort each rank's comm spans by (end, start, index) so the walk can
+	// consume them latest-first with a strictly decreasing pointer.
+	for rk := range commByRank {
+		slices.SortFunc(commByRank[rk], func(a, b int) int {
+			if spans[a].EndUs != spans[b].EndUs {
+				return int(spans[a].EndUs - spans[b].EndUs)
+			}
+			if spans[a].StartUs != spans[b].StartUs {
+				return int(spans[a].StartUs - spans[b].StartUs)
+			}
+			return a - b
+		})
+	}
+
+	rep.walkCriticalPath(spans, ranks, rootIvs, rankEnd, commByRank, groups, groupOf)
+
+	// Slowest spans (roots excluded — the rank span is the whole run).
+	cand := []TopSpan{}
+	for _, sp := range spans {
+		if sp.Parent < 0 {
+			continue
+		}
+		cand = append(cand, TopSpan{Rank: sp.Rank, Name: sp.Name, DurUs: sp.durUs(), StartUs: sp.StartUs})
+	}
+	slices.SortFunc(cand, func(a, b TopSpan) int {
+		if a.DurUs != b.DurUs {
+			return int(b.DurUs - a.DurUs)
+		}
+		if a.Rank != b.Rank {
+			return a.Rank - b.Rank
+		}
+		if a.Name != b.Name {
+			return strings.Compare(a.Name, b.Name)
+		}
+		return int(a.StartUs - b.StartUs)
+	})
+	if len(cand) > topK {
+		cand = cand[:topK]
+	}
+	rep.TopSpans = cand
+	return rep
+}
+
+// walkCriticalPath runs the backward happens-before walk: start at the
+// last-finishing rank's root end; each time the walk meets a comm span,
+// the time since the round's last arriver entered it is comm, and the
+// walk jumps to that arriver — the rank that actually constrained the
+// round. Per-rank decreasing index pointers plus a hard cap bound the
+// walk even on degenerate (zero-duration) timestamps.
+func (rep *Report) walkCriticalPath(spans []Span, ranks []int, rootIvs map[int][]iv,
+	rankEnd map[int]int64, commByRank map[int][]int, groups map[string][]int,
+	groupOf map[int]string) {
+
+	if len(ranks) == 0 {
+		return
+	}
+	cur := ranks[0]
+	for _, rk := range ranks[1:] { // last-finishing rank, ties → lowest
+		if rankEnd[rk] > rankEnd[cur] {
+			cur = rk
+		}
+	}
+	floor := map[int]int64{}
+	for _, rk := range ranks {
+		lo := int64(0)
+		for j, r := range rootIvs[rk] {
+			if j == 0 || r.lo < lo {
+				lo = r.lo
+			}
+		}
+		floor[rk] = lo
+	}
+	ptr := map[int]int{}
+	for rk, list := range commByRank {
+		ptr[rk] = len(list) - 1
+	}
+	t := rankEnd[cur]
+	steps := []PathStep{}
+	totalComm := 0
+	for _, list := range commByRank {
+		totalComm += len(list)
+	}
+	for iter := 0; iter <= totalComm+len(ranks); iter++ {
+		list := commByRank[cur]
+		i := ptr[cur]
+		if i > len(list)-1 { // rank with no comm spans: ptr defaults to 0
+			i = len(list) - 1
+		}
+		for i >= 0 && spans[list[i]].EndUs > t {
+			i--
+		}
+		if i < 0 {
+			if t > floor[cur] {
+				steps = append(steps, PathStep{Rank: cur, Kind: "compute", Name: "compute", StartUs: floor[cur], EndUs: t})
+			}
+			break
+		}
+		cs := spans[list[i]]
+		ptr[cur] = i - 1
+		if cs.EndUs < t {
+			steps = append(steps, PathStep{Rank: cur, Kind: "compute", Name: "compute", StartUs: cs.EndUs, EndUs: t})
+		}
+		// Last arriver of the round: max StartUs, ties → lowest rank.
+		members := groups[groupOf[list[i]]]
+		la := members[0]
+		for _, m := range members[1:] {
+			if spans[m].StartUs > spans[la].StartUs ||
+				(spans[m].StartUs == spans[la].StartUs && spans[m].Rank < spans[la].Rank) {
+				la = m
+			}
+		}
+		stepStart := spans[la].StartUs
+		if stepStart > cs.EndUs {
+			stepStart = cs.EndUs
+		}
+		steps = append(steps, PathStep{
+			Rank: cur, Kind: "comm", Name: cs.Name, Seq: cs.Seq,
+			StartUs: stepStart, EndUs: cs.EndUs,
+		})
+		cur = spans[la].Rank
+		if nt := spans[la].StartUs; nt < t {
+			t = nt
+		} else if cs.EndUs < t {
+			t = cs.EndUs
+		}
+	}
+	slices.Reverse(steps)
+	rep.Path = steps
+	for _, st := range steps {
+		if st.Kind == "comm" {
+			rep.CritCommUs += st.EndUs - st.StartUs
+		} else {
+			rep.CritComputeUs += st.EndUs - st.StartUs
+		}
+	}
+	if rep.WallUs > 0 {
+		rep.CommFracPermille = rep.CritCommUs * 1000 / rep.WallUs
+	}
+}
+
+// PublishGauges exports the report's headline numbers as gauges on rec:
+// critpath.comm_frac (per-mille of wall time the critical path spent in
+// collectives) and critpath.slack_us.rank<N> per rank. Gauges are
+// observational, so publishing them never perturbs Summary determinism.
+func PublishGauges(rec *obs.Recorder, rep Report) {
+	if rec == nil {
+		return
+	}
+	rec.Gauge("critpath.comm_frac", rep.CommFracPermille)
+	for _, lane := range rep.PerRank {
+		rec.Gauge(fmt.Sprintf("critpath.slack_us.rank%d", lane.Rank), lane.SlackUs)
+	}
+}

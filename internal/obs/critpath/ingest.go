@@ -1,0 +1,179 @@
+package critpath
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"slices"
+	"strings"
+
+	"gbpolar/internal/obs"
+)
+
+// Ingestion of the two on-disk trace formats the project already
+// exports: the Chrome trace-event document (obs.WriteChromeTrace — what
+// clustersim -trace-out and the daemon's per-attempt traces write) and
+// the obs JSON document (obs.Recorder.WriteJSON). Parse reads either,
+// sniffing by top-level key.
+
+// chromeEvent mirrors the subset of the trace-event format the project
+// emits: M metadata and X complete slices, times in fractional µs.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// ParseChromeTrace decodes a Chrome trace-event document into one Run
+// per process (pid), sorted by pid. The exporter drops parent links, so
+// nesting is reconstructed by interval containment per (pid, tid): obs
+// emits spans in creation order and a rank's goroutine opens them with
+// non-decreasing start times, so a pushdown stack recovers the exact
+// forest (equal intervals nest in file order, matching force-close).
+func ParseChromeTrace(data []byte) ([]Run, error) {
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("critpath: chrome trace: %w", err)
+	}
+	type proc struct {
+		run   Run
+		stack map[int][]int // tid → open span indices into run.Spans
+	}
+	procs := map[int]*proc{}
+	getProc := func(pid int) *proc {
+		p := procs[pid]
+		if p == nil {
+			p = &proc{stack: map[int][]int{}}
+			procs[pid] = p
+		}
+		return p
+	}
+	const eps = 0.01 // µs; absorbs float rendering of ns-derived times
+	for _, ev := range doc.TraceEvents {
+		p := getProc(ev.Pid)
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" && ev.Args != nil {
+				if s, ok := ev.Args["name"].(string); ok {
+					p.run.Label = s
+				}
+				if s, ok := ev.Args["trace_id"].(string); ok {
+					p.run.Trace.TraceID = s
+				}
+				if s, ok := ev.Args["job"].(string); ok {
+					p.run.Trace.Job = s
+				}
+				if s, ok := ev.Args["tenant"].(string); ok {
+					p.run.Trace.Tenant = s
+				}
+				if f, ok := ev.Args["attempt"].(float64); ok {
+					p.run.Trace.Attempt = int(f)
+				}
+			}
+		case "X":
+			st := p.stack[ev.Tid]
+			for len(st) > 0 {
+				top := p.run.Spans[st[len(st)-1]]
+				topEnd := float64(top.EndUs)
+				if ev.Ts+ev.Dur <= topEnd+eps && ev.Ts >= float64(top.StartUs)-eps {
+					break
+				}
+				st = st[:len(st)-1]
+			}
+			parent := -1
+			if len(st) > 0 {
+				parent = st[len(st)-1]
+			}
+			sp := Span{
+				Rank:    ev.Tid,
+				Name:    ev.Name,
+				StartUs: int64(math.Round(ev.Ts)),
+				EndUs:   int64(math.Round(ev.Ts + ev.Dur)),
+				Parent:  parent,
+			}
+			if ev.Args != nil {
+				if f, ok := ev.Args["seq"].(float64); ok {
+					sp.Seq = int64(f)
+				}
+			}
+			p.stack[ev.Tid] = append(st, len(p.run.Spans))
+			p.run.Spans = append(p.run.Spans, sp)
+		}
+	}
+	runs := make([]Run, 0, len(procs))
+	for _, pid := range obs.SortedKeys(procs) {
+		runs = append(runs, procs[pid].run)
+	}
+	return runs, nil
+}
+
+// obsJSONDoc mirrors obs.Recorder.WriteJSON's span section.
+type obsJSONDoc struct {
+	Label string            `json:"label"`
+	Trace *obs.TraceContext `json:"trace"`
+	Spans []struct {
+		Rank    int     `json:"rank"`
+		Name    string  `json:"name"`
+		StartUs float64 `json:"start_us"`
+		DurUs   float64 `json:"dur_us"`
+		Parent  int     `json:"parent"`
+		Seq     int64   `json:"seq"`
+	} `json:"spans"`
+}
+
+// ParseObsJSON decodes an obs WriteJSON document (explicit parent
+// links) into one Run.
+func ParseObsJSON(data []byte) (Run, error) {
+	var doc obsJSONDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return Run{}, fmt.Errorf("critpath: obs json: %w", err)
+	}
+	run := Run{Label: doc.Label}
+	if doc.Trace != nil {
+		run.Trace = *doc.Trace
+	}
+	for _, sp := range doc.Spans {
+		parent := sp.Parent
+		if parent < -1 || parent >= len(doc.Spans) {
+			parent = -1
+		}
+		run.Spans = append(run.Spans, Span{
+			Rank: sp.Rank, Name: sp.Name,
+			StartUs: int64(math.Round(sp.StartUs)),
+			EndUs:   int64(math.Round(sp.StartUs + sp.DurUs)),
+			Parent:  parent, Seq: sp.Seq,
+		})
+	}
+	return run, nil
+}
+
+// Parse sniffs the document flavor by top-level key: "traceEvents" is a
+// Chrome trace (possibly several runs), "spans" an obs JSON document.
+func Parse(data []byte) ([]Run, error) {
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("critpath: not a JSON object: %w", err)
+	}
+	if _, ok := probe["traceEvents"]; ok {
+		return ParseChromeTrace(data)
+	}
+	if _, ok := probe["spans"]; ok {
+		run, err := ParseObsJSON(data)
+		if err != nil {
+			return nil, err
+		}
+		return []Run{run}, nil
+	}
+	keys := make([]string, 0, len(probe))
+	for k := range probe {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return nil, fmt.Errorf("critpath: unrecognized trace document (top-level keys: %s)", strings.Join(keys, ", "))
+}

@@ -1,0 +1,88 @@
+package critpath
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"gbpolar/internal/obs"
+)
+
+// WriteJSON writes the report as one JSON document. encoding/json
+// marshals maps in sorted key order and every slice here was built in
+// sorted order, so identical reports render identical bytes —
+// cmd/tracecheck -critpath validates the schema and the attribution
+// invariants.
+func WriteJSON(w io.Writer, rep Report) error {
+	return json.NewEncoder(w).Encode(rep)
+}
+
+// WriteText renders the report as a human table. In det mode only the
+// structure view is printed — phase order, comm rounds, span counts,
+// all pure functions of the workload — so two same-seed crash-free runs
+// render byte-identical det reports; the timing mode adds the wall
+// clock attribution, the critical path, and the slowest spans.
+func WriteText(w io.Writer, rep Report, det bool) error {
+	var b strings.Builder
+	head := "critical path"
+	if det {
+		head = "critical path structure"
+	}
+	if rep.Label != "" {
+		fmt.Fprintf(&b, "%s: %s\n", head, rep.Label)
+	} else {
+		fmt.Fprintf(&b, "%s\n", head)
+	}
+	if rep.Trace != nil {
+		fmt.Fprintf(&b, "trace %s job=%s tenant=%s attempt=%d\n",
+			rep.Trace.TraceID, rep.Trace.Job, rep.Trace.Tenant, rep.Trace.Attempt)
+	}
+	fmt.Fprintf(&b, "ranks %d\n", rep.Ranks)
+
+	if det {
+		for _, rp := range rep.PhaseOrder {
+			fmt.Fprintf(&b, "rank %d phases: %s\n", rp.Rank, strings.Join(rp.Phases, " "))
+		}
+		for _, k := range obs.SortedKeys(rep.CommRounds) {
+			fmt.Fprintf(&b, "comm rounds %s %d\n", k, rep.CommRounds[k])
+		}
+		for _, k := range obs.SortedKeys(rep.SpanCounts) {
+			fmt.Fprintf(&b, "span %s %d\n", k, rep.SpanCounts[k])
+		}
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+
+	fmt.Fprintf(&b, "wall %d us\n", rep.WallUs)
+	b.WriteString("rank  compute_us  comm_us  idle_us  slack_us\n")
+	for _, lane := range rep.PerRank {
+		fmt.Fprintf(&b, "%4d  %10d  %7d  %7d  %8d\n",
+			lane.Rank, lane.ComputeUs, lane.CommUs, lane.IdleUs, lane.SlackUs)
+	}
+	if len(rep.Phases) > 0 {
+		b.WriteString("phase attribution:\n")
+		b.WriteString("  phase                        rank  compute_us  comm_us\n")
+		for _, c := range rep.Phases {
+			fmt.Fprintf(&b, "  %-27s  %4d  %10d  %7d\n", c.Phase, c.Rank, c.ComputeUs, c.CommUs)
+		}
+	}
+	fmt.Fprintf(&b, "critical path (%d steps, compute %d us, comm %d us, comm_frac %d‰):\n",
+		len(rep.Path), rep.CritComputeUs, rep.CritCommUs, rep.CommFracPermille)
+	for _, st := range rep.Path {
+		name := st.Name
+		if st.Seq > 0 {
+			name = fmt.Sprintf("%s#%d", st.Name, st.Seq)
+		}
+		fmt.Fprintf(&b, "  rank %d  %-7s  %-27s  %d..%d us  (%d us)\n",
+			st.Rank, st.Kind, name, st.StartUs, st.EndUs, st.EndUs-st.StartUs)
+	}
+	if len(rep.TopSpans) > 0 {
+		b.WriteString("slowest spans:\n")
+		for _, ts := range rep.TopSpans {
+			fmt.Fprintf(&b, "  rank %d  %-27s  %d us\n", ts.Rank, ts.Name, ts.DurUs)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

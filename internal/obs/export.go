@@ -72,6 +72,7 @@ func (r *Recorder) Summary() string {
 // jsonDoc is the WriteJSON document.
 type jsonDoc struct {
 	Label    string           `json:"label,omitempty"`
+	Trace    *TraceContext    `json:"trace,omitempty"`
 	Counters map[string]int64 `json:"counters"`
 	Gauges   map[string]int64 `json:"gauges"`
 	Hists    []jsonHist       `json:"hists"`
@@ -85,6 +86,7 @@ type jsonSpan struct {
 	StartUs float64 `json:"start_us"`
 	DurUs   float64 `json:"dur_us"`
 	Parent  int     `json:"parent"`
+	Seq     int64   `json:"seq,omitempty"`
 }
 
 // jsonHist is one exported histogram: quantiles plus the non-empty
@@ -138,6 +140,9 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 		GaugeH:   toJSONHists(r.GaugeHistograms()),
 		Spans:    []jsonSpan{},
 	}
+	if tc := r.Trace(); !tc.IsZero() {
+		doc.Trace = &tc
+	}
 	for _, sp := range r.Spans() {
 		if sp.Open {
 			continue
@@ -145,7 +150,7 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 		doc.Spans = append(doc.Spans, jsonSpan{
 			Rank: sp.Rank, Name: sp.Name,
 			StartUs: us(sp.Start), DurUs: us(sp.End - sp.Start),
-			Parent: sp.Parent,
+			Parent: sp.Parent, Seq: sp.Seq,
 		})
 	}
 	enc := json.NewEncoder(w)
@@ -187,9 +192,20 @@ func WriteChromeTrace(w io.Writer, recs ...*Recorder) error {
 		if label == "" {
 			label = fmt.Sprintf("recorder-%d", pid)
 		}
+		procArgs := map[string]any{"name": label}
+		tc := r.Trace()
+		if !tc.IsZero() {
+			// The request identity rides on the process metadata (one
+			// trace per recorder) so gbtrace and a human in Perfetto can
+			// resolve any slice back to its job/tenant/attempt.
+			procArgs["trace_id"] = tc.TraceID
+			procArgs["job"] = tc.Job
+			procArgs["tenant"] = tc.Tenant
+			procArgs["attempt"] = tc.Attempt
+		}
 		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
 			Name: "process_name", Ph: "M", Pid: pid,
-			Args: map[string]any{"name": label},
+			Args: procArgs,
 		})
 		seenRank := make(map[int]bool)
 		for _, sp := range r.Spans() {
@@ -204,11 +220,15 @@ func WriteChromeTrace(w io.Writer, recs ...*Recorder) error {
 				})
 			}
 			dur := us(sp.End - sp.Start)
-			doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+			ev := traceEvent{
 				Name: sp.Name, Ph: "X",
 				Ts: us(sp.Start), Dur: &dur,
 				Pid: pid, Tid: sp.Rank,
-			})
+			}
+			if sp.Seq != 0 {
+				ev.Args = map[string]any{"seq": sp.Seq}
+			}
+			doc.TraceEvents = append(doc.TraceEvents, ev)
 		}
 	}
 	enc := json.NewEncoder(w)

@@ -95,6 +95,10 @@ func (r *Recorder) FlightDump() string {
 	} else {
 		b.WriteString("flight recorder\n")
 	}
+	if !r.trace.IsZero() {
+		fmt.Fprintf(&b, "trace %s job=%s tenant=%s attempt=%d\n",
+			r.trace.TraceID, r.trace.Job, r.trace.Tenant, r.trace.Attempt)
+	}
 	for _, rank := range SortedKeys(r.flight) {
 		fr := r.flight[rank]
 		fmt.Fprintf(&b, "rank %d: last %d of %d events\n", rank, len(fr.events), fr.total)

@@ -29,6 +29,12 @@ type histogram struct {
 	count   int64
 	sum     int64
 	buckets [histBuckets]int64
+	// exID/exValue remember the most recent exemplar-tagged observation
+	// (ObserveGaugeEx): a trace ID a /metrics scraper can pivot to from
+	// an SLO latency series. Exemplars live on the observational side
+	// only — Summary never renders them.
+	exID    string
+	exValue int64
 }
 
 // histBucketIndex returns the bucket of v: the smallest i with
@@ -103,6 +109,10 @@ type HistogramRecord struct {
 	P50, P90, P99 int64
 	// Buckets holds the non-empty buckets in ascending bound order.
 	Buckets []HistogramBucket
+	// ExemplarID/ExemplarValue carry the most recent exemplar-tagged
+	// observation (ObserveGaugeEx), empty when none was recorded.
+	ExemplarID    string
+	ExemplarValue int64
 }
 
 // snapshotHist renders one histogram under the recorder lock.
@@ -115,6 +125,7 @@ func snapshotHist(name string, h *histogram) HistogramRecord {
 		P90:   h.quantile(0.90),
 		P99:   h.quantile(0.99),
 	}
+	rec.ExemplarID, rec.ExemplarValue = h.exID, h.exValue
 	for i, c := range h.buckets {
 		if c > 0 {
 			rec.Buckets = append(rec.Buckets, HistogramBucket{UpperBound: histUpperBound(i), Count: c})
@@ -146,6 +157,24 @@ func (r *Recorder) ObserveGauge(name string, v int64) {
 	}
 	r.mu.Lock()
 	r.histInto(r.gaugeHists, name, v)
+	r.mu.Unlock()
+}
+
+// ObserveGaugeEx is ObserveGauge plus an exemplar: the observation is
+// tagged with a trace ID, and the histogram remembers the most recent
+// such pair. The SLO latency series use it so a scraped p99 spike comes
+// with a concrete trace to pull up with gbtrace. An empty id degrades
+// to plain ObserveGauge.
+func (r *Recorder) ObserveGaugeEx(name string, v int64, traceID string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.histInto(r.gaugeHists, name, v)
+	if traceID != "" {
+		h := r.gaugeHists[name]
+		h.exID, h.exValue = traceID, v
+	}
 	r.mu.Unlock()
 }
 

@@ -44,6 +44,29 @@ import (
 	"time"
 )
 
+// TraceContext is the request identity a recorder carries: the serving
+// layer mints one per job (internal/serve), the supervisor stamps the
+// attempt number per rung (internal/supervise), and every exporter —
+// JSON, Chrome trace, flight dump, /metrics exemplars — then tags its
+// output with it, so a span seen in any tool resolves back to the
+// request that caused it. The zero TraceContext means "untraced" and
+// changes no output.
+type TraceContext struct {
+	// TraceID is the end-to-end request identity ("t-1a2b3c4d..."). One
+	// trace ID covers every supervised attempt of one job.
+	TraceID string `json:"trace_id"`
+	// Job is the serving job ID the trace belongs to ("j-...").
+	Job string `json:"job,omitempty"`
+	// Tenant is the quota bucket the request was admitted under.
+	Tenant string `json:"tenant,omitempty"`
+	// Attempt is the 1-based supervised attempt this recorder covers
+	// (0 for recorders outside the supervisor).
+	Attempt int `json:"attempt,omitempty"`
+}
+
+// IsZero reports whether the context carries no identity.
+func (tc TraceContext) IsZero() bool { return tc == TraceContext{} }
+
 // Recorder collects spans, counters, and gauges for one run (or one
 // labeled unit of work, e.g. a clustersim layout). Safe for concurrent
 // use by rank goroutines.
@@ -52,6 +75,7 @@ type Recorder struct {
 
 	mu         sync.Mutex
 	label      string
+	trace      TraceContext
 	spans      []spanData
 	open       map[int][]int32 // per-rank stack of open span indices
 	counters   map[string]int64
@@ -70,6 +94,7 @@ type spanData struct {
 	start  time.Duration
 	end    time.Duration
 	parent int32 // index into spans, -1 for a rank root
+	seq    int64 // 1-based collective round, 0 for non-comm spans
 	open   bool
 }
 
@@ -113,6 +138,30 @@ func (r *Recorder) Label() string {
 	return r.label
 }
 
+// SetTrace stamps the recorder with a request identity. Exporters pick
+// it up (WriteJSON's "trace" object, Chrome trace process metadata and
+// slice args, the FlightDump header); Summary deliberately does not —
+// trace IDs are per-request, and Summary's contract is byte-identity
+// between same-seed runs.
+func (r *Recorder) SetTrace(tc TraceContext) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.trace = tc
+	r.mu.Unlock()
+}
+
+// Trace returns the recorder's request identity (zero when untraced).
+func (r *Recorder) Trace() TraceContext {
+	if r == nil {
+		return TraceContext{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.trace
+}
+
 // Span is a handle on one open span. The zero Span is inert.
 type Span struct {
 	r    *Recorder
@@ -123,6 +172,16 @@ type Span struct {
 // StartSpan opens a span named name on the given rank, nested under the
 // rank's innermost open span.
 func (r *Recorder) StartSpan(rank int, name string) Span {
+	return r.StartSpanSeq(rank, name, 0)
+}
+
+// StartSpanSeq opens a span carrying a sequence number — simmpi tags
+// each collective span with the rank's 1-based round count for that
+// collective kind, so the critical-path analyzer can match the comm
+// spans of one logical collective across ranks by (name, seq) instead
+// of by wall-clock proximity (which heal-redo skew would break). seq 0
+// means "unsequenced" and is what StartSpan passes.
+func (r *Recorder) StartSpanSeq(rank int, name string, seq int64) Span {
 	if r == nil {
 		return Span{}
 	}
@@ -135,7 +194,7 @@ func (r *Recorder) StartSpan(rank int, name string) Span {
 	}
 	idx := int32(len(r.spans))
 	r.spans = append(r.spans, spanData{
-		rank: rank, name: name, start: now, end: now, parent: parent, open: true,
+		rank: rank, name: name, start: now, end: now, parent: parent, seq: seq, open: true,
 	})
 	r.open[rank] = append(r.open[rank], idx)
 	kind := flightSpan
@@ -223,6 +282,9 @@ type SpanRecord struct {
 	// Parent indexes the enclosing span in the Spans() slice, -1 for a
 	// rank root.
 	Parent int
+	// Seq is the 1-based collective round for sequenced comm spans
+	// (StartSpanSeq), 0 otherwise.
+	Seq int64
 	// Open marks a span not yet ended (a snapshot taken mid-run).
 	Open bool
 }
@@ -239,7 +301,7 @@ func (r *Recorder) Spans() []SpanRecord {
 		out[i] = SpanRecord{
 			Rank: sd.rank, Name: sd.name,
 			Start: sd.start, End: sd.end,
-			Parent: int(sd.parent), Open: sd.open,
+			Parent: int(sd.parent), Seq: sd.seq, Open: sd.open,
 		}
 	}
 	return out

@@ -78,6 +78,7 @@ type Server struct {
 
 	mu    sync.Mutex
 	recs  []*Recorder
+	reg   []*Recorder // cached scrape registry; nil = rebuild from recs
 	ready func() (bool, string)
 }
 
@@ -117,13 +118,17 @@ func Serve(addr string, recs ...*Recorder) (*Server, error) {
 }
 
 // Attach adds a recorder to the live views (clustersim attaches one per
-// layout as the sweep progresses). Nil recorders are ignored.
+// layout as the sweep progresses). Nil recorders are ignored. Attach
+// invalidates the cached scrape registry, so a recorder attached after
+// the first /metrics scrape shows up on the next one — a recorder must
+// never be invisible just because it arrived mid-sweep.
 func (s *Server) Attach(rec *Recorder) {
 	if s == nil || rec == nil {
 		return
 	}
 	s.mu.Lock()
 	s.recs = append(s.recs, rec)
+	s.reg = nil
 	s.mu.Unlock()
 }
 
@@ -166,11 +171,17 @@ func (s *Server) readySource() func() (bool, string) {
 	return s.ready
 }
 
-// snapshot returns the attached recorders.
+// snapshot returns the scrape registry: the attached recorders, copied
+// once and reused across scrapes until Attach invalidates it. The cache
+// only holds recorder pointers — metric values are re-read live on every
+// scrape; what must not go stale is the set of recorders itself.
 func (s *Server) snapshot() []*Recorder {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]*Recorder(nil), s.recs...)
+	if s.reg == nil {
+		s.reg = append([]*Recorder{}, s.recs...)
+	}
+	return s.reg
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -301,7 +312,14 @@ func addPromHistogram(add func(name, typ, line string), h HistogramRecord, run s
 		add(name, "histogram",
 			fmt.Sprintf(`%s_bucket{run="%s",le="%d"} %d`, name, esc, b.UpperBound, cum))
 	}
-	add(name, "histogram", fmt.Sprintf(`%s_bucket{run="%s",le="+Inf"} %d`, name, esc, h.Count))
+	infLine := fmt.Sprintf(`%s_bucket{run="%s",le="+Inf"} %d`, name, esc, h.Count)
+	if h.ExemplarID != "" {
+		// OpenMetrics-style exemplar on the +Inf bucket: the most recent
+		// trace-tagged observation, so a scraped SLO spike resolves to a
+		// concrete trace ID to pull up with gbtrace.
+		infLine += fmt.Sprintf(` # {trace_id="%s"} %d`, promLabelEscape(h.ExemplarID), h.ExemplarValue)
+	}
+	add(name, "histogram", infLine)
 	add(name, "histogram", fmt.Sprintf(`%s_sum{run="%s"} %d`, name, esc, h.Sum))
 	add(name, "histogram", fmt.Sprintf(`%s_count{run="%s"} %d`, name, esc, h.Count))
 }

@@ -87,6 +87,64 @@ func TestServeEndpoints(t *testing.T) {
 	}
 }
 
+// TestAttachInvalidatesScrapeRegistry staggers two recorders after the
+// first scrape: each Attach must invalidate the cached registry so the
+// next /metrics includes every counter registered so far. (Regression:
+// a registry cached at first scrape silently dropped late recorders.)
+func TestAttachInvalidatesScrapeRegistry(t *testing.T) {
+	first, _ := newTestRecorder()
+	first.SetLabel("first")
+	first.Count("comm.allreduce.calls", 1)
+	srv, err := Serve("127.0.0.1:0", first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// Prime the scrape registry cache.
+	if _, body := get(t, base+"/metrics"); !strings.Contains(body, `{run="first"} 1`) {
+		t.Fatalf("first recorder missing from priming scrape:\n%s", body)
+	}
+
+	second, _ := newTestRecorder()
+	second.SetLabel("second")
+	second.Count("comm.allreduce.calls", 2)
+	srv.Attach(second)
+	if _, body := get(t, base+"/metrics"); !strings.Contains(body, `{run="second"} 2`) {
+		t.Fatalf("recorder attached after first scrape missing:\n%s", body)
+	}
+
+	third, _ := newTestRecorder()
+	third.SetLabel("third")
+	third.Count("comm.allreduce.calls", 3)
+	srv.Attach(third)
+	_, body := get(t, base+"/metrics")
+	for _, want := range []string{`{run="first"} 1`, `{run="second"} 2`, `{run="third"} 3`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape after second staggered attach lacks %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestMetricsExemplar: an exemplar-tagged observation renders on the
+// +Inf bucket line so an SLO spike carries a trace ID to pivot on.
+func TestMetricsExemplar(t *testing.T) {
+	r, _ := newTestRecorder()
+	r.SetLabel("slo")
+	r.ObserveGaugeEx("slo.total_us.tenant.acme", 1500, "t-deadbeef")
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	_, body := get(t, "http://"+srv.Addr()+"/metrics")
+	want := `gbpolar_slo_total_us_tenant_acme_bucket{run="slo",le="+Inf"} 1 # {trace_id="t-deadbeef"} 1500`
+	if !strings.Contains(body, want) {
+		t.Errorf("/metrics lacks exemplar line %q:\n%s", want, body)
+	}
+}
+
 func TestServeBadAddr(t *testing.T) {
 	if _, err := Serve("definitely:not:an:addr"); err == nil {
 		t.Fatal("Serve accepted a malformed address")

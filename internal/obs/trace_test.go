@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTraceContextOnRecorder(t *testing.T) {
+	var nilRec *Recorder
+	nilRec.SetTrace(TraceContext{TraceID: "t-x"})
+	if got := nilRec.Trace(); !got.IsZero() {
+		t.Errorf("nil recorder returned a trace: %+v", got)
+	}
+
+	r, _ := newTestRecorder()
+	if !r.Trace().IsZero() {
+		t.Error("fresh recorder carries a trace")
+	}
+	tc := TraceContext{TraceID: "t-1a2b", Job: "j-1a2b", Tenant: "acme", Attempt: 2}
+	r.SetTrace(tc)
+	if got := r.Trace(); got != tc {
+		t.Errorf("Trace() = %+v, want %+v", got, tc)
+	}
+}
+
+// The trace identity must ride every exporter: the JSON doc's "trace"
+// object, the Chrome trace process metadata, and the flight dump header.
+func TestTraceStampsExports(t *testing.T) {
+	r, _ := newTestRecorder()
+	r.SetLabel("job run")
+	r.SetTrace(TraceContext{TraceID: "t-feed", Job: "j-feed", Tenant: "acme", Attempt: 1})
+	r.StartSpan(0, "rank").End()
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Trace *TraceContext `json:"trace"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Trace == nil || doc.Trace.TraceID != "t-feed" || doc.Trace.Tenant != "acme" {
+		t.Errorf("WriteJSON trace = %+v", doc.Trace)
+	}
+
+	buf.Reset()
+	if err := WriteChromeTrace(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"trace_id":"t-feed"`, `"job":"j-feed"`, `"tenant":"acme"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Chrome trace lacks %s:\n%s", want, buf.String())
+		}
+	}
+
+	if dump := r.FlightDump(); !strings.Contains(dump, "trace t-feed job=j-feed tenant=acme attempt=1") {
+		t.Errorf("flight dump lacks trace header:\n%s", dump)
+	}
+}
+
+// An untraced recorder's exports must be unchanged: no "trace" key, no
+// trace args, no flight header line.
+func TestZeroTraceLeavesExportsAlone(t *testing.T) {
+	r, _ := newTestRecorder()
+	r.StartSpan(0, "rank").End()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"trace"`) {
+		t.Errorf("untraced WriteJSON has a trace key:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := WriteChromeTrace(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "trace_id") {
+		t.Errorf("untraced Chrome trace has trace_id:\n%s", buf.String())
+	}
+	if strings.Contains(r.FlightDump(), "trace ") {
+		t.Errorf("untraced flight dump has a trace header:\n%s", r.FlightDump())
+	}
+}
+
+func TestStartSpanSeq(t *testing.T) {
+	r, _ := newTestRecorder()
+	r.StartSpanSeq(0, "comm:allreduce", 1).End()
+	r.StartSpanSeq(1, "comm:allreduce", 1).End()
+	r.StartSpanSeq(0, "comm:allreduce", 2).End()
+	r.StartSpan(0, "octree-build").End()
+
+	spans := r.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	wantSeq := []int64{1, 1, 2, 0}
+	for i, sp := range spans {
+		if sp.Seq != wantSeq[i] {
+			t.Errorf("span %d (%s) seq = %d, want %d", i, sp.Name, sp.Seq, wantSeq[i])
+		}
+	}
+
+	// Seq survives the JSON export (omitted when zero) and the Chrome
+	// trace args.
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"seq":2`) {
+		t.Errorf("WriteJSON lacks seq: %s", buf.String())
+	}
+	buf.Reset()
+	if err := WriteChromeTrace(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"args":{"seq":2}`) {
+		t.Errorf("Chrome trace lacks seq args: %s", buf.String())
+	}
+}
+
+func TestObserveGaugeExemplar(t *testing.T) {
+	r, _ := newTestRecorder()
+	r.ObserveGaugeEx("slo.run_us.tenant.acme", 100, "t-aaaa")
+	r.ObserveGaugeEx("slo.run_us.tenant.acme", 900, "t-bbbb")
+	r.ObserveGaugeEx("slo.run_us.tenant.acme", 400, "") // no exemplar: keeps the last
+
+	hs := r.GaugeHistograms()
+	if len(hs) != 1 {
+		t.Fatalf("got %d histograms", len(hs))
+	}
+	h := hs[0]
+	if h.Count != 3 || h.Sum != 1400 {
+		t.Errorf("count=%d sum=%d", h.Count, h.Sum)
+	}
+	if h.ExemplarID != "t-bbbb" || h.ExemplarValue != 900 {
+		t.Errorf("exemplar = %q/%d, want t-bbbb/900", h.ExemplarID, h.ExemplarValue)
+	}
+
+	var nilRec *Recorder
+	nilRec.ObserveGaugeEx("x", 1, "t-cccc") // must not panic
+}

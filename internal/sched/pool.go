@@ -14,6 +14,7 @@ type Pool struct {
 	workers []*Worker
 	steals  atomic.Int64
 	spawned atomic.Int64
+	parks   atomic.Int64
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -77,6 +78,12 @@ func (p *Pool) NumWorkers() int { return len(p.workers) }
 // Steals returns the number of successful steals so far.
 func (p *Pool) Steals() int64 { return p.steals.Load() }
 
+// Parks returns how often a worker ran out of local and stealable work
+// and went to sleep — the pool-level steal-idle signal the critical-path
+// attribution reads alongside comm time (a high park count with low comm
+// means the layout starves workers, not the network).
+func (p *Pool) Parks() int64 { return p.parks.Load() }
+
 // TasksSpawned returns the number of tasks spawned so far.
 func (p *Pool) TasksSpawned() int64 { return p.spawned.Load() }
 
@@ -101,6 +108,7 @@ func (p *Pool) Close() {
 	if !alreadyClosed && rec != nil {
 		rec.GaugeAdd("sched.steals", p.steals.Load())
 		rec.GaugeAdd("sched.tasks", p.spawned.Load())
+		rec.GaugeAdd("sched.parks", p.parks.Load())
 		for _, w := range p.workers {
 			rec.ObserveGauge("sched.tasks_per_worker", w.executed.Load())
 		}
@@ -128,6 +136,7 @@ func (w *Worker) loop() {
 		// Re-check under the lock via a last steal attempt to avoid a
 		// missed wakeup between the failed steal and parking.
 		p.idle++
+		p.parks.Add(1)
 		p.cond.Wait()
 		p.idle--
 		closed := p.closed

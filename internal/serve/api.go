@@ -161,10 +161,15 @@ type ResultDoc struct {
 
 // JobView is the GET /v1/jobs/{id} body.
 type JobView struct {
-	ID     string     `json:"id"`
-	State  string     `json:"state"`
-	Result *ResultDoc `json:"result,omitempty"`
-	Error  *ErrorDoc  `json:"error,omitempty"`
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// TraceID is the job's request-trace identity, minted at admission
+	// and stable across daemon restarts (it is derived from the job ID).
+	// Every span of every attempt carries it, and GET
+	// /v1/traces/{trace_id} returns the newest persisted attempt trace.
+	TraceID string     `json:"trace_id,omitempty"`
+	Result  *ResultDoc `json:"result,omitempty"`
+	Error   *ErrorDoc  `json:"error,omitempty"`
 }
 
 // buildMolecule converts the wire molecule into a validated

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"strings"
 
 	"gbpolar/internal/molecule"
@@ -12,10 +13,12 @@ import (
 
 // Handler returns the daemon's HTTP API:
 //
-//	POST /v1/jobs       submit a job  → 202 {id, state, retry hints}
-//	GET  /v1/jobs/{id}  poll a job    → 200 JobView
-//	GET  /readyz        admission open? 200 / 503 while draining
-//	GET  /livez         process up?     always 200
+//	POST /v1/jobs           submit a job  → 202 {id, state, retry hints}
+//	GET  /v1/jobs/{id}      poll a job    → 200 JobView
+//	GET  /v1/traces/{t-id}  fetch a job's newest persisted attempt trace
+//	                        (Chrome trace-event JSON, gbtrace-ready)
+//	GET  /readyz            admission open? 200 / 503 while draining
+//	GET  /livez             process up?     always 200
 //
 // Every non-2xx body is a typed ErrorDoc. The handler never panics on
 // any input: malformed JSON, oversized bodies, NaN coordinates, and
@@ -26,6 +29,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/jobs/", s.handleJobByID)
+	mux.HandleFunc("/v1/traces/", s.handleTraceByID)
 	mux.HandleFunc("/livez", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -119,4 +123,46 @@ func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, view)
+}
+
+// handleTraceByID serves the newest persisted attempt trace of the job
+// behind a trace ID. The t-/j- prefix mapping is derivational, so no
+// lookup table can go stale; the job itself must still be known (running
+// or done) — trace IDs are not a way to probe the data directory.
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, ErrorDoc{
+			Code: CodeMalformed, Message: "GET /v1/traces/{trace_id}"})
+		return
+	}
+	tid := strings.TrimPrefix(r.URL.Path, "/v1/traces/")
+	if tid == "" || strings.Contains(tid, "/") || !strings.HasPrefix(tid, "t-") {
+		writeError(w, http.StatusNotFound, ErrorDoc{
+			Code: CodeNotFound, Message: "trace id missing or malformed (want t-<hex>)"})
+		return
+	}
+	jobID := jobIDForTrace(tid)
+	if _, ok := s.lookup(jobID); !ok {
+		writeError(w, http.StatusNotFound, ErrorDoc{
+			Code: CodeNotFound, Message: fmt.Sprintf("no trace %q", tid)})
+		return
+	}
+	path := ""
+	if s.cfg.DataDir != "" {
+		path = s.latestTraceFile(jobID)
+	}
+	if path == "" {
+		writeError(w, http.StatusNotFound, ErrorDoc{
+			Code: CodeNotFound, Message: fmt.Sprintf("trace %q has no persisted attempts (job may not have run yet, or the daemon runs without a data dir)", tid)})
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, ErrorDoc{
+			Code: CodeInternal, Message: "reading trace: " + err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
 }

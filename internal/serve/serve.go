@@ -171,6 +171,10 @@ type Server struct {
 	// straggling ranks; the next job then starts pre-shed.
 	unhealthy atomic.Bool
 
+	// resumed counts jobs re-queued from disk at startup (gbd's startup
+	// log line reports it).
+	resumed int
+
 	mu   sync.Mutex
 	jobs map[string]*job
 	done map[string]*JobView // terminal views reloaded from disk
@@ -218,12 +222,13 @@ func New(cfg Config) (*Server, error) {
 		}
 		j := &job{id: recd.ID, req: recd.Req, mol: mol, resumed: true,
 			estOps: s.estimateOps(mol.NumAtoms()), enqueued: cfg.Clock(),
-			view: JobView{ID: recd.ID, State: StateQueued}}
+			view: JobView{ID: recd.ID, State: StateQueued, TraceID: traceIDFor(recd.ID)}}
 		s.mu.Lock()
 		s.jobs[j.id] = j
 		s.mu.Unlock()
 		s.queuedOps.Add(j.estOps)
 		s.queue <- j
+		s.resumed++
 		s.count("serve.jobs.resumed", 1)
 	}
 	return s, nil
@@ -256,6 +261,13 @@ func (s *Server) Drain() {
 
 // Draining reports whether drain has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
+
+// QueueDepth reports how many jobs are waiting in the admission queue
+// right now (gbd's structured log lines report it at startup and drain).
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// ResumedJobs reports how many unfinished jobs New re-queued from disk.
+func (s *Server) ResumedJobs() int { return s.resumed }
 
 // Ready is the readiness probe for obs.Server.SetReadySource: false
 // once draining (liveness stays true — the process is still
@@ -378,7 +390,7 @@ func (s *Server) admit(req *JobRequest) (j *job, retryAfterSec int64, err error)
 	}
 	j = &job{id: id, req: *req, mol: mol,
 		estOps: s.estimateOps(mol.NumAtoms()), enqueued: s.cfg.Clock(),
-		view: JobView{ID: id, State: StateQueued}}
+		view: JobView{ID: id, State: StateQueued, TraceID: traceIDFor(id)}}
 	s.mu.Lock()
 	s.jobs[id] = j
 	s.mu.Unlock()
@@ -417,7 +429,7 @@ func (s *Server) lookup(id string) (JobView, bool) {
 // that never got to run (used for resumed jobs that no longer
 // validate).
 func (s *Server) finishInvalid(id string, err error) {
-	view := &JobView{ID: id, State: StateFailed,
+	view := &JobView{ID: id, State: StateFailed, TraceID: traceIDFor(id),
 		Error: &ErrorDoc{Code: CodeInvalidInput, Message: err.Error()}}
 	if s.cfg.DataDir != "" {
 		if perr := s.persistResult(id, view); perr != nil {
@@ -447,16 +459,17 @@ func (d delaySink) Save(phase gb.CheckpointPhase, encoded []byte) error {
 func (s *Server) runJob(j *job) {
 	j.setView(func(v *JobView) { v.State = StateRunning })
 	start := s.cfg.Clock()
+	queueWait := start.Sub(j.enqueued)
 
 	deadline := time.Duration(j.req.DeadlineMS) * time.Millisecond
 	if deadline > 0 {
-		waited := start.Sub(j.enqueued)
-		if waited >= deadline {
+		if queueWait >= deadline {
 			s.finishJob(j, nil, &ErrorDoc{Code: CodeDeadlineExceeded,
-				Message: fmt.Sprintf("deadline of %v expired after %v in queue", deadline, waited.Round(time.Millisecond))})
+				Message: fmt.Sprintf("deadline of %v expired after %v in queue", deadline, queueWait.Round(time.Millisecond))})
+			s.observeSLO(j, queueWait, 0)
 			return
 		}
-		deadline -= waited
+		deadline -= queueWait
 	}
 
 	// Overload-aware shedding: under queue pressure, or when the last
@@ -477,12 +490,15 @@ func (s *Server) runJob(j *job) {
 		if errors.Is(runErr, supervise.ErrCanceled) {
 			// Drain won: the newest checkpoint is durable, job.json is
 			// still there, result.json is not — the restarted daemon
-			// re-queues this job and resumes bitwise-identically.
+			// re-queues this job and resumes bitwise-identically. The
+			// interrupted attempt's trace was already force-closed and
+			// persisted by the trace sink.
 			j.setView(func(v *JobView) { v.State = StateInterrupted })
 			s.count("serve.jobs.interrupted", 1)
 			return
 		}
 		s.finishJob(j, nil, &ErrorDoc{Code: CodeInternal, Message: runErr.Error()})
+		s.observeSLO(j, queueWait, s.cfg.Clock().Sub(start))
 		return
 	}
 
@@ -525,7 +541,10 @@ func (s *Server) runJob(j *job) {
 	if out.Degraded {
 		s.count("serve.jobs.degraded", 1)
 	}
-	s.rec.ObserveGauge("serve.job.wall_us", s.cfg.Clock().Sub(start).Microseconds())
+	runDur := s.cfg.Clock().Sub(start)
+	s.observeSLO(j, queueWait, runDur)
+	s.publishCritPath(out.Recorder)
+	s.rec.ObserveGauge("serve.job.wall_us", runDur.Microseconds())
 }
 
 // superviseJob builds the system and runs the ladder. Requests with a
@@ -580,6 +599,18 @@ func (s *Server) superviseJob(j *job, deadline time.Duration, startEps float64) 
 		id := j.id
 		planFn = func(attempt int) *fault.Plan { return s.cfg.PlanFor(id, attempt) }
 	}
+	// Every attempt's trace is persisted next to the job's checkpoints —
+	// including failed and drain-canceled attempts, whose traces are the
+	// ones a post-mortem needs most.
+	var sink func(attempt int, rec *obs.Recorder)
+	if s.cfg.DataDir != "" {
+		id := j.id
+		sink = func(attempt int, rec *obs.Recorder) {
+			if err := s.persistAttemptTrace(id, attempt, rec); err != nil {
+				s.count("serve.trace_persist_errors", 1)
+			}
+		}
+	}
 	out, err := supervise.Run(sys, supervise.Spec{
 		Processes:         P,
 		ThreadsPerProcess: threads,
@@ -589,6 +620,8 @@ func (s *Server) superviseJob(j *job, deadline time.Duration, startEps float64) 
 		Seed:              j.req.Seed,
 		Store:             store,
 		Obs:               s.rec,
+		Trace:             s.traceFor(j),
+		TraceSink:         sink,
 		Clock:             s.cfg.Clock,
 		Context:           s.runCtx,
 		AccuracyLadder:    ladder,

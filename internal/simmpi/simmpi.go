@@ -242,6 +242,12 @@ type World struct {
 type Comm struct {
 	world *World
 	rank  int
+	// commSeq counts this rank's collective rounds per kind (1-based).
+	// Each round's count rides its comm span as the seq tag
+	// (obs.StartSpanSeq), which is how the critical-path analyzer
+	// matches one logical collective across ranks without comparing
+	// wall clocks. Only the rank's own goroutine touches it.
+	commSeq map[CollectiveKind]int64
 }
 
 const float64Bytes = 8
@@ -473,7 +479,11 @@ func (w *World) recordCollective(kind CollectiveKind, bytesPerRank int64) {
 // no recorder. Opened before the collective's fault point so injected
 // stall time shows up inside the communication slice.
 func (c *Comm) span(kind CollectiveKind) obs.Span {
-	return c.world.rec.StartSpan(c.rank, "comm:"+string(kind))
+	if c.commSeq == nil {
+		c.commSeq = make(map[CollectiveKind]int64)
+	}
+	c.commSeq[kind]++
+	return c.world.rec.StartSpanSeq(c.rank, "comm:"+string(kind), c.commSeq[kind])
 }
 
 // faultPoint is consulted at every communication operation: it applies

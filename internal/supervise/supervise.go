@@ -31,6 +31,7 @@ import (
 	"gbpolar/internal/fault"
 	"gbpolar/internal/gb"
 	"gbpolar/internal/obs"
+	"gbpolar/internal/perf"
 )
 
 // ErrCanceled marks a supervised computation stopped by Spec.Context —
@@ -153,6 +154,19 @@ type Spec struct {
 	// escalation flight events. Per-attempt run recorders are created
 	// fresh internally (the winner's is returned in Outcome.Recorder).
 	Obs *obs.Recorder
+	// Trace is the request identity of the job this computation serves.
+	// Each attempt's run recorder carries it with Attempt set to the
+	// 1-based global attempt number, so every span of every rung — and
+	// every trace file TraceSink persists — resolves back to the
+	// request. The zero value disables stamping.
+	Trace obs.TraceContext
+	// TraceSink, when set, receives every attempt's run recorder right
+	// after the attempt ends — successful, failed, or canceled; the gb
+	// drivers have force-closed the spans by then, so the recorder is
+	// always export-ready. The serving layer persists each one next to
+	// the job's checkpoints. attempt is 1-based, matching the recorder's
+	// TraceContext.Attempt.
+	TraceSink func(attempt int, rec *obs.Recorder)
 	// Clock reads wall time for the deadline (default time.Now;
 	// injectable for tests).
 	Clock func() time.Time
@@ -364,16 +378,29 @@ func Run(s *gb.System, spec Spec) (*Outcome, error) {
 				rec.Event(0, "supervise", fmt.Sprintf("attempt %d drops stale checkpoint: %v", n, rerr))
 			}
 		}
-		runRec := obs.NewRecorder(nil)
+		// The attempt recorder reads time through the perf boundary so its
+		// spans carry real durations — without a clock every trace the
+		// sink persists would be zero-width. Summary stays deterministic
+		// either way (it never renders timestamps).
+		runRec := obs.NewRecorder(perf.StartTimer().Elapsed)
+		tc := spec.Trace
+		if !tc.IsZero() {
+			tc.Attempt = n + 1
+			runRec.SetLabel(fmt.Sprintf("%s attempt %d", tc.Job, n+1))
+		}
 		res, err := curSys.Run(gb.RunSpec{
 			Processes:         curP,
 			ThreadsPerProcess: spec.ThreadsPerProcess,
 			Faults:            cfg,
 			Obs:               runRec,
+			Trace:             tc,
 			Checkpoint:        store,
 			Resume:            resume,
 			Ctx:               spec.Context,
 		})
+		if spec.TraceSink != nil {
+			spec.TraceSink(n+1, runRec)
+		}
 		ar := AttemptRecord{
 			Attempt: n, Rung: rung, Processes: curP, EpsFactor: curFactor,
 			Accuracy: curAcc, DroppedCheckpoint: dropped,

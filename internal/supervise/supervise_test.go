@@ -324,3 +324,95 @@ func TestMemStoreKeepsNewestPhase(t *testing.T) {
 		t.Fatal("MemStore regressed to an earlier phase")
 	}
 }
+
+// TestTraceThreadedThroughAttempts: the Spec's trace identity lands on
+// every attempt's run recorder with the 1-based attempt number, the
+// TraceSink fires for failed and successful attempts alike, and every
+// sunk recorder has a balanced (fully closed) span tree with spans from
+// every rank.
+func TestTraceThreadedThroughAttempts(t *testing.T) {
+	const P = 3
+	s := buildSys(t, 300)
+	type sunk struct {
+		attempt int
+		rec     *obs.Recorder
+	}
+	var got []sunk
+	out, err := Run(s, Spec{
+		Processes: P,
+		Trace:     obs.TraceContext{TraceID: "t-trace", Job: "j-trace", Tenant: "acme"},
+		TraceSink: func(attempt int, rec *obs.Recorder) {
+			got = append(got, sunk{attempt, rec})
+		},
+		Plan: func(attempt int) *fault.Plan {
+			if attempt == 0 {
+				return crashAll(P, 7)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rung != RungRetry {
+		t.Fatalf("rung = %s, want retry", out.Rung)
+	}
+	if len(got) != 2 {
+		t.Fatalf("sink fired %d times, want 2 (failed initial + successful retry)", len(got))
+	}
+	for i, sk := range got {
+		if sk.attempt != i+1 {
+			t.Errorf("sink %d: attempt = %d, want %d", i, sk.attempt, i+1)
+		}
+		tc := sk.rec.Trace()
+		if tc.TraceID != "t-trace" || tc.Job != "j-trace" || tc.Tenant != "acme" || tc.Attempt != i+1 {
+			t.Errorf("sink %d: trace = %+v", i, tc)
+		}
+		if open := sk.rec.OpenSpans(); open != 0 {
+			t.Errorf("sink %d: %d spans left open", i, open)
+		}
+	}
+	// The winner's recorder is the last sunk one, and its spans carry
+	// real (clocked) durations and cover every rank.
+	if out.Recorder != got[len(got)-1].rec {
+		t.Error("Outcome.Recorder is not the last sunk recorder")
+	}
+	ranks := map[int]bool{}
+	var maxEnd time.Duration
+	for _, sp := range out.Recorder.Spans() {
+		ranks[sp.Rank] = true
+		if sp.End > maxEnd {
+			maxEnd = sp.End
+		}
+	}
+	for r := 0; r < P; r++ {
+		if !ranks[r] {
+			t.Errorf("winner trace lacks spans from rank %d", r)
+		}
+	}
+	if maxEnd <= 0 {
+		t.Error("attempt recorder has zero-width spans: the perf clock is not wired")
+	}
+}
+
+// TestNoTraceMeansNoStamp: without a Spec.Trace, attempt recorders stay
+// untraced (and the sink still fires when set).
+func TestNoTraceMeansNoStamp(t *testing.T) {
+	s := buildSys(t, 200)
+	fired := 0
+	out, err := Run(s, Spec{
+		Processes: 2,
+		TraceSink: func(attempt int, rec *obs.Recorder) {
+			fired++
+			if !rec.Trace().IsZero() {
+				t.Errorf("attempt %d recorder carries a trace: %+v", attempt, rec.Trace())
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 || len(out.Attempts) != 1 {
+		t.Errorf("sink fired %d times over %d attempts", fired, len(out.Attempts))
+	}
+}
