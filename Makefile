@@ -6,7 +6,7 @@ GO ?= go
 BENCH_MAX_ATOMS ?= 2000
 BENCH_REPEATS ?= 3
 
-.PHONY: build test lint lint-json lint-self check check-race chaos-smoke trace-smoke serve-smoke bench-json bench-gate
+.PHONY: build test lint lint-json lint-self check check-race chaos-smoke trace-smoke serve-smoke soak soak-short bench-json bench-gate
 
 build:
 	$(GO) build ./...
@@ -67,6 +67,22 @@ trace-smoke:
 serve-smoke:
 	$(GO) test -timeout 300s -count=1 -run TestServeSmoke ./cmd/gbd/
 
+# soak runs the storage/resource fault-domain soak (cmd/gbsoak): the
+# daemon core in-process over a seeded fault-injecting filesystem —
+# ENOSPC, short/torn writes, fsync errors and lies, corrupt reads —
+# combined with network chaos, mid-run kills, and power loss after
+# drain, asserting no acked job is lost and disk-fault-only jobs finish
+# bit-identical to a clean oracle. soak-short is the CI-sized plan
+# (< 90s); a red run writes its report into soak-failure/ for artifact
+# upload. Override the universe with SOAK_SEED.
+SOAK_SEED ?= 1
+
+soak:
+	$(GO) run ./cmd/gbsoak -seed $(SOAK_SEED) -v -bundle soak-failure
+
+soak-short:
+	$(GO) run ./cmd/gbsoak -short -seed $(SOAK_SEED) -v -bundle soak-failure
+
 # bench-json collects the head bench trajectory (roster × driver
 # layouts) as schema-versioned JSON. BENCH_seed.json was produced the
 # same way; see EXPERIMENTS.md for regenerating it after an intended
@@ -93,6 +109,6 @@ check-race:
 # The race detector multiplies the bench suite's runtime ~14x (past go
 # test's 600s default package timeout on modest hardware), so the race
 # pass carries an explicit generous timeout.
-check: chaos-smoke lint lint-self trace-smoke serve-smoke
+check: chaos-smoke lint lint-self trace-smoke serve-smoke soak-short
 	$(GO) vet ./...
 	$(GO) test -race -timeout 3600s ./...

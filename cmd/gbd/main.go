@@ -85,6 +85,8 @@ func main() {
 		shedEps    = flag.Float64("shed-eps", 1.5, "ε relaxation factor used when shedding")
 		keep       = flag.Int("keep-checkpoints", 1, "checkpoint snapshots retained per job after completion")
 		ckptDelay  = flag.Duration("checkpoint-delay", 0, "slow every checkpoint save (test knob: widens the drain window)")
+		memBudget  = flag.Int64("mem-budget", 1<<30, "memory budget in bytes for the modeled resident size of admitted work (413 when one serial job exceeds it, 429 when the fleet would)")
+		maxRetry   = flag.Int64("max-retry-after", 60, "upper clamp in seconds on modeled Retry-After headers (lower clamp is 1s)")
 	)
 	flag.Parse()
 	if *dataDir == "" {
@@ -107,6 +109,8 @@ func main() {
 		ShedEpsFactor:    *shedEps,
 		KeepCheckpoints:  *keep,
 		CheckpointDelay:  *ckptDelay,
+		MemBudgetBytes:   *memBudget,
+		MaxRetryAfterSec: *maxRetry,
 		Obs:              rec,
 	})
 	if err != nil {
@@ -140,6 +144,8 @@ func main() {
 		"default_processes": *bigP,
 		"default_threads":   *smallP,
 		"retries":           *retries,
+		"mem_budget":        *memBudget,
+		"max_retry_after":   *maxRetry,
 		"jobs_requeued":     daemon.ResumedJobs(),
 		"queued":            daemon.QueueDepth(),
 	})

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSoakShort runs the CI-sized soak in-process: two crash/drain
+// cycles plus a healed final incarnation, seeded disk and network
+// chaos, and every durability invariant checked. This is the same
+// scenario `make soak-short` runs as a binary.
+func TestSoakShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak exceeds -short budgets")
+	}
+	rep := soak(options{
+		seed:       1,
+		rounds:     2,
+		bitJobs:    3,
+		chaosJobs:  2,
+		atoms:      100,
+		chaosAtoms: 90,
+		procs:      3,
+		diskEvents: 6,
+		memBudget:  16 << 20,
+		ckptDelay:  2 * time.Millisecond,
+		wait:       90 * time.Second,
+		strict:     true,
+		logf:       t.Logf,
+	})
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.Acked == 0 {
+		t.Fatal("soak admitted no jobs")
+	}
+	if rep.BitVerified == 0 {
+		t.Error("no job was bit-verified against the clean oracle")
+	}
+	t.Logf("acked %d, resumed %d, bit-verified %d, shrunk %d, degraded %d, failed %d, lie losses %d",
+		rep.Acked, rep.Resumed, rep.BitVerified, rep.Shrunk, rep.Degraded, rep.Failed, len(rep.LieLosses))
+	t.Logf("disk stats: %+v", rep.DiskStats)
+}

@@ -7,46 +7,91 @@ import (
 
 // errPkgSuffixes are the packages whose error returns exist precisely so
 // callers cannot ignore crashes: simmpi's communication errors (rank
-// lost, dropped, aborted) and fault's plan parsing/validation.
-var errPkgSuffixes = []string{"internal/simmpi", "internal/fault"}
+// lost, dropped, aborted), fault's plan parsing/validation, and fault/fs
+// — the storage fault surface, where every error is an injected or real
+// disk failure (ENOSPC, short write, fsync error) that a durability site
+// must observe.
+var errPkgSuffixes = []string{"internal/simmpi", "internal/fault", "internal/fault/fs"}
+
+// durabilityPkgSuffixes are the packages whose os.File usage IS the
+// durability story: checkpoint stores and the job/result/trace
+// persistence layer. A dropped (*os.File).Close or Sync error there can
+// silently lose an acknowledged write — the OS reports delayed-write
+// failures on exactly those calls.
+var durabilityPkgSuffixes = []string{"internal/supervise", "internal/serve"}
 
 // ErrRetCheck flags calls to simmpi and fault APIs whose error result is
 // discarded: expression statements, go/defer statements, and assignments
 // that send every error result to the blank identifier. PR 1 made the
 // runtime error-returning instead of deadlocking exactly so that drivers
 // must observe crashes; dropping the error silently reintroduces the lie.
+// In the durability packages (supervise, serve) it additionally flags
+// dropped (*os.File).Close/Sync errors — the same lie, storage edition.
 var ErrRetCheck = &Analyzer{
 	Name: "erretcheck",
-	Doc:  "ignored error results from simmpi/fault APIs",
+	Doc:  "ignored error results from simmpi/fault APIs and os.File durability calls",
 	Run:  runErrRetCheck,
+}
+
+// isOSFileCloseSync reports whether f is (*os.File).Close or
+// (*os.File).Sync — the two calls where the kernel surfaces deferred
+// write-back errors.
+func isOSFileCloseSync(f *types.Func) bool {
+	if f.Pkg() == nil || f.Pkg().Path() != "os" {
+		return false
+	}
+	if f.Name() != "Close" && f.Name() != "Sync" {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	ptr, ok := sig.Recv().Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "File"
 }
 
 func runErrRetCheck(pass *Pass) {
 	info := pass.Pkg.Info
 
+	// inDurabilityPkg: the os.File rule is scoped to the packages whose
+	// file handling carries the durability contract; elsewhere a dropped
+	// Close is ordinary errcheck territory, not a gblint invariant.
+	inDurabilityPkg := false
+	for _, s := range durabilityPkgSuffixes {
+		if hasPathSuffix(pass.Pkg.Path, s) {
+			inDurabilityPkg = true
+			break
+		}
+	}
+
 	// check reports the call if its callee is a simmpi/fault function or
-	// method returning an error.
+	// method returning an error — or, inside a durability package, an
+	// os.File close/sync whose deferred-write-back error is discarded.
 	check := func(call *ast.CallExpr, how string) {
 		f := calleeFunc(info, call)
 		if f == nil || f.Pkg() == nil {
 			return
 		}
-		match := false
+		sig, ok := f.Type().(*types.Signature)
+		if !ok || len(errorResultIndices(sig)) == 0 {
+			return
+		}
 		for _, s := range errPkgSuffixes {
 			if hasPathSuffix(f.Pkg().Path(), s) {
-				match = true
-				break
+				pass.Reportf(call.Pos(), "error result of %s.%s is %s: simmpi/fault errors signal rank loss and must be handled",
+					f.Pkg().Name(), f.Name(), how)
+				return
 			}
 		}
-		if !match {
-			return
+		if inDurabilityPkg && isOSFileCloseSync(f) {
+			pass.Reportf(call.Pos(), "error result of (*os.File).%s is %s: close/sync is where the kernel reports a failed write-back — in checkpoint/jobstore code that error is the durability signal",
+				f.Name(), how)
 		}
-		sig := f.Type().(*types.Signature)
-		if len(errorResultIndices(sig)) == 0 {
-			return
-		}
-		pass.Reportf(call.Pos(), "error result of %s.%s is %s: simmpi/fault errors signal rank loss and must be handled",
-			f.Pkg().Name(), f.Name(), how)
 	}
 
 	for _, file := range pass.Pkg.Files {

@@ -16,23 +16,26 @@ import (
 // the determinism corpus on a kernel suffix, the panicfree corpus under
 // /internal/, and its command-side negative outside it.
 var corpusDirs = map[string]string{
-	"gbpolar/internal/simmpi":   "simmpi",
-	"gbpolar/internal/fault":    "fault",
-	"gbpolar/internal/obs":      "obs",
-	"corpus/spmdsym":            "spmdsym",
-	"corpus/erretcheck":         "erretcheck",
-	"detcorp/internal/gb":       "determinism",
-	"corpus/detskip":            "detskip",
-	"corpus/internal/panicfree": "panicfree",
-	"corpus/toplevelok":         "toplevelok",
-	"corpus/floateq":            "floateq",
-	"corpus/ignore":             "ignore",
-	"corpus/badignore":          "badignore",
-	"corpus/collectivesym":      "collectivesym",
-	"corpus/ctxflow":            "ctxflow",
-	"hotcorp/internal/gb":       "hotalloc",
-	"corpus/hotskip":            "hotskip",
-	"corpus/callgraph":          "callgraph",
+	"gbpolar/internal/simmpi":    "simmpi",
+	"gbpolar/internal/fault":     "fault",
+	"gbpolar/internal/fault/fs":  "faultfs",
+	"errcorp/internal/supervise": "osfiledur",
+	"corpus/osfileok":            "osfileok",
+	"gbpolar/internal/obs":       "obs",
+	"corpus/spmdsym":             "spmdsym",
+	"corpus/erretcheck":          "erretcheck",
+	"detcorp/internal/gb":        "determinism",
+	"corpus/detskip":             "detskip",
+	"corpus/internal/panicfree":  "panicfree",
+	"corpus/toplevelok":          "toplevelok",
+	"corpus/floateq":             "floateq",
+	"corpus/ignore":              "ignore",
+	"corpus/badignore":           "badignore",
+	"corpus/collectivesym":       "collectivesym",
+	"corpus/ctxflow":             "ctxflow",
+	"hotcorp/internal/gb":        "hotalloc",
+	"corpus/hotskip":             "hotskip",
+	"corpus/callgraph":           "callgraph",
 }
 
 var (
@@ -114,6 +117,10 @@ func TestGolden(t *testing.T) {
 	}{
 		{"spmdsym", "corpus/spmdsym", []*Analyzer{SPMDSym}},
 		{"erretcheck", "corpus/erretcheck", []*Analyzer{ErrRetCheck}},
+		// The os.File durability rule: positives on an import path inside
+		// the durability set, and the same shapes clean outside it.
+		{"erretcheck-osfile", "errcorp/internal/supervise", []*Analyzer{ErrRetCheck}},
+		{"erretcheck-osfile-nondur", "corpus/osfileok", []*Analyzer{ErrRetCheck}},
 		{"determinism", "detcorp/internal/gb", []*Analyzer{Determinism}},
 		{"determinism-nonkernel", "corpus/detskip", []*Analyzer{Determinism}},
 		{"panicfree", "corpus/internal/panicfree", []*Analyzer{PanicFree}},
@@ -132,6 +139,7 @@ func TestGolden(t *testing.T) {
 		// allowlist) and its error-returning collectives.
 		{"stub-simmpi-clean", "gbpolar/internal/simmpi", All},
 		{"stub-fault-clean", "gbpolar/internal/fault", All},
+		{"stub-faultfs-clean", "gbpolar/internal/fault/fs", All},
 		// The obs stub sits on the kernel list: it must be determinism-
 		// clean by construction (injected clock, no map-order output).
 		{"stub-obs-clean", "gbpolar/internal/obs", All},

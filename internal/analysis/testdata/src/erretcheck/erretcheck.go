@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"gbpolar/internal/fault"
+	"gbpolar/internal/fault/fs"
 	"gbpolar/internal/simmpi"
 )
 
@@ -40,6 +41,36 @@ func handled(c *simmpi.Comm) error {
 		return err
 	}
 	return p.Validate()
+}
+
+// Positives: the storage fault surface — every fault/fs error is a disk
+// failure a durability site must observe.
+func droppedStorage(fsys fs.FS, f fs.File) {
+	fsys.Rename("a.tmp", "a")              // want "error result of fs.Rename is dropped"
+	defer f.Sync()                         // want "error result of fs.Sync is dropped by defer"
+	_ = fs.WriteFileAtomic(fsys, "p", nil) // want "error result of fs.WriteFileAtomic is assigned to the blank identifier"
+	_, _ = fsys.CreateTemp("d", "x-*")     // want "error result of fs.CreateTemp is assigned to the blank identifier"
+}
+
+// Negative: storage errors that are named and handled.
+func handledStorage(fsys fs.FS, path string, data []byte) error {
+	if err := fsys.MkdirAll("d"); err != nil {
+		return err
+	}
+	f, err := fsys.CreateTemp("d", "x-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename(f.Name(), path)
 }
 
 // Negative: the analyzer polices simmpi and fault only — other dropped

@@ -1,0 +1,24 @@
+// Package fs is a corpus stub standing in for gbpolar/internal/fault/fs:
+// the storage fault surface whose every error return is a real or
+// injected disk failure.
+package fs
+
+// File is one open file on the (possibly faulty) filesystem.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS is the filesystem seam the durability sites write through.
+type FS interface {
+	MkdirAll(path string) error
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+	ReadFile(path string) ([]byte, error)
+}
+
+// WriteFileAtomic publishes data at path via temp+fsync+rename.
+func WriteFileAtomic(fsys FS, path string, data []byte) error { return nil }

@@ -1,0 +1,59 @@
+// Package supervise is a corpus stub on a durability-package import path
+// (errcorp/internal/supervise): here a dropped (*os.File).Close or Sync
+// error can silently lose an acknowledged checkpoint, so erretcheck
+// polices those calls like simmpi/fault errors.
+package supervise
+
+import "os"
+
+// Positives: the kernel reports deferred write-back failures on exactly
+// these calls; dropping them un-learns the failure. The dropped Write is
+// deliberately unflagged — the rule keys on Close/Sync, where write-back
+// errors surface; a short Write fails loudly at the call site already.
+func droppedCloseSync(path string, data []byte) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	f.Write(data)
+	f.Sync()        // want "error result of (*os.File).Sync is dropped"
+	defer f.Close() // want "error result of (*os.File).Close is dropped by defer"
+}
+
+func blankedClose(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	_ = f.Close() // want "error result of (*os.File).Close is assigned to the blank identifier"
+}
+
+// Negative: close and sync errors observed and propagated — the shape
+// every durability site must have.
+func handled(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Negative: Close on a non-os.File type is not a durability call even
+// here — the rule keys on the os package's File, not on the method name.
+type nopCloser struct{}
+
+func (nopCloser) Close() error { return nil }
+
+func otherCloser() {
+	var c nopCloser
+	c.Close()
+}
+
+// Negative: error-free os.File methods have nothing to drop.
+func noError(f *os.File) string { return f.Name() }

@@ -1,0 +1,25 @@
+// Package osfileok is the negative twin of the os.File durability rule:
+// the same dropped Close/Sync shapes on an import path OUTSIDE the
+// durability packages (corpus/osfileok) must produce zero findings —
+// ordinary file handling is errcheck territory, not a gblint invariant.
+package osfileok
+
+import "os"
+
+func droppedOutsideDurability(path string, data []byte) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	f.Write(data)
+	f.Sync()
+	defer f.Close()
+}
+
+func blankedOutsideDurability(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	_ = f.Close()
+}

@@ -1,0 +1,130 @@
+// Package fs is the storage half of the fault model: a minimal
+// filesystem interface covering exactly the operations the durability
+// sites use (atomic temp-write-sync-rename publication, directory
+// scans, whole-file reads), a passthrough OSFS for production, and a
+// FaultFS that injects the failure modes crash-consistency studies keep
+// finding in real systems — ENOSPC, short writes, torn writes, fsync
+// errors, fsync *lies* (ack then drop on crash), corrupt reads, and
+// slow I/O — from a seeded, replayable plan in the same token grammar
+// as the network chaos plans of the parent package.
+//
+// The package mirrors the design contract of internal/fault: plans
+// trigger on operation counters, never on wall-clock time, so a seeded
+// plan replays identically; and the package knows nothing about its
+// consumers — supervise.DirStore and internal/serve import fs and write
+// through it.
+package fs
+
+import (
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is the writable-file surface of the durability sites: write,
+// make durable, close. Name reports the path the file was created
+// under (temp-file naming feeds the rename that publishes it).
+// (*os.File) implements File directly.
+type File interface {
+	io.Writer
+	// Sync flushes the file to stable storage. On a FaultFS a lying
+	// sync returns nil without making the data durable — exactly the
+	// failure mode the soak harness exists to catch.
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS is the filesystem interface of the durability sites. All paths
+// are interpreted like os paths; implementations must return errors
+// satisfying os.IsNotExist for missing files so callers can keep their
+// existing error discipline.
+type FS interface {
+	// MkdirAll creates a directory and its parents (0o755).
+	MkdirAll(path string) error
+	// CreateTemp creates a new unique file in dir (pattern as in
+	// os.CreateTemp).
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically publishes oldpath at newpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadFile returns the whole content of a file.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists a directory in name order.
+	ReadDir(name string) ([]iofs.DirEntry, error)
+}
+
+// OSFS is the passthrough production filesystem.
+type OSFS struct{}
+
+// OS is the shared passthrough instance; nil FS fields throughout the
+// repo default to it.
+var OS FS = OSFS{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+// CreateTemp implements FS.
+func (OSFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(name string) ([]iofs.DirEntry, error) { return os.ReadDir(name) }
+
+// WriteFileAtomic writes data at path via the full durability
+// discipline: temp file in the same directory, write, fsync, close,
+// rename. A crash at any point leaves either the complete old state or
+// the complete new state — never a truncated file — PROVIDED the
+// filesystem honors fsync; a lying fsync is exactly what FaultFS's
+// synclie events model. Write, sync, and close failures all remove the
+// temp file so a failed publication leaves nothing behind.
+func WriteFileAtomic(fsys FS, path string, data []byte) error {
+	tmp, err := fsys.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	// fail withdraws a half-published temp file; the primary error wins,
+	// but a removal failure (other than the file already being gone) is
+	// reported alongside it rather than silently leaking the temp.
+	fail := func(err error) error {
+		if rerr := fsys.Remove(tmpName); rerr != nil && !os.IsNotExist(rerr) {
+			return fmt.Errorf("%w (and removing temp file: %v)", err, rerr)
+		}
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		//lint:ignore erretcheck the write error supersedes the cleanup close; the temp file is removed either way
+		tmp.Close()
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		//lint:ignore erretcheck the sync error supersedes the cleanup close; the temp file is removed either way
+		tmp.Close()
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(err)
+	}
+	if err := fsys.Rename(tmpName, path); err != nil {
+		return fail(err)
+	}
+	return nil
+}

@@ -32,7 +32,13 @@ import (
 // The configuration tag deliberately EXCLUDES the ε parameters: the
 // supervisor's relax-ε rung resumes earlier-phase snapshots under
 // relaxed parameters, and the induced accuracy loss is priced into the
-// returned ErrorBound instead of rejected.
+// returned ErrorBound instead of rejected. That acceptance is
+// one-directional: a snapshot records the ε it was computed under
+// (format v2), and resume rejects a snapshot LOOSER than the resuming
+// system — otherwise a run shed onto relaxed ε, killed, and resumed at
+// full accuracy would silently launder relaxed-phase data into a result
+// that reports itself non-degraded. The supervisor's drop-stale-
+// checkpoint path turns the rejection into a recompute from scratch.
 
 // CheckpointPhase identifies the last completed phase of a snapshot.
 type CheckpointPhase int
@@ -88,6 +94,14 @@ type Checkpoint struct {
 	// quadrature counts, division, integral form, math mode, leaf
 	// capacities, and a molecule content probe — ε excluded, see above).
 	ConfigTag uint32
+	// EpsBorn and EpsEpol are the approximation tolerances the saving run
+	// computed under. Resume accepts a snapshot at-or-tighter than the
+	// resuming system (the accuracy loss of a tighter snapshot is zero;
+	// of an equal one, already priced) and rejects a looser one — relaxed
+	// phase data must not resume into a run that will report full
+	// accuracy. Zero means unrecorded (a version-1 snapshot): the check
+	// is skipped for compatibility.
+	EpsBorn, EpsEpol float64
 	// Payload is the phase's numeric state (see the phase constants).
 	Payload []float64
 	// Obs is the counter-side observability state at save time; restored
@@ -111,7 +125,7 @@ type CheckpointSink interface {
 // floats are IEEE-754 bit patterns (the payload must survive bit-exact).
 const (
 	checkpointMagic   = "GBCP"
-	checkpointVersion = 1
+	checkpointVersion = 2 // v2 adds EpsBorn/EpsEpol after ConfigTag; v1 still decodes
 )
 
 func appendU32(b []byte, v uint32) []byte {
@@ -151,6 +165,8 @@ func (ck *Checkpoint) Encode() []byte {
 	b = appendIntSlice(b, ck.Live)
 	b = appendIntSlice(b, ck.Lost)
 	b = appendU32(b, ck.ConfigTag)
+	b = appendFloat(b, ck.EpsBorn)
+	b = appendFloat(b, ck.EpsEpol)
 	b = appendU32(b, uint32(len(ck.Payload)))
 	for _, v := range ck.Payload {
 		b = appendFloat(b, v)
@@ -261,8 +277,9 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 		return nil, fmt.Errorf("gb: checkpoint checksum mismatch (stored %08x, computed %08x)", got, want)
 	}
 	r := &checkpointReader{b: body, off: len(checkpointMagic)}
-	if v := r.u32(); v != checkpointVersion {
-		return nil, fmt.Errorf("gb: unsupported checkpoint version %d (want %d)", v, checkpointVersion)
+	v := r.u32()
+	if v != 1 && v != checkpointVersion {
+		return nil, fmt.Errorf("gb: unsupported checkpoint version %d (want 1..%d)", v, checkpointVersion)
 	}
 	ck := &Checkpoint{}
 	ck.Phase = CheckpointPhase(r.i64())
@@ -270,6 +287,10 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 	ck.Live = r.intSlice()
 	ck.Lost = r.intSlice()
 	ck.ConfigTag = r.u32()
+	if v >= 2 {
+		ck.EpsBorn = r.float()
+		ck.EpsEpol = r.float()
+	}
 	n := int(r.u32())
 	if r.err == nil && n > 0 {
 		ck.Payload = make([]float64, 0, n)
@@ -364,6 +385,16 @@ func (s *System) validateResume(ck *Checkpoint) error {
 	}
 	if got, want := ck.ConfigTag, s.configTag(); got != want {
 		return fmt.Errorf("gb: checkpoint config tag %08x does not match this system (%08x): snapshot belongs to a different workload or parameterization", got, want)
+	}
+	// ε acceptance is one-directional: an at-or-tighter snapshot resumes
+	// (relaxing it further is priced by the caller); a looser one would
+	// smuggle relaxed-phase data into a run reporting full accuracy. The
+	// slack absorbs float noise from normalized()/Relaxed round trips —
+	// real relaxations are ≥1.5×. Zero eps: v1 snapshot, unrecorded.
+	const slack = 1 + 1e-9
+	if ck.EpsBorn > s.Params.EpsBorn*slack || ck.EpsEpol > s.Params.EpsEpol*slack {
+		return fmt.Errorf("gb: checkpoint was computed at looser ε (born %.3g, epol %.3g) than this system requires (born %.3g, epol %.3g): resuming would silently degrade the result",
+			ck.EpsBorn, ck.EpsEpol, s.Params.EpsBorn, s.Params.EpsEpol)
 	}
 	want := 0
 	switch ck.Phase {

@@ -271,3 +271,46 @@ func TestResumeRejectsForeignCheckpoint(t *testing.T) {
 		t.Error("non-distributed resume accepted")
 	}
 }
+
+func TestResumeRejectsLooserCheckpoint(t *testing.T) {
+	// ε acceptance is one-directional. A snapshot saved under relaxed ε
+	// (a shed or relax-rung run) must NOT resume a full-accuracy system:
+	// its phase data carries the relaxed error, but the resumed run would
+	// report itself non-degraded — exactly the laundering the soak
+	// harness caught. The same snapshot stays valid for an equally
+	// relaxed system, and a v1 snapshot (ε unrecorded) is grandfathered.
+	s := buildSys(t, 300, DefaultParams())
+	relaxed := s.WithRelaxedEps(1.5)
+	sink := &memSink{}
+	if _, err := relaxed.Run(RunSpec{Processes: 2, Checkpoint: sink}); err != nil {
+		t.Fatal(err)
+	}
+	ck := sink.latest(t)
+	if ck.EpsEpol != relaxed.Params.EpsEpol || ck.EpsBorn != relaxed.Params.EpsBorn {
+		t.Fatalf("snapshot records ε (born %g, epol %g), want the relaxed system's (born %g, epol %g)",
+			ck.EpsBorn, ck.EpsEpol, relaxed.Params.EpsBorn, relaxed.Params.EpsEpol)
+	}
+
+	_, err := s.Run(RunSpec{Processes: 2, Resume: ck})
+	if err == nil {
+		t.Fatal("full-accuracy run resumed a relaxed snapshot")
+	}
+	if !strings.Contains(err.Error(), "looser") {
+		t.Errorf("rejection should name the looser ε, got: %v", err)
+	}
+	if err := s.CanResume(ck); err == nil {
+		t.Error("CanResume accepted the relaxed snapshot for the tight system")
+	}
+
+	if _, err := relaxed.Run(RunSpec{Processes: 2, Resume: ck}); err != nil {
+		t.Errorf("equally relaxed resume refused: %v", err)
+	}
+
+	// A v1-era snapshot decodes with zero ε: the direction check is
+	// skipped rather than refusing every legacy store.
+	legacy := *ck
+	legacy.EpsBorn, legacy.EpsEpol = 0, 0
+	if err := s.CanResume(&legacy); err != nil {
+		t.Errorf("ε-unrecorded snapshot refused: %v", err)
+	}
+}

@@ -46,13 +46,13 @@ func TestXYZRQComments(t *testing.T) {
 
 func TestXYZRQErrors(t *testing.T) {
 	cases := []string{
-		"",                      // empty
-		"x name\n",              // bad count
-		"2 demo\n0 0 0 1 0\n",   // count mismatch
-		"1 demo\n0 0 0 1\n",     // too few fields
-		"1 demo\n0 0 z 1 0\n",   // non-numeric
-		"1 demo\n0 0 0 -1 0\n",  // invalid radius (Validate)
-		"-1 demo\n",             // negative count
+		"",                     // empty
+		"x name\n",             // bad count
+		"2 demo\n0 0 0 1 0\n",  // count mismatch
+		"1 demo\n0 0 0 1\n",    // too few fields
+		"1 demo\n0 0 z 1 0\n",  // non-numeric
+		"1 demo\n0 0 0 -1 0\n", // invalid radius (Validate)
+		"-1 demo\n",            // negative count
 	}
 	for i, in := range cases {
 		if _, err := ReadXYZRQ(strings.NewReader(in)); err == nil {

@@ -41,15 +41,24 @@ func ParseChromeTrace(data []byte) ([]Run, error) {
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, fmt.Errorf("critpath: chrome trace: %w", err)
 	}
+	// Containment must be decided on the raw fractional-µs intervals the
+	// exporter wrote: Span.StartUs/EndUs are rounded to whole µs, and a
+	// child ending inside its parent's fractional tail (child 100.4µs,
+	// parent 100.49µs → rounded 100) would look out of bounds against the
+	// rounded value and be re-parented one level up.
+	type open struct {
+		idx        int // into run.Spans
+		start, end float64
+	}
 	type proc struct {
 		run   Run
-		stack map[int][]int // tid → open span indices into run.Spans
+		stack map[int][]open // tid → open spans, innermost last
 	}
 	procs := map[int]*proc{}
 	getProc := func(pid int) *proc {
 		p := procs[pid]
 		if p == nil {
-			p = &proc{stack: map[int][]int{}}
+			p = &proc{stack: map[int][]open{}}
 			procs[pid] = p
 		}
 		return p
@@ -79,16 +88,15 @@ func ParseChromeTrace(data []byte) ([]Run, error) {
 		case "X":
 			st := p.stack[ev.Tid]
 			for len(st) > 0 {
-				top := p.run.Spans[st[len(st)-1]]
-				topEnd := float64(top.EndUs)
-				if ev.Ts+ev.Dur <= topEnd+eps && ev.Ts >= float64(top.StartUs)-eps {
+				top := st[len(st)-1]
+				if ev.Ts+ev.Dur <= top.end+eps && ev.Ts >= top.start-eps {
 					break
 				}
 				st = st[:len(st)-1]
 			}
 			parent := -1
 			if len(st) > 0 {
-				parent = st[len(st)-1]
+				parent = st[len(st)-1].idx
 			}
 			sp := Span{
 				Rank:    ev.Tid,
@@ -102,7 +110,7 @@ func ParseChromeTrace(data []byte) ([]Run, error) {
 					sp.Seq = int64(f)
 				}
 			}
-			p.stack[ev.Tid] = append(st, len(p.run.Spans))
+			p.stack[ev.Tid] = append(st, open{idx: len(p.run.Spans), start: ev.Ts, end: ev.Ts + ev.Dur})
 			p.run.Spans = append(p.run.Spans, sp)
 		}
 	}

@@ -45,6 +45,14 @@ const (
 	// CodeOverloaded marks a full admission queue (429, Retry-After
 	// from the modeled cost of the queued work).
 	CodeOverloaded = "overloaded"
+	// CodeMemoryPressure marks a job whose modeled footprint exceeds
+	// the free memory budget even at the narrowest layout right now
+	// (429, Retry-After from the modeled cost of the queued work —
+	// memory frees as running jobs complete).
+	CodeMemoryPressure = "memory_pressure"
+	// CodeTooLarge marks a job whose modeled footprint exceeds the
+	// whole memory budget at ANY layout (413): retrying cannot help.
+	CodeTooLarge = "too_large"
 	// CodeDraining marks a daemon that received SIGTERM and no longer
 	// admits work (503).
 	CodeDraining = "draining"
@@ -154,6 +162,11 @@ type ResultDoc struct {
 	// Resumed reports the job picked its checkpoint back up after a
 	// daemon restart.
 	Resumed bool `json:"resumed,omitempty"`
+	// ShrunkProcesses, when nonzero, is the process count the memory
+	// admission gate shrank this job to (the request asked for more, the
+	// budget's headroom fit fewer). The soak harness uses it to know a
+	// result ran on a different layout than the clean oracle.
+	ShrunkProcesses int `json:"shrunk_processes,omitempty"`
 	// Accuracy is the tuned accuracy point the job ran at (requests
 	// with target_error_kcal only).
 	Accuracy *AccuracyDoc `json:"accuracy,omitempty"`

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"os"
 	"strings"
 
 	"gbpolar/internal/molecule"
@@ -95,6 +94,15 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			Code:          CodeOverloaded,
 			Message:       fmt.Sprintf("admission queue is full (%d jobs); Retry-After models the queued work's cost", s.cfg.QueueDepth),
 			RetryAfterSec: retryAfter})
+	case errors.Is(err, errOverMemory):
+		writeError(w, http.StatusTooManyRequests, ErrorDoc{
+			Code:          CodeMemoryPressure,
+			Message:       "modeled memory footprint exceeds the free budget at every layout; memory frees as running jobs finish",
+			RetryAfterSec: retryAfter})
+	case errors.Is(err, errTooLarge):
+		writeError(w, http.StatusRequestEntityTooLarge, ErrorDoc{
+			Code:    CodeTooLarge,
+			Message: "modeled memory footprint exceeds the daemon's whole budget even at one process; retrying cannot help"})
 	case errors.Is(err, molecule.ErrInvalidInput):
 		writeError(w, http.StatusBadRequest, ErrorDoc{
 			Code: CodeInvalidInput, Message: err.Error()})
@@ -156,7 +164,7 @@ func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
 			Code: CodeNotFound, Message: fmt.Sprintf("trace %q has no persisted attempts (job may not have run yet, or the daemon runs without a data dir)", tid)})
 		return
 	}
-	data, err := os.ReadFile(path)
+	data, err := s.cfg.FS.ReadFile(path)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, ErrorDoc{
 			Code: CodeInternal, Message: "reading trace: " + err.Error()})

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"gbpolar/internal/fault/fs"
 )
 
 // On-disk layout, one directory per job under Config.DataDir:
@@ -42,42 +44,26 @@ func newJobID() (string, error) {
 func (s *Server) jobDir(id string) string  { return filepath.Join(s.cfg.DataDir, id) }
 func (s *Server) ckptDir(id string) string { return filepath.Join(s.jobDir(id), "ckpt") }
 
-// writeFileAtomic writes data via a temp file + rename so a crash can
-// never leave a truncated file where a complete one should be.
-func writeFileAtomic(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
-	if err != nil {
-		return err
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return err
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
-		return err
-	}
-	return nil
+// writeFileAtomic writes data through the server's filesystem via the
+// full durability discipline (temp file + write + fsync + rename) so a
+// crash can never leave a truncated file where a complete one should
+// be — and an acked write really is on stable storage, not just in the
+// page cache.
+func (s *Server) writeFileAtomic(path string, data []byte) error {
+	return fs.WriteFileAtomic(s.cfg.FS, path, data)
 }
 
 // persistJob durably records an admitted job before it is queued.
 func (s *Server) persistJob(id string, req *JobRequest) error {
 	dir := s.jobDir(id)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.cfg.FS.MkdirAll(dir); err != nil {
 		return fmt.Errorf("serve: creating job dir: %w", err)
 	}
 	data, err := json.MarshalIndent(jobRecord{ID: id, Req: *req}, "", "  ")
 	if err != nil {
 		return fmt.Errorf("serve: encoding job: %w", err)
 	}
-	if err := writeFileAtomic(filepath.Join(dir, "job.json"), data); err != nil {
+	if err := s.writeFileAtomic(filepath.Join(dir, "job.json"), data); err != nil {
 		return fmt.Errorf("serve: persisting job: %w", err)
 	}
 	return nil
@@ -91,7 +77,7 @@ func (s *Server) persistResult(id string, view *JobView) error {
 	if err != nil {
 		return fmt.Errorf("serve: encoding result: %w", err)
 	}
-	if err := writeFileAtomic(filepath.Join(s.jobDir(id), "result.json"), data); err != nil {
+	if err := s.writeFileAtomic(filepath.Join(s.jobDir(id), "result.json"), data); err != nil {
 		return fmt.Errorf("serve: persisting result: %w", err)
 	}
 	return nil
@@ -103,7 +89,7 @@ func (s *Server) persistResult(id string, view *JobView) error {
 // job must not stop the daemon from serving new ones. Unfinished jobs
 // come back sorted by ID so the re-queue order is stable.
 func (s *Server) scanJobs() (finished []*JobView, unfinished []*jobRecord, err error) {
-	entries, err := os.ReadDir(s.cfg.DataDir)
+	entries, err := s.cfg.FS.ReadDir(s.cfg.DataDir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil, nil
@@ -115,14 +101,18 @@ func (s *Server) scanJobs() (finished []*JobView, unfinished []*jobRecord, err e
 			continue
 		}
 		dir := filepath.Join(s.cfg.DataDir, e.Name())
-		if data, err := os.ReadFile(filepath.Join(dir, "result.json")); err == nil {
+		// A result.json that exists but fails to parse falls through to
+		// the job.json branch: a torn terminal write (the atomic
+		// discipline makes that a lying-fsync-only case) re-queues the
+		// job instead of losing it — result.json is all-or-nothing.
+		if data, err := s.cfg.FS.ReadFile(filepath.Join(dir, "result.json")); err == nil {
 			var view JobView
 			if json.Unmarshal(data, &view) == nil && view.ID != "" {
 				finished = append(finished, &view)
 				continue
 			}
 		}
-		data, err := os.ReadFile(filepath.Join(dir, "job.json"))
+		data, err := s.cfg.FS.ReadFile(filepath.Join(dir, "job.json"))
 		if err != nil {
 			continue
 		}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"gbpolar/internal/fault"
+	"gbpolar/internal/fault/fs"
 	"gbpolar/internal/gb"
 	"gbpolar/internal/molecule"
 	"gbpolar/internal/obs"
@@ -47,6 +48,23 @@ type Config struct {
 	// Retry-After seconds of a 429 (default Lonestar4, the paper's
 	// Table I machine).
 	Machine perf.Machine
+	// MaxRetryAfterSec clamps the modeled Retry-After of every 429 to
+	// [1, MaxRetryAfterSec] seconds (default 60): the model prices the
+	// queued work, the clamp keeps a mis-modeled burst from telling
+	// clients to go away for an hour.
+	MaxRetryAfterSec int64
+	// MemBudgetBytes caps the modeled resident bytes of admitted work
+	// (running + queued), priced from the perf machine model's
+	// replicated-data estimate: atoms × bytes-per-atom × processes. A
+	// job that would exceed the headroom is first shrunk to the widest
+	// process count that fits (degrade, not OOM), then rejected with
+	// 429 memory_pressure; a job too large for the whole budget at P=1
+	// is rejected 413. Default 1 GiB; negative disables the gate.
+	MemBudgetBytes int64
+	// FS is the filesystem all persistence (job.json, result.json,
+	// checkpoints, traces) goes through; nil means the real disk
+	// (fs.OS). The soak harness hands in a fault-injecting fs.FaultFS.
+	FS fs.FS
 	// Quota is the per-tenant admission quota (zero disables it).
 	Quota QuotaConfig
 	// ShedQueueDepth is the queue depth at which newly started jobs are
@@ -116,6 +134,15 @@ func (c *Config) fillDefaults() {
 	if c.KeepCheckpoints <= 0 {
 		c.KeepCheckpoints = 1
 	}
+	if c.MaxRetryAfterSec <= 0 {
+		c.MaxRetryAfterSec = 60
+	}
+	if c.MemBudgetBytes == 0 {
+		c.MemBudgetBytes = 1 << 30
+	}
+	if c.FS == nil {
+		c.FS = fs.OS
+	}
 	if c.Clock == nil {
 		c.Clock = time.Now
 	}
@@ -130,6 +157,13 @@ type job struct {
 	// estOps is the modeled interaction count charged to the queue at
 	// admission and released at dequeue.
 	estOps int64
+	// memBytes is the modeled resident footprint charged against the
+	// memory budget at admission and released when the job leaves the
+	// server (terminal or interrupted).
+	memBytes int64
+	// runP, when nonzero, overrides the request's process count: the
+	// memory gate shrank the layout to fit the budget headroom.
+	runP int
 	// enqueued is when the job entered the queue (deadline accounting).
 	enqueued time.Time
 
@@ -156,9 +190,10 @@ type Server struct {
 	cfg Config
 	rec *obs.Recorder
 
-	queue      chan *job
-	queuedOps  atomic.Int64  // modeled ops waiting in the queue
-	opsPerAtom atomic.Uint64 // EWMA of measured ops/atom, as float bits
+	queue       chan *job
+	queuedOps   atomic.Int64  // modeled ops waiting in the queue
+	opsPerAtom  atomic.Uint64 // EWMA of measured ops/atom, as float bits
+	memInflight atomic.Int64  // modeled bytes charged against MemBudgetBytes
 
 	draining atomic.Bool
 	runCtx   context.Context
@@ -223,6 +258,10 @@ func New(cfg Config) (*Server, error) {
 		j := &job{id: recd.ID, req: recd.Req, mol: mol, resumed: true,
 			estOps: s.estimateOps(mol.NumAtoms()), enqueued: cfg.Clock(),
 			view: JobView{ID: recd.ID, State: StateQueued, TraceID: traceIDFor(recd.ID)}}
+		// Resumed jobs were admitted by a past incarnation: charge their
+		// footprint but never reject them — a restart must not drop a
+		// 202-acknowledged job because the budget shrank.
+		s.chargeMem(j, s.estimateBytes(mol.NumAtoms(), s.jobProcesses(&j.req)))
 		s.mu.Lock()
 		s.jobs[j.id] = j
 		s.mu.Unlock()
@@ -302,13 +341,58 @@ func (s *Server) worker() {
 	}
 }
 
+// seedOpsPerAtom is the generic octree workload density the cost model
+// starts from (and falls back to if the EWMA is ever driven to a
+// non-positive or NaN state); real measurements take over after the
+// first completed job.
+const seedOpsPerAtom = 2000
+
 // estimateOps models a job's interaction count from the measured
 // ops-per-atom EWMA. It deliberately overestimates small molecules
 // rather than underestimating large ones: Retry-After built on it errs
 // toward clients backing off slightly long.
 func (s *Server) estimateOps(atoms int) int64 {
 	perAtom := math.Float64frombits(s.opsPerAtom.Load())
+	if math.IsNaN(perAtom) || perAtom <= 0 {
+		perAtom = seedOpsPerAtom
+	}
 	return int64(perAtom * float64(atoms))
+}
+
+// estimateBytes models a job's peak resident footprint from the perf
+// machine model: the paper's replicated-data layout holds the full
+// atom + quadrature data on every process, so the bytes the machine
+// model prices for one rank are multiplied by the process count.
+func (s *Server) estimateBytes(atoms, procs int) int64 {
+	if procs < 1 {
+		procs = 1
+	}
+	return perf.EstimateDataBytes(atoms, 60*atoms) * int64(procs)
+}
+
+// jobProcesses resolves a request's effective process count.
+func (s *Server) jobProcesses(req *JobRequest) int {
+	if req.Processes > 0 {
+		return req.Processes
+	}
+	return s.cfg.DefaultProcesses
+}
+
+// chargeMem records a job's modeled footprint against the budget (and
+// the storage.bytes_inflight gauge); releaseMem undoes it exactly once.
+func (s *Server) chargeMem(j *job, bytes int64) {
+	j.memBytes = bytes
+	s.memInflight.Add(bytes)
+	s.rec.GaugeAdd("storage.bytes_inflight", bytes)
+}
+
+func (s *Server) releaseMem(j *job) {
+	if j.memBytes == 0 {
+		return
+	}
+	s.memInflight.Add(-j.memBytes)
+	s.rec.GaugeAdd("storage.bytes_inflight", -j.memBytes)
+	j.memBytes = 0
 }
 
 // learnOps folds a completed job's measured ops into the EWMA.
@@ -335,13 +419,22 @@ func (s *Server) learnOps(atoms int, perCore []int64) {
 }
 
 // retryAfter turns the modeled cost of the queued work into whole
-// seconds for a 429's Retry-After: queued ops divided by the machine's
-// compute rate across the default layout's cores, floored at 1 s.
+// seconds for a 429's Retry-After, clamped to [1, MaxRetryAfterSec].
+// The lower clamp also absorbs every degenerate model state — an empty
+// queue, a cold or poisoned EWMA driving queuedOps to zero or negative,
+// a zero-rate machine config — so the header is always a sane positive
+// number of seconds.
 func (s *Server) retryAfter() int64 {
 	cores := float64(s.cfg.DefaultProcesses * s.cfg.DefaultThreads)
-	secs := float64(s.queuedOps.Load()) / (s.cfg.Machine.OpsPerSecond * cores)
-	if secs < 1 {
+	secs := 0.0
+	if rate := s.cfg.Machine.OpsPerSecond * cores; rate > 0 {
+		secs = float64(s.queuedOps.Load()) / rate
+	}
+	if math.IsNaN(secs) || secs < 1 {
 		return 1
+	}
+	if secs > float64(s.cfg.MaxRetryAfterSec) {
+		return s.cfg.MaxRetryAfterSec
 	}
 	return int64(math.Ceil(secs))
 }
@@ -352,8 +445,44 @@ var (
 	errDraining   = errors.New("serve: draining")
 	errQueueFull  = errors.New("serve: queue full")
 	errOverQuota  = errors.New("serve: over quota")
+	errOverMemory = errors.New("serve: over memory budget")
+	errTooLarge   = errors.New("serve: job exceeds memory budget at any layout")
 	errPersistJob = errors.New("serve: persisting job")
 )
+
+// admitMemory runs the memory-budget gate for a validated request:
+// charge the modeled footprint if it fits, shrink the process count to
+// the widest layout that does (degrade, not OOM — the shrink is visible
+// in serve.jobs.memshrunk and in the job's layout), or reject. It
+// returns the effective process-count override (0: run as requested).
+func (s *Server) admitMemory(j *job, atoms, reqP int) (runP int, err error) {
+	budget := s.cfg.MemBudgetBytes
+	if budget <= 0 {
+		return 0, nil
+	}
+	if s.estimateBytes(atoms, 1) > budget {
+		// No layout of this molecule ever fits: a 429 would invite a
+		// retry that can never succeed, so this one is permanent (413).
+		s.count("serve.rejected.toolarge", 1)
+		return 0, errTooLarge
+	}
+	headroom := budget - s.memInflight.Load()
+	if need := s.estimateBytes(atoms, reqP); need <= headroom {
+		s.chargeMem(j, need)
+		return 0, nil
+	}
+	p := reqP
+	for p > 1 && s.estimateBytes(atoms, p) > headroom {
+		p--
+	}
+	if s.estimateBytes(atoms, p) > headroom {
+		s.count("serve.rejected.memory", 1)
+		return 0, errOverMemory
+	}
+	s.chargeMem(j, s.estimateBytes(atoms, p))
+	s.count("serve.jobs.memshrunk", 1)
+	return p, nil
+}
 
 // admit validates, persists, and enqueues a request. It returns the
 // job, or one of the sentinel admission errors (with retryAfter
@@ -373,24 +502,36 @@ func (s *Server) admit(req *JobRequest) (j *job, retryAfterSec int64, err error)
 		s.count("serve.rejected.invalid", 1)
 		return nil, 0, err
 	}
-	// Bound the queue BEFORE persisting: a rejected request leaves no
-	// trace on disk.
+	// Bound the queue and the memory budget BEFORE persisting: a
+	// rejected request leaves no trace on disk.
 	if len(s.queue) >= s.cfg.QueueDepth {
 		s.count("serve.rejected.overload", 1)
 		return nil, s.retryAfter(), errQueueFull
 	}
+	j = &job{req: *req, mol: mol,
+		estOps: s.estimateOps(mol.NumAtoms()), enqueued: s.cfg.Clock()}
+	runP, err := s.admitMemory(j, mol.NumAtoms(), s.jobProcesses(req))
+	if err != nil {
+		return nil, s.retryAfter(), err
+	}
+	j.runP = runP
 	id, err := newJobID()
 	if err != nil {
+		s.releaseMem(j)
 		return nil, 0, fmt.Errorf("%w: %w", errPersistJob, err)
 	}
+	j.id = id
+	j.view = JobView{ID: id, State: StateQueued, TraceID: traceIDFor(id)}
 	if s.cfg.DataDir != "" {
+		// The 202 ack rides on this write being durable: persistJob goes
+		// through the full temp+write+fsync+rename discipline, and a
+		// failure here fails the admission — the client is never told
+		// "accepted" on the strength of a page cache.
 		if err := s.persistJob(id, req); err != nil {
+			s.releaseMem(j)
 			return nil, 0, fmt.Errorf("%w: %w", errPersistJob, err)
 		}
 	}
-	j = &job{id: id, req: *req, mol: mol,
-		estOps: s.estimateOps(mol.NumAtoms()), enqueued: s.cfg.Clock(),
-		view: JobView{ID: id, State: StateQueued, TraceID: traceIDFor(id)}}
 	s.mu.Lock()
 	s.jobs[id] = j
 	s.mu.Unlock()
@@ -401,6 +542,7 @@ func (s *Server) admit(req *JobRequest) (j *job, retryAfterSec int64, err error)
 		s.mu.Lock()
 		delete(s.jobs, id)
 		s.mu.Unlock()
+		s.releaseMem(j)
 		s.count("serve.rejected.overload", 1)
 		return nil, s.retryAfter(), errQueueFull
 	}
@@ -494,6 +636,7 @@ func (s *Server) runJob(j *job) {
 			// interrupted attempt's trace was already force-closed and
 			// persisted by the trace sink.
 			j.setView(func(v *JobView) { v.State = StateInterrupted })
+			s.releaseMem(j)
 			s.count("serve.jobs.interrupted", 1)
 			return
 		}
@@ -504,17 +647,18 @@ func (s *Server) runJob(j *job) {
 
 	res := out.Result
 	doc := &ResultDoc{
-		Epol:       res.Epol,
-		EpolBits:   epolBits(res.Epol),
-		BornCRC32:  bornCRCHex(res.Born),
-		Atoms:      j.mol.NumAtoms(),
-		Degraded:   out.Degraded,
-		ErrorBound: res.ErrorBound,
-		Rung:       out.Rung.String(),
-		EpsFactor:  out.EpsFactor,
-		Attempts:   len(out.Attempts),
-		Shed:       shed,
-		Resumed:    j.resumed,
+		Epol:            res.Epol,
+		EpolBits:        epolBits(res.Epol),
+		BornCRC32:       bornCRCHex(res.Born),
+		Atoms:           j.mol.NumAtoms(),
+		Degraded:        out.Degraded,
+		ErrorBound:      res.ErrorBound,
+		Rung:            out.Rung.String(),
+		EpsFactor:       out.EpsFactor,
+		Attempts:        len(out.Attempts),
+		Shed:            shed,
+		Resumed:         j.resumed,
+		ShrunkProcesses: j.runP,
 	}
 	if sel != nil {
 		// The outcome's point reflects any supervisor shedding, so the
@@ -577,9 +721,10 @@ func (s *Server) superviseJob(j *job, deadline time.Duration, startEps float64) 
 			return nil, nil, fmt.Errorf("building system: %w", err)
 		}
 	}
-	P := j.req.Processes
-	if P <= 0 {
-		P = s.cfg.DefaultProcesses
+	P := s.jobProcesses(&j.req)
+	if j.runP > 0 {
+		// The memory gate shrank the layout at admission; honor it.
+		P = j.runP
 	}
 	threads := j.req.Threads
 	if threads <= 0 {
@@ -587,7 +732,7 @@ func (s *Server) superviseJob(j *job, deadline time.Duration, startEps float64) 
 	}
 	var store supervise.Store
 	if s.cfg.DataDir != "" {
-		store = &supervise.DirStore{Dir: s.ckptDir(j.id)}
+		store = &supervise.DirStore{Dir: s.ckptDir(j.id), FS: s.cfg.FS, Obs: s.rec}
 	} else {
 		store = supervise.NewMemStore()
 	}
@@ -652,11 +797,12 @@ func (s *Server) finishJob(j *job, doc *ResultDoc, errDoc *ErrorDoc) {
 		if err := s.persistResult(j.id, &view); err != nil {
 			s.count("serve.persist_errors", 1)
 		}
-		ds := &supervise.DirStore{Dir: s.ckptDir(j.id)}
+		ds := &supervise.DirStore{Dir: s.ckptDir(j.id), FS: s.cfg.FS, Obs: s.rec}
 		if _, err := ds.Prune(s.cfg.KeepCheckpoints); err != nil {
 			s.count("serve.prune_errors", 1)
 		}
 	}
+	s.releaseMem(j)
 	s.mu.Lock()
 	s.done[j.id] = &view
 	delete(s.jobs, j.id)

@@ -3,7 +3,6 @@ package serve
 import (
 	"bytes"
 	"fmt"
-	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -44,7 +43,7 @@ func (s *Server) traceFor(j *job) obs.TraceContext {
 // a job must not fail because its trace could not be written.
 func (s *Server) persistAttemptTrace(jobID string, attempt int, rec *obs.Recorder) error {
 	dir := s.traceDir(jobID)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.cfg.FS.MkdirAll(dir); err != nil {
 		return fmt.Errorf("serve: creating trace dir: %w", err)
 	}
 	var buf bytes.Buffer
@@ -52,7 +51,7 @@ func (s *Server) persistAttemptTrace(jobID string, attempt int, rec *obs.Recorde
 		return fmt.Errorf("serve: encoding trace: %w", err)
 	}
 	name := fmt.Sprintf("attempt-%d.json", attempt)
-	if err := writeFileAtomic(filepath.Join(dir, name), buf.Bytes()); err != nil {
+	if err := s.writeFileAtomic(filepath.Join(dir, name), buf.Bytes()); err != nil {
 		return fmt.Errorf("serve: persisting trace: %w", err)
 	}
 	return nil
@@ -61,7 +60,7 @@ func (s *Server) persistAttemptTrace(jobID string, attempt int, rec *obs.Recorde
 // latestTraceFile returns the newest attempt's persisted trace for a
 // job, or "" when none exists.
 func (s *Server) latestTraceFile(jobID string) string {
-	entries, err := os.ReadDir(s.traceDir(jobID))
+	entries, err := s.cfg.FS.ReadDir(s.traceDir(jobID))
 	if err != nil {
 		return ""
 	}

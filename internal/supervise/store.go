@@ -8,7 +8,9 @@ import (
 	"strings"
 	"sync"
 
+	"gbpolar/internal/fault/fs"
 	"gbpolar/internal/gb"
+	"gbpolar/internal/obs"
 )
 
 // MemStore is an in-process Store: it keeps the highest-phase snapshot
@@ -48,40 +50,102 @@ func (m *MemStore) Latest() (*gb.Checkpoint, error) {
 }
 
 // DirStore persists snapshots under a directory, one file per phase
-// ("phase-<N>-<name>.gbcp"), written atomically (temp file + rename) so
-// a crash mid-write can never leave a truncated checkpoint where a
-// valid one should be — and the CRC in the encoding catches anything
-// that slips past.
+// ("phase-<N>-<name>.gbcp"), written via the full atomic durability
+// discipline (temp file + write + fsync + rename) so a crash mid-write
+// can never leave a truncated checkpoint where a valid one should be —
+// and the CRC in the encoding catches anything that slips past,
+// including a lying fsync: Latest quarantines whatever fails to decode.
 type DirStore struct {
 	// Dir is the checkpoint directory. It is created on first Save.
 	Dir string
+	// FS is the filesystem to persist through; nil means the real disk
+	// (fs.OS). Tests and the soak harness hand in a fault-injecting FS.
+	FS fs.FS
+	// Obs, when non-nil, receives the storage.* counters: sync_errors,
+	// write_errors, retries, quarantines.
+	Obs *obs.Recorder
+	// Logf, when non-nil, receives one line per quarantine and per
+	// abandoned temp file (the events an operator should see).
+	Logf func(format string, args ...any)
+}
+
+func (d *DirStore) fsys() fs.FS {
+	if d.FS != nil {
+		return d.FS
+	}
+	return fs.OS
+}
+
+func (d *DirStore) count(name string) {
+	d.Obs.Count(name, 1)
+}
+
+func (d *DirStore) logf(format string, args ...any) {
+	if d.Logf != nil {
+		d.Logf(format, args...)
+	}
 }
 
 func (d *DirStore) path(phase gb.CheckpointPhase) string {
 	return filepath.Join(d.Dir, fmt.Sprintf("phase-%d-%s.gbcp", int(phase), phase))
 }
 
-// Save implements gb.CheckpointSink.
+// Save implements gb.CheckpointSink. A failed save is retried once from
+// the top — transient ENOSPC or EIO windows are exactly what the fault
+// plans inject, and a checkpoint that fails twice surfaces to the
+// supervisor as an attempt failure rather than silently skipping the
+// snapshot.
 func (d *DirStore) Save(phase gb.CheckpointPhase, encoded []byte) error {
-	if err := os.MkdirAll(d.Dir, 0o755); err != nil {
+	first := d.saveOnce(phase, encoded)
+	if first == nil {
+		return nil
+	}
+	d.count("storage.retries")
+	if retry := d.saveOnce(phase, encoded); retry != nil {
+		return fmt.Errorf("%w (after retry; first error: %v)", retry, first)
+	}
+	return nil
+}
+
+func (d *DirStore) saveOnce(phase gb.CheckpointPhase, encoded []byte) error {
+	fsys := d.fsys()
+	if err := fsys.MkdirAll(d.Dir); err != nil {
+		d.count("storage.write_errors")
 		return fmt.Errorf("supervise: creating checkpoint dir: %w", err)
 	}
-	tmp, err := os.CreateTemp(d.Dir, ".ckpt-*")
+	tmp, err := fsys.CreateTemp(d.Dir, ".ckpt-*")
 	if err != nil {
+		d.count("storage.write_errors")
 		return fmt.Errorf("supervise: creating checkpoint temp file: %w", err)
 	}
 	tmpName := tmp.Name()
+	discard := func() {
+		if err := fsys.Remove(tmpName); err != nil && !os.IsNotExist(err) {
+			d.logf("supervise: checkpoint temp %s left behind: %v", tmpName, err)
+		}
+	}
 	if _, err := tmp.Write(encoded); err != nil {
+		d.count("storage.write_errors")
+		//lint:ignore erretcheck the write error supersedes the cleanup close; the temp file is discarded either way
 		tmp.Close()
-		os.Remove(tmpName)
+		discard()
 		return fmt.Errorf("supervise: writing checkpoint: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		d.count("storage.sync_errors")
+		//lint:ignore erretcheck the sync error supersedes the cleanup close; the temp file is discarded either way
+		tmp.Close()
+		discard()
+		return fmt.Errorf("supervise: syncing checkpoint: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		d.count("storage.write_errors")
+		discard()
 		return fmt.Errorf("supervise: closing checkpoint: %w", err)
 	}
-	if err := os.Rename(tmpName, d.path(phase)); err != nil {
-		os.Remove(tmpName)
+	if err := fsys.Rename(tmpName, d.path(phase)); err != nil {
+		d.count("storage.write_errors")
+		discard()
 		return fmt.Errorf("supervise: publishing checkpoint: %w", err)
 	}
 	return nil
@@ -103,7 +167,8 @@ func (d *DirStore) Prune(keep int) (int, error) {
 	if keep < 1 {
 		keep = 1
 	}
-	entries, err := os.ReadDir(d.Dir)
+	fsys := d.fsys()
+	entries, err := fsys.ReadDir(d.Dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return 0, nil
@@ -112,7 +177,7 @@ func (d *DirStore) Prune(keep int) (int, error) {
 	}
 	removed := 0
 	remove := func(name string) error {
-		if err := os.Remove(filepath.Join(d.Dir, name)); err != nil && !os.IsNotExist(err) {
+		if err := fsys.Remove(filepath.Join(d.Dir, name)); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("supervise: pruning %s: %w", name, err)
 		}
 		removed++
@@ -134,7 +199,7 @@ func (d *DirStore) Prune(keep int) (int, error) {
 				return removed, err
 			}
 		case strings.HasSuffix(name, ".gbcp"):
-			data, err := os.ReadFile(filepath.Join(d.Dir, name))
+			data, err := fsys.ReadFile(filepath.Join(d.Dir, name))
 			var ck *gb.Checkpoint
 			if err == nil {
 				ck, err = gb.DecodeCheckpoint(data)
@@ -166,22 +231,56 @@ func (d *DirStore) Prune(keep int) (int, error) {
 }
 
 // Latest implements Store: the highest-phase valid checkpoint file in
-// the directory. Unreadable or corrupt files are skipped (a damaged
-// late checkpoint degrades resume to the previous phase instead of
-// failing it); a missing directory means no checkpoint yet.
+// the directory. Unreadable files are skipped (a damaged late
+// checkpoint degrades resume to the previous phase instead of failing
+// it); files that read but fail to DECODE are quarantined to
+// <dir>/quarantine/ — moved aside, counted, and logged — so a corrupt
+// snapshot is preserved as evidence for the operator instead of being
+// silently re-skipped on every resume, and can never poison a later
+// phase scan. A missing directory means no checkpoint yet.
 func (d *DirStore) Latest() (*gb.Checkpoint, error) {
+	fsys := d.fsys()
 	var best *gb.Checkpoint
 	for phase := gb.PhaseEpol; phase >= gb.PhaseIntegrals; phase-- {
-		data, err := os.ReadFile(d.path(phase))
+		path := d.path(phase)
+		data, err := fsys.ReadFile(path)
 		if err != nil {
 			continue
 		}
 		ck, err := gb.DecodeCheckpoint(data)
 		if err != nil {
+			d.quarantine(path, err)
 			continue
 		}
 		best = ck
 		break
 	}
 	return best, nil
+}
+
+// quarantine moves a corrupt snapshot to <dir>/quarantine/, suffixing
+// the name on collision so repeated corruption of the same phase file
+// (the double-corrupt case) keeps every specimen. Quarantine failures
+// only log: resume must proceed on whatever valid snapshots remain.
+func (d *DirStore) quarantine(path string, cause error) {
+	fsys := d.fsys()
+	qdir := filepath.Join(d.Dir, "quarantine")
+	if err := fsys.MkdirAll(qdir); err != nil {
+		d.logf("supervise: creating quarantine dir for corrupt checkpoint %s: %v", path, err)
+		return
+	}
+	base := filepath.Base(path)
+	dst := filepath.Join(qdir, base)
+	for i := 1; i <= 32; i++ {
+		if _, err := fsys.ReadFile(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = filepath.Join(qdir, fmt.Sprintf("%s.%d", base, i))
+	}
+	if err := fsys.Rename(path, dst); err != nil {
+		d.logf("supervise: quarantining corrupt checkpoint %s: %v", path, err)
+		return
+	}
+	d.count("storage.quarantines")
+	d.logf("supervise: quarantined corrupt checkpoint %s -> %s: %v", path, dst, cause)
 }
